@@ -1,0 +1,64 @@
+// Ablation: RCP collection and heartbeat intervals vs read freshness and
+// read-only throughput (Section IV-A). The replica consistency point can
+// only be as fresh as the heartbeat cadence on idle shards and the RCP
+// polling cadence allow.
+
+#include "bench/bench_util.h"
+
+using namespace globaldb;
+using namespace globaldb::bench;
+
+int main() {
+  const SimDuration duration = BenchDuration() / 2;
+  const int clients = BenchClients() / 2;
+  TpccConfig config = MakeTpccConfig();
+  config.read_only_mix = true;
+
+  const SimDuration intervals_ms[] = {1, 5, 10, 25, 50, 100};
+
+  PrintHeader("Ablation: RCP poll + heartbeat interval vs freshness "
+              "(Three-City, read-only TPC-C)",
+              "interval_ms   read_tps   rcp_staleness_ms   ror_share%");
+  for (SimDuration interval : intervals_ms) {
+    sim::Simulator sim(31);
+    ClusterOptions options =
+        MakeClusterOptions(SystemKind::kGlobalDb, sim::Topology::ThreeCity());
+    options.coordinator.rcp_interval = interval * kMillisecond;
+    options.coordinator.heartbeat_interval = interval * kMillisecond;
+    Cluster cluster(&sim, options);
+    cluster.Start();
+    TpccWorkload tpcc(&cluster, config);
+    Status s = tpcc.Setup();
+    GDB_CHECK(s.ok()) << s.ToString();
+    cluster.WaitForRcp(5 * kSecond);
+    sim.RunFor(300 * kMillisecond);
+
+    WorkloadDriver::Options driver_options;
+    driver_options.clients = clients;
+    driver_options.warmup = 300 * kMillisecond;
+    driver_options.duration = duration;
+    WorkloadDriver driver(&cluster, driver_options);
+    WorkloadStats stats = driver.Run(tpcc.MixFn());
+
+    // Freshness of the RCP as observed by a remote CN at the end of the
+    // run: (true time - rcp), valid because GClock timestamps are epoch ns.
+    auto& cn = cluster.cn(2);
+    const double staleness_ms =
+        static_cast<double>(sim.now() - static_cast<SimTime>(cn.rcp())) /
+        kMillisecond;
+    int64_t ror = 0, total = 0;
+    for (size_t i = 0; i < cluster.num_cns(); ++i) {
+      ror += cluster.cn(i).metrics().Get("cn.ror_txns");
+      total += cluster.cn(i).metrics().Get("cn.ror_txns") +
+               cluster.cn(i).metrics().Get("cn.txns");
+    }
+    printf("%11lld %10.0f %18.1f %11.1f\n",
+           static_cast<long long>(interval), stats.Throughput(), staleness_ms,
+           total > 0 ? 100.0 * ror / total : 0.0);
+    fflush(stdout);
+  }
+  printf("\nTakeaway: the RCP lags by roughly the heartbeat + poll interval "
+         "plus one replication round trip; throughput is insensitive until "
+         "staleness pushes reads back to primaries.\n");
+  return 0;
+}

@@ -1,0 +1,202 @@
+#ifndef GLOBALDB_BENCH_BENCH_UTIL_H_
+#define GLOBALDB_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/cluster/cluster.h"
+#include "src/workload/driver.h"
+#include "src/workload/sysbench.h"
+#include "src/workload/tpcc.h"
+
+namespace globaldb::bench {
+
+/// Scaled-down run lengths so the full figure suite completes in minutes.
+/// Override via environment: GDB_BENCH_DURATION_MS, GDB_BENCH_CLIENTS.
+inline SimDuration BenchDuration() {
+  const char* env = getenv("GDB_BENCH_DURATION_MS");
+  return (env != nullptr ? atoll(env) : 2000) * kMillisecond;
+}
+
+inline int BenchClients() {
+  const char* env = getenv("GDB_BENCH_CLIENTS");
+  return env != nullptr ? atoi(env) : 360;
+}
+
+/// The two systems the paper compares.
+enum class SystemKind {
+  kBaseline,  // GaussDB: centralized GTM, synchronous quorum replication
+              // (with a remote member), no ROR, stock TCP behavior
+  kGlobalDb   // GClock, async replication, LZ redo compression, BBR,
+              // Nagle off, read-on-replica
+};
+
+inline const char* SystemName(SystemKind kind) {
+  return kind == SystemKind::kBaseline ? "Baseline-GaussDB" : "GlobalDB";
+}
+
+/// Cluster sizing shared by all figure benches: 3 CNs, 6 primary DNs,
+/// 12 replica DNs — the paper's layout (Section V).
+inline ClusterOptions MakeClusterOptions(SystemKind kind,
+                                         sim::Topology topology) {
+  ClusterOptions o;
+  o.topology = std::move(topology);
+  o.num_shards = 6;
+  o.cns_per_region = static_cast<uint32_t>(
+      3 / o.topology.num_regions() + (3 % o.topology.num_regions() ? 1 : 0));
+  if (o.topology.num_regions() >= 3) o.cns_per_region = 1;
+  o.replicas_per_shard = 2;
+
+  // CPU model: calibrated so the One-Region cluster is CPU-bound at the
+  // paper's client scale while geo latency dominates cross-city runs.
+  o.data_node.cores = 2;
+  o.data_node.read_cost = 25 * kMicrosecond;
+  o.data_node.write_cost = 35 * kMicrosecond;
+  o.data_node.commit_cost = 20 * kMicrosecond;
+  o.replica_node.cores = 2;
+  o.replica_node.read_cost = 25 * kMicrosecond;
+  o.coordinator.cores = 4;
+  o.coordinator.statement_cost = 5 * kMicrosecond;
+  o.data_node.lock_timeout = 200 * kMillisecond;
+
+  if (kind == SystemKind::kBaseline) {
+    o.initial_mode = TimestampMode::kGtm;
+    o.shipper.mode = ReplicationMode::kSyncQuorum;
+    o.shipper.quorum_replicas = 1;  // nearest replica — remote in 3-city
+    o.shipper.compression = CompressionType::kNone;
+    o.network.nagle_enabled = true;
+    o.network.bbr_enabled = false;
+    o.coordinator.enable_ror = false;
+  } else {
+    o.initial_mode = TimestampMode::kGclock;
+    o.shipper.mode = ReplicationMode::kAsync;
+    o.shipper.compression = CompressionType::kLz;
+    o.network.nagle_enabled = false;
+    o.network.bbr_enabled = true;
+    o.coordinator.enable_ror = true;
+  }
+  return o;
+}
+
+/// TPC-C scale for benches (warehouse count matches terminal count order,
+/// as in the paper's 600/600 configuration, scaled 1:4).
+inline TpccConfig MakeTpccConfig() {
+  TpccConfig c;
+  c.num_warehouses = 360;  // matches the default client count (paper: 600/600)
+  c.districts_per_warehouse = 10;
+  c.customers_per_district = 30;
+  c.items = 1000;
+  c.initial_orders_per_district = 8;
+  return c;
+}
+
+struct RunResult {
+  WorkloadStats stats;
+  double tpm = 0;
+  double tps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+};
+
+/// Stands up a cluster, loads TPC-C, runs the mix, returns stats.
+inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
+                         TpccConfig config, int clients,
+                         SimDuration duration, uint64_t seed = 7) {
+  sim::Simulator sim(seed);
+  Cluster cluster(&sim, MakeClusterOptions(kind, std::move(topology)));
+  cluster.Start();
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options options;
+  options.clients = clients;
+  options.warmup = 400 * kMillisecond;
+  options.duration = duration;
+  WorkloadDriver driver(&cluster, options);
+  RunResult result;
+  result.stats = driver.Run(tpcc.MixFn());
+  if (getenv("GDB_BENCH_DEBUG") != nullptr) {
+    int64_t dn_busy = 0, dn_queue = 0, lock_waits = 0, lock_timeouts = 0;
+    int64_t replica_busy = 0;
+    for (ShardId sh = 0; sh < cluster.num_shards(); ++sh) {
+      dn_busy += cluster.data_node(sh).cpu().busy_ns();
+      dn_queue += cluster.data_node(sh).cpu().queue_delay_ns();
+      lock_waits += cluster.data_node(sh).locks().metrics().Get("lock.waits");
+      lock_timeouts +=
+          cluster.data_node(sh).locks().metrics().Get("lock.timeouts");
+      for (ReplicaNode* rep : cluster.replicas_of(sh)) {
+        replica_busy += rep->cpu().busy_ns();
+      }
+    }
+    int64_t replica_reads = 0, primary_reads = 0;
+    for (size_t i = 0; i < cluster.num_cns(); ++i) {
+      replica_reads += cluster.cn(i).metrics().Get("cn.replica_reads");
+      primary_reads += cluster.cn(i).metrics().Get("cn.primary_reads");
+    }
+    printf("    dn_busy=%.2fs dn_queue=%.2fs repl_busy=%.2fs lock_waits=%lld "
+           "lock_timeouts=%lld repl_reads=%lld prim_reads=%lld\n",
+           dn_busy / 1e9, dn_queue / 1e9, replica_busy / 1e9,
+           (long long)lock_waits, (long long)lock_timeouts,
+           (long long)replica_reads, (long long)primary_reads);
+  }
+  result.tpm = result.stats.PerMinute();
+  result.tps = result.stats.Throughput();
+  result.p50_ms =
+      static_cast<double>(result.stats.latency.Percentile(50)) / kMillisecond;
+  result.p99_ms =
+      static_cast<double>(result.stats.latency.Percentile(99)) / kMillisecond;
+  return result;
+}
+
+/// Same for sysbench point select, with explicit cluster options.
+inline RunResult RunSysbenchPointSelectWith(ClusterOptions cluster_options,
+                                            SysbenchConfig config,
+                                            int clients, SimDuration duration,
+                                            uint64_t seed = 7) {
+  sim::Simulator sim(seed);
+  Cluster cluster(&sim, std::move(cluster_options));
+  cluster.Start();
+  SysbenchWorkload sysbench(&cluster, config);
+  Status s = sysbench.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options options;
+  options.clients = clients;
+  options.warmup = 500 * kMillisecond;
+  options.duration = duration;
+  WorkloadDriver driver(&cluster, options);
+  RunResult result;
+  result.stats = driver.Run(sysbench.PointSelectFn());
+  result.tpm = result.stats.PerMinute();
+  result.tps = result.stats.Throughput();
+  result.p50_ms =
+      static_cast<double>(result.stats.latency.Percentile(50)) / kMillisecond;
+  result.p99_ms =
+      static_cast<double>(result.stats.latency.Percentile(99)) / kMillisecond;
+  return result;
+}
+
+inline RunResult RunSysbenchPointSelect(SystemKind kind,
+                                        sim::Topology topology,
+                                        SysbenchConfig config, int clients,
+                                        SimDuration duration,
+                                        uint64_t seed = 7) {
+  return RunSysbenchPointSelectWith(
+      MakeClusterOptions(kind, std::move(topology)), config, clients,
+      duration, seed);
+}
+
+inline void PrintHeader(const char* title, const char* columns) {
+  printf("\n=== %s ===\n%s\n", title, columns);
+}
+
+}  // namespace globaldb::bench
+
+#endif  // GLOBALDB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,74 @@
+// Fig. 6b: TPC-C throughput of a node NOT co-located with the GTM server,
+// as a function of injected network delay (tc-style, One-Region cluster).
+//
+// Paper shape: baseline GaussDB loses up to ~90% at 100 ms of delay;
+// GlobalDB is flat across the sweep.
+
+#include "bench/bench_util.h"
+
+using namespace globaldb;
+using namespace globaldb::bench;
+
+namespace {
+
+RunResult RunPinned(SystemKind kind, SimDuration delay_rtt, TpccConfig config,
+                    int clients, SimDuration duration) {
+  sim::Simulator sim(17);
+  // 3 regions with uniform injected delay; the GTM lives in region 0 and
+  // the measured clients attach to the CN in region 1.
+  Cluster cluster(&sim, MakeClusterOptions(
+                            kind, sim::Topology::Uniform(3, delay_rtt)));
+  cluster.Start();
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options options;
+  options.clients = clients;
+  options.warmup = 400 * kMillisecond;
+  options.duration = duration;
+  options.pin_cn = 1;  // region 1: not co-located with the GTM
+  WorkloadDriver driver(&cluster, options);
+  RunResult result;
+  result.stats = driver.Run(tpcc.MixFn());
+  result.tpm = result.stats.PerMinute();
+  result.p50_ms =
+      static_cast<double>(result.stats.latency.Percentile(50)) / kMillisecond;
+  result.p99_ms =
+      static_cast<double>(result.stats.latency.Percentile(99)) / kMillisecond;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const SimDuration duration = BenchDuration();
+  const int clients = BenchClients() / 3;  // one CN's worth of terminals
+  TpccConfig config = MakeTpccConfig();
+
+  const SimDuration delays_ms[] = {0, 5, 10, 25, 50, 100};
+
+  PrintHeader("Fig 6b: TPC-C throughput vs injected delay "
+              "(node not co-located with GTM)",
+              "delay_ms   baseline_tpmC  baseline_rel   globaldb_tpmC  "
+              "globaldb_rel");
+  double base0 = 0, global0 = 0;
+  for (SimDuration d : delays_ms) {
+    const SimDuration rtt = d * kMillisecond + 100 * kMicrosecond;
+    RunResult baseline =
+        RunPinned(SystemKind::kBaseline, rtt, config, clients, duration);
+    RunResult globaldb =
+        RunPinned(SystemKind::kGlobalDb, rtt, config, clients, duration);
+    if (base0 == 0) base0 = baseline.tpm;
+    if (global0 == 0) global0 = globaldb.tpm;
+    printf("%8lld %15.0f %13.2f %15.0f %13.2f\n", static_cast<long long>(d),
+           baseline.tpm, base0 > 0 ? baseline.tpm / base0 : 0,
+           globaldb.tpm, global0 > 0 ? globaldb.tpm / global0 : 0);
+    fflush(stdout);
+  }
+  printf("\nPaper reference: baseline degrades by up to ~90%% at 100 ms; "
+         "GlobalDB holds its throughput regardless of delay.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fig. 6d: Sysbench Point Select throughput vs injected delay, with 2/3 of
+// tuples fetched from a remote node in the baseline.
+//
+// Paper shape: GlobalDB improves read throughput by up to ~8.9x by serving
+// the reads from local replicas.
+
+#include "bench/bench_util.h"
+
+using namespace globaldb;
+using namespace globaldb::bench;
+
+int main() {
+  const SimDuration duration = BenchDuration();
+  // The paper drives 600 terminals; the achievable speedup is the ratio of
+  // the (CPU-bound) replica-serving capacity to the latency-bound baseline,
+  // so the client count directly scales the reported factor.
+  const int clients =
+      getenv("GDB_BENCH_CLIENTS") != nullptr ? BenchClients() : 600;
+  SysbenchConfig config;
+  config.num_tables = 25;       // scaled from the paper's 250 tables
+  config.rows_per_table = 2500; // scaled from 25000 rows
+  config.remote_fraction = 2.0 / 3.0;
+
+  const SimDuration delays_ms[] = {0, 5, 10, 25, 50, 100};
+
+  PrintHeader("Fig 6d: Sysbench Point Select throughput vs injected delay "
+              "(2/3 remote tuples)",
+              "delay_ms   baseline_tps   globaldb_tps   speedup");
+  for (SimDuration d : delays_ms) {
+    const SimDuration rtt = d * kMillisecond + 100 * kMicrosecond;
+    // Model the full per-query SQL execution cost of the paper's stack
+    // (parse/plan/execute ~ hundreds of us) so replica capacity saturates
+    // at a realistic multiple of the baseline, as in the paper.
+    auto tune = [&](SystemKind kind) {
+      ClusterOptions o =
+          MakeClusterOptions(kind, sim::Topology::Uniform(3, rtt));
+      o.data_node.read_cost = 300 * kMicrosecond;
+      o.replica_node.read_cost = 300 * kMicrosecond;
+      return o;
+    };
+    RunResult baseline = RunSysbenchPointSelectWith(
+        tune(SystemKind::kBaseline), config, clients, duration);
+    RunResult globaldb = RunSysbenchPointSelectWith(
+        tune(SystemKind::kGlobalDb), config, clients, duration);
+    printf("%8lld %14.0f %14.0f %9.1fx\n", static_cast<long long>(d),
+           baseline.tps, globaldb.tps,
+           baseline.tps > 0 ? globaldb.tps / baseline.tps : 0.0);
+    fflush(stdout);
+  }
+  printf("\nPaper reference: GlobalDB up to ~8.9x the baseline at high "
+         "delay.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Quickstart: stand up a three-city GlobalDB cluster, create a table,
+// write a few rows, and read them back — from primaries inside a
+// read-write transaction, and from asynchronous replicas through the
+// Read-On-Replica (ROR) path with guaranteed consistency.
+//
+//   ./example_quickstart
+
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+
+using namespace globaldb;
+
+namespace {
+
+sim::Task<void> Run(Cluster* cluster, bool* done) {
+  CoordinatorNode& cn = cluster->cn(0);
+
+  // 1. Create a table: id (key, distribution column), name, score.
+  TableSchema schema;
+  schema.name = "players";
+  schema.columns = {{"id", ColumnType::kInt64},
+                    {"name", ColumnType::kString},
+                    {"score", ColumnType::kInt64}};
+  schema.key_columns = {0};
+  schema.distribution_column = 0;
+  Status s = co_await cn.CreateTable(schema);
+  printf("create table players: %s\n", s.ToString().c_str());
+
+  // 2. Insert rows in one transaction (rows hash to different shards, so
+  // this commits with two-phase commit under the hood).
+  auto txn = co_await cn.Begin();
+  for (int64_t id = 1; id <= 5; ++id) {
+    Row row = {id, "player_" + std::to_string(id), id * 100};
+    s = co_await cn.Insert(&*txn, "players", row);
+    printf("insert id=%lld: %s\n", static_cast<long long>(id),
+           s.ToString().c_str());
+  }
+  s = co_await cn.Commit(&*txn);
+  printf("commit: %s (write shards: %zu)\n", s.ToString().c_str(),
+         txn->write_shards.size());
+
+  // 3. Read back from the primaries.
+  auto reader = co_await cn.Begin();
+  Row key = {int64_t{3}};
+  auto row = co_await cn.Get(&*reader, "players", key);
+  if (row.ok() && row->has_value()) {
+    printf("primary read id=3 -> name=%s score=%s\n",
+           ValueToString((**row)[1]).c_str(),
+           ValueToString((**row)[2]).c_str());
+  }
+
+  // 4. Wait for async replication + the replica consistency point, then
+  // read from a local replica (strongly consistent at the RCP snapshot).
+  co_await cluster->simulator()->Sleep(500 * kMillisecond);
+  auto ror = co_await cn.Begin(/*read_only=*/true, /*single_shard=*/true);
+  printf("read-only txn: use_ror=%d snapshot(rcp)=%llu\n", ror->use_ror,
+         static_cast<unsigned long long>(ror->snapshot));
+  row = co_await cn.Get(&*ror, "players", key);
+  if (row.ok() && row->has_value()) {
+    printf("replica read id=3 -> name=%s score=%s\n",
+           ValueToString((**row)[1]).c_str(),
+           ValueToString((**row)[2]).c_str());
+  }
+  // Note: a shard mastered in this CN's own region is read from the local
+  // primary (cheapest node on the skyline); remote-mastered shards read
+  // from local replicas.
+  printf("reads routed to replicas: %lld, to primaries: %lld\n",
+         static_cast<long long>(cn.metrics().Get("cn.replica_reads")),
+         static_cast<long long>(cn.metrics().Get("cn.primary_reads")));
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+  sim::Simulator sim(2024);
+
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.initial_mode = TimestampMode::kGclock;
+  options.num_shards = 6;
+  options.replicas_per_shard = 2;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool done = false;
+  sim.Spawn(Run(&cluster, &done));
+  while (!done) sim.RunFor(10 * kMillisecond);
+  printf("\nsimulated time elapsed: %.1f ms\n",
+         static_cast<double>(sim.now()) / kMillisecond);
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Replica failure and dynamic rerouting: read-only traffic is served from
+// local replicas until they crash; the skyline node selection detects the
+// failures, reroutes queries (to other replicas or primaries), and folds
+// the replicas back in when they recover.
+//
+//   ./example_replica_failover
+
+#include <cstdio>
+
+#include "src/cluster/cluster.h"
+#include "src/common/rng.h"
+
+using namespace globaldb;
+
+namespace {
+
+sim::Task<void> ReadLoop(Cluster* cluster, int cn_index, uint64_t seed,
+                         int* ok_reads, int* failed_reads, const bool* stop) {
+  Rng rng(seed);
+  CoordinatorNode* cn = &cluster->cn(cn_index);
+  while (!*stop) {
+    co_await cluster->simulator()->Sleep(2 * kMillisecond);
+    auto txn = co_await cn->Begin(/*read_only=*/true, /*single_shard=*/true);
+    if (!txn.ok()) {
+      ++*failed_reads;
+      continue;
+    }
+    Row key = {rng.UniformRange(1, 100)};
+    auto row = co_await cn->Get(&*txn, "inventory", key);
+    if (row.ok()) {
+      ++*ok_reads;
+    } else {
+      ++*failed_reads;
+    }
+  }
+}
+
+void Snapshot(Cluster* cluster, const char* phase, int ok, int failed) {
+  int64_t replica_reads = 0, primary_reads = 0, failovers = 0;
+  for (size_t i = 0; i < cluster->num_cns(); ++i) {
+    replica_reads += cluster->cn(i).metrics().Get("cn.replica_reads");
+    primary_reads += cluster->cn(i).metrics().Get("cn.primary_reads");
+    failovers += cluster->cn(i).metrics().Get("cn.replica_failovers");
+  }
+  printf("%-34s ok=%5d failed=%d replica_reads=%lld primary_reads=%lld "
+         "reroutes=%lld\n",
+         phase, ok, failed, static_cast<long long>(replica_reads),
+         static_cast<long long>(primary_reads),
+         static_cast<long long>(failovers));
+}
+
+sim::Task<void> Run(Cluster* cluster, bool* done) {
+  CoordinatorNode& cn = cluster->cn(0);
+  TableSchema schema;
+  schema.name = "inventory";
+  schema.columns = {{"sku", ColumnType::kInt64},
+                    {"count", ColumnType::kInt64}};
+  schema.key_columns = {0};
+  schema.distribution_column = 0;
+  (void)co_await cn.CreateTable(schema);
+  auto setup = co_await cn.Begin();
+  for (int64_t sku = 1; sku <= 100; ++sku) {
+    Row row = {sku, sku * 7};
+    (void)co_await cn.Insert(&*setup, "inventory", row);
+  }
+  (void)co_await cn.Commit(&*setup);
+  co_await cluster->simulator()->Sleep(500 * kMillisecond);
+
+  bool stop = false;
+  int ok_reads = 0, failed_reads = 0;
+  for (int c = 0; c < 6; ++c) {
+    cluster->simulator()->Spawn(ReadLoop(cluster, c % 3, 10 + c, &ok_reads,
+                                         &failed_reads, &stop));
+  }
+
+  co_await cluster->simulator()->Sleep(600 * kMillisecond);
+  Snapshot(cluster, "phase 1: all replicas healthy", ok_reads, failed_reads);
+
+  // Crash every replica hosted in region 1.
+  int crashed = 0;
+  for (ShardId s = 0; s < cluster->num_shards(); ++s) {
+    for (uint32_t r = 0; r < cluster->options().replicas_per_shard; ++r) {
+      if (cluster->ReplicaRegion(s, r) == 1) {
+        cluster->network().SetNodeUp(cluster->ReplicaNodeId(s, r), false);
+        ++crashed;
+      }
+    }
+  }
+  printf("  !! crashed %d replicas in region 1\n", crashed);
+  co_await cluster->simulator()->Sleep(600 * kMillisecond);
+  Snapshot(cluster, "phase 2: region-1 replicas down", ok_reads,
+           failed_reads);
+
+  // Recovery: nodes come back, catch up on redo, rejoin the skyline.
+  for (ShardId s = 0; s < cluster->num_shards(); ++s) {
+    for (uint32_t r = 0; r < cluster->options().replicas_per_shard; ++r) {
+      if (cluster->ReplicaRegion(s, r) == 1) {
+        cluster->network().SetNodeUp(cluster->ReplicaNodeId(s, r), true);
+      }
+    }
+  }
+  printf("  .. region-1 replicas restarted\n");
+  co_await cluster->simulator()->Sleep(600 * kMillisecond);
+  Snapshot(cluster, "phase 3: recovered", ok_reads, failed_reads);
+
+  stop = true;
+  co_await cluster->simulator()->Sleep(100 * kMillisecond);
+  printf("\nno read ever failed: queries rerouted around the dead "
+         "replicas.\n");
+  *done = true;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulator sim(555);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.initial_mode = TimestampMode::kGclock;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool done = false;
+  sim.Spawn(Run(&cluster, &done));
+  while (!done) sim.RunFor(10 * kMillisecond);
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "src/cluster/cluster.h"
+
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+Cluster::Cluster(sim::Simulator* sim, ClusterOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  network_ = std::make_unique<sim::Network>(sim, options_.topology,
+                                            options_.network);
+  const uint32_t regions =
+      static_cast<uint32_t>(options_.topology.num_regions());
+
+  // GTM server.
+  network_->RegisterNode(GtmNodeId(), options_.gtm_region);
+  gtm_ = std::make_unique<GtmServer>(sim, network_.get(), GtmNodeId());
+
+  // Coordinator nodes: cns_per_region per region.
+  const uint32_t num_cns = options_.cns_per_region * regions;
+  std::vector<NodeId> cn_ids;
+  for (uint32_t i = 0; i < num_cns; ++i) {
+    const RegionId region = i % regions;
+    const NodeId id = CnNodeId(i);
+    network_->RegisterNode(id, region);
+    cns_.push_back(std::make_unique<CoordinatorNode>(
+        sim, network_.get(), id, region, GtmNodeId(), options_.clock,
+        options_.coordinator));
+    cn_ids.push_back(id);
+  }
+
+  // Primary data nodes (one per shard) and their replicas.
+  std::vector<NodeId> primaries;
+  for (ShardId shard = 0; shard < options_.num_shards; ++shard) {
+    const NodeId id = PrimaryNodeId(shard);
+    network_->RegisterNode(id, PrimaryRegion(shard));
+    data_nodes_.push_back(std::make_unique<DataNode>(
+        sim, network_.get(), id, shard, options_.data_node));
+    primaries.push_back(id);
+
+    std::vector<NodeId> replica_ids;
+    for (uint32_t r = 0; r < options_.replicas_per_shard; ++r) {
+      const NodeId rid = ReplicaNodeId(shard, r);
+      network_->RegisterNode(rid, ReplicaRegion(shard, r));
+      replica_nodes_.push_back(std::make_unique<ReplicaNode>(
+          sim, network_.get(), rid, shard, options_.replica_node));
+      replica_ids.push_back(rid);
+    }
+    data_nodes_.back()->ConfigureReplication(replica_ids, options_.shipper);
+  }
+
+  // Wire CNs: shard map, replicas, peers, initial mode.
+  for (auto& cn : cns_) {
+    cn->SetShardMap(primaries);
+    cn->SetPeerCns(cn_ids);
+    cn->timestamp_source().SetMode(options_.initial_mode);
+    for (ShardId shard = 0; shard < options_.num_shards; ++shard) {
+      for (uint32_t r = 0; r < options_.replicas_per_shard; ++r) {
+        cn->AddReplica(shard, ReplicaNodeId(shard, r),
+                       ReplicaRegion(shard, r));
+      }
+    }
+  }
+  gtm_->SetMode(options_.initial_mode, 0);
+
+  transition_ = std::make_unique<TransitionCoordinator>(
+      sim, network_.get(), cn_ids.front(), GtmNodeId(), cn_ids);
+}
+
+void Cluster::Start() {
+  for (auto& dn : data_nodes_) dn->Start();
+  for (size_t i = 0; i < cns_.size(); ++i) {
+    cns_[i]->StartServices(/*rcp_collector=*/i == 0);
+  }
+}
+
+CoordinatorNode& Cluster::cn_in_region(RegionId region) {
+  for (auto& cn : cns_) {
+    if (cn->region() == region) return *cn;
+  }
+  return *cns_.front();
+}
+
+std::vector<ReplicaNode*> Cluster::replicas_of(ShardId shard) {
+  std::vector<ReplicaNode*> out;
+  for (uint32_t r = 0; r < options_.replicas_per_shard; ++r) {
+    out.push_back(
+        replica_nodes_[shard * options_.replicas_per_shard + r].get());
+  }
+  return out;
+}
+
+void Cluster::WaitForRcp(SimDuration max_wait) {
+  const SimTime deadline = sim_->now() + max_wait;
+  while (sim_->now() < deadline) {
+    bool all_ready = true;
+    for (auto& cn : cns_) {
+      if (cn->rcp() == 0) {
+        all_ready = false;
+        break;
+      }
+    }
+    if (all_ready) return;
+    sim_->RunFor(5 * kMillisecond);
+  }
+  GDB_LOG(Warn) << "WaitForRcp: RCP still zero after max_wait";
+}
+
+}  // namespace globaldb

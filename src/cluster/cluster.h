@@ -1,0 +1,106 @@
+#ifndef GLOBALDB_SRC_CLUSTER_CLUSTER_H_
+#define GLOBALDB_SRC_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/coordinator_node.h"
+#include "src/cluster/data_node.h"
+#include "src/cluster/replica_node.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/sim/topology.h"
+#include "src/txn/gtm_server.h"
+#include "src/txn/transition.h"
+
+namespace globaldb {
+
+/// Everything needed to stand up a GlobalDB cluster in the simulator.
+struct ClusterOptions {
+  sim::Topology topology = sim::Topology::SingleRegion();
+  sim::NetworkOptions network;
+
+  uint32_t num_shards = 6;
+  /// One CN per region by default (paper: 3 CNs over 3 cities).
+  uint32_t cns_per_region = 1;
+  /// Replicas per shard, placed in the regions after the primary's
+  /// (round-robin), so every region hosts a full copy of the database when
+  /// replicas_per_shard >= num_regions - 1.
+  uint32_t replicas_per_shard = 2;
+
+  TimestampMode initial_mode = TimestampMode::kGtm;
+  ShipperOptions shipper;
+  DataNodeOptions data_node;
+  ReplicaNodeOptions replica_node;
+  CoordinatorOptions coordinator;
+  sim::HardwareClockOptions clock;
+
+  /// Region hosting the GTM server (the paper collocates it with the
+  /// lowest-mean-latency machine).
+  RegionId gtm_region = 0;
+};
+
+/// Node-id layout: GTM = 0, CNs = 1..99, primary DNs = 100 + shard,
+/// replicas = 1000 + shard * 100 + replica_index.
+class Cluster {
+ public:
+  Cluster(sim::Simulator* sim, ClusterOptions options);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Starts log shippers, the RCP collector (on CN 0), and heartbeats.
+  void Start();
+
+  sim::Simulator* simulator() { return sim_; }
+  sim::Network& network() { return *network_; }
+  const ClusterOptions& options() const { return options_; }
+
+  GtmServer& gtm() { return *gtm_; }
+  size_t num_cns() const { return cns_.size(); }
+  CoordinatorNode& cn(size_t i) { return *cns_[i]; }
+  /// The first CN located in `region` (checks all CNs round-robin).
+  CoordinatorNode& cn_in_region(RegionId region);
+  size_t num_shards() const { return options_.num_shards; }
+  DataNode& data_node(ShardId shard) { return *data_nodes_[shard]; }
+  std::vector<ReplicaNode*> replicas_of(ShardId shard);
+  ReplicaNode& replica(ShardId shard, uint32_t index) {
+    return *replica_nodes_[shard * options_.replicas_per_shard + index];
+  }
+  TransitionCoordinator& transition() { return *transition_; }
+
+  static NodeId GtmNodeId() { return 0; }
+  static NodeId CnNodeId(uint32_t index) { return 1 + index; }
+  static NodeId PrimaryNodeId(ShardId shard) { return 100 + shard; }
+  NodeId ReplicaNodeId(ShardId shard, uint32_t index) const {
+    return 1000 + shard * 100 + index;
+  }
+
+  RegionId PrimaryRegion(ShardId shard) const {
+    return shard % options_.topology.num_regions();
+  }
+  RegionId ReplicaRegion(ShardId shard, uint32_t index) const {
+    const uint32_t regions =
+        static_cast<uint32_t>(options_.topology.num_regions());
+    if (regions == 1) return 0;
+    return (PrimaryRegion(shard) + 1 + index) % regions;
+  }
+
+  /// Runs the simulator until every CN has observed an RCP > 0 (i.e. the
+  /// read-on-replica path is usable), up to `max_wait`.
+  void WaitForRcp(SimDuration max_wait = 2 * kSecond);
+
+ private:
+  sim::Simulator* sim_;
+  ClusterOptions options_;
+  std::unique_ptr<sim::Network> network_;
+  std::unique_ptr<GtmServer> gtm_;
+  std::vector<std::unique_ptr<CoordinatorNode>> cns_;
+  std::vector<std::unique_ptr<DataNode>> data_nodes_;
+  std::vector<std::unique_ptr<ReplicaNode>> replica_nodes_;
+  std::unique_ptr<TransitionCoordinator> transition_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_CLUSTER_H_

@@ -1,0 +1,593 @@
+#include "src/cluster/coordinator_node.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+#include "src/sim/future.h"
+
+namespace globaldb {
+
+namespace {
+
+/// Spawn-safe parallel RPC helper (plain function so no lambda closure can
+/// dangle under the coroutine frame).
+sim::Task<void> OneCall(sim::Network* network, NodeId from, NodeId to,
+                        std::string method, std::string payload,
+                        StatusOr<std::string>* slot, sim::WaitGroup* wg) {
+  *slot = co_await network->Call(from, to, method, std::move(payload));
+  wg->Done();
+}
+
+}  // namespace
+
+CoordinatorNode::CoordinatorNode(sim::Simulator* sim, sim::Network* network,
+                                 NodeId self, RegionId region, NodeId gtm_node,
+                                 sim::HardwareClockOptions clock_options,
+                                 CoordinatorOptions options)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      region_(region),
+      gtm_node_(gtm_node),
+      options_(options),
+      cpu_(sim, options.cores) {
+  clock_ = std::make_unique<sim::HardwareClock>(sim, sim->rng().Fork(),
+                                                clock_options);
+  ts_source_ = std::make_unique<TimestampSource>(sim, network, self, gtm_node,
+                                                 clock_.get());
+  RegisterHandlers();
+}
+
+void CoordinatorNode::SetShardMap(std::vector<NodeId> primaries) {
+  shard_primaries_ = std::move(primaries);
+  if (ddl_targets_.empty()) ddl_targets_ = shard_primaries_;
+}
+
+void CoordinatorNode::AddReplica(ShardId shard, NodeId node, RegionId region) {
+  // Base latency estimated from the topology (one-way).
+  const SimDuration latency = network_->topology().OneWayLatency(
+      region_, region);
+  selector_.AddReplica(node, shard, region, latency);
+}
+
+void CoordinatorNode::SetPeerCns(std::vector<NodeId> peers) {
+  peer_cns_ = std::move(peers);
+}
+
+void CoordinatorNode::SetPrimaryDdlTargets(std::vector<NodeId> primaries) {
+  ddl_targets_ = std::move(primaries);
+}
+
+void CoordinatorNode::StartServices(bool rcp_collector) {
+  services_running_ = true;
+  std::vector<RcpService::ReplicaDesc> descs;
+  for (const auto& [node, info] : selector_.replicas()) {
+    descs.push_back({node, info.shard});
+  }
+  rcp_ = std::make_unique<RcpService>(sim_, network_, self_, std::move(descs),
+                                      peer_cns_, &selector_,
+                                      options_.rcp_interval);
+  if (rcp_collector) {
+    rcp_->Activate();
+    sim_->Spawn(HeartbeatLoop());
+  }
+}
+
+void CoordinatorNode::RegisterHandlers() {
+  network_->RegisterHandler(
+      self_, kCnRcpUpdateMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        if (rcp_ != nullptr) rcp_->ApplyUpdate(payload);
+        co_return "";
+      });
+  network_->RegisterHandler(
+      self_, kCnDdlApplyMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        StatusReply reply;
+        auto request = DdlRequest::Decode(payload);
+        if (!request.ok()) {
+          reply.status = request.status();
+        } else {
+          reply.status = catalog_.ApplyDdl(request->payload, request->ts);
+        }
+        co_return reply.Encode();
+      });
+}
+
+sim::Task<void> CoordinatorNode::HeartbeatLoop() {
+  while (services_running_) {
+    co_await sim_->Sleep(options_.heartbeat_interval);
+    // A heartbeat transaction: obtain a commit timestamp and append a
+    // HEARTBEAT record on every primary so idle shards' replicas keep
+    // advancing their max commit timestamp.
+    auto ts = co_await ts_source_->CommitTs(ts_source_->mode());
+    if (!ts.ok()) continue;  // e.g. mid-transition; retry next tick
+    ts_source_->RecordCommitted(*ts);
+    TxnControlRequest heartbeat;
+    heartbeat.ts = *ts;
+    for (NodeId primary : shard_primaries_) {
+      network_->Send(self_, primary, kDnHeartbeatMethod, heartbeat.Encode());
+    }
+    metrics_.Add("cn.heartbeats");
+  }
+}
+
+// --- DDL --------------------------------------------------------------------
+
+sim::Task<Status> CoordinatorNode::CreateTable(TableSchema schema) {
+  co_await cpu_.Consume(options_.statement_cost);
+  auto id = catalog_.CreateTable(std::move(schema));
+  if (!id.ok()) co_return id.status();
+  const TableSchema* created = catalog_.FindTableById(*id);
+  GDB_CHECK(created != nullptr);
+
+  auto ts = co_await ts_source_->CommitTs(ts_source_->mode());
+  if (!ts.ok()) co_return ts.status();
+  ts_source_->RecordCommitted(*ts);
+  catalog_.RecordDdlTimestamp(*id, *ts);
+
+  DdlRequest request;
+  request.ts = *ts;
+  request.payload = Catalog::MakeCreatePayload(*created);
+  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(ddl_targets_, kDnDdlMethod,
+                                                request.Encode()));
+  // Peer CNs apply the schema directly (they do not replay redo).
+  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(peer_cns_, kCnDdlApplyMethod,
+                                                request.Encode()));
+  metrics_.Add("cn.ddls");
+  co_return Status::OK();
+}
+
+sim::Task<Status> CoordinatorNode::DropTable(std::string name) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(name);
+  if (schema == nullptr) co_return Status::NotFound("table " + name);
+  auto ts = co_await ts_source_->CommitTs(ts_source_->mode());
+  if (!ts.ok()) co_return ts.status();
+  ts_source_->RecordCommitted(*ts);
+
+  DdlRequest request;
+  request.ts = *ts;
+  request.payload = Catalog::MakeDropPayload(name);
+  GDB_CO_RETURN_IF_ERROR(catalog_.ApplyDdl(request.payload, request.ts));
+  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(ddl_targets_, kDnDdlMethod,
+                                                request.Encode()));
+  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(peer_cns_, kCnDdlApplyMethod,
+                                                request.Encode()));
+  co_return Status::OK();
+}
+
+// --- Transactions -------------------------------------------------------------
+
+bool CoordinatorNode::RorDdlVisible(const TableSchema& schema) const {
+  const Timestamp rcp = this->rcp();
+  // Condition 1: every DDL in the cluster has been replayed everywhere.
+  if (rcp > catalog_.MaxDdlTimestamp()) return true;
+  // Condition 2: all DDLs for this specific table have been replayed.
+  return rcp > catalog_.LastDdlTimestamp(schema.id);
+}
+
+sim::Task<StatusOr<TxnHandle>> CoordinatorNode::Begin(
+    bool read_only, bool single_shard, ReadOptions read_options) {
+  co_await cpu_.Consume(options_.statement_cost);
+  TxnHandle txn;
+  txn.id = NextTxnId();
+  txn.read_only = read_only;
+
+  if (read_only && options_.enable_ror && rcp_ != nullptr && rcp() > 0) {
+    const Timestamp rcp_ts = rcp();
+    bool fresh_enough = true;
+    if (read_options.max_staleness > 0 &&
+        ts_source_->mode() == TimestampMode::kGclock) {
+      const SimDuration staleness =
+          clock_->Read() - static_cast<SimTime>(rcp_ts);
+      fresh_enough = staleness <= read_options.max_staleness;
+    }
+    if (fresh_enough) {
+      txn.use_ror = true;
+      txn.snapshot = rcp_ts;
+      txn.mode = ts_source_->mode();
+      metrics_.Add("cn.ror_txns");
+      co_return txn;
+    }
+    metrics_.Add("cn.ror_fallbacks");
+  }
+
+  auto grant = co_await ts_source_->BeginTs(read_only && single_shard);
+  if (!grant.ok()) co_return grant.status();
+  txn.snapshot = grant->ts;
+  txn.mode = grant->mode;
+  metrics_.Add("cn.txns");
+  co_return txn;
+}
+
+StatusOr<ShardId> CoordinatorNode::ShardOf(const TableSchema& schema,
+                                           const Row& row) const {
+  const uint32_t num_shards = static_cast<uint32_t>(shard_primaries_.size());
+  if (num_shards == 0) return Status::FailedPrecondition("no shards");
+  if (schema.distribution == DistributionKind::kReplicated) {
+    // Read any copy: rotate across the shards whose primaries live in our
+    // region so one data node does not absorb every replicated-table read.
+    std::vector<ShardId> local;
+    for (ShardId s = 0; s < num_shards; ++s) {
+      if (network_->RegionOf(shard_primaries_[s]) == region_) {
+        local.push_back(s);
+      }
+    }
+    if (local.empty()) return ShardId{0};
+    return local[replicated_rotation_++ % local.size()];
+  }
+  return RouteRowToShard(schema, row, num_shards);
+}
+
+std::vector<ShardId> CoordinatorNode::WriteTargets(const TableSchema& schema,
+                                                   const Row& row) const {
+  const uint32_t num_shards = static_cast<uint32_t>(shard_primaries_.size());
+  if (schema.distribution == DistributionKind::kReplicated) {
+    std::vector<ShardId> all(num_shards);
+    for (uint32_t s = 0; s < num_shards; ++s) all[s] = s;
+    return all;
+  }
+  return {RouteRowToShard(schema, row, num_shards)};
+}
+
+sim::Task<Status> CoordinatorNode::DoWrite(TxnHandle* txn,
+                                           const TableSchema& schema,
+                                           WriteRequest::Op op, RowKey key,
+                                           std::string value,
+                                           const Row& route_row) {
+  WriteRequest request;
+  request.op = op;
+  request.txn = txn->id;
+  request.snapshot = txn->snapshot;
+  request.table = schema.id;
+  request.key = std::move(key);
+  request.value = std::move(value);
+
+  for (ShardId shard : WriteTargets(schema, route_row)) {
+    auto result = co_await CallDn(shard_primaries_[shard], kDnWriteMethod,
+                                  request.Encode());
+    if (!result.ok()) co_return result.status();
+    auto reply = StatusReply::Decode(*result);
+    if (!reply.ok()) co_return reply.status();
+    if (!reply->status.ok()) co_return reply->status;
+    txn->write_shards.insert(shard);
+  }
+  co_return Status::OK();
+}
+
+sim::Task<StatusOr<std::string>> CoordinatorNode::CallDn(
+    NodeId node, const char* method, std::string payload) {
+  auto result = co_await network_->Call(self_, node, method,
+                                        std::move(payload));
+  co_return result;
+}
+
+sim::Task<Status> CoordinatorNode::BroadcastControl(
+    const std::vector<NodeId>& nodes, const char* method,
+    std::string payload) {
+  if (nodes.empty()) co_return Status::OK();
+  std::vector<StatusOr<std::string>> results(
+      nodes.size(), StatusOr<std::string>(Status::Unavailable("")));
+  sim::WaitGroup wg(sim_);
+  wg.Add(static_cast<int>(nodes.size()));
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    sim_->Spawn(OneCall(network_, self_, nodes[i], method, payload,
+                        &results[i], &wg));
+  }
+  co_await wg.Wait();
+  for (const auto& result : results) {
+    if (!result.ok()) co_return result.status();
+    auto reply = StatusReply::Decode(*result);
+    if (!reply.ok()) co_return reply.status();
+    if (!reply->status.ok()) co_return reply->status;
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> CoordinatorNode::Insert(TxnHandle* txn,
+                                          const std::string& table,
+                                          const Row& row) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) co_return Status::NotFound("table " + table);
+  GDB_CO_RETURN_IF_ERROR(schema->ValidateRow(row));
+  std::string value;
+  EncodeRow(row, &value);
+  co_return co_await DoWrite(txn, *schema, WriteRequest::Op::kInsert,
+                             schema->PrimaryKeyOf(row), std::move(value),
+                             row);
+}
+
+sim::Task<Status> CoordinatorNode::Update(TxnHandle* txn,
+                                          const std::string& table,
+                                          const Row& row) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) co_return Status::NotFound("table " + table);
+  GDB_CO_RETURN_IF_ERROR(schema->ValidateRow(row));
+  std::string value;
+  EncodeRow(row, &value);
+  co_return co_await DoWrite(txn, *schema, WriteRequest::Op::kUpdate,
+                             schema->PrimaryKeyOf(row), std::move(value),
+                             row);
+}
+
+sim::Task<Status> CoordinatorNode::Delete(TxnHandle* txn,
+                                          const std::string& table,
+                                          const Row& key_values) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) co_return Status::NotFound("table " + table);
+  if (key_values.size() != schema->key_columns.size()) {
+    co_return Status::InvalidArgument("key arity mismatch");
+  }
+  // Rebuild a sparse row to route and encode the key.
+  Row sparse(schema->columns.size());
+  for (size_t i = 0; i < schema->key_columns.size(); ++i) {
+    sparse[schema->key_columns[i]] = key_values[i];
+  }
+  co_return co_await DoWrite(txn, *schema, WriteRequest::Op::kDelete,
+                             schema->PrimaryKeyOf(sparse), "", sparse);
+}
+
+NodeId CoordinatorNode::PickReadNode(const TxnHandle& txn,
+                                     const TableSchema& schema,
+                                     ShardId shard) {
+  if (txn.use_ror && RorDdlVisible(schema)) {
+    auto replica = selector_.Pick(shard, txn.snapshot);
+    if (replica.ok()) {
+      // The primary is also a candidate: a shard mastered in this region is
+      // cheaper to read locally than from a remote replica. On a near-tie
+      // prefer the replica (offload primaries, Section IV-B).
+      const NodeId primary = shard_primaries_[shard];
+      const SimDuration primary_cost =
+          2 * network_->topology().OneWayLatency(
+                  region_, network_->RegionOf(primary));
+      const NodeSelector::ReplicaInfo* info = selector_.Get(*replica);
+      const SimDuration replica_cost =
+          info != nullptr ? info->Cost() : kSimTimeMax;
+      if (replica_cost <=
+          primary_cost + primary_cost / 4 + 1 * kMillisecond) {
+        metrics_.Add("cn.replica_reads");
+        return *replica;
+      }
+    }
+  }
+  metrics_.Add("cn.primary_reads");
+  return shard_primaries_[shard];
+}
+
+sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::Get(
+    TxnHandle* txn, const std::string& table, const Row& key_values) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) co_return Status::NotFound("table " + table);
+  if (key_values.size() != schema->key_columns.size()) {
+    co_return Status::InvalidArgument("key arity mismatch");
+  }
+  Row sparse(schema->columns.size());
+  for (size_t i = 0; i < schema->key_columns.size(); ++i) {
+    sparse[schema->key_columns[i]] = key_values[i];
+  }
+  auto shard = ShardOf(*schema, sparse);
+  if (!shard.ok()) co_return shard.status();
+
+  ReadRequest request;
+  request.table = schema->id;
+  request.key = schema->PrimaryKeyOf(sparse);
+  request.snapshot = txn->snapshot;
+  request.txn = txn->use_ror ? kInvalidTxnId : txn->id;
+
+  const NodeId target = PickReadNode(*txn, *schema, *shard);
+  const bool is_replica = target != shard_primaries_[*shard];
+  const char* method = is_replica ? kRorReadMethod : kDnReadMethod;
+  auto result = co_await CallDn(target, method, request.Encode());
+  if (!result.ok()) {
+    if (is_replica) {
+      // Failover: exclude the replica and retry on the primary.
+      selector_.MarkFailed(target);
+      metrics_.Add("cn.replica_failovers");
+      result = co_await CallDn(shard_primaries_[*shard], kDnReadMethod,
+                               request.Encode());
+    }
+    if (!result.ok()) co_return result.status();
+  }
+  auto reply = ReadReply::Decode(*result);
+  if (!reply.ok()) co_return reply.status();
+  if (!reply->status.ok()) co_return reply->status;
+  if (!reply->found) co_return std::optional<Row>{};
+  Row row;
+  GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(reply->value), &row));
+  co_return std::optional<Row>(std::move(row));
+}
+
+sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::GetForUpdate(
+    TxnHandle* txn, const std::string& table, const Row& key_values) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) co_return Status::NotFound("table " + table);
+  if (key_values.size() != schema->key_columns.size()) {
+    co_return Status::InvalidArgument("key arity mismatch");
+  }
+  if (schema->distribution == DistributionKind::kReplicated) {
+    co_return Status::Unimplemented("FOR UPDATE on replicated table");
+  }
+  Row sparse(schema->columns.size());
+  for (size_t i = 0; i < schema->key_columns.size(); ++i) {
+    sparse[schema->key_columns[i]] = key_values[i];
+  }
+  const uint32_t num_shards = static_cast<uint32_t>(shard_primaries_.size());
+  const ShardId shard = RouteRowToShard(*schema, sparse, num_shards);
+
+  ReadRequest request;
+  request.table = schema->id;
+  request.key = schema->PrimaryKeyOf(sparse);
+  request.snapshot = txn->snapshot;
+  request.txn = txn->id;
+
+  auto result = co_await CallDn(shard_primaries_[shard], kDnLockReadMethod,
+                                request.Encode());
+  if (!result.ok()) co_return result.status();
+  auto reply = ReadReply::Decode(*result);
+  if (!reply.ok()) co_return reply.status();
+  if (!reply->status.ok()) co_return reply->status;
+  // The lock must be released at commit/abort, so the shard joins the
+  // transaction's write set even if no write follows.
+  txn->write_shards.insert(shard);
+  if (!reply->found) co_return std::optional<Row>{};
+  Row row;
+  GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(reply->value), &row));
+  co_return std::optional<Row>(std::move(row));
+}
+
+sim::Task<StatusOr<std::vector<Row>>> CoordinatorNode::ScanRange(
+    TxnHandle* txn, const std::string& table, const RowKey& start,
+    const RowKey& end, uint32_t limit, const Value* route_value) {
+  co_await cpu_.Consume(options_.statement_cost);
+  const TableSchema* schema = catalog_.FindTable(table);
+  if (schema == nullptr) co_return Status::NotFound("table " + table);
+
+  ScanRequest request;
+  request.table = schema->id;
+  request.start = start;
+  request.end = end;
+  request.snapshot = txn->snapshot;
+  request.txn = txn->use_ror ? kInvalidTxnId : txn->id;
+  request.limit = limit;
+
+  // Determine the shards to touch: a distribution-key-prefixed scan hits
+  // exactly one shard; otherwise broadcast to every shard and merge.
+  std::vector<ShardId> scan_shards;
+  const uint32_t total_shards =
+      static_cast<uint32_t>(shard_primaries_.size());
+  if (schema->distribution == DistributionKind::kReplicated) {
+    auto shard = ShardOf(*schema, {});
+    if (!shard.ok()) co_return shard.status();
+    scan_shards.push_back(*shard);
+  } else if (route_value != nullptr) {
+    scan_shards.push_back(RouteToShard(*schema, *route_value, total_shards));
+  } else {
+    for (ShardId s = 0; s < total_shards; ++s) scan_shards.push_back(s);
+  }
+
+  const size_t num_shards = scan_shards.size();
+  std::vector<StatusOr<std::string>> results(
+      num_shards, StatusOr<std::string>(Status::Unavailable("")));
+  std::vector<NodeId> targets(num_shards);
+  std::vector<bool> used_replica(num_shards, false);
+  sim::WaitGroup wg(sim_);
+  wg.Add(static_cast<int>(num_shards));
+  for (size_t i = 0; i < num_shards; ++i) {
+    const ShardId s = scan_shards[i];
+    targets[i] = PickReadNode(*txn, *schema, s);
+    used_replica[i] = targets[i] != shard_primaries_[s];
+    const char* method = used_replica[i] ? kRorScanMethod : kDnScanMethod;
+    sim_->Spawn(OneCall(network_, self_, targets[i], method, request.Encode(),
+                        &results[i], &wg));
+  }
+  co_await wg.Wait();
+
+  std::vector<std::pair<RowKey, std::string>> merged;
+  for (size_t i = 0; i < num_shards; ++i) {
+    const ShardId s = scan_shards[i];
+    if (!results[i].ok()) {
+      if (!used_replica[i]) co_return results[i].status();
+      // Replica failed mid-query: retry this shard on the primary.
+      selector_.MarkFailed(targets[i]);
+      metrics_.Add("cn.replica_failovers");
+      auto retry = co_await CallDn(shard_primaries_[s], kDnScanMethod,
+                                   request.Encode());
+      if (!retry.ok()) co_return retry.status();
+      results[i] = std::move(retry);
+    }
+    auto reply = ScanReply::Decode(*results[i]);
+    if (!reply.ok()) co_return reply.status();
+    if (!reply->status.ok()) co_return reply->status;
+    for (auto& row : reply->rows) merged.push_back(std::move(row));
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (merged.size() > limit) merged.resize(limit);
+
+  std::vector<Row> rows;
+  rows.reserve(merged.size());
+  for (const auto& [key, value] : merged) {
+    Row row;
+    GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(value), &row));
+    rows.push_back(std::move(row));
+  }
+  co_return rows;
+}
+
+sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
+  co_await cpu_.Consume(options_.statement_cost);
+  if (txn->write_shards.empty()) {
+    metrics_.Add(commit ? "cn.readonly_commits" : "cn.readonly_aborts");
+    co_return Status::OK();
+  }
+  const std::vector<NodeId> shards = [&] {
+    std::vector<NodeId> nodes;
+    for (ShardId s : txn->write_shards) nodes.push_back(shard_primaries_[s]);
+    return nodes;
+  }();
+  const bool two_phase = txn->write_shards.size() > 1;
+
+  TxnControlRequest control;
+  control.txn = txn->id;
+  control.two_phase = two_phase;
+
+  if (!commit) {
+    metrics_.Add("cn.aborts");
+    co_return co_await BroadcastControl(shards, kDnAbortMethod,
+                                        control.Encode());
+  }
+
+  // Phase 1: PENDING_COMMIT (one-shard) or PREPARE (2PC) on every write
+  // shard — before the commit timestamp exists (Section IV-A). The record
+  // carries a lower bound on the eventual commit timestamp (the clock's
+  // current lower bound under GClock, the largest seen counter under GTM):
+  // replica readers below that bound need not wait on the pending tuples.
+  if (txn->mode == TimestampMode::kGclock) {
+    control.ts = static_cast<Timestamp>(
+        std::max<SimTime>(0, clock_->Read() - clock_->ErrorBound()));
+  } else {
+    control.ts = ts_source_->max_issued();
+  }
+  Status precommit = co_await BroadcastControl(shards, kDnPrecommitMethod,
+                                               control.Encode());
+  control.ts = 0;
+  if (!precommit.ok()) {
+    (void)co_await BroadcastControl(shards, kDnAbortMethod, control.Encode());
+    metrics_.Add("cn.precommit_aborts");
+    co_return precommit;
+  }
+
+  // Commit timestamp (includes GClock commit-wait / DUAL rules).
+  auto ts = co_await ts_source_->CommitTs(txn->mode);
+  if (!ts.ok()) {
+    (void)co_await BroadcastControl(shards, kDnAbortMethod, control.Encode());
+    metrics_.Add("cn.ts_aborts");
+    co_return ts.status();
+  }
+
+  // Phase 2: commit everywhere (synchronous replication waits inside).
+  control.ts = *ts;
+  Status committed = co_await BroadcastControl(shards, kDnCommitMethod,
+                                               control.Encode());
+  if (!committed.ok()) co_return committed;
+  ts_source_->RecordCommitted(*ts);
+  metrics_.Add("cn.commits");
+  metrics_.Add(two_phase ? "cn.2pc_commits" : "cn.1pc_commits");
+  co_return Status::OK();
+}
+
+sim::Task<Status> CoordinatorNode::Commit(TxnHandle* txn) {
+  return EndTxn(txn, /*commit=*/true);
+}
+
+sim::Task<Status> CoordinatorNode::Abort(TxnHandle* txn) {
+  return EndTxn(txn, /*commit=*/false);
+}
+
+}  // namespace globaldb

@@ -1,0 +1,197 @@
+#ifndef GLOBALDB_SRC_CLUSTER_COORDINATOR_NODE_H_
+#define GLOBALDB_SRC_CLUSTER_COORDINATOR_NODE_H_
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/cluster/messages.h"
+#include "src/cluster/node_selector.h"
+#include "src/cluster/rcp_service.h"
+#include "src/common/metrics.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/sim/cpu.h"
+#include "src/sim/hardware_clock.h"
+#include "src/sim/network.h"
+#include "src/storage/catalog.h"
+#include "src/storage/schema.h"
+#include "src/txn/timestamp_source.h"
+
+namespace globaldb {
+
+struct CoordinatorOptions {
+  int cores = 8;
+  /// CPU charged per statement for parse/plan/route.
+  SimDuration statement_cost = 3 * kMicrosecond;
+  /// Heartbeat transaction period (keeps replica max commit timestamps
+  /// advancing on idle shards).
+  SimDuration heartbeat_interval = 10 * kMillisecond;
+  /// RCP collection period.
+  SimDuration rcp_interval = 5 * kMillisecond;
+  /// When true, read-only transactions are served from replicas at the RCP
+  /// snapshot (the paper's ROR feature). When false (baseline), all reads
+  /// go to primaries with regular timestamps.
+  bool enable_ror = true;
+};
+
+/// Options for a single read-only request.
+struct ReadOptions {
+  /// Require data no staler than this (0 = accept any RCP). Under GClock
+  /// the staleness of the RCP is (now - rcp); if the bound cannot be met
+  /// from replicas, the read falls back to the primary.
+  SimDuration max_staleness = 0;
+};
+
+/// An open transaction as tracked by its coordinating CN.
+struct TxnHandle {
+  TxnId id = kInvalidTxnId;
+  Timestamp snapshot = 0;
+  TimestampMode mode = TimestampMode::kGtm;
+  bool read_only = false;
+  bool use_ror = false;  // read-only + routed to replicas at the RCP
+  std::set<ShardId> write_shards;
+};
+
+/// A coordinator (computing) node: parses/plans client operations, routes
+/// them to primary or replica data nodes, coordinates one-shard commits and
+/// two-phase commits, runs the RCP service and heartbeats, executes DDL,
+/// and performs skyline-based replica selection for ROR reads.
+class CoordinatorNode {
+ public:
+  CoordinatorNode(sim::Simulator* sim, sim::Network* network, NodeId self,
+                  RegionId region, NodeId gtm_node,
+                  sim::HardwareClockOptions clock_options,
+                  CoordinatorOptions options = {});
+
+  CoordinatorNode(const CoordinatorNode&) = delete;
+  CoordinatorNode& operator=(const CoordinatorNode&) = delete;
+
+  NodeId node_id() const { return self_; }
+  RegionId region() const { return region_; }
+
+  // --- Topology wiring (before StartServices) -----------------------------
+
+  /// primaries[s] = node id of shard s's primary DN.
+  void SetShardMap(std::vector<NodeId> primaries);
+  void AddReplica(ShardId shard, NodeId node, RegionId region);
+  void SetPeerCns(std::vector<NodeId> peers);
+  void SetPrimaryDdlTargets(std::vector<NodeId> primaries);
+
+  /// Starts heartbeats and (if `rcp_collector`) the RCP collector loop.
+  void StartServices(bool rcp_collector);
+  void StopServices() { services_running_ = false; }
+
+  // --- DDL -----------------------------------------------------------------
+
+  /// Creates a table cluster-wide: assigns the schema in the local catalog,
+  /// obtains a DDL timestamp, logs the DDL on every primary (replicated to
+  /// replicas through redo), and broadcasts to peer CNs.
+  sim::Task<Status> CreateTable(TableSchema schema);
+  sim::Task<Status> DropTable(std::string name);
+
+  // --- Transactions --------------------------------------------------------
+
+  /// Opens a transaction. A read-only transaction is served via ROR (RCP
+  /// snapshot on replicas) when enabled and the freshness/DDL conditions
+  /// pass; otherwise it gets a regular begin timestamp.
+  sim::Task<StatusOr<TxnHandle>> Begin(bool read_only = false,
+                                       bool single_shard = false,
+                                       ReadOptions read_options = {});
+
+  sim::Task<Status> Insert(TxnHandle* txn, const std::string& table,
+                           const Row& row);
+  /// Full-row update addressed by the row's primary key.
+  sim::Task<Status> Update(TxnHandle* txn, const std::string& table,
+                           const Row& row);
+  /// Delete addressed by key column values (schema.key_columns order).
+  sim::Task<Status> Delete(TxnHandle* txn, const std::string& table,
+                           const Row& key_values);
+  /// Point lookup by key column values. Returns nullopt when not found.
+  sim::Task<StatusOr<std::optional<Row>>> Get(TxnHandle* txn,
+                                              const std::string& table,
+                                              const Row& key_values);
+  /// SELECT ... FOR UPDATE: takes the row lock on the primary and returns
+  /// the latest committed version. Subsequent Update/Delete of the same row
+  /// in this transaction cannot hit a write-write conflict. The lock is
+  /// released at commit/abort.
+  sim::Task<StatusOr<std::optional<Row>>> GetForUpdate(
+      TxnHandle* txn, const std::string& table, const Row& key_values);
+  /// Ordered scan of encoded-key range [start, end) merged across shards.
+  /// When `route_value` is non-null it is the scan's distribution-column
+  /// value: the scan touches only that shard (prefix scans in TPC-C).
+  sim::Task<StatusOr<std::vector<Row>>> ScanRange(
+      TxnHandle* txn, const std::string& table, const RowKey& start,
+      const RowKey& end, uint32_t limit, const Value* route_value = nullptr);
+
+  /// Commits (one-shard fast path or 2PC). On success the handle is done.
+  sim::Task<Status> Commit(TxnHandle* txn);
+  sim::Task<Status> Abort(TxnHandle* txn);
+
+  // --- Introspection -------------------------------------------------------
+
+  Catalog& catalog() { return catalog_; }
+  TimestampSource& timestamp_source() { return *ts_source_; }
+  sim::HardwareClock& clock() { return *clock_; }
+  NodeSelector& selector() { return selector_; }
+  RcpService& rcp_service() { return *rcp_; }
+  Timestamp rcp() const { return rcp_ == nullptr ? 0 : rcp_->rcp(); }
+  Metrics& metrics() { return metrics_; }
+  CoordinatorOptions* mutable_options() { return &options_; }
+
+ private:
+  sim::Task<StatusOr<std::string>> CallDn(NodeId node, const char* method,
+                                          std::string payload);
+  /// Runs one RPC per (node, payload) pair concurrently; returns all
+  /// decoded StatusReply results folded into one Status (first error wins).
+  sim::Task<Status> BroadcastControl(const std::vector<NodeId>& nodes,
+                                     const char* method, std::string payload);
+  sim::Task<Status> EndTxn(TxnHandle* txn, bool commit);
+
+  /// Resolves the shard to *read* for a row/key (replicated tables prefer
+  /// the local region's shard).
+  StatusOr<ShardId> ShardOf(const TableSchema& schema, const Row& row) const;
+  /// All shards a write must touch (every shard for replicated tables).
+  std::vector<ShardId> WriteTargets(const TableSchema& schema,
+                                    const Row& row) const;
+  sim::Task<Status> DoWrite(TxnHandle* txn, const TableSchema& schema,
+                            WriteRequest::Op op, RowKey key,
+                            std::string value, const Row& route_row);
+  /// Chooses the node (replica or primary) for a ROR read of `shard`.
+  NodeId PickReadNode(const TxnHandle& txn, const TableSchema& schema,
+                      ShardId shard);
+  /// DDL visibility conditions for ROR (Section IV-A).
+  bool RorDdlVisible(const TableSchema& schema) const;
+
+  sim::Task<void> HeartbeatLoop();
+  void RegisterHandlers();
+  TxnId NextTxnId() { return (static_cast<TxnId>(self_) << 40) | ++txn_seq_; }
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  RegionId region_;
+  NodeId gtm_node_;
+  CoordinatorOptions options_;
+
+  sim::CpuScheduler cpu_;
+  std::unique_ptr<sim::HardwareClock> clock_;
+  std::unique_ptr<TimestampSource> ts_source_;
+  Catalog catalog_;
+  NodeSelector selector_;
+  std::unique_ptr<RcpService> rcp_;
+
+  std::vector<NodeId> shard_primaries_;
+  std::vector<NodeId> peer_cns_;
+  std::vector<NodeId> ddl_targets_;
+  uint64_t txn_seq_ = 0;
+  mutable uint64_t replicated_rotation_ = 0;
+  bool services_running_ = false;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_COORDINATOR_NODE_H_

@@ -1,0 +1,95 @@
+#ifndef GLOBALDB_SRC_CLUSTER_DATA_NODE_H_
+#define GLOBALDB_SRC_CLUSTER_DATA_NODE_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/cluster/messages.h"
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+#include "src/log/log_stream.h"
+#include "src/replication/log_shipper.h"
+#include "src/sim/cpu.h"
+#include "src/sim/network.h"
+#include "src/storage/catalog.h"
+#include "src/storage/shard_store.h"
+#include "src/txn/lock_manager.h"
+
+namespace globaldb {
+
+struct DataNodeOptions {
+  int cores = 8;
+  SimDuration read_cost = 8 * kMicrosecond;
+  SimDuration write_cost = 12 * kMicrosecond;
+  SimDuration commit_cost = 6 * kMicrosecond;
+  SimDuration scan_row_cost = 1 * kMicrosecond;
+  SimDuration lock_timeout = 500 * kMillisecond;
+};
+
+/// A primary data node hosting one shard: MVCC storage, row locks, the
+/// shard's redo stream, and the log shipper feeding its replicas.
+///
+/// Commit protocol (driven by the CN):
+///   1. precommit: append PENDING_COMMIT (one-shard) or PREPARE (2PC) —
+///      written *before* the commit timestamp is obtained, which is the
+///      paper's replica-side tuple-lock safeguard.
+///   2. commit(ts): append COMMIT / COMMIT_PREPARED, stamp MVCC versions,
+///      wait for the replication mode's durability condition, release locks.
+///   abort: append ABORT / ABORT_PREPARED, roll back, release locks.
+class DataNode {
+ public:
+  DataNode(sim::Simulator* sim, sim::Network* network, NodeId self,
+           ShardId shard, DataNodeOptions options = {});
+
+  DataNode(const DataNode&) = delete;
+  DataNode& operator=(const DataNode&) = delete;
+
+  NodeId node_id() const { return self_; }
+  ShardId shard() const { return shard_; }
+
+  /// Attaches the replica set; must be called before Start().
+  void ConfigureReplication(std::vector<NodeId> replicas,
+                            ShipperOptions options);
+  /// Starts the log shipper loops.
+  void Start();
+
+  ShardStore& store() { return store_; }
+  LogStream& log() { return log_; }
+  Catalog& catalog() { return catalog_; }
+  LogShipper* shipper() { return shipper_.get(); }
+  sim::CpuScheduler& cpu() { return cpu_; }
+  LockManager& locks() { return locks_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  void RegisterHandlers();
+  sim::Task<std::string> HandleRead(NodeId from, std::string payload);
+  sim::Task<std::string> HandleLockRead(NodeId from, std::string payload);
+  sim::Task<std::string> HandleScan(NodeId from, std::string payload);
+  sim::Task<std::string> HandleWrite(NodeId from, std::string payload);
+  sim::Task<std::string> HandlePrecommit(NodeId from, std::string payload);
+  sim::Task<std::string> HandleCommit(NodeId from, std::string payload);
+  sim::Task<std::string> HandleAbort(NodeId from, std::string payload);
+  sim::Task<std::string> HandleDdl(NodeId from, std::string payload);
+  sim::Task<std::string> HandleHeartbeat(NodeId from, std::string payload);
+
+  void AppendAndNotify(RedoRecord record);
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  ShardId shard_;
+  DataNodeOptions options_;
+
+  ShardStore store_;
+  Catalog catalog_;
+  LogStream log_;
+  LockManager locks_;
+  sim::CpuScheduler cpu_;
+  std::unique_ptr<LogShipper> shipper_;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_DATA_NODE_H_

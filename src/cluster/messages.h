@@ -1,0 +1,300 @@
+#ifndef GLOBALDB_SRC_CLUSTER_MESSAGES_H_
+#define GLOBALDB_SRC_CLUSTER_MESSAGES_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/codec.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+
+namespace globaldb {
+
+// RPC methods served by primary data nodes.
+inline constexpr char kDnReadMethod[] = "dn.read";
+inline constexpr char kDnLockReadMethod[] = "dn.lock_read";
+inline constexpr char kDnScanMethod[] = "dn.scan";
+inline constexpr char kDnWriteMethod[] = "dn.write";
+inline constexpr char kDnPrecommitMethod[] = "dn.precommit";
+inline constexpr char kDnCommitMethod[] = "dn.commit";
+inline constexpr char kDnAbortMethod[] = "dn.abort";
+inline constexpr char kDnDdlMethod[] = "dn.ddl";
+inline constexpr char kDnHeartbeatMethod[] = "dn.heartbeat";
+
+// RPC methods served by replica data nodes (read-on-replica).
+inline constexpr char kRorReadMethod[] = "ror.read";
+inline constexpr char kRorScanMethod[] = "ror.scan";
+inline constexpr char kRorStatusMethod[] = "ror.status";
+
+// RPC methods served by coordinator nodes.
+inline constexpr char kCnRcpUpdateMethod[] = "cn.rcp_update";
+inline constexpr char kCnDdlApplyMethod[] = "cn.ddl_apply";
+
+/// Status serialization shared by all reply envelopes:
+/// [u8 code][lenprefixed message].
+inline void EncodeStatus(const Status& status, std::string* dst) {
+  dst->push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(dst, status.message());
+}
+
+inline bool DecodeStatus(Slice* in, Status* out) {
+  if (in->empty()) return false;
+  const auto code = static_cast<StatusCode>((*in)[0]);
+  in->RemovePrefix(1);
+  Slice message;
+  if (!GetLengthPrefixed(in, &message)) return false;
+  *out = Status(code, message.ToString());
+  return true;
+}
+
+/// Point read request (primary or replica).
+struct ReadRequest {
+  TableId table = kInvalidTableId;
+  RowKey key;
+  Timestamp snapshot = 0;
+  TxnId txn = kInvalidTxnId;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, table);
+    PutLengthPrefixed(&s, key);
+    PutVarint64(&s, snapshot);
+    PutVarint64(&s, txn);
+    return s;
+  }
+  static StatusOr<ReadRequest> Decode(Slice in) {
+    ReadRequest r;
+    Slice key;
+    if (!GetVarint32(&in, &r.table) || !GetLengthPrefixed(&in, &key) ||
+        !GetVarint64(&in, &r.snapshot) || !GetVarint64(&in, &r.txn)) {
+      return Status::Corruption("read req");
+    }
+    r.key = key.ToString();
+    return r;
+  }
+};
+
+/// Reply: status, found flag, value.
+struct ReadReply {
+  Status status;
+  bool found = false;
+  std::string value;
+
+  std::string Encode() const {
+    std::string s;
+    EncodeStatus(status, &s);
+    s.push_back(found ? 1 : 0);
+    PutLengthPrefixed(&s, value);
+    return s;
+  }
+  static StatusOr<ReadReply> Decode(Slice in) {
+    ReadReply r;
+    Slice value;
+    if (!DecodeStatus(&in, &r.status) || in.empty()) {
+      return Status::Corruption("read reply");
+    }
+    r.found = in[0] != 0;
+    in.RemovePrefix(1);
+    if (!GetLengthPrefixed(&in, &value)) {
+      return Status::Corruption("read reply value");
+    }
+    r.value = value.ToString();
+    return r;
+  }
+};
+
+/// Ordered range scan over [start, end); empty end = unbounded.
+struct ScanRequest {
+  TableId table = kInvalidTableId;
+  RowKey start, end;
+  Timestamp snapshot = 0;
+  TxnId txn = kInvalidTxnId;
+  uint32_t limit = 0xffffffff;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, table);
+    PutLengthPrefixed(&s, start);
+    PutLengthPrefixed(&s, end);
+    PutVarint64(&s, snapshot);
+    PutVarint64(&s, txn);
+    PutVarint32(&s, limit);
+    return s;
+  }
+  static StatusOr<ScanRequest> Decode(Slice in) {
+    ScanRequest r;
+    Slice start, end;
+    if (!GetVarint32(&in, &r.table) || !GetLengthPrefixed(&in, &start) ||
+        !GetLengthPrefixed(&in, &end) || !GetVarint64(&in, &r.snapshot) ||
+        !GetVarint64(&in, &r.txn) || !GetVarint32(&in, &r.limit)) {
+      return Status::Corruption("scan req");
+    }
+    r.start = start.ToString();
+    r.end = end.ToString();
+    return r;
+  }
+};
+
+struct ScanReply {
+  Status status;
+  std::vector<std::pair<RowKey, std::string>> rows;
+
+  std::string Encode() const {
+    std::string s;
+    EncodeStatus(status, &s);
+    PutVarint32(&s, static_cast<uint32_t>(rows.size()));
+    for (const auto& [key, value] : rows) {
+      PutLengthPrefixed(&s, key);
+      PutLengthPrefixed(&s, value);
+    }
+    return s;
+  }
+  static StatusOr<ScanReply> Decode(Slice in) {
+    ScanReply r;
+    uint32_t n = 0;
+    if (!DecodeStatus(&in, &r.status) || !GetVarint32(&in, &n)) {
+      return Status::Corruption("scan reply");
+    }
+    r.rows.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Slice key, value;
+      if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value)) {
+        return Status::Corruption("scan reply row");
+      }
+      r.rows.emplace_back(key.ToString(), value.ToString());
+    }
+    return r;
+  }
+};
+
+/// Write (insert / update / delete) executed on the primary under a lock.
+struct WriteRequest {
+  enum class Op : uint8_t { kInsert = 1, kUpdate = 2, kDelete = 3 };
+  Op op = Op::kInsert;
+  TxnId txn = kInvalidTxnId;
+  Timestamp snapshot = 0;
+  TableId table = kInvalidTableId;
+  RowKey key;
+  std::string value;
+
+  std::string Encode() const {
+    std::string s;
+    s.push_back(static_cast<char>(op));
+    PutVarint64(&s, txn);
+    PutVarint64(&s, snapshot);
+    PutVarint32(&s, table);
+    PutLengthPrefixed(&s, key);
+    PutLengthPrefixed(&s, value);
+    return s;
+  }
+  static StatusOr<WriteRequest> Decode(Slice in) {
+    WriteRequest r;
+    if (in.empty()) return Status::Corruption("write req");
+    r.op = static_cast<Op>(in[0]);
+    in.RemovePrefix(1);
+    Slice key, value;
+    if (!GetVarint64(&in, &r.txn) || !GetVarint64(&in, &r.snapshot) ||
+        !GetVarint32(&in, &r.table) || !GetLengthPrefixed(&in, &key) ||
+        !GetLengthPrefixed(&in, &value)) {
+      return Status::Corruption("write req fields");
+    }
+    r.key = key.ToString();
+    r.value = value.ToString();
+    return r;
+  }
+};
+
+/// Generic status-only reply.
+struct StatusReply {
+  Status status;
+
+  std::string Encode() const {
+    std::string s;
+    EncodeStatus(status, &s);
+    return s;
+  }
+  static StatusOr<StatusReply> Decode(Slice in) {
+    StatusReply r;
+    if (!DecodeStatus(&in, &r.status)) {
+      return Status::Corruption("status reply");
+    }
+    return r;
+  }
+};
+
+/// Pre-commit (PENDING_COMMIT for one-shard commits, PREPARE for 2PC),
+/// commit (COMMIT / COMMIT_PREPARED at `ts`), and abort.
+struct TxnControlRequest {
+  TxnId txn = kInvalidTxnId;
+  Timestamp ts = 0;
+  bool two_phase = false;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, txn);
+    PutVarint64(&s, ts);
+    s.push_back(two_phase ? 1 : 0);
+    return s;
+  }
+  static StatusOr<TxnControlRequest> Decode(Slice in) {
+    TxnControlRequest r;
+    if (!GetVarint64(&in, &r.txn) || !GetVarint64(&in, &r.ts) || in.empty()) {
+      return Status::Corruption("txn control req");
+    }
+    r.two_phase = in[0] != 0;
+    return r;
+  }
+};
+
+/// DDL applied on a primary DN (appends a DDL redo record) or broadcast to
+/// peer CNs.
+struct DdlRequest {
+  Timestamp ts = 0;
+  std::string payload;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, ts);
+    PutLengthPrefixed(&s, payload);
+    return s;
+  }
+  static StatusOr<DdlRequest> Decode(Slice in) {
+    DdlRequest r;
+    Slice payload;
+    if (!GetVarint64(&in, &r.ts) || !GetLengthPrefixed(&in, &payload)) {
+      return Status::Corruption("ddl req");
+    }
+    r.payload = payload.ToString();
+    return r;
+  }
+};
+
+/// Replica status snapshot for RCP calculation and skyline selection.
+struct RorStatusReply {
+  Timestamp max_commit_ts = 0;
+  Lsn applied_lsn = 0;
+  SimDuration queue_delay = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, max_commit_ts);
+    PutVarint64(&s, applied_lsn);
+    PutVarint64(&s, static_cast<uint64_t>(queue_delay));
+    return s;
+  }
+  static StatusOr<RorStatusReply> Decode(Slice in) {
+    RorStatusReply r;
+    uint64_t qd = 0;
+    if (!GetVarint64(&in, &r.max_commit_ts) ||
+        !GetVarint64(&in, &r.applied_lsn) || !GetVarint64(&in, &qd)) {
+      return Status::Corruption("ror status");
+    }
+    r.queue_delay = static_cast<SimDuration>(qd);
+    return r;
+  }
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_MESSAGES_H_

@@ -1,0 +1,148 @@
+#ifndef GLOBALDB_SRC_CLUSTER_NODE_SELECTOR_H_
+#define GLOBALDB_SRC_CLUSTER_NODE_SELECTOR_H_
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+
+namespace globaldb {
+
+/// Per-CN dynamic replica selection (Section IV-B, Fig. 5).
+///
+/// Each CN tracks, per replica: the replayed max commit timestamp
+/// (staleness) and an estimated response cost (network latency + the
+/// replica's CPU queue delay). For a query with a freshness requirement the
+/// CN picks, among replicas fresh enough, the one with the lowest cost —
+/// the "skyline" of candidates is the Pareto front over
+/// (staleness, cost). Crashed or unreachable replicas are excluded until a
+/// status refresh proves them healthy again.
+class NodeSelector {
+ public:
+  struct ReplicaInfo {
+    NodeId node = kInvalidNodeId;
+    ShardId shard = kInvalidShardId;
+    RegionId region = 0;
+    /// Estimated one-way network latency from this CN (topology-derived).
+    SimDuration base_latency = 0;
+    /// Replayed max commit timestamp from the last status refresh.
+    Timestamp max_commit_ts = 0;
+    /// Replica CPU backlog from the last status refresh.
+    SimDuration queue_delay = 0;
+    bool healthy = true;
+
+    /// Total estimated response cost for one request.
+    SimDuration Cost() const { return 2 * base_latency + queue_delay; }
+  };
+
+  void AddReplica(NodeId node, ShardId shard, RegionId region,
+                  SimDuration base_latency) {
+    ReplicaInfo info;
+    info.node = node;
+    info.shard = shard;
+    info.region = region;
+    info.base_latency = base_latency;
+    replicas_[node] = info;
+    by_shard_[shard].push_back(node);
+  }
+
+  /// Applies a status refresh (from the RCP collector's broadcast or a
+  /// direct probe). A refreshed replica is considered healthy again.
+  void UpdateStatus(NodeId node, Timestamp max_commit_ts,
+                    SimDuration queue_delay) {
+    auto it = replicas_.find(node);
+    if (it == replicas_.end()) return;
+    it->second.max_commit_ts = std::max(it->second.max_commit_ts,
+                                        max_commit_ts);
+    it->second.queue_delay = queue_delay;
+    it->second.healthy = true;
+  }
+
+  /// Excludes a replica after a failed call (crash / partition); it rejoins
+  /// on the next successful status refresh.
+  void MarkFailed(NodeId node) {
+    auto it = replicas_.find(node);
+    if (it != replicas_.end()) it->second.healthy = false;
+  }
+
+  bool IsHealthy(NodeId node) const {
+    auto it = replicas_.find(node);
+    return it != replicas_.end() && it->second.healthy;
+  }
+
+  const ReplicaInfo* Get(NodeId node) const {
+    auto it = replicas_.find(node);
+    return it == replicas_.end() ? nullptr : &it->second;
+  }
+
+  /// Picks the cheapest healthy replica of `shard` whose replayed state
+  /// covers `min_commit_ts`. NotFound when no replica qualifies (caller
+  /// falls back to the primary). Near-ties (within 25% cost) rotate
+  /// round-robin so equally-cheap replicas share load instead of herding
+  /// onto one between status refreshes.
+  StatusOr<NodeId> Pick(ShardId shard, Timestamp min_commit_ts) const {
+    auto it = by_shard_.find(shard);
+    if (it == by_shard_.end()) return Status::NotFound("no replicas");
+    std::vector<const ReplicaInfo*> fresh;
+    const ReplicaInfo* best = nullptr;
+    for (NodeId node : it->second) {
+      const ReplicaInfo& info = replicas_.at(node);
+      if (!info.healthy || info.max_commit_ts < min_commit_ts) continue;
+      fresh.push_back(&info);
+      if (best == nullptr || info.Cost() < best->Cost()) best = &info;
+    }
+    if (best == nullptr) return Status::NotFound("no fresh healthy replica");
+    std::vector<const ReplicaInfo*> near_ties;
+    for (const ReplicaInfo* info : fresh) {
+      if (info->Cost() <= best->Cost() + best->Cost() / 4) {
+        near_ties.push_back(info);
+      }
+    }
+    return near_ties[rotation_++ % near_ties.size()]->node;
+  }
+
+  /// The Pareto front of healthy replicas of `shard` over
+  /// (freshness desc, cost asc): a replica is on the skyline if no other
+  /// replica is both fresher and cheaper.
+  std::vector<ReplicaInfo> Skyline(ShardId shard) const {
+    std::vector<ReplicaInfo> candidates;
+    auto it = by_shard_.find(shard);
+    if (it == by_shard_.end()) return candidates;
+    for (NodeId node : it->second) {
+      const ReplicaInfo& info = replicas_.at(node);
+      if (info.healthy) candidates.push_back(info);
+    }
+    // Sort by cost ascending; walk keeping strictly increasing freshness.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ReplicaInfo& a, const ReplicaInfo& b) {
+                if (a.Cost() != b.Cost()) return a.Cost() < b.Cost();
+                return a.max_commit_ts > b.max_commit_ts;
+              });
+    std::vector<ReplicaInfo> skyline;
+    Timestamp best_ts = 0;
+    for (const ReplicaInfo& info : candidates) {
+      if (skyline.empty() || info.max_commit_ts > best_ts) {
+        skyline.push_back(info);
+        best_ts = std::max(best_ts, info.max_commit_ts);
+      }
+    }
+    return skyline;
+  }
+
+  const std::map<NodeId, ReplicaInfo>& replicas() const { return replicas_; }
+  std::vector<NodeId> ReplicasOfShard(ShardId shard) const {
+    auto it = by_shard_.find(shard);
+    return it == by_shard_.end() ? std::vector<NodeId>{} : it->second;
+  }
+
+ private:
+  std::map<NodeId, ReplicaInfo> replicas_;
+  std::map<ShardId, std::vector<NodeId>> by_shard_;
+  mutable size_t rotation_ = 0;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_NODE_SELECTOR_H_

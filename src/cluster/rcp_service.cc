@@ -1,0 +1,136 @@
+#include "src/cluster/rcp_service.h"
+
+#include <algorithm>
+
+#include "src/common/codec.h"
+#include "src/common/logging.h"
+#include "src/sim/future.h"
+
+namespace globaldb {
+
+namespace {
+
+/// Spawn-safe single status poll (plain function: no lambda captures may
+/// outlive their closure in coroutines).
+sim::Task<void> PollReplica(sim::Network* network, NodeId from, NodeId to,
+                            StatusOr<std::string>* slot,
+                            sim::WaitGroup* wg) {
+  *slot = co_await network->Call(from, to, kRorStatusMethod, "");
+  wg->Done();
+}
+
+}  // namespace
+
+RcpService::RcpService(sim::Simulator* sim, sim::Network* network, NodeId self,
+                       std::vector<ReplicaDesc> replicas,
+                       std::vector<NodeId> peer_cns, NodeSelector* selector,
+                       SimDuration poll_interval)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      replicas_(std::move(replicas)),
+      peer_cns_(std::move(peer_cns)),
+      selector_(selector),
+      poll_interval_(poll_interval) {}
+
+void RcpService::Activate() {
+  if (active_) return;
+  active_ = true;
+  sim_->Spawn(CollectorLoop());
+}
+
+sim::Task<void> RcpService::CollectorLoop() {
+  while (active_) {
+    co_await PollOnce();
+    co_await sim_->Sleep(poll_interval_);
+  }
+}
+
+sim::Task<void> RcpService::PollOnce() {
+  metrics_.Add("rcp.polls");
+  std::vector<StatusOr<std::string>> results(
+      replicas_.size(), StatusOr<std::string>(Status::Unavailable("")));
+  sim::WaitGroup wg(sim_);
+  wg.Add(static_cast<int>(replicas_.size()));
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    sim_->Spawn(PollReplica(network_, self_, replicas_[i].node, &results[i],
+                            &wg));
+  }
+  co_await wg.Wait();
+
+  // Fold statuses; compute per-shard maxima.
+  std::map<ShardId, Timestamp> shard_max;
+  for (const auto& desc : replicas_) {
+    shard_max.emplace(desc.shard, 0);
+  }
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    const auto& desc = replicas_[i];
+    if (!results[i].ok()) {
+      if (selector_ != nullptr) selector_->MarkFailed(desc.node);
+      metrics_.Add("rcp.poll_failures");
+      continue;
+    }
+    auto status = RorStatusReply::Decode(*results[i]);
+    if (!status.ok()) continue;
+    statuses_[desc.node] = *status;
+    if (selector_ != nullptr) {
+      selector_->UpdateStatus(desc.node, status->max_commit_ts,
+                              status->queue_delay);
+    }
+    Timestamp& slot = shard_max[desc.shard];
+    slot = std::max(slot, status->max_commit_ts);
+  }
+
+  // RCP = min over shards of the best replica of that shard. A shard whose
+  // replicas are all unreachable freezes the RCP (consistent reads of that
+  // shard are impossible until one recovers).
+  Timestamp candidate = kTimestampMax;
+  for (const auto& [shard, ts] : shard_max) {
+    candidate = std::min(candidate, ts);
+  }
+  if (candidate != kTimestampMax && candidate > rcp_) {
+    rcp_ = candidate;
+  }
+
+  // Push to peers: the RCP plus the statuses that feed their skylines.
+  const std::string update = EncodeUpdate();
+  for (NodeId peer : peer_cns_) {
+    if (peer == self_) continue;
+    network_->Send(self_, peer, kCnRcpUpdateMethod, update);
+  }
+}
+
+std::string RcpService::EncodeUpdate() const {
+  std::string payload;
+  PutVarint64(&payload, rcp_);
+  PutVarint32(&payload, static_cast<uint32_t>(statuses_.size()));
+  for (const auto& [node, status] : statuses_) {
+    PutVarint32(&payload, node);
+    const std::string encoded = status.Encode();
+    PutLengthPrefixed(&payload, encoded);
+  }
+  return payload;
+}
+
+void RcpService::ApplyUpdate(Slice payload) {
+  Timestamp rcp = 0;
+  uint32_t n = 0;
+  if (!GetVarint64(&payload, &rcp) || !GetVarint32(&payload, &n)) return;
+  ObserveRcp(rcp);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t node = 0;
+    Slice encoded;
+    if (!GetVarint32(&payload, &node) ||
+        !GetLengthPrefixed(&payload, &encoded)) {
+      return;
+    }
+    auto status = RorStatusReply::Decode(encoded);
+    if (status.ok() && selector_ != nullptr) {
+      selector_->UpdateStatus(node, status->max_commit_ts,
+                              status->queue_delay);
+    }
+  }
+  metrics_.Add("rcp.updates_applied");
+}
+
+}  // namespace globaldb

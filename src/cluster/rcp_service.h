@@ -1,0 +1,80 @@
+#ifndef GLOBALDB_SRC_CLUSTER_RCP_SERVICE_H_
+#define GLOBALDB_SRC_CLUSTER_RCP_SERVICE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/messages.h"
+#include "src/cluster/node_selector.h"
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+#include "src/sim/network.h"
+
+namespace globaldb {
+
+/// Computes and distributes the Replica Consistency Point (Section IV-A).
+///
+/// One CN is the *collector*: it periodically polls every replica's max
+/// commit timestamp, computes
+///   RCP = min over shards of (max over that shard's replicas of max_ts)
+/// and pushes the result — together with the per-replica statuses feeding
+/// the skyline — to all CNs. The RCP only moves forward, so clients
+/// re-routed between CNs never observe freshness going backwards. If the
+/// collector dies, the cluster activates the service on another CN, which
+/// resumes from the latest RCP it saw (monotonicity is preserved because
+/// every CN tracks the distributed maximum).
+class RcpService {
+ public:
+  struct ReplicaDesc {
+    NodeId node;
+    ShardId shard;
+  };
+
+  RcpService(sim::Simulator* sim, sim::Network* network, NodeId self,
+             std::vector<ReplicaDesc> replicas, std::vector<NodeId> peer_cns,
+             NodeSelector* selector, SimDuration poll_interval);
+
+  RcpService(const RcpService&) = delete;
+  RcpService& operator=(const RcpService&) = delete;
+
+  /// Starts/stops the collector loop on this CN (exactly one CN should be
+  /// active at a time; failover activates another).
+  void Activate();
+  void Deactivate() { active_ = false; }
+  bool active() const { return active_; }
+
+  /// Current replica consistency point as known by this CN (monotonic).
+  Timestamp rcp() const { return rcp_; }
+
+  /// Raises the local RCP (applied from collector broadcasts).
+  void ObserveRcp(Timestamp rcp) { rcp_ = std::max(rcp_, rcp); }
+
+  /// Handler body for kCnRcpUpdateMethod (registered by the CN).
+  void ApplyUpdate(Slice payload);
+
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  sim::Task<void> CollectorLoop();
+  sim::Task<void> PollOnce();
+  std::string EncodeUpdate() const;
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  std::vector<ReplicaDesc> replicas_;
+  std::vector<NodeId> peer_cns_;
+  NodeSelector* selector_;
+  SimDuration poll_interval_;
+
+  bool active_ = false;
+  Timestamp rcp_ = 0;
+  /// Collector-side last polled status per replica.
+  std::map<NodeId, RorStatusReply> statuses_;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_RCP_SERVICE_H_

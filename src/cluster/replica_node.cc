@@ -1,0 +1,121 @@
+#include "src/cluster/replica_node.h"
+
+namespace globaldb {
+
+ReplicaNode::ReplicaNode(sim::Simulator* sim, sim::Network* network,
+                         NodeId self, ShardId shard,
+                         ReplicaNodeOptions options)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      shard_(shard),
+      options_(options),
+      store_(shard),
+      cpu_(sim, options.cores) {
+  applier_ = std::make_unique<ReplicaApplier>(sim, network, self, shard,
+                                              &store_, &catalog_, &cpu_,
+                                              options.applier);
+  RegisterHandlers();
+}
+
+void ReplicaNode::RegisterHandlers() {
+  network_->RegisterHandler(
+      self_, kRorReadMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        return HandleRead(from, std::move(payload));
+      });
+  network_->RegisterHandler(
+      self_, kRorScanMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        return HandleScan(from, std::move(payload));
+      });
+  network_->RegisterHandler(
+      self_, kRorStatusMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        return HandleStatus(from, std::move(payload));
+      });
+}
+
+sim::Task<std::string> ReplicaNode::HandleRead(NodeId from,
+                                               std::string payload) {
+  co_await cpu_.Consume(options_.read_cost);
+  metrics_.Add("ror.reads");
+  ReadReply reply;
+  auto request = ReadRequest::Decode(payload);
+  if (!request.ok()) {
+    reply.status = request.status();
+    co_return reply.Encode();
+  }
+  MvccTable* table = store_.GetTable(request->table);
+  if (table == nullptr) {
+    // The table may simply have no rows replayed into this shard yet.
+    co_return reply.Encode();
+  }
+  // Pending-commit tuple lock: retry after the blocking txn resolves.
+  while (true) {
+    ReadResult result = table->Read(request->key, request->snapshot);
+    if (result.provisional_txn != kInvalidTxnId &&
+        applier_->MustWait(result.provisional_txn, request->snapshot)) {
+      metrics_.Add("ror.pending_waits");
+      co_await applier_->WaitResolved(result.provisional_txn);
+      continue;
+    }
+    reply.found = result.found;
+    reply.value = std::move(result.value);
+    break;
+  }
+  co_return reply.Encode();
+}
+
+sim::Task<std::string> ReplicaNode::HandleScan(NodeId from,
+                                               std::string payload) {
+  metrics_.Add("ror.scans");
+  ScanReply reply;
+  auto request = ScanRequest::Decode(payload);
+  if (!request.ok()) {
+    reply.status = request.status();
+    co_return reply.Encode();
+  }
+  MvccTable* table = store_.GetTable(request->table);
+  if (table == nullptr) {
+    co_await cpu_.Consume(options_.read_cost);
+    co_return reply.Encode();
+  }
+  while (true) {
+    std::vector<TxnId> pending;
+    auto rows = table->Scan(request->start, request->end, request->snapshot,
+                            kInvalidTxnId, request->limit, &pending);
+    TxnId blocker = kInvalidTxnId;
+    for (TxnId txn : pending) {
+      if (applier_->MustWait(txn, request->snapshot)) {
+        blocker = txn;
+        break;
+      }
+    }
+    if (blocker != kInvalidTxnId) {
+      metrics_.Add("ror.pending_waits");
+      co_await applier_->WaitResolved(blocker);
+      continue;
+    }
+    co_await cpu_.Consume(options_.read_cost +
+                          options_.scan_row_cost *
+                              static_cast<SimDuration>(rows.size()));
+    reply.rows.reserve(rows.size());
+    for (auto& row : rows) {
+      reply.rows.emplace_back(std::move(row.key), std::move(row.value));
+    }
+    break;
+  }
+  co_return reply.Encode();
+}
+
+sim::Task<std::string> ReplicaNode::HandleStatus(NodeId from,
+                                                 std::string payload) {
+  RorStatusReply reply;
+  reply.max_commit_ts = applier_->max_commit_ts();
+  reply.applied_lsn = applier_->applied_lsn();
+  reply.queue_delay = cpu_.CurrentQueueDelay();
+  co_return reply.Encode();
+}
+
+}  // namespace globaldb

@@ -1,0 +1,66 @@
+#ifndef GLOBALDB_SRC_CLUSTER_REPLICA_NODE_H_
+#define GLOBALDB_SRC_CLUSTER_REPLICA_NODE_H_
+
+#include <memory>
+
+#include "src/cluster/messages.h"
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+#include "src/replication/replica_applier.h"
+#include "src/sim/cpu.h"
+#include "src/sim/network.h"
+#include "src/storage/catalog.h"
+#include "src/storage/shard_store.h"
+
+namespace globaldb {
+
+struct ReplicaNodeOptions {
+  int cores = 8;
+  SimDuration read_cost = 8 * kMicrosecond;
+  SimDuration scan_row_cost = 1 * kMicrosecond;
+  ApplierOptions applier;
+};
+
+/// A read-only replica of one shard: replays the primary's redo stream and
+/// serves ROR (read-on-replica) queries at RCP-based snapshots. Readers
+/// that hit a tuple locked by a pending-commit transaction wait until the
+/// commit or abort record is replayed (Section IV-A).
+class ReplicaNode {
+ public:
+  ReplicaNode(sim::Simulator* sim, sim::Network* network, NodeId self,
+              ShardId shard, ReplicaNodeOptions options = {});
+
+  ReplicaNode(const ReplicaNode&) = delete;
+  ReplicaNode& operator=(const ReplicaNode&) = delete;
+
+  NodeId node_id() const { return self_; }
+  ShardId shard() const { return shard_; }
+
+  ShardStore& store() { return store_; }
+  Catalog& catalog() { return catalog_; }
+  ReplicaApplier& applier() { return *applier_; }
+  sim::CpuScheduler& cpu() { return cpu_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  void RegisterHandlers();
+  sim::Task<std::string> HandleRead(NodeId from, std::string payload);
+  sim::Task<std::string> HandleScan(NodeId from, std::string payload);
+  sim::Task<std::string> HandleStatus(NodeId from, std::string payload);
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  ShardId shard_;
+  ReplicaNodeOptions options_;
+
+  ShardStore store_;
+  Catalog catalog_;
+  sim::CpuScheduler cpu_;
+  std::unique_ptr<ReplicaApplier> applier_;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_REPLICA_NODE_H_

@@ -1,0 +1,21 @@
+#ifndef GLOBALDB_SRC_COMMON_HASH_H_
+#define GLOBALDB_SRC_COMMON_HASH_H_
+
+#include <cstdint>
+
+#include "src/common/slice.h"
+
+namespace globaldb {
+
+/// 64-bit MurmurHash2-style hash used for shard routing and hash indexes.
+/// Stable across runs and platforms (we rely on it for deterministic
+/// data placement in tests).
+uint64_t Hash64(const char* data, size_t len, uint64_t seed = 0x6a09e667f3bcc909ULL);
+
+inline uint64_t Hash64(Slice s, uint64_t seed = 0x6a09e667f3bcc909ULL) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_COMMON_HASH_H_

@@ -1,0 +1,62 @@
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level = level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string s = stream_.str();
+  s.push_back('\n');
+  fwrite(s.data(), 1, s.size(), stderr);
+}
+
+FatalLogMessage::FatalLogMessage(const char* file, int line) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[FATAL " << base << ":" << line << "] ";
+}
+
+FatalLogMessage::~FatalLogMessage() {
+  std::string s = stream_.str();
+  s.push_back('\n');
+  fwrite(s.data(), 1, s.size(), stderr);
+  fflush(stderr);
+  abort();
+}
+
+}  // namespace internal_logging
+}  // namespace globaldb

@@ -1,0 +1,76 @@
+#ifndef GLOBALDB_SRC_COMMON_LOGGING_H_
+#define GLOBALDB_SRC_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace globaldb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Defaults to kWarn
+/// so tests and benches stay quiet; examples raise it to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Swallows a stream expression inside a ternary; operator& binds looser
+/// than operator<< so the whole chain is evaluated first (glog idiom).
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace globaldb
+
+#define GDB_LOG(level)                                                    \
+  (::globaldb::GetLogLevel() > ::globaldb::LogLevel::k##level)            \
+      ? (void)0                                                           \
+      : ::globaldb::internal_logging::Voidify() &                         \
+            ::globaldb::internal_logging::LogMessage(                     \
+                ::globaldb::LogLevel::k##level, __FILE__, __LINE__)       \
+                .stream()
+
+/// Invariant check that stays on in release builds. Database engines keep
+/// these enabled: a broken invariant must never silently corrupt data.
+#define GDB_CHECK(cond)                                                   \
+  (cond) ? (void)0                                                        \
+         : ::globaldb::internal_logging::Voidify() &                      \
+               ::globaldb::internal_logging::FatalLogMessage(__FILE__,    \
+                                                             __LINE__)    \
+                   .stream()                                              \
+               << "Check failed: " #cond " "
+
+#define GDB_DCHECK(cond) GDB_CHECK(cond)
+
+#endif  // GLOBALDB_SRC_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+#ifndef GLOBALDB_SRC_COMMON_METRICS_H_
+#define GLOBALDB_SRC_COMMON_METRICS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace globaldb {
+
+/// A streaming histogram with fixed percentile queries, used to record
+/// transaction latencies and replication lag in simulated nanoseconds.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Record(int64_t value) {
+    values_.push_back(value);
+    sum_ += value;
+    min_ = values_.size() == 1 ? value : std::min(min_, value);
+    max_ = std::max(max_, value);
+    sorted_ = false;
+  }
+
+  size_t count() const { return values_.size(); }
+  int64_t min() const { return values_.empty() ? 0 : min_; }
+  int64_t max() const { return max_; }
+  double mean() const {
+    return values_.empty() ? 0.0 : static_cast<double>(sum_) / values_.size();
+  }
+
+  /// Percentile in [0, 100]. Returns 0 for an empty histogram.
+  int64_t Percentile(double p) {
+    if (values_.empty()) return 0;
+    if (!sorted_) {
+      std::sort(values_.begin(), values_.end());
+      sorted_ = true;
+    }
+    double rank = p / 100.0 * (values_.size() - 1);
+    size_t idx = static_cast<size_t>(rank);
+    return values_[std::min(idx, values_.size() - 1)];
+  }
+
+  void Clear() {
+    values_.clear();
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+    sorted_ = false;
+  }
+
+ private:
+  std::vector<int64_t> values_;
+  int64_t sum_ = 0;
+  int64_t min_ = 0;
+  int64_t max_ = 0;
+  bool sorted_ = false;
+};
+
+/// A named bag of counters and histograms. Each node and each workload
+/// driver owns one; bench harnesses aggregate them into report rows.
+class Metrics {
+ public:
+  void Add(const std::string& name, int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  Histogram& Hist(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  std::map<std::string, Histogram>& histograms() { return histograms_; }
+
+  void Clear() {
+    counters_.clear();
+    histograms_.clear();
+  }
+
+ private:
+  std::map<std::string, int64_t> counters_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_COMMON_METRICS_H_

@@ -1,0 +1,35 @@
+#include "src/common/rng.h"
+
+#include <cmath>
+
+namespace globaldb {
+
+double Rng::Exponential(double mean) {
+  // Inverse transform sampling; guard against log(0).
+  double u = NextDouble();
+  if (u <= 1e-300) u = 1e-300;
+  return -mean * std::log(u);
+}
+
+std::string Rng::AlphaString(int min_len, int max_len) {
+  static const char kChars[] =
+      "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+  const int len = static_cast<int>(UniformRange(min_len, max_len));
+  std::string s;
+  s.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    s.push_back(kChars[Uniform(sizeof(kChars) - 1)]);
+  }
+  return s;
+}
+
+std::string Rng::NumericString(int len) {
+  std::string s;
+  s.reserve(len);
+  for (int i = 0; i < len; ++i) {
+    s.push_back(static_cast<char>('0' + Uniform(10)));
+  }
+  return s;
+}
+
+}  // namespace globaldb

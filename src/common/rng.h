@@ -1,0 +1,91 @@
+#ifndef GLOBALDB_SRC_COMMON_RNG_H_
+#define GLOBALDB_SRC_COMMON_RNG_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace globaldb {
+
+/// Deterministic splitmix64 / xoshiro256** random generator.
+///
+/// Every source of randomness in the simulator is derived from one seed so
+/// that test and benchmark runs are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  void Reseed(uint64_t seed) {
+    // splitmix64 to spread the seed across the state.
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    assert(n > 0);
+    return Next() % n;
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return (Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Exponentially distributed value with the given mean (for inter-arrival
+  /// and service-time jitter).
+  double Exponential(double mean);
+
+  /// TPC-C NURand non-uniform random (clause 2.1.6).
+  int64_t NuRand(int64_t a, int64_t x, int64_t y, int64_t c) {
+    return (((UniformRange(0, a) | UniformRange(x, y)) + c) % (y - x + 1)) + x;
+  }
+
+  /// Random alphanumeric string of length in [min_len, max_len].
+  std::string AlphaString(int min_len, int max_len);
+  /// Random numeric string of exactly len digits.
+  std::string NumericString(int len);
+
+  /// Fork a child generator with an independent stream (for per-node RNGs).
+  Rng Fork() { return Rng(Next() ^ 0xdeadbeefcafef00dULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_COMMON_RNG_H_

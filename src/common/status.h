@@ -1,0 +1,119 @@
+#ifndef GLOBALDB_SRC_COMMON_STATUS_H_
+#define GLOBALDB_SRC_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace globaldb {
+
+/// Error codes used across all GlobalDB modules. Modeled after the RocksDB /
+/// Abseil status idiom: functions that can fail return a Status (or StatusOr)
+/// instead of throwing exceptions.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,
+  kAlreadyExists,
+  kInvalidArgument,
+  kCorruption,
+  kAborted,          // transaction aborted (e.g. write conflict, mode switch)
+  kUnavailable,      // node down / partitioned / retriable
+  kTimedOut,
+  kFailedPrecondition,
+  kOutOfRange,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name, e.g. "NotFound".
+std::string_view StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// The OK status carries no allocation. Statuses are copyable and movable and
+/// are intended to be returned by value.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg = "") {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg = "") {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg = "") {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsTimedOut() const { return code_ == StatusCode::kTimedOut; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;  // message is informational only
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+}  // namespace globaldb
+
+/// Propagates a non-OK Status to the caller; evaluates expr exactly once.
+#define GDB_RETURN_IF_ERROR(expr)                      \
+  do {                                                 \
+    ::globaldb::Status _gdb_status = (expr);           \
+    if (!_gdb_status.ok()) return _gdb_status;         \
+  } while (0)
+
+/// Coroutine variant of GDB_RETURN_IF_ERROR (plain `return` is illegal in a
+/// coroutine body).
+#define GDB_CO_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::globaldb::Status _gdb_status = (expr);           \
+    if (!_gdb_status.ok()) co_return _gdb_status;      \
+  } while (0)
+
+#endif  // GLOBALDB_SRC_COMMON_STATUS_H_

@@ -1,0 +1,78 @@
+#ifndef GLOBALDB_SRC_COMMON_STATUSOR_H_
+#define GLOBALDB_SRC_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace globaldb {
+
+/// Holds either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   StatusOr<int> r = Parse(s);
+///   if (!r.ok()) return r.status();
+///   Use(r.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error status. Must not be OK.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  /// Constructs from a value.
+  StatusOr(T value)  // NOLINT
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace globaldb
+
+/// Assigns the value of a StatusOr expression to `lhs`, or returns its status.
+#define GDB_ASSIGN_OR_RETURN(lhs, expr)                \
+  GDB_ASSIGN_OR_RETURN_IMPL_(                          \
+      GDB_STATUS_CONCAT_(_gdb_statusor, __LINE__), lhs, expr)
+#define GDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define GDB_STATUS_CONCAT_(a, b) GDB_STATUS_CONCAT_INNER_(a, b)
+#define GDB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr)     \
+  auto tmp = (expr);                                   \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+#endif  // GLOBALDB_SRC_COMMON_STATUSOR_H_

@@ -1,0 +1,167 @@
+#include "src/log/redo_record.h"
+
+#include "src/common/codec.h"
+
+namespace globaldb {
+
+const char* RedoTypeName(RedoType type) {
+  switch (type) {
+    case RedoType::kInsert:
+      return "INSERT";
+    case RedoType::kUpdate:
+      return "UPDATE";
+    case RedoType::kDelete:
+      return "DELETE";
+    case RedoType::kPendingCommit:
+      return "PENDING_COMMIT";
+    case RedoType::kCommit:
+      return "COMMIT";
+    case RedoType::kAbort:
+      return "ABORT";
+    case RedoType::kPrepare:
+      return "PREPARE";
+    case RedoType::kCommitPrepared:
+      return "COMMIT_PREPARED";
+    case RedoType::kAbortPrepared:
+      return "ABORT_PREPARED";
+    case RedoType::kHeartbeat:
+      return "HEARTBEAT";
+    case RedoType::kDdl:
+      return "DDL";
+    case RedoType::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "?";
+}
+
+void RedoRecord::EncodeTo(std::string* dst) const {
+  dst->push_back(static_cast<char>(type));
+  PutVarint64(dst, lsn);
+  PutVarint64(dst, txn_id);
+  PutVarint64(dst, timestamp);
+  PutVarint32(dst, table_id);
+  PutLengthPrefixed(dst, key);
+  PutLengthPrefixed(dst, value);
+}
+
+Status RedoRecord::DecodeFrom(Slice* input, RedoRecord* out) {
+  if (input->empty()) return Status::Corruption("redo: empty input");
+  const uint8_t type_byte = static_cast<uint8_t>((*input)[0]);
+  if (type_byte < static_cast<uint8_t>(RedoType::kInsert) ||
+      type_byte > static_cast<uint8_t>(RedoType::kCheckpoint)) {
+    return Status::Corruption("redo: bad record type");
+  }
+  out->type = static_cast<RedoType>(type_byte);
+  input->RemovePrefix(1);
+  Slice key, value;
+  if (!GetVarint64(input, &out->lsn) || !GetVarint64(input, &out->txn_id) ||
+      !GetVarint64(input, &out->timestamp) ||
+      !GetVarint32(input, &out->table_id) ||
+      !GetLengthPrefixed(input, &key) || !GetLengthPrefixed(input, &value)) {
+    return Status::Corruption("redo: truncated record");
+  }
+  out->key = key.ToString();
+  out->value = value.ToString();
+  return Status::OK();
+}
+
+size_t RedoRecord::EncodedSize() const {
+  return 1 + VarintLength(lsn) + VarintLength(txn_id) +
+         VarintLength(timestamp) + VarintLength(table_id) +
+         VarintLength(key.size()) + key.size() + VarintLength(value.size()) +
+         value.size();
+}
+
+RedoRecord RedoRecord::Insert(TxnId txn, TableId table, RowKey key,
+                              std::string value) {
+  RedoRecord r;
+  r.type = RedoType::kInsert;
+  r.txn_id = txn;
+  r.table_id = table;
+  r.key = std::move(key);
+  r.value = std::move(value);
+  return r;
+}
+
+RedoRecord RedoRecord::Update(TxnId txn, TableId table, RowKey key,
+                              std::string value) {
+  RedoRecord r = Insert(txn, table, std::move(key), std::move(value));
+  r.type = RedoType::kUpdate;
+  return r;
+}
+
+RedoRecord RedoRecord::Delete(TxnId txn, TableId table, RowKey key) {
+  RedoRecord r;
+  r.type = RedoType::kDelete;
+  r.txn_id = txn;
+  r.table_id = table;
+  r.key = std::move(key);
+  return r;
+}
+
+RedoRecord RedoRecord::PendingCommit(TxnId txn) {
+  RedoRecord r;
+  r.type = RedoType::kPendingCommit;
+  r.txn_id = txn;
+  return r;
+}
+
+RedoRecord RedoRecord::Commit(TxnId txn, Timestamp ts) {
+  RedoRecord r;
+  r.type = RedoType::kCommit;
+  r.txn_id = txn;
+  r.timestamp = ts;
+  return r;
+}
+
+RedoRecord RedoRecord::Abort(TxnId txn) {
+  RedoRecord r;
+  r.type = RedoType::kAbort;
+  r.txn_id = txn;
+  return r;
+}
+
+RedoRecord RedoRecord::Prepare(TxnId txn) {
+  RedoRecord r;
+  r.type = RedoType::kPrepare;
+  r.txn_id = txn;
+  return r;
+}
+
+RedoRecord RedoRecord::CommitPrepared(TxnId txn, Timestamp ts) {
+  RedoRecord r;
+  r.type = RedoType::kCommitPrepared;
+  r.txn_id = txn;
+  r.timestamp = ts;
+  return r;
+}
+
+RedoRecord RedoRecord::AbortPrepared(TxnId txn) {
+  RedoRecord r;
+  r.type = RedoType::kAbortPrepared;
+  r.txn_id = txn;
+  return r;
+}
+
+RedoRecord RedoRecord::Heartbeat(Timestamp ts) {
+  RedoRecord r;
+  r.type = RedoType::kHeartbeat;
+  r.timestamp = ts;
+  return r;
+}
+
+RedoRecord RedoRecord::Ddl(Timestamp ts, std::string payload) {
+  RedoRecord r;
+  r.type = RedoType::kDdl;
+  r.timestamp = ts;
+  r.value = std::move(payload);
+  return r;
+}
+
+bool operator==(const RedoRecord& a, const RedoRecord& b) {
+  return a.type == b.type && a.txn_id == b.txn_id &&
+         a.timestamp == b.timestamp && a.table_id == b.table_id &&
+         a.key == b.key && a.value == b.value && a.lsn == b.lsn;
+}
+
+}  // namespace globaldb

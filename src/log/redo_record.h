@@ -1,0 +1,86 @@
+#ifndef GLOBALDB_SRC_LOG_REDO_RECORD_H_
+#define GLOBALDB_SRC_LOG_REDO_RECORD_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/slice.h"
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace globaldb {
+
+/// Redo log record types (Section IV-A of the paper).
+///
+/// PENDING_COMMIT is the paper's safeguard for out-of-order commit records:
+/// it is written at the primary *before* the transaction obtains its commit
+/// timestamp, and locks the associated tuples on the replica until a COMMIT
+/// or ABORT for the same transaction is replayed. PREPARE plays the same
+/// role for two-phase commit (visibility blocked until COMMIT_PREPARED /
+/// ABORT_PREPARED).
+enum class RedoType : uint8_t {
+  kInsert = 1,
+  kUpdate = 2,
+  kDelete = 3,
+  kPendingCommit = 4,
+  kCommit = 5,
+  kAbort = 6,
+  kPrepare = 7,
+  kCommitPrepared = 8,
+  kAbortPrepared = 9,
+  kHeartbeat = 10,  // advances replica max-commit-timestamp on idle shards
+  kDdl = 11,        // schema change; payload carries the catalog mutation
+  kCheckpoint = 12,
+};
+
+/// Returns a stable name like "INSERT".
+const char* RedoTypeName(RedoType type);
+
+/// One redo record. Data records (INSERT/UPDATE/DELETE) carry the table,
+/// key, and new tuple image; control records carry the transaction id and,
+/// for commits and heartbeats, the commit timestamp.
+struct RedoRecord {
+  RedoType type = RedoType::kHeartbeat;
+  TxnId txn_id = kInvalidTxnId;
+  Timestamp timestamp = kInvalidTimestamp;
+  TableId table_id = kInvalidTableId;
+  RowKey key;
+  std::string value;
+  Lsn lsn = kInvalidLsn;  // assigned by LogStream::Append
+
+  /// Appends the binary encoding to *dst.
+  void EncodeTo(std::string* dst) const;
+  /// Consumes one record from *input.
+  static Status DecodeFrom(Slice* input, RedoRecord* out);
+  /// Bytes EncodeTo would emit.
+  size_t EncodedSize() const;
+
+  bool IsData() const {
+    return type == RedoType::kInsert || type == RedoType::kUpdate ||
+           type == RedoType::kDelete;
+  }
+  bool IsCommit() const {
+    return type == RedoType::kCommit || type == RedoType::kCommitPrepared;
+  }
+
+  // Convenience constructors.
+  static RedoRecord Insert(TxnId txn, TableId table, RowKey key,
+                           std::string value);
+  static RedoRecord Update(TxnId txn, TableId table, RowKey key,
+                           std::string value);
+  static RedoRecord Delete(TxnId txn, TableId table, RowKey key);
+  static RedoRecord PendingCommit(TxnId txn);
+  static RedoRecord Commit(TxnId txn, Timestamp ts);
+  static RedoRecord Abort(TxnId txn);
+  static RedoRecord Prepare(TxnId txn);
+  static RedoRecord CommitPrepared(TxnId txn, Timestamp ts);
+  static RedoRecord AbortPrepared(TxnId txn);
+  static RedoRecord Heartbeat(Timestamp ts);
+  static RedoRecord Ddl(Timestamp ts, std::string payload);
+};
+
+bool operator==(const RedoRecord& a, const RedoRecord& b);
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_LOG_REDO_RECORD_H_

@@ -1,0 +1,147 @@
+#include "src/replication/log_shipper.h"
+
+#include <algorithm>
+
+#include "src/common/codec.h"
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+LogShipper::LogShipper(sim::Simulator* sim, sim::Network* network, NodeId self,
+                       ShardId shard, LogStream* stream,
+                       std::vector<NodeId> replicas, ShipperOptions options)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      shard_(shard),
+      stream_(stream),
+      replicas_(std::move(replicas)),
+      options_(options),
+      append_signal_(sim) {
+  for (NodeId r : replicas_) acked_[r] = 0;
+}
+
+void LogShipper::Start() {
+  for (NodeId replica : replicas_) {
+    sim_->Spawn(ShipLoop(replica));
+  }
+}
+
+void LogShipper::NotifyAppend() { append_signal_.NotifyAll(); }
+
+sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
+  Lsn cursor = stream_->begin_lsn();
+  while (!stopped_) {
+    auto batch_or = stream_->Read(cursor, options_.max_batch_records,
+                                  options_.max_batch_bytes);
+    if (!batch_or.ok()) {
+      // Our cursor was truncated away (should not happen: truncation waits
+      // for acks). Resync from the stream start.
+      cursor = stream_->begin_lsn();
+      continue;
+    }
+    if (batch_or->empty()) {
+      // Nothing to ship. A bounded idle sleep (rather than waiting solely
+      // on the append signal) keeps the loop robust against notifications
+      // that race with the read above.
+      co_await sim_->Sleep(options_.idle_wait);
+      continue;
+    }
+
+    const std::vector<RedoRecord>& batch = *batch_or;
+    std::string payload;
+    PutVarint32(&payload, shard_);
+    PutVarint64(&payload, batch.front().lsn);
+    const std::string encoded =
+        LogStream::EncodeBatch(batch, options_.compression);
+    payload += encoded;
+
+    metrics_.Add("ship.batches");
+    metrics_.Add("ship.records", static_cast<int64_t>(batch.size()));
+    metrics_.Add("ship.bytes", static_cast<int64_t>(payload.size()));
+
+    auto reply = co_await network_->Call(self_, replica, kReplAppendMethod,
+                                         std::move(payload));
+    if (!reply.ok()) {
+      metrics_.Add("ship.failures");
+      co_await sim_->Sleep(options_.retry_backoff);
+      continue;
+    }
+    Slice in(*reply);
+    Lsn applied = 0;
+    if (!GetVarint64(&in, &applied)) {
+      metrics_.Add("ship.bad_replies");
+      co_await sim_->Sleep(options_.retry_backoff);
+      continue;
+    }
+    if (applied >= cursor) {
+      cursor = applied + 1;
+    } else {
+      // Replica is behind our cursor (e.g. it restarted); rewind.
+      cursor = applied + 1;
+    }
+    OnAck(replica, applied);
+  }
+}
+
+void LogShipper::OnAck(NodeId replica, Lsn acked) {
+  Lsn& slot = acked_[replica];
+  slot = std::max(slot, acked);
+  // Resolve durability waiters.
+  for (auto& waiter : waiters_) {
+    if (waiter.lsn != kInvalidLsn && DurabilityReached(waiter.lsn)) {
+      waiter.done.TrySet(true);
+      waiter.lsn = kInvalidLsn;  // mark resolved
+    }
+  }
+  waiters_.erase(std::remove_if(waiters_.begin(), waiters_.end(),
+                                [](const DurabilityWaiter& w) {
+                                  return w.lsn == kInvalidLsn;
+                                }),
+                 waiters_.end());
+}
+
+Lsn LogShipper::AckedLsn(NodeId replica) const {
+  auto it = acked_.find(replica);
+  return it == acked_.end() ? 0 : it->second;
+}
+
+Lsn LogShipper::QuorumAckedLsn() const {
+  if (acked_.empty()) return stream_->next_lsn() - 1;
+  std::vector<Lsn> lsns;
+  lsns.reserve(acked_.size());
+  for (const auto& [node, lsn] : acked_) lsns.push_back(lsn);
+  std::sort(lsns.begin(), lsns.end(), std::greater<>());
+  const int k = std::min<int>(options_.quorum_replicas,
+                              static_cast<int>(lsns.size()));
+  return lsns[k - 1];
+}
+
+Lsn LogShipper::AllAckedLsn() const {
+  Lsn min_lsn = stream_->next_lsn() - 1;
+  for (const auto& [node, lsn] : acked_) min_lsn = std::min(min_lsn, lsn);
+  return min_lsn;
+}
+
+bool LogShipper::DurabilityReached(Lsn lsn) const {
+  switch (options_.mode) {
+    case ReplicationMode::kAsync:
+      return true;
+    case ReplicationMode::kSyncQuorum:
+      return QuorumAckedLsn() >= lsn;
+    case ReplicationMode::kSyncAll:
+      return AllAckedLsn() >= lsn;
+  }
+  return true;
+}
+
+sim::Task<Status> LogShipper::WaitDurable(Lsn lsn) {
+  if (DurabilityReached(lsn)) co_return Status::OK();
+  metrics_.Add("ship.durability_waits");
+  waiters_.emplace_back(lsn, sim_);
+  sim::Future<bool> future = waiters_.back().done.GetFuture();
+  co_await future;
+  co_return Status::OK();
+}
+
+}  // namespace globaldb

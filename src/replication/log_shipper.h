@@ -1,0 +1,104 @@
+#ifndef GLOBALDB_SRC_REPLICATION_LOG_SHIPPER_H_
+#define GLOBALDB_SRC_REPLICATION_LOG_SHIPPER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/compression/lz.h"
+#include "src/log/log_stream.h"
+#include "src/sim/future.h"
+#include "src/sim/network.h"
+
+namespace globaldb {
+
+/// RPC method replicas register for batch delivery.
+inline constexpr char kReplAppendMethod[] = "repl.append";
+
+struct ShipperOptions {
+  ReplicationMode mode = ReplicationMode::kAsync;
+  /// The paper's GlobalDB deployment compresses shipped redo with LZ4.
+  CompressionType compression = CompressionType::kLz;
+  size_t max_batch_records = 2000;
+  size_t max_batch_bytes = 256 * 1024;
+  /// Idle poll interval when no new records arrive (heartbeats keep this
+  /// path rarely taken).
+  SimDuration idle_wait = 2 * kMillisecond;
+  /// Backoff before retrying a failed replica.
+  SimDuration retry_backoff = 50 * kMillisecond;
+  /// For kSyncQuorum: how many replicas (not counting the primary) must
+  /// have persisted a commit before it is acknowledged.
+  int quorum_replicas = 1;
+};
+
+/// Primary-side redo log shipper: one streaming loop per replica, each with
+/// its own LSN cursor, batching, optional LZ compression, and retry.
+///
+/// Async mode (GlobalDB): transactions never wait for shipping.
+/// Sync modes (baseline): DataNode::WaitDurable blocks commit until the
+/// quorum (or all replicas) have acknowledged the commit record's LSN —
+/// which is what makes remote replicas so expensive in Fig. 6a.
+class LogShipper {
+ public:
+  LogShipper(sim::Simulator* sim, sim::Network* network, NodeId self,
+             ShardId shard, LogStream* stream, std::vector<NodeId> replicas,
+             ShipperOptions options = {});
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Spawns the per-replica ship loops.
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  /// Wakes idle ship loops after the primary appends new records.
+  void NotifyAppend();
+
+  /// Blocks until the replication mode's durability condition holds for
+  /// `lsn`: no-op for async, quorum acks for kSyncQuorum, all replicas for
+  /// kSyncAll.
+  sim::Task<Status> WaitDurable(Lsn lsn);
+
+  /// Highest LSN acknowledged by `replica` (0 if none).
+  Lsn AckedLsn(NodeId replica) const;
+  /// Highest LSN acknowledged by at least `quorum_replicas` replicas.
+  Lsn QuorumAckedLsn() const;
+  /// Highest LSN acknowledged by every replica.
+  Lsn AllAckedLsn() const;
+
+  const ShipperOptions& options() const { return options_; }
+  ShipperOptions* mutable_options() { return &options_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  struct DurabilityWaiter {
+    Lsn lsn;
+    sim::Promise<bool> done;
+    DurabilityWaiter(Lsn l, sim::Simulator* sim) : lsn(l), done(sim) {}
+  };
+
+  sim::Task<void> ShipLoop(NodeId replica);
+  void OnAck(NodeId replica, Lsn acked);
+  bool DurabilityReached(Lsn lsn) const;
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  ShardId shard_;
+  LogStream* stream_;
+  std::vector<NodeId> replicas_;
+  ShipperOptions options_;
+
+  std::map<NodeId, Lsn> acked_;
+  std::vector<DurabilityWaiter> waiters_;
+  sim::CondVar append_signal_;
+  bool stopped_ = false;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_REPLICATION_LOG_SHIPPER_H_

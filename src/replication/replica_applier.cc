@@ -1,0 +1,141 @@
+#include "src/replication/replica_applier.h"
+
+#include <algorithm>
+
+#include "src/common/codec.h"
+#include "src/common/logging.h"
+#include "src/replication/log_shipper.h"
+
+namespace globaldb {
+
+ReplicaApplier::ReplicaApplier(sim::Simulator* sim, sim::Network* network,
+                               NodeId self, ShardId shard, ShardStore* store,
+                               Catalog* catalog, sim::CpuScheduler* cpu,
+                               ApplierOptions options)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      shard_(shard),
+      store_(store),
+      catalog_(catalog),
+      cpu_(cpu),
+      options_(options),
+      resolved_signal_(sim) {
+  network_->RegisterHandler(
+      self_, kReplAppendMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        return HandleAppend(from, std::move(payload));
+      });
+}
+
+sim::Task<std::string> ReplicaApplier::HandleAppend(NodeId from,
+                                                    std::string payload) {
+  std::string ack;
+  Slice in(payload);
+  uint32_t shard = 0;
+  Lsn start_lsn = 0;
+  if (!GetVarint32(&in, &shard) || !GetVarint64(&in, &start_lsn) ||
+      shard != shard_) {
+    metrics_.Add("apply.bad_batches");
+    PutVarint64(&ack, applied_lsn_);
+    co_return ack;
+  }
+  if (stalled_) {
+    // Pretend the batch was lost; the shipper will retry.
+    PutVarint64(&ack, applied_lsn_);
+    co_return ack;
+  }
+  std::vector<RedoRecord> records;
+  if (!LogStream::DecodeBatch(in, &records).ok()) {
+    metrics_.Add("apply.bad_batches");
+    PutVarint64(&ack, applied_lsn_);
+    co_return ack;
+  }
+  if (start_lsn > applied_lsn_ + 1) {
+    // Gap: refuse; shipper rewinds to our ack.
+    metrics_.Add("apply.gaps");
+    PutVarint64(&ack, applied_lsn_);
+    co_return ack;
+  }
+
+  if (extra_apply_delay_ > 0) co_await sim_->Sleep(extra_apply_delay_);
+
+  size_t applied = 0;
+  for (const RedoRecord& record : records) {
+    if (record.lsn <= applied_lsn_) continue;  // duplicate from a resend
+    // Replay cost (the node's multi-core CpuScheduler models the paper's
+    // parallel replay).
+    co_await cpu_->Consume(options_.apply_cost_per_record);
+    ApplyRecord(record);
+    applied_lsn_ = record.lsn;
+    ++applied;
+  }
+  metrics_.Add("apply.records", static_cast<int64_t>(applied));
+  metrics_.Add("apply.batches");
+  PutVarint64(&ack, applied_lsn_);
+  co_return ack;
+}
+
+void ReplicaApplier::ApplyRecord(const RedoRecord& record) {
+  switch (record.type) {
+    case RedoType::kInsert:
+      store_->GetOrCreateTable(record.table_id)
+          ->ApplyInsert(record.key, record.value, record.txn_id);
+      break;
+    case RedoType::kUpdate:
+      store_->GetOrCreateTable(record.table_id)
+          ->ApplyUpdate(record.key, record.value, record.txn_id);
+      break;
+    case RedoType::kDelete:
+      store_->GetOrCreateTable(record.table_id)
+          ->ApplyDelete(record.key, record.txn_id);
+      break;
+    case RedoType::kPendingCommit:
+    case RedoType::kPrepare:
+      // Value = lower bound on the eventual commit timestamp.
+      pending_[record.txn_id] = record.timestamp;
+      break;
+    case RedoType::kCommit:
+    case RedoType::kCommitPrepared:
+      store_->CommitTxn(record.txn_id, record.timestamp);
+      max_commit_ts_ = std::max(max_commit_ts_, record.timestamp);
+      ResolveTxn(record.txn_id);
+      break;
+    case RedoType::kAbort:
+    case RedoType::kAbortPrepared:
+      store_->AbortTxn(record.txn_id);
+      ResolveTxn(record.txn_id);
+      break;
+    case RedoType::kHeartbeat:
+      // Guarantees the max commit timestamp advances on idle shards
+      // (Section IV-A) so the RCP keeps moving forward.
+      max_commit_ts_ = std::max(max_commit_ts_, record.timestamp);
+      break;
+    case RedoType::kDdl: {
+      Status s = catalog_->ApplyDdl(record.value, record.timestamp);
+      if (!s.ok()) {
+        GDB_LOG(Error) << "replica " << self_
+                       << ": DDL replay failed: " << s.ToString();
+      }
+      max_commit_ts_ = std::max(max_commit_ts_, record.timestamp);
+      break;
+    }
+    case RedoType::kCheckpoint:
+      break;
+  }
+}
+
+void ReplicaApplier::ResolveTxn(TxnId txn) {
+  if (pending_.erase(txn) > 0) {
+    resolved_signal_.NotifyAll();
+  }
+}
+
+sim::Task<void> ReplicaApplier::WaitResolved(TxnId txn) {
+  metrics_.Add("apply.pending_waits");
+  while (pending_.count(txn) > 0) {
+    co_await resolved_signal_.Wait();
+  }
+}
+
+}  // namespace globaldb

@@ -1,0 +1,60 @@
+#include "src/sim/hardware_clock.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace globaldb::sim {
+
+HardwareClock::HardwareClock(Simulator* sim, Rng rng,
+                             HardwareClockOptions options)
+    : sim_(sim), rng_(rng), options_(options) {
+  // Start with a fresh sync at t=0 and a random initial drift direction.
+  drift_rate_ = (rng_.NextDouble() * 2.0 - 1.0) * options_.max_drift_ppm * 1e-6;
+  offset_at_sync_ =
+      rng_.UniformRange(-options_.sync_rtt / 2, options_.sync_rtt / 2);
+}
+
+void HardwareClock::AdvanceSyncs() {
+  if (!sync_healthy_) return;
+  const SimTime now = sim_->now();
+  while (now - last_sync_ >= options_.sync_interval) {
+    last_sync_ += options_.sync_interval;
+    // After a sync, the residual offset is bounded by the sync RTT (the
+    // device timestamps are accurate to nanoseconds; the network round trip
+    // dominates the uncertainty).
+    offset_at_sync_ =
+        rng_.UniformRange(-options_.sync_rtt / 2, options_.sync_rtt / 2);
+    // Drift wanders within the PPM bound.
+    drift_rate_ =
+        (rng_.NextDouble() * 2.0 - 1.0) * options_.max_drift_ppm * 1e-6;
+  }
+}
+
+SimTime HardwareClock::Read() {
+  AdvanceSyncs();
+  const SimTime now = sim_->now();
+  const SimDuration since_sync = now - last_sync_;
+  const SimDuration drift =
+      static_cast<SimDuration>(drift_rate_ * static_cast<double>(since_sync));
+  SimTime reading = now + offset_at_sync_ + drift;
+  // Physical clocks never step backwards between reads on one machine.
+  reading = std::max(reading, last_reading_ + 1);
+  last_reading_ = reading;
+  return reading;
+}
+
+SimDuration HardwareClock::ErrorBound() {
+  AdvanceSyncs();
+  const SimDuration since_sync = sim_->now() - last_sync_;
+  const SimDuration drift_bound = static_cast<SimDuration>(
+      options_.max_drift_ppm * 1e-6 * static_cast<double>(since_sync));
+  return options_.sync_rtt + drift_bound;
+}
+
+SimDuration HardwareClock::TrueOffset() { return Read() - sim_->now(); }
+
+void HardwareClock::InjectOffset(SimDuration delta) {
+  offset_at_sync_ += delta;
+}
+
+}  // namespace globaldb::sim

@@ -1,0 +1,76 @@
+#ifndef GLOBALDB_SRC_SIM_HARDWARE_CLOCK_H_
+#define GLOBALDB_SRC_SIM_HARDWARE_CLOCK_H_
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/simulator.h"
+
+namespace globaldb::sim {
+
+/// Configuration mirroring Section III of the paper: machines sync with a
+/// regional GPS/atomic-clock time device every 1 ms over a ~60 us TCP round
+/// trip, and CPU clock drift is bounded within 200 PPM.
+struct HardwareClockOptions {
+  SimDuration sync_interval = 1 * kMillisecond;
+  SimDuration sync_rtt = 60 * kMicrosecond;
+  double max_drift_ppm = 200.0;
+};
+
+/// A node's local clock: the true (virtual) time plus a drifting offset that
+/// is re-anchored at every successful sync with the regional time device.
+///
+/// The GClock error-bound contract (Eq. 1):
+///   T_err = T_sync + T_drift, where T_drift grows with time since the last
+///   successful sync. If syncing fails (fault injection), the bound keeps
+///   growing, which is what triggers the GClock -> GTM fallback story.
+class HardwareClock {
+ public:
+  HardwareClock(Simulator* sim, Rng rng, HardwareClockOptions options = {});
+
+  HardwareClock(const HardwareClock&) = delete;
+  HardwareClock& operator=(const HardwareClock&) = delete;
+
+  /// Current clock reading (monotonic per node).
+  SimTime Read();
+
+  /// Conservative bound on |Read() - true time|: sync RTT plus accumulated
+  /// drift since the last successful sync.
+  SimDuration ErrorBound();
+
+  /// Read() + ErrorBound(): the GClock timestamp upper bound (Eq. 1).
+  SimTime ReadUpper() { return Read() + ErrorBound(); }
+
+  /// True offset from real time right now (test/diagnostic only).
+  SimDuration TrueOffset();
+
+  // --- Fault injection ---------------------------------------------------
+
+  /// When false, periodic syncs stop: the offset drifts freely and the error
+  /// bound grows without bound.
+  void set_sync_healthy(bool healthy) { sync_healthy_ = healthy; }
+  bool sync_healthy() const { return sync_healthy_; }
+
+  /// Applies a one-time step to the clock (simulates operator error or a
+  /// faulty time device).
+  void InjectOffset(SimDuration delta);
+
+  const HardwareClockOptions& options() const { return options_; }
+
+ private:
+  /// Lazily applies all syncs that should have happened up to now.
+  void AdvanceSyncs();
+
+  Simulator* sim_;
+  Rng rng_;
+  HardwareClockOptions options_;
+
+  SimTime last_sync_ = 0;
+  SimDuration offset_at_sync_ = 0;     // clock - true time at last sync
+  double drift_rate_ = 0.0;            // current drift, ns per ns (signed)
+  SimTime last_reading_ = 0;           // monotonicity guard
+  bool sync_healthy_ = true;
+};
+
+}  // namespace globaldb::sim
+
+#endif  // GLOBALDB_SRC_SIM_HARDWARE_CLOCK_H_

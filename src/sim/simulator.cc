@@ -1,0 +1,55 @@
+#include "src/sim/simulator.h"
+
+namespace globaldb::sim {
+
+namespace {
+
+/// A self-destroying wrapper coroutine that owns a detached task.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() {}
+    void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+Detached RunDetached(Task<void> task) { co_await std::move(task); }
+
+}  // namespace
+
+void Simulator::Spawn(Task<void> task) {
+  if (!task.valid()) return;
+  RunDetached(std::move(task));
+}
+
+bool Simulator::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the function object must be moved out
+  // before pop. const_cast is safe here because we pop immediately.
+  Event& top = const_cast<Event&>(queue_.top());
+  GDB_CHECK(top.time >= now_);
+  now_ = top.time;
+  std::function<void()> fn = std::move(top.fn);
+  queue_.pop();
+  ++events_executed_;
+  fn();
+  return true;
+}
+
+void Simulator::Run() {
+  stopped_ = false;
+  while (!stopped_ && RunOne()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime until) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= until) {
+    RunOne();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace globaldb::sim

@@ -1,0 +1,111 @@
+#ifndef GLOBALDB_SRC_SIM_SIMULATOR_H_
+#define GLOBALDB_SRC_SIM_SIMULATOR_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/sim/task.h"
+
+namespace globaldb::sim {
+
+/// Single-threaded discrete-event simulator with a virtual nanosecond clock.
+///
+/// All node logic runs as coroutines resumed by the event loop. Events with
+/// equal timestamps fire in scheduling order (FIFO), which — combined with a
+/// seeded Rng — makes every run bit-for-bit reproducible.
+class Simulator {
+ public:
+  explicit Simulator(uint64_t seed = 42) : rng_(seed) {}
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time in nanoseconds.
+  SimTime now() const { return now_; }
+
+  /// Root source of randomness; fork per-component generators from it.
+  Rng& rng() { return rng_; }
+
+  /// Schedules `fn` to run at now() + delay (delay >= 0).
+  void Schedule(SimDuration delay, std::function<void()> fn) {
+    ScheduleAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` to run at absolute virtual time `when` (>= now()).
+  void ScheduleAt(SimTime when, std::function<void()> fn) {
+    GDB_CHECK(when >= now_) << "scheduling in the past: " << when << " < "
+                            << now_;
+    queue_.push(Event{when, next_seq_++, std::move(fn)});
+  }
+
+  /// Starts a detached coroutine. The frame stays alive until the coroutine
+  /// completes; completion order is governed entirely by virtual time.
+  void Spawn(Task<void> task);
+
+  /// Runs until the event queue is empty or Stop() is called.
+  void Run();
+
+  /// Runs events with time <= until, then sets now() = until.
+  void RunUntil(SimTime until);
+
+  /// Runs for `d` more virtual nanoseconds.
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  /// Makes Run()/RunUntil() return after the current event.
+  void Stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for tests and diagnostics).
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Awaitable: suspends the current coroutine for `delay` virtual ns.
+  auto Sleep(SimDuration delay) { return SleepAwaiter{this, now_ + delay}; }
+
+  /// Awaitable: suspends until absolute virtual time `when`.
+  auto SleepUntil(SimTime when) {
+    return SleepAwaiter{this, when < now_ ? now_ : when};
+  }
+
+  /// Awaitable that reschedules the coroutine at the same time, letting other
+  /// ready events run first (cooperative yield).
+  auto Yield() { return SleepAwaiter{this, now_}; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct SleepAwaiter {
+    Simulator* sim;
+    SimTime when;
+    bool await_ready() const { return false; }
+    void await_suspend(std::coroutine_handle<> h) {
+      sim->ScheduleAt(when, [h]() { h.resume(); });
+    }
+    void await_resume() const {}
+  };
+
+  bool RunOne();
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_executed_ = 0;
+  bool stopped_ = false;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  Rng rng_;
+};
+
+}  // namespace globaldb::sim
+
+#endif  // GLOBALDB_SRC_SIM_SIMULATOR_H_

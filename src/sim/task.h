@@ -1,0 +1,169 @@
+#ifndef GLOBALDB_SRC_SIM_TASK_H_
+#define GLOBALDB_SRC_SIM_TASK_H_
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace globaldb::sim {
+
+/// A lazily-started coroutine task used for all node logic in the simulator.
+///
+/// `Task<T>` is move-only and owns the coroutine frame. Awaiting a task
+/// starts it; when the task finishes, control transfers back to the awaiter
+/// via symmetric transfer (no stack growth, no re-entry into the scheduler).
+///
+///   Task<int> Child();
+///   Task<void> Parent() {
+///     int v = co_await Child();
+///     ...
+///   }
+///
+/// Detached execution (e.g. a node's main loop) goes through
+/// Simulator::Spawn, which keeps the frame alive until completion.
+template <typename T>
+class [[nodiscard]] Task;
+
+namespace internal_task {
+
+struct FinalAwaiter {
+  bool await_ready() noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto continuation = h.promise().continuation;
+    return continuation ? continuation : std::noop_coroutine();
+  }
+  void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  // The codebase does not use exceptions for control flow; an escaped
+  // exception is a bug.
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace internal_task
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal_task::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value.emplace(std::move(v)); }
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  /// Awaiter: starts the task and resumes the awaiter when it completes.
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> continuation) noexcept {
+        handle.promise().continuation = continuation;
+        return handle;  // symmetric transfer: start/resume the child
+      }
+      T await_resume() { return std::move(*handle.promise().value); }
+    };
+    return Awaiter{handle_};
+  }
+
+  /// Releases ownership of the frame (used by Simulator::Spawn).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal_task::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task() = default;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return static_cast<bool>(handle_); }
+
+  auto operator co_await() && noexcept {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const noexcept { return !handle || handle.done(); }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<> continuation) noexcept {
+        handle.promise().continuation = continuation;
+        return handle;
+      }
+      void await_resume() noexcept {}
+    };
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, {});
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = {};
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_;
+};
+
+}  // namespace globaldb::sim
+
+#endif  // GLOBALDB_SRC_SIM_TASK_H_

@@ -1,0 +1,78 @@
+#ifndef GLOBALDB_SRC_SIM_TOPOLOGY_H_
+#define GLOBALDB_SRC_SIM_TOPOLOGY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace globaldb::sim {
+
+/// Static description of the geographic layout: named regions and the
+/// round-trip latency between each pair. Used to build a Network.
+struct Topology {
+  std::vector<std::string> region_names;
+  /// Round-trip latency between regions, indexed [from][to]; the diagonal is
+  /// the intra-region RTT.
+  std::vector<std::vector<SimDuration>> rtt;
+
+  size_t num_regions() const { return region_names.size(); }
+
+  SimDuration OneWayLatency(RegionId from, RegionId to) const {
+    return rtt[from][to] / 2;
+  }
+
+  /// One region, rack-local (the paper's One-Region cluster).
+  static Topology SingleRegion() {
+    Topology t;
+    t.region_names = {"rack"};
+    t.rtt = {{100 * kMicrosecond}};
+    return t;
+  }
+
+  /// The paper's Three-City cluster: Xi'an, Langzhong, Dongguan with 25 ms,
+  /// 35 ms, 55 ms edge latencies (Section V).
+  static Topology ThreeCity() {
+    Topology t;
+    t.region_names = {"xian", "langzhong", "dongguan"};
+    const SimDuration local = 200 * kMicrosecond;
+    t.rtt = {
+        {local, 25 * kMillisecond, 55 * kMillisecond},
+        {25 * kMillisecond, local, 35 * kMillisecond},
+        {55 * kMillisecond, 35 * kMillisecond, local},
+    };
+    return t;
+  }
+
+  /// N regions in a line with `edge_rtt` between adjacent regions and
+  /// additive latency across hops (for the Fig. 1a region-span sweep).
+  static Topology Chain(int n, SimDuration edge_rtt) {
+    Topology t;
+    const SimDuration local = 200 * kMicrosecond;
+    t.rtt.assign(n, std::vector<SimDuration>(n, local));
+    for (int i = 0; i < n; ++i) {
+      t.region_names.push_back("region" + std::to_string(i));
+      for (int j = 0; j < n; ++j) {
+        if (i != j) t.rtt[i][j] = edge_rtt * (i > j ? i - j : j - i);
+      }
+    }
+    return t;
+  }
+
+  /// Uniform symmetric topology: every inter-region RTT equals `rtt_all`
+  /// (used for the tc-style delay-injection sweeps of Figs. 6b-6d).
+  static Topology Uniform(int n, SimDuration rtt_all) {
+    Topology t;
+    const SimDuration local = 100 * kMicrosecond;
+    t.rtt.assign(n, std::vector<SimDuration>(n, rtt_all));
+    for (int i = 0; i < n; ++i) {
+      t.region_names.push_back("region" + std::to_string(i));
+      t.rtt[i][i] = local;
+    }
+    return t;
+  }
+};
+
+}  // namespace globaldb::sim
+
+#endif  // GLOBALDB_SRC_SIM_TOPOLOGY_H_

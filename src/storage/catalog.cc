@@ -1,0 +1,134 @@
+#include "src/storage/catalog.h"
+
+#include "src/common/codec.h"
+
+namespace globaldb {
+
+namespace {
+constexpr char kDdlCreate = 'C';
+constexpr char kDdlDrop = 'D';
+}  // namespace
+
+StatusOr<TableId> Catalog::CreateTable(TableSchema schema) {
+  if (schema.name.empty()) {
+    return Status::InvalidArgument("table name empty");
+  }
+  if (by_name_.count(schema.name)) {
+    return Status::AlreadyExists("table " + schema.name);
+  }
+  if (schema.columns.empty()) {
+    return Status::InvalidArgument("table has no columns");
+  }
+  if (schema.key_columns.empty()) {
+    return Status::InvalidArgument("table has no primary key");
+  }
+  for (int k : schema.key_columns) {
+    if (k < 0 || static_cast<size_t>(k) >= schema.columns.size()) {
+      return Status::InvalidArgument("key column out of range");
+    }
+  }
+  if (schema.distribution_column < 0 ||
+      static_cast<size_t>(schema.distribution_column) >=
+          schema.columns.size()) {
+    return Status::InvalidArgument("distribution column out of range");
+  }
+  if (schema.id == kInvalidTableId) {
+    schema.id = next_id_++;
+  } else {
+    if (by_id_.count(schema.id)) {
+      return Status::AlreadyExists("table id " + std::to_string(schema.id));
+    }
+    next_id_ = std::max(next_id_, schema.id + 1);
+  }
+  const TableId id = schema.id;
+  by_name_[schema.name] = id;
+  by_id_[id] = std::move(schema);
+  return id;
+}
+
+Status Catalog::DropTable(const std::string& name) {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return Status::NotFound("table " + name);
+  by_id_.erase(it->second);
+  ddl_ts_.erase(it->second);
+  by_name_.erase(it);
+  return Status::OK();
+}
+
+const TableSchema* Catalog::FindTable(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return nullptr;
+  return &by_id_.at(it->second);
+}
+
+const TableSchema* Catalog::FindTableById(TableId id) const {
+  auto it = by_id_.find(id);
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+std::vector<const TableSchema*> Catalog::AllTables() const {
+  std::vector<const TableSchema*> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, schema] : by_id_) out.push_back(&schema);
+  return out;
+}
+
+void Catalog::RecordDdlTimestamp(TableId table, Timestamp ts) {
+  Timestamp& slot = ddl_ts_[table];
+  slot = std::max(slot, ts);
+  max_ddl_ts_ = std::max(max_ddl_ts_, ts);
+}
+
+Timestamp Catalog::LastDdlTimestamp(TableId table) const {
+  auto it = ddl_ts_.find(table);
+  return it == ddl_ts_.end() ? 0 : it->second;
+}
+
+std::string Catalog::MakeCreatePayload(const TableSchema& schema) {
+  std::string payload(1, kDdlCreate);
+  schema.EncodeTo(&payload);
+  return payload;
+}
+
+std::string Catalog::MakeDropPayload(const std::string& name) {
+  std::string payload(1, kDdlDrop);
+  PutLengthPrefixed(&payload, name);
+  return payload;
+}
+
+Status Catalog::ApplyDdl(Slice payload, Timestamp ts) {
+  if (payload.empty()) return Status::Corruption("ddl: empty payload");
+  const char op = payload[0];
+  payload.RemovePrefix(1);
+  switch (op) {
+    case kDdlCreate: {
+      GDB_ASSIGN_OR_RETURN(TableSchema schema, TableSchema::Decode(payload));
+      const TableId id = schema.id;
+      auto result = CreateTable(std::move(schema));
+      if (!result.ok() &&
+          result.status().code() != StatusCode::kAlreadyExists) {
+        return result.status();
+      }
+      RecordDdlTimestamp(result.ok() ? *result : id, ts);
+      return Status::OK();
+    }
+    case kDdlDrop: {
+      Slice name;
+      if (!GetLengthPrefixed(&payload, &name)) {
+        return Status::Corruption("ddl: bad drop payload");
+      }
+      const TableSchema* schema = FindTable(name.ToString());
+      if (schema != nullptr) {
+        const TableId id = schema->id;
+        GDB_RETURN_IF_ERROR(DropTable(name.ToString()));
+        max_ddl_ts_ = std::max(max_ddl_ts_, ts);
+        (void)id;
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("ddl: unknown op");
+  }
+}
+
+}  // namespace globaldb

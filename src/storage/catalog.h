@@ -1,0 +1,66 @@
+#ifndef GLOBALDB_SRC_STORAGE_CATALOG_H_
+#define GLOBALDB_SRC_STORAGE_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/storage/schema.h"
+
+namespace globaldb {
+
+/// Table metadata registry. Every node (CN and DN) holds a catalog; DDL
+/// statements mutate the CN's catalog first and propagate to DNs/replicas
+/// via DDL redo records, so replicas see schema changes in log order.
+///
+/// The catalog records each table's last DDL timestamp: the ROR path uses it
+/// to decide whether a replica has replayed all schema changes relevant to a
+/// query (Section IV-A, DDL visibility conditions).
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Registers a table. Assigns an id when schema.id == kInvalidTableId.
+  StatusOr<TableId> CreateTable(TableSchema schema);
+
+  Status DropTable(const std::string& name);
+
+  const TableSchema* FindTable(const std::string& name) const;
+  const TableSchema* FindTableById(TableId id) const;
+  std::vector<const TableSchema*> AllTables() const;
+  size_t NumTables() const { return by_id_.size(); }
+
+  /// Records that a DDL affecting `table` committed at `ts`.
+  void RecordDdlTimestamp(TableId table, Timestamp ts);
+  /// Last DDL timestamp for one table (0 if never).
+  Timestamp LastDdlTimestamp(TableId table) const;
+  /// Largest DDL timestamp across all tables (condition 1 of the ROR DDL
+  /// visibility check).
+  Timestamp MaxDdlTimestamp() const { return max_ddl_ts_; }
+
+  // --- DDL redo payloads -------------------------------------------------
+
+  static std::string MakeCreatePayload(const TableSchema& schema);
+  static std::string MakeDropPayload(const std::string& name);
+
+  /// Applies a DDL payload produced by the Make*Payload helpers, recording
+  /// `ts` as the DDL timestamp. Idempotent for replayed CREATEs.
+  Status ApplyDdl(Slice payload, Timestamp ts);
+
+ private:
+  std::map<TableId, TableSchema> by_id_;
+  std::map<std::string, TableId> by_name_;
+  std::map<TableId, Timestamp> ddl_ts_;
+  Timestamp max_ddl_ts_ = 0;
+  TableId next_id_ = 1;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_STORAGE_CATALOG_H_

@@ -1,0 +1,288 @@
+#include "src/storage/mvcc_table.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+namespace {
+
+/// True if the chain has a live version: committed (or provisional) with
+/// end_ts == kTimestampMax and no provisional end marker.
+const TupleVersion* NewestLive(
+    const std::vector<TupleVersion>& versions) {
+  for (auto it = versions.rbegin(); it != versions.rend(); ++it) {
+    if (it->end_ts == kTimestampMax && it->ended_by == kInvalidTxnId) {
+      return &*it;
+    }
+    // A provisionally-ended version is still "live" for conflict purposes;
+    // report it too (caller inspects ended_by).
+    if (it->end_ts == kTimestampMax) return &*it;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+Status MvccTable::Insert(const RowKey& key, std::string value, TxnId txn) {
+  VersionChain& chain = chains_[key];
+  const TupleVersion* live = NewestLive(chain.versions);
+  if (live != nullptr) {
+    if (live->begin_ts == 0 && live->created_by == txn &&
+        live->ended_by == kInvalidTxnId) {
+      return Status::AlreadyExists("duplicate key (own write)");
+    }
+    if (live->ended_by == txn) {
+      // Re-insert after own delete: new provisional version.
+    } else if (live->ended_by != kInvalidTxnId) {
+      return Status::Aborted("write conflict with txn " +
+                             std::to_string(live->ended_by));
+    } else {
+      return Status::AlreadyExists("duplicate key");
+    }
+  }
+  TupleVersion v;
+  v.created_by = txn;
+  v.value = std::move(value);
+  chain.versions.push_back(std::move(v));
+  Touch(txn, key);
+  return Status::OK();
+}
+
+Status MvccTable::Update(const RowKey& key, std::string value, TxnId txn,
+                         Timestamp snapshot) {
+  VersionChain* chain = FindChain(key);
+  if (chain == nullptr || chain->versions.empty()) {
+    return Status::NotFound("update: no such key");
+  }
+  TupleVersion* live = nullptr;
+  for (auto it = chain->versions.rbegin(); it != chain->versions.rend();
+       ++it) {
+    if (it->end_ts == kTimestampMax) {
+      live = &*it;
+      break;
+    }
+  }
+  if (live == nullptr) return Status::NotFound("update: key deleted");
+
+  if (live->begin_ts == 0) {
+    // Provisional version.
+    if (live->created_by == txn) {
+      live->value = std::move(value);  // overwrite own write
+      return Status::OK();
+    }
+    return Status::Aborted("write conflict with txn " +
+                           std::to_string(live->created_by));
+  }
+  if (live->ended_by != kInvalidTxnId && live->ended_by != txn) {
+    return Status::Aborted("write conflict with txn " +
+                           std::to_string(live->ended_by));
+  }
+  if (live->begin_ts > snapshot) {
+    // First committer won; under SI the later writer must abort.
+    return Status::Aborted("write conflict: version newer than snapshot");
+  }
+  live->ended_by = txn;
+  TupleVersion v;
+  v.created_by = txn;
+  v.value = std::move(value);
+  chain->versions.push_back(std::move(v));
+  Touch(txn, key);
+  return Status::OK();
+}
+
+Status MvccTable::Delete(const RowKey& key, TxnId txn, Timestamp snapshot) {
+  VersionChain* chain = FindChain(key);
+  if (chain == nullptr || chain->versions.empty()) {
+    return Status::NotFound("delete: no such key");
+  }
+  TupleVersion* live = nullptr;
+  for (auto it = chain->versions.rbegin(); it != chain->versions.rend();
+       ++it) {
+    if (it->end_ts == kTimestampMax) {
+      live = &*it;
+      break;
+    }
+  }
+  if (live == nullptr) return Status::NotFound("delete: key already deleted");
+
+  if (live->begin_ts == 0) {
+    if (live->created_by == txn) {
+      // Delete own provisional insert: mark so commit hides it entirely.
+      live->ended_by = txn;
+      return Status::OK();
+    }
+    return Status::Aborted("write conflict with txn " +
+                           std::to_string(live->created_by));
+  }
+  if (live->ended_by != kInvalidTxnId && live->ended_by != txn) {
+    return Status::Aborted("write conflict with txn " +
+                           std::to_string(live->ended_by));
+  }
+  if (live->begin_ts > snapshot) {
+    return Status::Aborted("write conflict: version newer than snapshot");
+  }
+  live->ended_by = txn;
+  Touch(txn, key);
+  return Status::OK();
+}
+
+void MvccTable::ApplyInsert(const RowKey& key, std::string value, TxnId txn) {
+  VersionChain& chain = chains_[key];
+  TupleVersion v;
+  v.created_by = txn;
+  v.value = std::move(value);
+  chain.versions.push_back(std::move(v));
+  Touch(txn, key);
+}
+
+void MvccTable::ApplyUpdate(const RowKey& key, std::string value, TxnId txn) {
+  VersionChain& chain = chains_[key];
+  for (auto it = chain.versions.rbegin(); it != chain.versions.rend(); ++it) {
+    if (it->end_ts == kTimestampMax) {
+      if (it->begin_ts == 0 && it->created_by == txn) {
+        // Second update by the same txn overwrites its provisional version.
+        it->value = std::move(value);
+        return;
+      }
+      it->ended_by = txn;
+      break;
+    }
+  }
+  TupleVersion v;
+  v.created_by = txn;
+  v.value = std::move(value);
+  chain.versions.push_back(std::move(v));
+  Touch(txn, key);
+}
+
+void MvccTable::ApplyDelete(const RowKey& key, TxnId txn) {
+  VersionChain& chain = chains_[key];
+  for (auto it = chain.versions.rbegin(); it != chain.versions.rend(); ++it) {
+    if (it->end_ts == kTimestampMax) {
+      it->ended_by = txn;
+      Touch(txn, key);
+      return;
+    }
+  }
+}
+
+void MvccTable::CommitTxn(TxnId txn, Timestamp ts) {
+  auto it = touched_.find(txn);
+  if (it == touched_.end()) return;
+  for (const RowKey& key : it->second) {
+    VersionChain* chain = FindChain(key);
+    if (chain == nullptr) continue;
+    for (TupleVersion& v : chain->versions) {
+      if (v.created_by == txn && v.begin_ts == 0) v.begin_ts = ts;
+      if (v.ended_by == txn) {
+        v.end_ts = ts;
+        v.ended_by = kInvalidTxnId;
+      }
+    }
+  }
+  touched_.erase(it);
+}
+
+void MvccTable::AbortTxn(TxnId txn) {
+  auto it = touched_.find(txn);
+  if (it == touched_.end()) return;
+  for (const RowKey& key : it->second) {
+    VersionChain* chain = FindChain(key);
+    if (chain == nullptr) continue;
+    auto& versions = chain->versions;
+    versions.erase(
+        std::remove_if(versions.begin(), versions.end(),
+                       [txn](const TupleVersion& v) {
+                         return v.created_by == txn && v.begin_ts == 0;
+                       }),
+        versions.end());
+    for (TupleVersion& v : versions) {
+      if (v.ended_by == txn) v.ended_by = kInvalidTxnId;
+    }
+  }
+  touched_.erase(it);
+}
+
+bool MvccTable::VisibleValue(const VersionChain& chain, Timestamp snapshot,
+                             TxnId reader, std::string* value,
+                             TxnId* provisional) {
+  for (auto it = chain.versions.rbegin(); it != chain.versions.rend(); ++it) {
+    const TupleVersion& v = *it;
+    if (v.begin_ts == 0) {
+      // Provisional version.
+      if (v.created_by == reader) {
+        if (v.ended_by == reader) return false;  // deleted own insert
+        *value = v.value;
+        return true;
+      }
+      if (*provisional == kInvalidTxnId) *provisional = v.created_by;
+      continue;  // invisible to other snapshots
+    }
+    // Committed version: standard MVCC window check. A provisional end by
+    // the reader itself hides the version from the reader.
+    if (v.ended_by == reader && reader != kInvalidTxnId) {
+      if (v.begin_ts <= snapshot) return false;  // reader deleted it
+      continue;
+    }
+    if (v.ended_by != kInvalidTxnId && *provisional == kInvalidTxnId) {
+      // Another txn is deleting/updating; the committed value is still
+      // visible, but note the writer for replica pending-waits.
+      *provisional = v.ended_by;
+    }
+    if (v.begin_ts <= snapshot && snapshot < v.end_ts) {
+      *value = v.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+ReadResult MvccTable::Read(const RowKey& key, Timestamp snapshot,
+                           TxnId reader) const {
+  ReadResult result;
+  const VersionChain* chain = chains_.Find(key);
+  if (chain == nullptr) return result;
+  result.found = VisibleValue(*chain, snapshot, reader, &result.value,
+                              &result.provisional_txn);
+  return result;
+}
+
+std::vector<MvccTable::ScanEntry> MvccTable::Scan(
+    const RowKey& start, const RowKey& end, Timestamp snapshot, TxnId reader,
+    size_t limit, std::vector<TxnId>* provisional) const {
+  std::vector<ScanEntry> out;
+  for (auto it = chains_.LowerBound(start); it.Valid(); it.Next()) {
+    if (!end.empty() && !(it.key() < end)) break;
+    if (out.size() >= limit) break;
+    TxnId pending = kInvalidTxnId;
+    std::string value;
+    if (VisibleValue(it.value(), snapshot, reader, &value, &pending)) {
+      out.push_back({it.key(), std::move(value)});
+    }
+    if (pending != kInvalidTxnId && provisional != nullptr) {
+      provisional->push_back(pending);
+    }
+  }
+  return out;
+}
+
+size_t MvccTable::Vacuum(Timestamp horizon) {
+  size_t reclaimed = 0;
+  for (auto it = chains_.Begin(); it.Valid(); it.Next()) {
+    auto& versions = it.value().versions;
+    const size_t before = versions.size();
+    versions.erase(std::remove_if(versions.begin(), versions.end(),
+                                  [horizon](const TupleVersion& v) {
+                                    return v.begin_ts != 0 &&
+                                           v.end_ts != kTimestampMax &&
+                                           v.end_ts <= horizon;
+                                  }),
+                   versions.end());
+    reclaimed += before - versions.size();
+  }
+  return reclaimed;
+}
+
+}  // namespace globaldb

@@ -1,0 +1,126 @@
+#ifndef GLOBALDB_SRC_STORAGE_MVCC_TABLE_H_
+#define GLOBALDB_SRC_STORAGE_MVCC_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+#include "src/storage/btree.h"
+
+namespace globaldb {
+
+/// One version of a tuple. A version is *provisional* while its creating
+/// transaction is uncommitted (begin_ts == 0); commit stamps begin_ts.
+/// A live version has end_ts == kTimestampMax; a delete/update stamps
+/// end_ts at the deleting transaction's commit.
+struct TupleVersion {
+  Timestamp begin_ts = 0;             // 0 => provisional
+  Timestamp end_ts = kTimestampMax;   // kTimestampMax => live
+  TxnId created_by = kInvalidTxnId;
+  TxnId ended_by = kInvalidTxnId;     // provisional delete/update marker
+  std::string value;
+};
+
+/// Result of a snapshot read.
+struct ReadResult {
+  bool found = false;
+  std::string value;
+  /// Non-zero when the chain contains an unresolved provisional write by
+  /// another transaction. Replica readers use this with the pending-commit
+  /// set to implement the paper's tuple-lock wait; primary snapshot readers
+  /// ignore it (provisional versions are simply invisible).
+  TxnId provisional_txn = kInvalidTxnId;
+};
+
+/// A multi-versioned table shard: a B+-tree of version chains keyed by the
+/// encoded primary key. The same code runs on primaries (with write-conflict
+/// checks) and replicas (blind replay via the Apply* methods).
+///
+/// Visibility (MVCC): version v is visible at snapshot S iff
+///   v.begin_ts != 0 && v.begin_ts <= S && S < v.end_ts.
+/// This realizes the paper's R.1/R.2 once timestamps respect real-time
+/// order (GClock commit-wait or the GTM total order).
+class MvccTable {
+ public:
+  explicit MvccTable(TableId id) : id_(id) {}
+
+  MvccTable(const MvccTable&) = delete;
+  MvccTable& operator=(const MvccTable&) = delete;
+
+  TableId id() const { return id_; }
+
+  // --- Primary write path (returns conflicts) ----------------------------
+
+  /// Fails with AlreadyExists if a live version is visible at latest.
+  Status Insert(const RowKey& key, std::string value, TxnId txn);
+
+  /// Fails with Aborted on a write-write conflict: the newest committed
+  /// version is newer than `snapshot` (first-committer-wins under SI), or
+  /// another transaction holds a provisional write. Fails with NotFound if
+  /// no live version exists.
+  Status Update(const RowKey& key, std::string value, TxnId txn,
+                Timestamp snapshot);
+  Status Delete(const RowKey& key, TxnId txn, Timestamp snapshot);
+
+  // --- Replica replay path (no checks; log order is authoritative) -------
+
+  void ApplyInsert(const RowKey& key, std::string value, TxnId txn);
+  void ApplyUpdate(const RowKey& key, std::string value, TxnId txn);
+  void ApplyDelete(const RowKey& key, TxnId txn);
+
+  // --- Commit / abort -----------------------------------------------------
+
+  /// Stamps all of txn's provisional versions/ends with `ts`.
+  void CommitTxn(TxnId txn, Timestamp ts);
+  /// Discards txn's provisional versions and clears its end markers.
+  void AbortTxn(TxnId txn);
+  /// True if txn has provisional state in this table.
+  bool HasTxn(TxnId txn) const { return touched_.count(txn) > 0; }
+
+  // --- Read path -----------------------------------------------------------
+
+  ReadResult Read(const RowKey& key, Timestamp snapshot,
+                  TxnId reader = kInvalidTxnId) const;
+
+  struct ScanEntry {
+    RowKey key;
+    std::string value;
+  };
+  /// Ordered scan of [start, end) — an empty `end` means "to +inf". Collects
+  /// unresolved provisional txns seen along the way into *provisional (may
+  /// be null).
+  std::vector<ScanEntry> Scan(const RowKey& start, const RowKey& end,
+                              Timestamp snapshot, TxnId reader, size_t limit,
+                              std::vector<TxnId>* provisional) const;
+
+  /// Number of distinct keys ever written (including dead ones).
+  size_t KeyCount() const { return chains_.size(); }
+
+  /// Drops versions that ended at or before `horizon` (no snapshot at or
+  /// below the horizon is active). Returns versions reclaimed.
+  size_t Vacuum(Timestamp horizon);
+
+ private:
+  struct VersionChain {
+    // Oldest first; newest at the back.
+    std::vector<TupleVersion> versions;
+  };
+
+  /// Core visibility walk shared by Read and Scan.
+  static bool VisibleValue(const VersionChain& chain, Timestamp snapshot,
+                           TxnId reader, std::string* value,
+                           TxnId* provisional);
+
+  VersionChain* FindChain(const RowKey& key) { return chains_.Find(key); }
+  void Touch(TxnId txn, const RowKey& key) { touched_[txn].push_back(key); }
+
+  TableId id_;
+  mutable BTree<VersionChain> chains_;
+  std::unordered_map<TxnId, std::vector<RowKey>> touched_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_STORAGE_MVCC_TABLE_H_

@@ -1,0 +1,109 @@
+#include "src/storage/schema.h"
+
+#include "src/common/codec.h"
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+void TableSchema::EncodeTo(std::string* dst) const {
+  PutVarint32(dst, id);
+  PutLengthPrefixed(dst, name);
+  PutVarint32(dst, static_cast<uint32_t>(columns.size()));
+  for (const Column& c : columns) {
+    PutLengthPrefixed(dst, c.name);
+    dst->push_back(static_cast<char>(c.type));
+  }
+  PutVarint32(dst, static_cast<uint32_t>(key_columns.size()));
+  for (int k : key_columns) PutVarint32(dst, static_cast<uint32_t>(k));
+  PutVarint32(dst, static_cast<uint32_t>(distribution_column));
+  dst->push_back(static_cast<char>(distribution));
+}
+
+StatusOr<TableSchema> TableSchema::Decode(Slice input) {
+  TableSchema s;
+  Slice name_slice;
+  uint32_t ncols = 0;
+  if (!GetVarint32(&input, &s.id) || !GetLengthPrefixed(&input, &name_slice) ||
+      !GetVarint32(&input, &ncols)) {
+    return Status::Corruption("schema: header");
+  }
+  s.name = name_slice.ToString();
+  for (uint32_t i = 0; i < ncols; ++i) {
+    Slice cname;
+    if (!GetLengthPrefixed(&input, &cname) || input.empty()) {
+      return Status::Corruption("schema: column");
+    }
+    Column c;
+    c.name = cname.ToString();
+    c.type = static_cast<ColumnType>(input[0]);
+    input.RemovePrefix(1);
+    s.columns.push_back(std::move(c));
+  }
+  uint32_t nkeys = 0;
+  if (!GetVarint32(&input, &nkeys)) return Status::Corruption("schema: keys");
+  for (uint32_t i = 0; i < nkeys; ++i) {
+    uint32_t k = 0;
+    if (!GetVarint32(&input, &k)) return Status::Corruption("schema: key");
+    s.key_columns.push_back(static_cast<int>(k));
+  }
+  uint32_t dist_col = 0;
+  if (!GetVarint32(&input, &dist_col) || input.empty()) {
+    return Status::Corruption("schema: distribution");
+  }
+  s.distribution_column = static_cast<int>(dist_col);
+  s.distribution = static_cast<DistributionKind>(input[0]);
+  return s;
+}
+
+Status TableSchema::ValidateRow(const Row& row) const {
+  if (row.size() != columns.size()) {
+    return Status::InvalidArgument("row arity " + std::to_string(row.size()) +
+                                   " != schema arity " +
+                                   std::to_string(columns.size()));
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (ValueIsNull(row[i])) {
+      for (int k : key_columns) {
+        if (static_cast<size_t>(k) == i) {
+          return Status::InvalidArgument("null in key column " +
+                                         columns[i].name);
+        }
+      }
+      continue;
+    }
+    const bool type_ok =
+        (columns[i].type == ColumnType::kInt64 &&
+         std::holds_alternative<int64_t>(row[i])) ||
+        (columns[i].type == ColumnType::kDouble &&
+         (std::holds_alternative<double>(row[i]) ||
+          std::holds_alternative<int64_t>(row[i]))) ||
+        (columns[i].type == ColumnType::kString &&
+         std::holds_alternative<std::string>(row[i]));
+    if (!type_ok) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     columns[i].name);
+    }
+  }
+  return Status::OK();
+}
+
+ShardId RouteToShard(const TableSchema& schema, const Value& dist_value,
+                     uint32_t num_shards) {
+  GDB_CHECK(num_shards > 0);
+  if (schema.distribution == DistributionKind::kReplicated) {
+    return 0;  // canonical home shard; reads may use any shard
+  }
+  std::string encoded;
+  EncodeKeyPart(dist_value, &encoded);
+  return static_cast<ShardId>(Hash64(encoded) % num_shards);
+}
+
+ShardId RouteRowToShard(const TableSchema& schema, const Row& row,
+                        uint32_t num_shards) {
+  GDB_CHECK(schema.distribution_column >= 0 &&
+            static_cast<size_t>(schema.distribution_column) < row.size());
+  return RouteToShard(schema, row[schema.distribution_column], num_shards);
+}
+
+}  // namespace globaldb

@@ -1,0 +1,64 @@
+#ifndef GLOBALDB_SRC_STORAGE_SCHEMA_H_
+#define GLOBALDB_SRC_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/storage/value.h"
+
+namespace globaldb {
+
+/// One column definition.
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+};
+
+/// How a table's rows map to shards.
+enum class DistributionKind : uint8_t {
+  kHash = 0,       // Hash64(distribution column) % num_shards
+  kReplicated = 1  // full copy on every shard (small dimension tables)
+};
+
+/// Table definition. Rows are positional; the primary key is a subset of
+/// columns; the distribution column routes rows to shards.
+struct TableSchema {
+  TableId id = kInvalidTableId;
+  std::string name;
+  std::vector<Column> columns;
+  std::vector<int> key_columns;
+  int distribution_column = 0;
+  DistributionKind distribution = DistributionKind::kHash;
+
+  int FindColumn(const std::string& column_name) const {
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i].name == column_name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+
+  /// Encodes the full primary key of `row`.
+  RowKey PrimaryKeyOf(const Row& row) const {
+    return EncodeKey(row, key_columns);
+  }
+
+  /// Serialization (used as the DDL redo payload and for catalog gossip).
+  void EncodeTo(std::string* dst) const;
+  static StatusOr<TableSchema> Decode(Slice input);
+
+  /// Validates `row` against the schema (arity and types; nulls allowed in
+  /// non-key columns).
+  Status ValidateRow(const Row& row) const;
+};
+
+/// Routes a row (or a distribution-key value) to a shard.
+ShardId RouteToShard(const TableSchema& schema, const Value& dist_value,
+                     uint32_t num_shards);
+ShardId RouteRowToShard(const TableSchema& schema, const Row& row,
+                        uint32_t num_shards);
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_STORAGE_SCHEMA_H_

@@ -1,0 +1,99 @@
+#include "src/txn/gtm_server.h"
+
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+GtmServer::GtmServer(sim::Simulator* sim, sim::Network* network, NodeId self,
+                     int cores, SimDuration service_time)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      cpu_(sim, cores),
+      service_time_(service_time) {
+  RegisterHandlers();
+}
+
+void GtmServer::RegisterHandlers() {
+  network_->RegisterHandler(
+      self_, kGtmTimestampMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        return HandleTimestamp(from, std::move(payload));
+      });
+  network_->RegisterHandler(
+      self_, kGtmSetModeMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        return HandleSetMode(from, std::move(payload));
+      });
+}
+
+void GtmServer::SetMode(TimestampMode mode, Timestamp floor) {
+  GDB_LOG(Info) << "GTM server: mode " << TimestampModeName(mode_) << " -> "
+                << TimestampModeName(mode) << " floor=" << floor;
+  if (mode == TimestampMode::kDual && mode_ != TimestampMode::kDual) {
+    max_error_bound_ = 0;  // start tracking for this transition window
+  }
+  mode_ = mode;
+  RaiseCounter(floor);
+}
+
+sim::Task<std::string> GtmServer::HandleTimestamp(NodeId from,
+                                                  std::string payload) {
+  co_await cpu_.Consume(service_time_);
+  metrics_.Add("gtm.timestamp_requests");
+
+  auto request = GtmTimestampRequest::Decode(payload);
+  GtmTimestampReply reply;
+  reply.server_mode = mode_;
+  if (!request.ok()) {
+    reply.aborted = true;
+    co_return reply.Encode();
+  }
+
+  switch (mode_) {
+    case TimestampMode::kGtm:
+      // Plain centralized counter (Eq. 2).
+      reply.ts = ++counter_;
+      break;
+    case TimestampMode::kDual: {
+      // Bridge timestamps (Eq. 3). Also track the largest error bound seen
+      // during the transition window; GTM-mode committers must wait 2x this
+      // so their commits cannot be missed by new GClock snapshots
+      // (Listing 1 scenario).
+      max_error_bound_ = std::max(max_error_bound_, request->error_bound);
+      counter_ = std::max(counter_, request->gclock_upper) + 1;
+      reply.ts = counter_;
+      if (request->client_mode == TimestampMode::kGtm && request->is_commit) {
+        reply.wait = 2 * max_error_bound_;
+      }
+      break;
+    }
+    case TimestampMode::kGclock:
+      // The cluster has moved on; stale GTM transactions must abort.
+      if (request->client_mode == TimestampMode::kGtm) {
+        metrics_.Add("gtm.stale_aborts");
+        reply.aborted = true;
+      } else {
+        // DUAL stragglers can still finish: keep bridging.
+        counter_ = std::max(counter_, request->gclock_upper) + 1;
+        reply.ts = counter_;
+      }
+      break;
+  }
+  co_return reply.Encode();
+}
+
+sim::Task<std::string> GtmServer::HandleSetMode(NodeId from,
+                                                std::string payload) {
+  co_await cpu_.Consume(service_time_);
+  auto request = SetModeRequest::Decode(payload);
+  AckReply ack;
+  if (request.ok()) {
+    SetMode(request->mode, request->floor);
+    ack.max_issued = counter_;
+    ack.max_error_bound = max_error_bound_;
+  }
+  co_return ack.Encode();
+}
+
+}  // namespace globaldb

@@ -1,0 +1,68 @@
+#ifndef GLOBALDB_SRC_TXN_GTM_SERVER_H_
+#define GLOBALDB_SRC_TXN_GTM_SERVER_H_
+
+#include <algorithm>
+
+#include "src/common/metrics.h"
+#include "src/common/types.h"
+#include "src/sim/cpu.h"
+#include "src/sim/network.h"
+#include "src/txn/messages.h"
+
+namespace globaldb {
+
+/// The centralized Global Transaction Manager server (Section II-A).
+///
+/// In GTM mode it issues consecutive integer timestamps (Eq. 2). In DUAL
+/// mode it bridges GTM and GClock timestamps with
+/// TS_DUAL = max(TS_GTM, TS_GClock) + 1 (Eq. 3), tracks the largest error
+/// bound observed (the transition coordinator waits 2x this before moving
+/// the cluster to GClock mode), and instructs still-GTM-mode committers to
+/// wait the same amount. In GClock mode it refuses GTM-mode commits, which
+/// aborts stale transactions (Fig. 2).
+class GtmServer {
+ public:
+  GtmServer(sim::Simulator* sim, sim::Network* network, NodeId self,
+            int cores = 4, SimDuration service_time = 2 * kMicrosecond);
+
+  GtmServer(const GtmServer&) = delete;
+  GtmServer& operator=(const GtmServer&) = delete;
+
+  NodeId node_id() const { return self_; }
+  TimestampMode mode() const { return mode_; }
+
+  /// Applies a local mode switch; `floor` raises the counter so GTM
+  /// timestamps resume above every previously issued GClock timestamp.
+  void SetMode(TimestampMode mode, Timestamp floor);
+
+  Timestamp counter() const { return counter_; }
+  /// Raises the counter (idempotent; used when DUAL requests report GClock
+  /// upper bounds and at GClock->GTM transition).
+  void RaiseCounter(Timestamp ts) { counter_ = std::max(counter_, ts); }
+
+  /// Largest client error bound seen since entering DUAL mode.
+  SimDuration max_error_bound() const { return max_error_bound_; }
+  void ResetMaxErrorBound() { max_error_bound_ = 0; }
+
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  void RegisterHandlers();
+  sim::Task<std::string> HandleTimestamp(NodeId from, std::string payload);
+  sim::Task<std::string> HandleSetMode(NodeId from, std::string payload);
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  sim::CpuScheduler cpu_;
+  SimDuration service_time_;
+
+  TimestampMode mode_ = TimestampMode::kGtm;
+  Timestamp counter_ = 0;
+  SimDuration max_error_bound_ = 0;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_TXN_GTM_SERVER_H_

@@ -1,0 +1,136 @@
+#ifndef GLOBALDB_SRC_TXN_MESSAGES_H_
+#define GLOBALDB_SRC_TXN_MESSAGES_H_
+
+#include <string>
+
+#include "src/common/codec.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+
+namespace globaldb {
+
+/// RPC method names used by the transaction-management plane.
+inline constexpr char kGtmTimestampMethod[] = "gtm.timestamp";
+inline constexpr char kGtmSetModeMethod[] = "gtm.set_mode";
+inline constexpr char kCnSetModeMethod[] = "cn.set_mode";
+inline constexpr char kCnMaxIssuedMethod[] = "cn.max_issued";
+
+/// Request for a timestamp from the GTM server. DUAL-mode clients attach
+/// their GClock upper bound so the server can issue
+/// TS_DUAL = max(TS_GTM, TS_GClock) + 1 (Eq. 3).
+struct GtmTimestampRequest {
+  TimestampMode client_mode = TimestampMode::kGtm;
+  bool is_commit = false;
+  Timestamp gclock_upper = 0;   // client's TS_GClock upper bound (DUAL only)
+  SimDuration error_bound = 0;  // client's T_err (DUAL only)
+
+  std::string Encode() const {
+    std::string s;
+    s.push_back(static_cast<char>(client_mode));
+    s.push_back(is_commit ? 1 : 0);
+    PutVarint64(&s, gclock_upper);
+    PutVarint64(&s, static_cast<uint64_t>(error_bound));
+    return s;
+  }
+
+  static StatusOr<GtmTimestampRequest> Decode(Slice in) {
+    GtmTimestampRequest r;
+    if (in.size() < 2) return Status::Corruption("gtm req: short");
+    r.client_mode = static_cast<TimestampMode>(in[0]);
+    r.is_commit = in[1] != 0;
+    in.RemovePrefix(2);
+    uint64_t err = 0;
+    if (!GetVarint64(&in, &r.gclock_upper) || !GetVarint64(&in, &err)) {
+      return Status::Corruption("gtm req: truncated");
+    }
+    r.error_bound = static_cast<SimDuration>(err);
+    return r;
+  }
+};
+
+/// Reply: the issued timestamp, a commit wait the client must perform
+/// before making its commit visible (non-zero only for GTM-mode commits
+/// while the server is in DUAL mode: 2x the max observed error bound), and
+/// the server's current mode. `aborted` is set when a GTM-mode transaction
+/// tries to commit after the cluster has moved to GClock mode.
+struct GtmTimestampReply {
+  bool aborted = false;
+  Timestamp ts = 0;
+  SimDuration wait = 0;
+  TimestampMode server_mode = TimestampMode::kGtm;
+
+  std::string Encode() const {
+    std::string s;
+    s.push_back(aborted ? 1 : 0);
+    PutVarint64(&s, ts);
+    PutVarint64(&s, static_cast<uint64_t>(wait));
+    s.push_back(static_cast<char>(server_mode));
+    return s;
+  }
+
+  static StatusOr<GtmTimestampReply> Decode(Slice in) {
+    GtmTimestampReply r;
+    if (in.empty()) return Status::Corruption("gtm reply: empty");
+    r.aborted = in[0] != 0;
+    in.RemovePrefix(1);
+    uint64_t wait = 0;
+    if (!GetVarint64(&in, &r.ts) || !GetVarint64(&in, &wait) || in.empty()) {
+      return Status::Corruption("gtm reply: truncated");
+    }
+    r.wait = static_cast<SimDuration>(wait);
+    r.server_mode = static_cast<TimestampMode>(in[0]);
+    return r;
+  }
+};
+
+/// Mode-switch command (GTM server or CN). `floor` carries a timestamp the
+/// target must not issue below (used when entering GTM mode after GClock).
+struct SetModeRequest {
+  TimestampMode mode = TimestampMode::kGtm;
+  Timestamp floor = 0;
+
+  std::string Encode() const {
+    std::string s;
+    s.push_back(static_cast<char>(mode));
+    PutVarint64(&s, floor);
+    return s;
+  }
+
+  static StatusOr<SetModeRequest> Decode(Slice in) {
+    SetModeRequest r;
+    if (in.empty()) return Status::Corruption("set_mode: empty");
+    r.mode = static_cast<TimestampMode>(in[0]);
+    in.RemovePrefix(1);
+    if (!GetVarint64(&in, &r.floor)) {
+      return Status::Corruption("set_mode: truncated");
+    }
+    return r;
+  }
+};
+
+/// Generic ack carrying a timestamp (max issued / observed error bound).
+struct AckReply {
+  Timestamp max_issued = 0;
+  SimDuration max_error_bound = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, max_issued);
+    PutVarint64(&s, static_cast<uint64_t>(max_error_bound));
+    return s;
+  }
+
+  static StatusOr<AckReply> Decode(Slice in) {
+    AckReply r;
+    uint64_t err = 0;
+    if (!GetVarint64(&in, &r.max_issued) || !GetVarint64(&in, &err)) {
+      return Status::Corruption("ack: truncated");
+    }
+    r.max_error_bound = static_cast<SimDuration>(err);
+    return r;
+  }
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_TXN_MESSAGES_H_

@@ -1,0 +1,160 @@
+#include "src/txn/timestamp_source.h"
+
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+TimestampSource::TimestampSource(sim::Simulator* sim, sim::Network* network,
+                                 NodeId self, NodeId gtm_node,
+                                 sim::HardwareClock* clock)
+    : sim_(sim),
+      network_(network),
+      self_(self),
+      gtm_node_(gtm_node),
+      clock_(clock) {
+  RegisterHandlers();
+}
+
+void TimestampSource::RegisterHandlers() {
+  network_->RegisterHandler(
+      self_, kCnSetModeMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        auto request = SetModeRequest::Decode(payload);
+        AckReply ack;
+        if (request.ok()) {
+          SetMode(request->mode);
+          ack.max_issued = std::max(max_issued_, static_cast<Timestamp>(
+                                                     clock_->ReadUpper()));
+          ack.max_error_bound = clock_->ErrorBound();
+        }
+        co_return ack.Encode();
+      });
+  network_->RegisterHandler(
+      self_, kCnMaxIssuedMethod,
+      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
+        AckReply ack;
+        ack.max_issued =
+            std::max(max_issued_, static_cast<Timestamp>(clock_->ReadUpper()));
+        ack.max_error_bound = clock_->ErrorBound();
+        co_return ack.Encode();
+      });
+}
+
+sim::Task<void> TimestampSource::WaitClockPast(Timestamp ts) {
+  // Spanner-style commit wait: block until the clock's *lower* bound
+  // (reading - error bound) passes ts, so the timestamp is guaranteed to be
+  // in the past in real time. The paper abbreviates this as
+  // "wait until T_clock > TS_GClock"; the error bound must be included or
+  // R.1 can be violated by up to one bound.
+  while (true) {
+    const SimTime lower = clock_->Read() - clock_->ErrorBound();
+    if (lower > static_cast<SimTime>(ts)) co_return;
+    const SimDuration gap = static_cast<SimTime>(ts) - lower + 1;
+    // Inflate slightly to compensate for a slow-running clock.
+    co_await sim_->Sleep(gap + gap / 1024 + 1);
+  }
+}
+
+sim::Task<Timestamp> TimestampSource::GclockTimestamp() {
+  // Eq. 1: TS = T_clock + T_err, then wait until T_clock > TS.
+  const Timestamp ts = static_cast<Timestamp>(clock_->ReadUpper());
+  co_await WaitClockPast(ts);
+  max_issued_ = std::max(max_issued_, ts);
+  metrics_.Add("ts.gclock_issued");
+  co_return ts;
+}
+
+sim::Task<StatusOr<GtmTimestampReply>> TimestampSource::CallGtm(
+    TimestampMode client_mode, bool is_commit) {
+  GtmTimestampRequest request;
+  request.client_mode = client_mode;
+  request.is_commit = is_commit;
+  if (client_mode == TimestampMode::kDual) {
+    request.gclock_upper = static_cast<Timestamp>(clock_->ReadUpper());
+    request.error_bound = clock_->ErrorBound();
+  }
+  metrics_.Add("ts.gtm_rpcs");
+  auto response = co_await network_->Call(self_, gtm_node_,
+                                          kGtmTimestampMethod,
+                                          request.Encode());
+  if (!response.ok()) co_return response.status();
+  auto reply = GtmTimestampReply::Decode(*response);
+  if (!reply.ok()) co_return reply.status();
+  co_return *reply;
+}
+
+sim::Task<StatusOr<TimestampSource::Grant>> TimestampSource::BeginTs(
+    bool single_shard_read) {
+  Grant grant;
+  grant.mode = mode_;
+  switch (mode_) {
+    case TimestampMode::kGclock: {
+      if (single_shard_read) {
+        // Paper: single-shard queries bypass the invocation wait by using
+        // the node's last committed transaction timestamp.
+        grant.ts = last_committed_;
+        if (grant.ts == 0) grant.ts = co_await GclockTimestamp();
+        metrics_.Add("ts.single_shard_bypass");
+        co_return grant;
+      }
+      grant.ts = co_await GclockTimestamp();
+      co_return grant;
+    }
+    case TimestampMode::kGtm:
+    case TimestampMode::kDual: {
+      auto reply = co_await CallGtm(mode_, /*is_commit=*/false);
+      if (!reply.ok()) co_return reply.status();
+      if (reply->aborted) co_return Status::Aborted("gtm begin refused");
+      grant.ts = reply->ts;
+      max_issued_ = std::max(max_issued_, grant.ts);
+      co_return grant;
+    }
+  }
+  co_return Status::Internal("unreachable");
+}
+
+sim::Task<StatusOr<Timestamp>> TimestampSource::CommitTs(
+    TimestampMode txn_mode) {
+  // Route by the transaction's begin mode, upgrading GClock transactions to
+  // the DUAL bridge when the node has left GClock mode (Fig. 3: they commit
+  // safely with a larger timestamp instead of aborting).
+  // GTM-begun transactions always commit through the GTM server (which adds
+  // the DUAL wait or the stale abort as its mode dictates).
+  TimestampMode route = txn_mode;
+  if (txn_mode == TimestampMode::kGclock &&
+      mode_ != TimestampMode::kGclock) {
+    route = TimestampMode::kDual;
+  }
+
+  switch (route) {
+    case TimestampMode::kGclock: {
+      const Timestamp ts = co_await GclockTimestamp();
+      co_return ts;
+    }
+    case TimestampMode::kGtm:
+    case TimestampMode::kDual: {
+      auto reply = co_await CallGtm(route, /*is_commit=*/true);
+      if (!reply.ok()) co_return reply.status();
+      if (reply->aborted) {
+        metrics_.Add("ts.stale_gtm_abort");
+        co_return Status::Aborted(
+            "GTM transaction after cluster moved to GClock");
+      }
+      if (reply->wait > 0) {
+        // Listing 1: GTM-mode commits during DUAL wait out 2x the max
+        // error bound so new GClock snapshots cannot miss them.
+        metrics_.Add("ts.dual_commit_waits");
+        co_await sim_->Sleep(reply->wait);
+      }
+      if (route == TimestampMode::kDual) {
+        // Commit-wait so later real-time GClock begins order after us.
+        co_await WaitClockPast(reply->ts);
+      }
+      max_issued_ = std::max(max_issued_, reply->ts);
+      co_return reply->ts;
+    }
+  }
+  co_return Status::Internal("unreachable");
+}
+
+}  // namespace globaldb

@@ -1,0 +1,95 @@
+#ifndef GLOBALDB_SRC_TXN_TIMESTAMP_SOURCE_H_
+#define GLOBALDB_SRC_TXN_TIMESTAMP_SOURCE_H_
+
+#include <algorithm>
+
+#include "src/common/metrics.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/sim/hardware_clock.h"
+#include "src/sim/network.h"
+#include "src/txn/messages.h"
+
+namespace globaldb {
+
+/// Per-CN timestamp facility implementing all three modes of Section III.
+///
+/// - GTM: every begin/commit is an RPC to the GTM server (the centralized
+///   baseline whose cost Figs. 6b-6d measure).
+/// - GClock: timestamps come from the local synchronized clock,
+///   TS = T_clock + T_err, with the Spanner-style wait until
+///   T_clock > TS at both invocation and commit. Single-shard reads bypass
+///   the invocation wait using the node's last committed timestamp.
+/// - DUAL: obtain the local GClock upper bound, then ask the GTM server for
+///   TS_DUAL = max(TS_GTM, TS_GClock) + 1; commit additionally waits out the
+///   local clock so later GClock transactions order after it.
+///
+/// A transaction's mode is captured at begin; commit routes by that mode so
+/// the transition protocol's abort/wait rules apply (Figs. 2-3, Listing 1).
+class TimestampSource {
+ public:
+  TimestampSource(sim::Simulator* sim, sim::Network* network, NodeId self,
+                  NodeId gtm_node, sim::HardwareClock* clock);
+
+  TimestampSource(const TimestampSource&) = delete;
+  TimestampSource& operator=(const TimestampSource&) = delete;
+
+  TimestampMode mode() const { return mode_; }
+  /// Local mode switch (normally driven via the kCnSetModeMethod RPC).
+  void SetMode(TimestampMode mode) { mode_ = mode; }
+
+  /// Snapshot timestamp for a new transaction. Single-shard read-only work
+  /// can bypass the GClock invocation wait via the node's last committed
+  /// timestamp. Also returns the mode the transaction runs under.
+  struct Grant {
+    Timestamp ts = 0;
+    TimestampMode mode = TimestampMode::kGtm;
+  };
+  sim::Task<StatusOr<Grant>> BeginTs(bool single_shard_read);
+
+  /// Commit timestamp for a transaction begun under `txn_mode`. All
+  /// required waits (GClock commit wait; the 2x-error-bound DUAL wait for
+  /// GTM-mode transactions) are performed before returning. Fails with
+  /// Aborted for GTM transactions after the cluster moved to GClock.
+  sim::Task<StatusOr<Timestamp>> CommitTs(TimestampMode txn_mode);
+
+  /// Notes a locally committed transaction timestamp (single-shard snapshot
+  /// bypass and transition floor collection).
+  void RecordCommitted(Timestamp ts) {
+    last_committed_ = std::max(last_committed_, ts);
+    max_issued_ = std::max(max_issued_, ts);
+  }
+
+  Timestamp last_committed() const { return last_committed_; }
+  /// Largest timestamp this node has issued or observed (GClock floor for
+  /// the GClock -> GTM transition).
+  Timestamp max_issued() const { return max_issued_; }
+
+  sim::HardwareClock* clock() { return clock_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  /// Waits until the local clock reading exceeds `ts` (commit wait).
+  sim::Task<void> WaitClockPast(Timestamp ts);
+  /// GClock timestamp + wait (both invocation and commit use this).
+  sim::Task<Timestamp> GclockTimestamp();
+  /// DUAL-path RPC to the GTM server.
+  sim::Task<StatusOr<GtmTimestampReply>> CallGtm(TimestampMode client_mode,
+                                                 bool is_commit);
+  void RegisterHandlers();
+
+  sim::Simulator* sim_;
+  sim::Network* network_;
+  NodeId self_;
+  NodeId gtm_node_;
+  sim::HardwareClock* clock_;
+
+  TimestampMode mode_ = TimestampMode::kGtm;
+  Timestamp last_committed_ = 0;
+  Timestamp max_issued_ = 0;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_TXN_TIMESTAMP_SOURCE_H_

@@ -1,0 +1,667 @@
+#include "src/workload/tpcc.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace globaldb {
+
+// Aborts the open transaction and returns the failed TxnResult. A macro
+// (not a nested lambda coroutine): GCC 12 miscompiles capturing lambda
+// coroutines awaited from another coroutine's co_return expression.
+#define GDB_TXN_FAIL(expr)              \
+  {                                     \
+    result.status = (expr);             \
+    (void)co_await cn->Abort(&txn);     \
+    co_return result;                   \
+  }
+
+
+namespace {
+
+constexpr TxnId kLoadTxn = 1;
+constexpr Timestamp kLoadTs = 1;
+
+TableSchema WarehouseSchema() {
+  TableSchema s;
+  s.name = "warehouse";
+  s.columns = {{"w_id", ColumnType::kInt64},
+               {"w_name", ColumnType::kString},
+               {"w_ytd", ColumnType::kDouble}};
+  s.key_columns = {0};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema DistrictSchema() {
+  TableSchema s;
+  s.name = "district";
+  s.columns = {{"d_w_id", ColumnType::kInt64},
+               {"d_id", ColumnType::kInt64},
+               {"d_name", ColumnType::kString},
+               {"d_ytd", ColumnType::kDouble},
+               {"d_next_o_id", ColumnType::kInt64}};
+  s.key_columns = {0, 1};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema CustomerSchema() {
+  TableSchema s;
+  s.name = "customer";
+  s.columns = {{"c_w_id", ColumnType::kInt64},
+               {"c_d_id", ColumnType::kInt64},
+               {"c_id", ColumnType::kInt64},
+               {"c_name", ColumnType::kString},
+               {"c_balance", ColumnType::kDouble},
+               {"c_ytd_payment", ColumnType::kDouble},
+               {"c_payment_cnt", ColumnType::kInt64}};
+  s.key_columns = {0, 1, 2};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema HistorySchema() {
+  TableSchema s;
+  s.name = "history";
+  s.columns = {{"h_w_id", ColumnType::kInt64},
+               {"h_d_id", ColumnType::kInt64},
+               {"h_c_id", ColumnType::kInt64},
+               {"h_id", ColumnType::kInt64},
+               {"h_amount", ColumnType::kDouble}};
+  s.key_columns = {0, 1, 2, 3};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema OrdersSchema() {
+  TableSchema s;
+  s.name = "orders";
+  s.columns = {{"o_w_id", ColumnType::kInt64},
+               {"o_d_id", ColumnType::kInt64},
+               {"o_id", ColumnType::kInt64},
+               {"o_c_id", ColumnType::kInt64},
+               {"o_ol_cnt", ColumnType::kInt64},
+               {"o_carrier_id", ColumnType::kInt64}};
+  s.key_columns = {0, 1, 2};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema NewOrderSchema() {
+  TableSchema s;
+  s.name = "new_order";
+  s.columns = {{"no_w_id", ColumnType::kInt64},
+               {"no_d_id", ColumnType::kInt64},
+               {"no_o_id", ColumnType::kInt64}};
+  s.key_columns = {0, 1, 2};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema OrderLineSchema() {
+  TableSchema s;
+  s.name = "order_line";
+  s.columns = {{"ol_w_id", ColumnType::kInt64},
+               {"ol_d_id", ColumnType::kInt64},
+               {"ol_o_id", ColumnType::kInt64},
+               {"ol_number", ColumnType::kInt64},
+               {"ol_i_id", ColumnType::kInt64},
+               {"ol_supply_w_id", ColumnType::kInt64},
+               {"ol_quantity", ColumnType::kInt64},
+               {"ol_amount", ColumnType::kDouble}};
+  s.key_columns = {0, 1, 2, 3};
+  s.distribution_column = 0;
+  return s;
+}
+
+TableSchema ItemSchema() {
+  TableSchema s;
+  s.name = "item";
+  s.columns = {{"i_id", ColumnType::kInt64},
+               {"i_name", ColumnType::kString},
+               {"i_price", ColumnType::kDouble}};
+  s.key_columns = {0};
+  s.distribution_column = 0;
+  s.distribution = DistributionKind::kReplicated;
+  return s;
+}
+
+TableSchema StockSchema() {
+  TableSchema s;
+  s.name = "stock";
+  s.columns = {{"s_w_id", ColumnType::kInt64},
+               {"s_i_id", ColumnType::kInt64},
+               {"s_quantity", ColumnType::kInt64},
+               {"s_ytd", ColumnType::kDouble},
+               {"s_order_cnt", ColumnType::kInt64}};
+  s.key_columns = {0, 1};
+  s.distribution_column = 0;
+  return s;
+}
+
+/// Prefix scan bounds from leading key-column values.
+std::pair<RowKey, RowKey> PrefixRange(std::initializer_list<Value> parts) {
+  RowKey start;
+  for (const Value& v : parts) EncodeKeyPart(v, &start);
+  return {start, PrefixSuccessor(start)};
+}
+
+}  // namespace
+
+TpccWorkload::TpccWorkload(Cluster* cluster, TpccConfig config, uint64_t seed)
+    : cluster_(cluster), config_(config), rng_(seed) {}
+
+ShardId TpccWorkload::ShardOfWarehouse(int64_t w) const {
+  const TableSchema schema = WarehouseSchema();
+  Row row = {w, std::string(), 0.0};
+  return RouteRowToShard(schema, row,
+                         static_cast<uint32_t>(cluster_->num_shards()));
+}
+
+bool TpccWorkload::WarehouseIsLocal(CoordinatorNode* cn, int64_t w) const {
+  const ShardId shard = ShardOfWarehouse(w);
+  return cluster_->PrimaryRegion(shard) == cn->region();
+}
+
+int64_t TpccWorkload::PickWarehouse(CoordinatorNode* cn, Rng* rng) const {
+  const bool want_remote = rng->Bernoulli(config_.remote_warehouse_fraction);
+  // Rejection-sample a warehouse with the desired affinity (bounded tries:
+  // in a one-region cluster everything is local).
+  for (int tries = 0; tries < 32; ++tries) {
+    const int64_t w = rng->UniformRange(1, config_.num_warehouses);
+    if (WarehouseIsLocal(cn, w) != want_remote) return w;
+  }
+  return rng->UniformRange(1, config_.num_warehouses);
+}
+
+int64_t TpccWorkload::PickOtherShardWarehouse(int64_t w, Rng* rng,
+                                              bool same_region) const {
+  const ShardId home = ShardOfWarehouse(w);
+  const RegionId home_region = cluster_->PrimaryRegion(home);
+  for (int tries = 0; tries < 64; ++tries) {
+    const int64_t other = rng->UniformRange(1, config_.num_warehouses);
+    const ShardId other_shard = ShardOfWarehouse(other);
+    if (other == w || other_shard == home) continue;
+    if (same_region &&
+        cluster_->PrimaryRegion(other_shard) != home_region) {
+      continue;
+    }
+    return other;
+  }
+  return w;
+}
+
+Status TpccWorkload::Setup() {
+  sim::Simulator* sim = cluster_->simulator();
+  CoordinatorNode& cn = cluster_->cn(0);
+
+  // 1. Register schemas through the CN so DDL reaches peers and replicas.
+  const std::vector<TableSchema> schemas = {
+      WarehouseSchema(), DistrictSchema(), CustomerSchema(), HistorySchema(),
+      OrdersSchema(),    NewOrderSchema(), OrderLineSchema(), ItemSchema(),
+      StockSchema()};
+  Status ddl_status = Status::OK();
+  bool ddl_done = false;
+  auto create_all = [](CoordinatorNode* cn,
+                       const std::vector<TableSchema>* schemas, Status* out,
+                       bool* done) -> sim::Task<void> {
+    for (const TableSchema& schema : *schemas) {
+      Status s = co_await cn->CreateTable(schema);
+      if (!s.ok()) {
+        *out = s;
+        break;
+      }
+    }
+    *done = true;
+  };
+  sim->Spawn(create_all(&cn, &schemas, &ddl_status, &ddl_done));
+  while (!ddl_done) sim->RunFor(10 * kMillisecond);
+  GDB_RETURN_IF_ERROR(ddl_status);
+
+  // 2. Bulk-load directly into primaries and replicas (load time is outside
+  // every measurement window).
+  const Catalog& catalog = cn.catalog();
+  auto load_row = [&](const TableSchema& proto, const Row& row) {
+    const TableSchema* schema = catalog.FindTable(proto.name);
+    GDB_CHECK(schema != nullptr);
+    const RowKey key = schema->PrimaryKeyOf(row);
+    std::string value;
+    EncodeRow(row, &value);
+    std::vector<ShardId> shards;
+    if (schema->distribution == DistributionKind::kReplicated) {
+      for (ShardId s = 0; s < cluster_->num_shards(); ++s) {
+        shards.push_back(s);
+      }
+    } else {
+      shards.push_back(RouteRowToShard(
+          *schema, row, static_cast<uint32_t>(cluster_->num_shards())));
+    }
+    for (ShardId shard : shards) {
+      cluster_->data_node(shard).store().GetOrCreateTable(schema->id)
+          ->ApplyInsert(key, value, kLoadTxn);
+      for (ReplicaNode* replica : cluster_->replicas_of(shard)) {
+        replica->store().GetOrCreateTable(schema->id)
+            ->ApplyInsert(key, value, kLoadTxn);
+      }
+    }
+  };
+
+  for (int64_t i = 1; i <= config_.items; ++i) {
+    load_row(ItemSchema(),
+             {i, "item_" + std::to_string(i),
+              static_cast<double>(rng_.UniformRange(100, 10000)) / 100.0});
+  }
+  for (int64_t w = 1; w <= config_.num_warehouses; ++w) {
+    load_row(WarehouseSchema(), {w, "warehouse_" + std::to_string(w), 0.0});
+    for (int64_t i = 1; i <= config_.items; ++i) {
+      load_row(StockSchema(),
+               {w, i, rng_.UniformRange(10, 100), 0.0, int64_t{0}});
+    }
+    for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      const int64_t next_o_id = config_.initial_orders_per_district + 1;
+      load_row(DistrictSchema(),
+               {w, d, "district", 0.0, next_o_id});
+      for (int64_t c = 1; c <= config_.customers_per_district; ++c) {
+        load_row(CustomerSchema(),
+                 {w, d, c, rng_.AlphaString(8, 16), -10.0, 10.0,
+                  int64_t{1}});
+      }
+      for (int64_t o = 1; o <= config_.initial_orders_per_district; ++o) {
+        const int64_t c_id =
+            rng_.UniformRange(1, config_.customers_per_district);
+        const int64_t ol_cnt = rng_.UniformRange(5, 15);
+        load_row(OrdersSchema(), {w, d, o, c_id, ol_cnt, int64_t{0}});
+        if (o > config_.initial_orders_per_district - 3) {
+          load_row(NewOrderSchema(), {w, d, o});
+        }
+        for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+          load_row(OrderLineSchema(),
+                   {w, d, o, ol, rng_.UniformRange(1, config_.items), w,
+                    int64_t{5}, 50.0});
+        }
+      }
+    }
+  }
+
+  // 3. Stamp the load transaction everywhere.
+  for (ShardId shard = 0; shard < cluster_->num_shards(); ++shard) {
+    cluster_->data_node(shard).store().CommitTxn(kLoadTxn, kLoadTs);
+    for (ReplicaNode* replica : cluster_->replicas_of(shard)) {
+      replica->store().CommitTxn(kLoadTxn, kLoadTs);
+    }
+  }
+  return Status::OK();
+}
+
+TxnFn TpccWorkload::MixFn() {
+  return [this](CoordinatorNode* cn, Rng* rng) -> sim::Task<TxnResult> {
+    if (config_.read_only_mix) {
+      // Section V-B read-only benchmark: Order-status + Stock-level only.
+      if (rng->Bernoulli(0.5)) return OrderStatus(cn, rng);
+      return StockLevel(cn, rng);
+    }
+    const int total = config_.weight_neworder + config_.weight_payment +
+                      config_.weight_orderstatus + config_.weight_delivery +
+                      config_.weight_stocklevel;
+    int pick = static_cast<int>(rng->Uniform(total));
+    if ((pick -= config_.weight_neworder) < 0) return NewOrder(cn, rng);
+    if ((pick -= config_.weight_payment) < 0) return Payment(cn, rng);
+    if ((pick -= config_.weight_orderstatus) < 0) return OrderStatus(cn, rng);
+    if ((pick -= config_.weight_delivery) < 0) return Delivery(cn, rng);
+    return StockLevel(cn, rng);
+  };
+}
+
+sim::Task<TxnResult> TpccWorkload::NewOrder(CoordinatorNode* cn, Rng* rng) {
+  TxnResult result;
+  result.kind = "neworder";
+  const int64_t w = PickWarehouse(cn, rng);
+  const int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  const int64_t c = rng->NuRand(1023, 1, config_.customers_per_district, 7);
+  const int64_t ol_cnt = rng->UniformRange(5, 15);
+
+  auto txn_or = co_await cn->Begin();
+  if (!txn_or.ok()) {
+    result.status = txn_or.status();
+    co_return result;
+  }
+  TxnHandle txn = *txn_or;
+
+  // Warehouse + customer reads.
+  Row w_key = {w};
+  auto warehouse = co_await cn->Get(&txn, "warehouse", w_key);
+  if (!warehouse.ok()) GDB_TXN_FAIL(warehouse.status());
+  Row c_key = {w, d, c};
+  auto customer = co_await cn->Get(&txn, "customer", c_key);
+  if (!customer.ok() || !customer->has_value()) {
+    GDB_TXN_FAIL(Status::NotFound("customer"));
+  }
+
+  // Item reads + stock updates first: the hot district lock is taken as
+  // late as possible to keep its hold time short.
+  struct LineInfo {
+    int64_t i_id, supply_w, qty;
+    double amount;
+  };
+  std::vector<LineInfo> lines;
+  for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
+    const int64_t i_id = rng->NuRand(8191, 1, config_.items, 13);
+    int64_t supply_w = w;
+    // ~1% remote supply warehouse per line (TPC-C clause 2.4.1.5); stays
+    // in-region under the paper's physical-affinity assumption.
+    if (config_.num_warehouses > 1 && rng->Bernoulli(0.01)) {
+      supply_w = PickOtherShardWarehouse(w, rng, /*same_region=*/true);
+    }
+    Row i_key = {i_id};
+    auto item = co_await cn->Get(&txn, "item", i_key);
+    if (!item.ok() || !item->has_value()) {
+      GDB_TXN_FAIL(Status::NotFound("item"));
+    }
+    const double price = std::get<double>((**item)[2]);
+
+    Row s_key = {supply_w, i_id};
+    auto stock = co_await cn->GetForUpdate(&txn, "stock", s_key);
+    if (!stock.ok() || !stock->has_value()) {
+      GDB_TXN_FAIL(!stock.ok() ? stock.status()
+                               : Status::NotFound("stock"));
+    }
+    Row stock_row = **stock;
+    const int64_t qty = rng->UniformRange(1, 10);
+    int64_t& s_qty = std::get<int64_t>(stock_row[2]);
+    s_qty = s_qty >= qty + 10 ? s_qty - qty : s_qty - qty + 91;
+    std::get<double>(stock_row[3]) += qty;
+    std::get<int64_t>(stock_row[4]) += 1;
+    Status stock_update = co_await cn->Update(&txn, "stock", stock_row);
+    if (!stock_update.ok()) GDB_TXN_FAIL(std::move(stock_update));
+    lines.push_back({i_id, supply_w, qty, price * qty});
+  }
+
+  // District read-modify-write allocates the order id (the classic
+  // contention point).
+  Row d_key = {w, d};
+  auto district = co_await cn->GetForUpdate(&txn, "district", d_key);
+  if (!district.ok() || !district->has_value()) {
+    GDB_TXN_FAIL(!district.ok() ? district.status()
+                                : Status::NotFound("district"));
+  }
+  Row district_row = **district;
+  const int64_t o_id = std::get<int64_t>(district_row[4]);
+  std::get<int64_t>(district_row[4]) = o_id + 1;
+  Status s = co_await cn->Update(&txn, "district", district_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+  // Insert order header, new-order marker, and the lines.
+  Row order_row = {w, d, o_id, c, ol_cnt, int64_t{0}};
+  s = co_await cn->Insert(&txn, "orders", order_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+  Row neworder_row = {w, d, o_id};
+  s = co_await cn->Insert(&txn, "new_order", neworder_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+  for (size_t i = 0; i < lines.size(); ++i) {
+    Row line = {w, d, o_id, static_cast<int64_t>(i + 1), lines[i].i_id,
+                lines[i].supply_w, lines[i].qty, lines[i].amount};
+    s = co_await cn->Insert(&txn, "order_line", line);
+    if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+  }
+
+  result.status = co_await cn->Commit(&txn);
+  co_return result;
+}
+
+sim::Task<TxnResult> TpccWorkload::Payment(CoordinatorNode* cn, Rng* rng) {
+  TxnResult result;
+  result.kind = "payment";
+  const int64_t w = PickWarehouse(cn, rng);
+  const int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  // 15% remote customer (TPC-C clause 2.5.1.2); in-region under the
+  // paper's physical-affinity assumption.
+  int64_t c_w = w;
+  if (config_.num_warehouses > 1 && rng->Bernoulli(0.15)) {
+    c_w = PickOtherShardWarehouse(w, rng, /*same_region=*/true);
+  }
+  const int64_t c = rng->NuRand(1023, 1, config_.customers_per_district, 7);
+  const double amount = rng->UniformRange(100, 500000) / 100.0;
+
+  auto txn_or = co_await cn->Begin();
+  if (!txn_or.ok()) {
+    result.status = txn_or.status();
+    co_return result;
+  }
+  TxnHandle txn = *txn_or;
+
+  // Possibly-remote customer work first; the hot warehouse and district
+  // rows are locked as late as possible.
+  Row c_key = {c_w, d, c};
+  auto customer = co_await cn->GetForUpdate(&txn, "customer", c_key);
+  if (!customer.ok() || !customer->has_value()) {
+    GDB_TXN_FAIL(!customer.ok() ? customer.status()
+                                : Status::NotFound("customer"));
+  }
+  Row customer_row = **customer;
+  std::get<double>(customer_row[4]) -= amount;
+  std::get<double>(customer_row[5]) += amount;
+  std::get<int64_t>(customer_row[6]) += 1;
+  Status s = co_await cn->Update(&txn, "customer", customer_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+  Row history_row = {c_w, d, c, static_cast<int64_t>(rng->Next() >> 1),
+                     amount};
+  s = co_await cn->Insert(&txn, "history", history_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+  Row d_key = {w, d};
+  auto district = co_await cn->GetForUpdate(&txn, "district", d_key);
+  if (!district.ok() || !district->has_value()) {
+    GDB_TXN_FAIL(!district.ok() ? district.status()
+                                : Status::NotFound("district"));
+  }
+  Row district_row = **district;
+  std::get<double>(district_row[3]) += amount;
+  s = co_await cn->Update(&txn, "district", district_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+  Row w_key = {w};
+  auto warehouse = co_await cn->GetForUpdate(&txn, "warehouse", w_key);
+  if (!warehouse.ok() || !warehouse->has_value()) {
+    GDB_TXN_FAIL(!warehouse.ok() ? warehouse.status()
+                                 : Status::NotFound("warehouse"));
+  }
+  Row warehouse_row = **warehouse;
+  std::get<double>(warehouse_row[2]) += amount;
+  s = co_await cn->Update(&txn, "warehouse", warehouse_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+  result.status = co_await cn->Commit(&txn);
+  co_return result;
+}
+
+sim::Task<TxnResult> TpccWorkload::OrderStatus(CoordinatorNode* cn, Rng* rng) {
+  TxnResult result;
+  result.kind = "orderstatus";
+  const int64_t w = PickWarehouse(cn, rng);
+  const int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  const int64_t c = rng->NuRand(1023, 1, config_.customers_per_district, 7);
+  const bool multi_shard =
+      config_.read_only_mix &&
+      rng->Bernoulli(config_.read_only_multi_shard_fraction);
+
+  auto txn_or = co_await cn->Begin(/*read_only=*/true,
+                                   /*single_shard=*/!multi_shard);
+  if (!txn_or.ok()) {
+    result.status = txn_or.status();
+    co_return result;
+  }
+  TxnHandle txn = *txn_or;
+
+  Row c_key = {w, d, c};
+  auto customer = co_await cn->Get(&txn, "customer", c_key);
+  if (!customer.ok()) {
+    result.status = customer.status();
+    co_return result;
+  }
+  // Most recent order for the district, then its lines.
+  Row d_key = {w, d};
+  auto district = co_await cn->Get(&txn, "district", d_key);
+  if (!district.ok() || !district->has_value()) {
+    result.status = Status::NotFound("district");
+    co_return result;
+  }
+  const int64_t last_o = std::get<int64_t>((**district)[4]) - 1;
+  auto [start, end] = PrefixRange({w, d, last_o});
+  Value w_route = w;
+  auto lines =
+      co_await cn->ScanRange(&txn, "order_line", start, end, 100, &w_route);
+  if (!lines.ok()) {
+    result.status = lines.status();
+    co_return result;
+  }
+  if (multi_shard) {
+    // Touch a second shard: the same customer id in a remote warehouse.
+    const int64_t other = PickOtherShardWarehouse(w, rng);
+    Row other_key = {other, d, c};
+    auto remote = co_await cn->Get(&txn, "customer", other_key);
+    if (!remote.ok()) {
+      result.status = remote.status();
+      co_return result;
+    }
+  }
+  result.status = Status::OK();
+  co_return result;
+}
+
+sim::Task<TxnResult> TpccWorkload::Delivery(CoordinatorNode* cn, Rng* rng) {
+  TxnResult result;
+  result.kind = "delivery";
+  const int64_t w = PickWarehouse(cn, rng);
+  const int64_t carrier = rng->UniformRange(1, 10);
+
+  auto txn_or = co_await cn->Begin();
+  if (!txn_or.ok()) {
+    result.status = txn_or.status();
+    co_return result;
+  }
+  TxnHandle txn = *txn_or;
+
+  for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+    // Oldest undelivered order in this district.
+    auto [start, end] = PrefixRange({w, d});
+    Value w_route = w;
+    auto pending =
+        co_await cn->ScanRange(&txn, "new_order", start, end, 1, &w_route);
+    if (!pending.ok()) GDB_TXN_FAIL(pending.status());
+    if (pending->empty()) continue;
+    const int64_t o_id = std::get<int64_t>((*pending)[0][2]);
+
+    Row no_key = {w, d, o_id};
+    Status s = co_await cn->Delete(&txn, "new_order", no_key);
+    if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+    Row o_key = {w, d, o_id};
+    auto order = co_await cn->GetForUpdate(&txn, "orders", o_key);
+    if (!order.ok() || !order->has_value()) {
+      GDB_TXN_FAIL(!order.ok() ? order.status()
+                                          : Status::NotFound("order"));
+    }
+    Row order_row = **order;
+    std::get<int64_t>(order_row[5]) = carrier;
+    s = co_await cn->Update(&txn, "orders", order_row);
+    if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+
+    auto [ol_start, ol_end] = PrefixRange({w, d, o_id});
+    auto lines = co_await cn->ScanRange(&txn, "order_line", ol_start, ol_end,
+                                        20, &w_route);
+    if (!lines.ok()) GDB_TXN_FAIL(lines.status());
+    double total = 0;
+    for (const Row& line : *lines) total += std::get<double>(line[7]);
+
+    const int64_t c_id = std::get<int64_t>(order_row[3]);
+    Row c_key = {w, d, c_id};
+    auto customer = co_await cn->GetForUpdate(&txn, "customer", c_key);
+    if (!customer.ok() || !customer->has_value()) {
+      GDB_TXN_FAIL(!customer.ok() ? customer.status()
+                                             : Status::NotFound("customer"));
+    }
+    Row customer_row = **customer;
+    std::get<double>(customer_row[4]) += total;
+    s = co_await cn->Update(&txn, "customer", customer_row);
+    if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+  }
+
+  result.status = co_await cn->Commit(&txn);
+  co_return result;
+}
+
+sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
+  TxnResult result;
+  result.kind = "stocklevel";
+  const int64_t w = PickWarehouse(cn, rng);
+  const int64_t d = rng->UniformRange(1, config_.districts_per_warehouse);
+  const int64_t threshold = rng->UniformRange(10, 20);
+  const bool multi_shard =
+      config_.read_only_mix &&
+      rng->Bernoulli(config_.read_only_multi_shard_fraction);
+
+  auto txn_or = co_await cn->Begin(/*read_only=*/true,
+                                   /*single_shard=*/!multi_shard);
+  if (!txn_or.ok()) {
+    result.status = txn_or.status();
+    co_return result;
+  }
+  TxnHandle txn = *txn_or;
+
+  Row d_key = {w, d};
+  auto district = co_await cn->Get(&txn, "district", d_key);
+  if (!district.ok() || !district->has_value()) {
+    result.status = Status::NotFound("district");
+    co_return result;
+  }
+  const int64_t next_o = std::get<int64_t>((**district)[4]);
+
+  // Lines of the last (up to) 20 orders.
+  RowKey start, end;
+  {
+    auto range_start = PrefixRange({w, d, std::max<int64_t>(1, next_o - 20)});
+    auto range_end = PrefixRange({w, d, next_o});
+    start = range_start.first;
+    end = range_end.first;
+  }
+  Value w_route = w;
+  auto lines =
+      co_await cn->ScanRange(&txn, "order_line", start, end, 400, &w_route);
+  if (!lines.ok()) {
+    result.status = lines.status();
+    co_return result;
+  }
+  // Distinct items with low stock. When multi_shard, look up the stock in
+  // the line's supply warehouse (which may live on another shard).
+  std::vector<int64_t> items;
+  for (const Row& line : *lines) {
+    items.push_back(std::get<int64_t>(line[4]));
+  }
+  std::sort(items.begin(), items.end());
+  items.erase(std::unique(items.begin(), items.end()), items.end());
+  if (items.size() > 10) items.resize(10);
+  int64_t low = 0;
+  for (int64_t i_id : items) {
+    int64_t stock_w = w;
+    if (multi_shard && rng->Bernoulli(0.5)) {
+      stock_w = PickOtherShardWarehouse(w, rng);
+    }
+    Row s_key = {stock_w, i_id};
+    auto stock = co_await cn->Get(&txn, "stock", s_key);
+    if (!stock.ok()) {
+      result.status = stock.status();
+      co_return result;
+    }
+    if (stock->has_value() &&
+        std::get<int64_t>((**stock)[2]) < threshold) {
+      ++low;
+    }
+  }
+  (void)low;
+  result.status = Status::OK();
+  co_return result;
+}
+
+}  // namespace globaldb

@@ -1,0 +1,94 @@
+#include "src/cluster/node_selector.h"
+
+#include <gtest/gtest.h>
+
+namespace globaldb {
+namespace {
+
+class NodeSelectorTest : public ::testing::Test {
+ protected:
+  NodeSelectorTest() {
+    // Shard 0: local cheap replica (10), remote replica (11), busy local
+    // replica (12).
+    selector_.AddReplica(10, 0, 0, 100 * kMicrosecond);
+    selector_.AddReplica(11, 0, 1, 15 * kMillisecond);
+    selector_.AddReplica(12, 0, 0, 100 * kMicrosecond);
+  }
+  NodeSelector selector_;
+};
+
+TEST_F(NodeSelectorTest, PicksCheapestFreshReplica) {
+  selector_.UpdateStatus(10, 1000, 0);
+  selector_.UpdateStatus(11, 2000, 0);
+  selector_.UpdateStatus(12, 1500, 5 * kMillisecond);
+  auto pick = selector_.Pick(0, 900);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 10u);  // local, idle, fresh enough
+}
+
+TEST_F(NodeSelectorTest, FreshnessConstraintOverridesCost) {
+  selector_.UpdateStatus(10, 1000, 0);  // cheap but stale
+  selector_.UpdateStatus(11, 2000, 0);  // remote but fresh
+  auto pick = selector_.Pick(0, 1500);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 11u);
+}
+
+TEST_F(NodeSelectorTest, QueueDelayShiftsLoad) {
+  // Both local replicas fresh; one has a big CPU backlog.
+  selector_.UpdateStatus(10, 1000, 20 * kMillisecond);
+  selector_.UpdateStatus(12, 1000, 0);
+  auto pick = selector_.Pick(0, 500);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 12u);
+}
+
+TEST_F(NodeSelectorTest, FailedNodesExcludedUntilRefresh) {
+  selector_.UpdateStatus(10, 1000, 0);
+  selector_.UpdateStatus(12, 1000, 1 * kMillisecond);
+  selector_.MarkFailed(10);
+  auto pick = selector_.Pick(0, 500);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 12u);
+  // A status refresh revives it.
+  selector_.UpdateStatus(10, 1100, 0);
+  pick = selector_.Pick(0, 500);
+  ASSERT_TRUE(pick.ok());
+  EXPECT_EQ(*pick, 10u);
+}
+
+TEST_F(NodeSelectorTest, NoQualifyingReplicaIsNotFound) {
+  selector_.UpdateStatus(10, 100, 0);
+  selector_.UpdateStatus(11, 200, 0);
+  selector_.UpdateStatus(12, 150, 0);
+  EXPECT_FALSE(selector_.Pick(0, 5000).ok());
+  EXPECT_FALSE(selector_.Pick(99, 0).ok());  // unknown shard
+}
+
+TEST_F(NodeSelectorTest, SkylineIsParetoFront) {
+  selector_.UpdateStatus(10, 1000, 0);                  // cheap, stale
+  selector_.UpdateStatus(11, 3000, 0);                  // expensive, freshest
+  selector_.UpdateStatus(12, 900, 1 * kMillisecond);    // dominated by 10
+  auto skyline = selector_.Skyline(0);
+  ASSERT_EQ(skyline.size(), 2u);
+  EXPECT_EQ(skyline[0].node, 10u);
+  EXPECT_EQ(skyline[1].node, 11u);
+}
+
+TEST_F(NodeSelectorTest, SkylineExcludesUnhealthy) {
+  selector_.UpdateStatus(10, 1000, 0);
+  selector_.UpdateStatus(11, 3000, 0);
+  selector_.MarkFailed(11);
+  auto skyline = selector_.Skyline(0);
+  ASSERT_EQ(skyline.size(), 1u);
+  EXPECT_EQ(skyline[0].node, 10u);
+}
+
+TEST_F(NodeSelectorTest, StatusTimestampsNeverRegress) {
+  selector_.UpdateStatus(10, 1000, 0);
+  selector_.UpdateStatus(10, 500, 0);  // stale update arrives late
+  EXPECT_EQ(selector_.Get(10)->max_commit_ts, 1000u);
+}
+
+}  // namespace
+}  // namespace globaldb

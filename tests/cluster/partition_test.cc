@@ -1,0 +1,152 @@
+// Partition tolerance: what keeps working when regions are cut off.
+//  - GClock transactions on an isolated region's local shards keep
+//    committing (no central timestamp dependency).
+//  - GTM-mode transactions from a region partitioned away from the GTM
+//    server fail (the paper's motivation for decentralized timestamps).
+//  - ROR reads survive the loss of remote primaries: the local replica
+//    still serves consistent (if increasingly stale) snapshots.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+
+namespace globaldb {
+namespace {
+
+class PartitionTest : public ::testing::Test {
+ public:
+  void Build(TimestampMode mode) {
+    cluster_ = std::make_unique<Cluster>(&sim_, Options(mode));
+    cluster_->Start();
+    bool done = false;
+    auto setup = [](Cluster* cluster, bool* done) -> sim::Task<void> {
+      CoordinatorNode& cn = cluster->cn(0);
+      TableSchema schema;
+      schema.name = "kv";
+      schema.columns = {{"k", ColumnType::kInt64},
+                        {"v", ColumnType::kInt64}};
+      schema.key_columns = {0};
+      schema.distribution_column = 0;
+      EXPECT_TRUE((co_await cn.CreateTable(schema)).ok());
+      auto txn = co_await cn.Begin();
+      for (int64_t k = 1; k <= 30; ++k) {
+        Row row = {k, k};
+        EXPECT_TRUE((co_await cn.Insert(&*txn, "kv", row)).ok());
+      }
+      EXPECT_TRUE((co_await cn.Commit(&*txn)).ok());
+      *done = true;
+    };
+    sim_.Spawn(setup(cluster_.get(), &done));
+    while (!done) sim_.RunFor(10 * kMillisecond);
+    cluster_->WaitForRcp();
+    sim_.RunFor(300 * kMillisecond);
+  }
+
+  static ClusterOptions Options(TimestampMode mode) {
+    ClusterOptions o;
+    o.topology = sim::Topology::ThreeCity();
+    o.network.nagle_enabled = false;
+    o.network.rpc_timeout = 500 * kMillisecond;  // fail fast in tests
+    o.initial_mode = mode;
+    return o;
+  }
+
+  /// A key whose shard's primary lives in `region`.
+  int64_t KeyInRegion(RegionId region) {
+    const TableSchema* schema = cluster_->cn(0).catalog().FindTable("kv");
+    for (int64_t k = 1; k <= 30; ++k) {
+      Row row = {k, k};
+      const ShardId shard = RouteRowToShard(
+          *schema, row, static_cast<uint32_t>(cluster_->num_shards()));
+      if (cluster_->PrimaryRegion(shard) == region) return k;
+    }
+    return 1;
+  }
+
+  sim::Simulator sim_{61};
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(PartitionTest, GclockRegionKeepsCommittingWhenIsolated) {
+  Build(TimestampMode::kGclock);
+  // Cut region 2 off from regions 0 and 1 (GTM is in region 0, unused).
+  cluster_->network().SetRegionPartitioned(2, 0, true);
+  cluster_->network().SetRegionPartitioned(2, 1, true);
+
+  Status local_write = Status::Internal("unset");
+  auto scenario = [](PartitionTest* test, Status* out) -> sim::Task<void> {
+    CoordinatorNode& cn = test->cluster_->cn(2);
+    const int64_t key = test->KeyInRegion(2);
+    auto txn = co_await cn.Begin();
+    if (!txn.ok()) {
+      *out = txn.status();
+      co_return;
+    }
+    Row row = {key, int64_t{999}};
+    Row key_row = {key};
+    auto cur = co_await cn.GetForUpdate(&*txn, "kv", key_row);
+    if (!cur.ok()) {
+      *out = cur.status();
+      co_return;
+    }
+    Status s = co_await cn.Update(&*txn, "kv", row);
+    if (s.ok()) s = co_await cn.Commit(&*txn);
+    *out = s;
+  };
+  sim_.Spawn(scenario(this, &local_write));
+  sim_.RunFor(5 * kSecond);
+  EXPECT_TRUE(local_write.ok()) << local_write.ToString();
+}
+
+TEST_F(PartitionTest, GtmRegionCannotCommitWhenCutFromGtmServer) {
+  Build(TimestampMode::kGtm);
+  cluster_->network().SetRegionPartitioned(2, 0, true);  // GTM in region 0
+
+  Status result = Status::OK();
+  auto scenario = [](PartitionTest* test, Status* out) -> sim::Task<void> {
+    CoordinatorNode& cn = test->cluster_->cn(2);
+    auto txn = co_await cn.Begin();  // needs a GTM timestamp
+    *out = txn.ok() ? Status::OK() : txn.status();
+  };
+  sim_.Spawn(scenario(this, &result));
+  sim_.RunFor(5 * kSecond);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(PartitionTest, RorReadsSurviveLossOfRemotePrimaries) {
+  Build(TimestampMode::kGclock);
+  // Kill the primaries mastered in regions 0 and 1; region 2 retains its
+  // local replicas of those shards.
+  for (ShardId s = 0; s < cluster_->num_shards(); ++s) {
+    if (cluster_->PrimaryRegion(s) != 2) {
+      cluster_->network().SetNodeUp(Cluster::PrimaryNodeId(s), false);
+    }
+  }
+
+  int found = 0, errors = 0;
+  auto scenario = [](PartitionTest* test, int* found,
+                     int* errors) -> sim::Task<void> {
+    CoordinatorNode& cn = test->cluster_->cn(2);
+    for (int64_t k = 1; k <= 30; ++k) {
+      auto txn = co_await cn.Begin(/*read_only=*/true, /*single_shard=*/true);
+      if (!txn.ok()) {
+        ++*errors;
+        continue;
+      }
+      Row key = {k};
+      auto row = co_await cn.Get(&*txn, "kv", key);
+      if (row.ok() && row->has_value()) {
+        ++*found;
+      } else {
+        ++*errors;
+      }
+    }
+  };
+  sim_.Spawn(scenario(this, &found, &errors));
+  sim_.RunFor(30 * kSecond);
+  EXPECT_EQ(found, 30);
+  EXPECT_EQ(errors, 0);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,131 @@
+// ROR freshness guarantees: bounded-staleness routing (fresh-enough RCP
+// serves from replicas, stale RCP falls back to primaries) and the
+// monotonic-freshness guarantee across consecutive read-only transactions,
+// including when the client moves between CNs.
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/cluster.h"
+
+namespace globaldb {
+namespace {
+
+class RorFreshnessTest : public ::testing::Test {
+ public:
+  RorFreshnessTest() : sim_(91) {
+    ClusterOptions options;
+    options.topology = sim::Topology::ThreeCity();
+    options.network.nagle_enabled = false;
+    options.initial_mode = TimestampMode::kGclock;
+    cluster_ = std::make_unique<Cluster>(&sim_, options);
+    cluster_->Start();
+  }
+
+  void SetupData() {
+    bool done = false;
+    auto work = [](Cluster* cluster, bool* done) -> sim::Task<void> {
+      CoordinatorNode& cn = cluster->cn(0);
+      TableSchema schema;
+      schema.name = "t";
+      schema.columns = {{"id", ColumnType::kInt64},
+                        {"v", ColumnType::kInt64}};
+      schema.key_columns = {0};
+      schema.distribution_column = 0;
+      EXPECT_TRUE((co_await cn.CreateTable(schema)).ok());
+      auto txn = co_await cn.Begin();
+      for (int64_t id = 1; id <= 12; ++id) {
+        Row row = {id, int64_t{0}};
+        EXPECT_TRUE((co_await cn.Insert(&*txn, "t", row)).ok());
+      }
+      EXPECT_TRUE((co_await cn.Commit(&*txn)).ok());
+      *done = true;
+    };
+    sim_.Spawn(work(cluster_.get(), &done));
+    while (!done) sim_.RunFor(10 * kMillisecond);
+    cluster_->WaitForRcp();
+    sim_.RunFor(500 * kMillisecond);
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(RorFreshnessTest, TightStalenessBoundFallsBackToPrimary) {
+  SetupData();
+  auto scenario = [](Cluster* cluster) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(1);
+    // Loose bound (1 s): the RCP qualifies, so the txn is ROR.
+    ReadOptions loose;
+    loose.max_staleness = 1 * kSecond;
+    auto ror = co_await cn.Begin(true, false, loose);
+    EXPECT_TRUE(ror.ok());
+    EXPECT_TRUE(ror->use_ror);
+
+    // Impossible bound (1 us): the RCP can never be that fresh across
+    // cities; the read falls back to a regular timestamped transaction.
+    ReadOptions tight;
+    tight.max_staleness = 1 * kMicrosecond;
+    auto fallback = co_await cn.Begin(true, false, tight);
+    EXPECT_TRUE(fallback.ok());
+    EXPECT_FALSE(fallback->use_ror);
+    EXPECT_GT(cn.metrics().Get("cn.ror_fallbacks"), 0);
+  };
+  sim_.Spawn(scenario(cluster_.get()));
+  sim_.RunFor(2 * kSecond);
+}
+
+TEST_F(RorFreshnessTest, ConsecutiveReadsNeverGoBackwards) {
+  SetupData();
+  // Interleave writes with reads that hop between CNs: the value observed
+  // must never regress (RCP monotonicity + distribution to every CN).
+  auto scenario = [](Cluster* cluster, sim::Simulator* sim) -> sim::Task<void> {
+    int64_t last_seen = -1;
+    for (int round = 0; round < 15; ++round) {
+      // Bump the value through CN0.
+      CoordinatorNode& writer = cluster->cn(0);
+      auto wtxn = co_await writer.Begin();
+      EXPECT_TRUE(wtxn.ok());
+      Row row = {int64_t{5}, int64_t{round + 1}};
+      Row key = {int64_t{5}};
+      auto cur = co_await writer.GetForUpdate(&*wtxn, "t", key);
+      EXPECT_TRUE(cur.ok() && cur->has_value());
+      EXPECT_TRUE((co_await writer.Update(&*wtxn, "t", row)).ok());
+      EXPECT_TRUE((co_await writer.Commit(&*wtxn)).ok());
+      co_await sim->Sleep(60 * kMillisecond);
+
+      // Read from a rotating CN (simulates client re-routing).
+      CoordinatorNode& reader = cluster->cn(round % 3);
+      auto rtxn = co_await reader.Begin(true, true);
+      EXPECT_TRUE(rtxn.ok());
+      auto value = co_await reader.Get(&*rtxn, "t", key);
+      EXPECT_TRUE(value.ok());
+      if (value.ok() && value->has_value()) {
+        const int64_t v = std::get<int64_t>((**value)[1]);
+        EXPECT_GE(v, last_seen) << "freshness went backwards at round "
+                                << round;
+        last_seen = std::max(last_seen, v);
+      }
+    }
+    EXPECT_GE(last_seen, 10);  // reads track writes closely
+  };
+  sim_.Spawn(scenario(cluster_.get(), &sim_));
+  sim_.RunFor(10 * kSecond);
+}
+
+TEST_F(RorFreshnessTest, RorSnapshotIsTheRcp) {
+  SetupData();
+  auto scenario = [](Cluster* cluster) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(2);
+    const Timestamp rcp_before = cn.rcp();
+    auto txn = co_await cn.Begin(true, true);
+    EXPECT_TRUE(txn.ok());
+    EXPECT_TRUE(txn->use_ror);
+    EXPECT_GE(txn->snapshot, rcp_before);
+    EXPECT_LE(txn->snapshot, cn.rcp());
+  };
+  sim_.Spawn(scenario(cluster_.get()));
+  sim_.RunFor(1 * kSecond);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,50 @@
+#include "src/common/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace globaldb {
+namespace {
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(Hash64("warehouse_1"), Hash64("warehouse_1"));
+  EXPECT_NE(Hash64("warehouse_1"), Hash64("warehouse_2"));
+}
+
+TEST(HashTest, EmptyInput) {
+  // Must not crash and must be stable.
+  EXPECT_EQ(Hash64("", 0), Hash64("", 0));
+}
+
+TEST(HashTest, AllTailLengths) {
+  // Exercise the 0..7 byte tail switch.
+  std::string s = "abcdefghij";
+  std::set<uint64_t> hashes;
+  for (size_t len = 0; len <= s.size(); ++len) {
+    hashes.insert(Hash64(s.data(), len));
+  }
+  EXPECT_EQ(hashes.size(), s.size() + 1);  // no collisions among prefixes
+}
+
+TEST(HashTest, SeedChangesResult) {
+  EXPECT_NE(Hash64("key", 3, 1), Hash64("key", 3, 2));
+}
+
+TEST(HashTest, ShardDistributionIsRoughlyUniform) {
+  // Hash keys into 6 shards (the paper's DN count) and check balance.
+  const int kShards = 6;
+  const int kKeys = 60000;
+  int counts[kShards] = {0};
+  for (int i = 0; i < kKeys; ++i) {
+    std::string key = "row_" + std::to_string(i);
+    counts[Hash64(key) % kShards]++;
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kKeys / kShards, kKeys / kShards * 0.1);
+  }
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,93 @@
+#include "src/common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace globaldb {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.Percentile(0), 42);
+  EXPECT_EQ(h.Percentile(50), 42);
+  EXPECT_EQ(h.Percentile(100), 42);
+}
+
+TEST(HistogramTest, PercentilesOfKnownDistribution) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(i);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 100);
+  EXPECT_NEAR(h.mean(), 50.5, 0.01);
+  EXPECT_NEAR(h.Percentile(50), 50, 1);
+  EXPECT_NEAR(h.Percentile(99), 99, 1);
+  EXPECT_EQ(h.Percentile(100), 100);
+}
+
+TEST(HistogramTest, RecordAfterPercentileQueryStillCorrect) {
+  Histogram h;
+  h.Record(10);
+  h.Record(30);
+  EXPECT_EQ(h.Percentile(100), 30);
+  h.Record(20);  // re-sorts lazily
+  EXPECT_EQ(h.Percentile(0), 10);
+  EXPECT_EQ(h.Percentile(100), 30);
+  EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(HistogramTest, NegativeValuesSupported) {
+  Histogram h;
+  h.Record(-5);
+  h.Record(5);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.max(), 5);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Record(1);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(MetricsTest, CountersAccumulateAndDefaultToZero) {
+  Metrics m;
+  EXPECT_EQ(m.Get("nothing"), 0);
+  m.Add("commits");
+  m.Add("commits");
+  m.Add("bytes", 100);
+  EXPECT_EQ(m.Get("commits"), 2);
+  EXPECT_EQ(m.Get("bytes"), 100);
+  m.Add("bytes", -40);
+  EXPECT_EQ(m.Get("bytes"), 60);
+}
+
+TEST(MetricsTest, HistogramsByName) {
+  Metrics m;
+  m.Hist("latency").Record(5);
+  m.Hist("latency").Record(15);
+  EXPECT_EQ(m.Hist("latency").count(), 2u);
+  EXPECT_EQ(m.Hist("other").count(), 0u);
+  m.Clear();
+  EXPECT_EQ(m.Hist("latency").count(), 0u);
+  EXPECT_EQ(m.Get("anything"), 0);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,139 @@
+#include "src/compression/lz.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/common/codec.h"
+#include "src/common/rng.h"
+
+namespace globaldb {
+namespace {
+
+std::string RoundTrip(const std::string& input) {
+  std::string compressed;
+  LzCodec::Compress(input, &compressed);
+  std::string output;
+  Status s = LzCodec::Decompress(compressed, &output);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return output;
+}
+
+TEST(LzCodecTest, EmptyInput) {
+  EXPECT_EQ(RoundTrip(""), "");
+}
+
+TEST(LzCodecTest, TinyInputs) {
+  for (const std::string s : {"a", "ab", "abc", "abcd", "abcde"}) {
+    EXPECT_EQ(RoundTrip(s), s);
+  }
+}
+
+TEST(LzCodecTest, IncompressibleSurvives) {
+  Rng rng(77);
+  std::string s;
+  for (int i = 0; i < 10000; ++i) {
+    s.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  EXPECT_EQ(RoundTrip(s), s);
+}
+
+TEST(LzCodecTest, RepetitiveCompressesWell) {
+  std::string s;
+  for (int i = 0; i < 1000; ++i) s += "warehouse_row_payload_";
+  std::string compressed;
+  LzCodec::Compress(s, &compressed);
+  EXPECT_LT(compressed.size(), s.size() / 5);
+  std::string out;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &out).ok());
+  EXPECT_EQ(out, s);
+}
+
+TEST(LzCodecTest, RunLengthOverlappingMatch) {
+  // Overlapping copies (offset < match length) exercise the byte-wise copy.
+  std::string s(100000, 'x');
+  std::string compressed;
+  LzCodec::Compress(s, &compressed);
+  EXPECT_LT(compressed.size(), 600u);
+  std::string out;
+  ASSERT_TRUE(LzCodec::Decompress(compressed, &out).ok());
+  EXPECT_EQ(out, s);
+}
+
+TEST(LzCodecTest, LongLiteralRunExtendedLength) {
+  // >15 literals forces the extended literal-length path.
+  Rng rng(78);
+  std::string s;
+  for (int i = 0; i < 500; ++i) {
+    s.push_back(static_cast<char>(rng.Next() & 0xff));
+  }
+  EXPECT_EQ(RoundTrip(s), s);
+}
+
+TEST(LzCodecTest, MixedContent) {
+  Rng rng(79);
+  std::string s;
+  for (int block = 0; block < 50; ++block) {
+    if (rng.Bernoulli(0.5)) {
+      s += "commit_record:txn=" + std::to_string(rng.Uniform(100)) +
+           ";table=orders;";
+    } else {
+      s += rng.AlphaString(5, 60);
+    }
+  }
+  EXPECT_EQ(RoundTrip(s), s);
+}
+
+TEST(LzCodecTest, DecompressRejectsTruncation) {
+  std::string s;
+  for (int i = 0; i < 100; ++i) s += "abcdefgh";
+  std::string compressed;
+  LzCodec::Compress(s, &compressed);
+  for (size_t cut : {size_t{0}, compressed.size() / 2, compressed.size() - 1}) {
+    std::string out;
+    Status st = LzCodec::Decompress(Slice(compressed.data(), cut), &out);
+    EXPECT_FALSE(st.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(LzCodecTest, DecompressRejectsBadOffset) {
+  // Hand-craft a block whose match offset points before the start.
+  std::string block;
+  PutVarint64(&block, 8);  // claims 8 bytes output
+  block.push_back(static_cast<char>((1 << 4) | 0));  // 1 literal, match len 4
+  block.push_back('a');
+  PutFixed16(&block, 500);  // offset 500 into 1 byte of output: invalid
+  std::string out;
+  EXPECT_FALSE(LzCodec::Decompress(block, &out).ok());
+}
+
+TEST(LzCodecTest, RandomizedPropertyRoundTrip) {
+  Rng rng(80);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string s;
+    const int segments = static_cast<int>(rng.Uniform(20));
+    for (int i = 0; i < segments; ++i) {
+      switch (rng.Uniform(3)) {
+        case 0:
+          s.append(rng.Uniform(100), static_cast<char>('a' + rng.Uniform(26)));
+          break;
+        case 1:
+          s += rng.AlphaString(0, 50);
+          break;
+        case 2: {
+          // Repeat a previous chunk to create long-range matches.
+          if (!s.empty()) {
+            size_t start = rng.Uniform(s.size());
+            size_t len = rng.Uniform(s.size() - start + 1);
+            s += s.substr(start, len);
+          }
+          break;
+        }
+      }
+    }
+    EXPECT_EQ(RoundTrip(s), s) << "iter=" << iter;
+  }
+}
+
+}  // namespace
+}  // namespace globaldb

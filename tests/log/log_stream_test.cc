@@ -1,0 +1,149 @@
+#include "src/log/log_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace globaldb {
+namespace {
+
+RedoRecord MakeData(TxnId txn, const std::string& key) {
+  return RedoRecord::Insert(txn, 1, key, "payload_" + key);
+}
+
+TEST(LogStreamTest, AppendAssignsDenseLsns) {
+  LogStream stream;
+  EXPECT_EQ(stream.Append(MakeData(1, "a")), 1u);
+  EXPECT_EQ(stream.Append(MakeData(1, "b")), 2u);
+  EXPECT_EQ(stream.Append(RedoRecord::Commit(1, 100)), 3u);
+  EXPECT_EQ(stream.next_lsn(), 4u);
+  EXPECT_EQ(stream.size(), 3u);
+}
+
+TEST(LogStreamTest, ReadFromCursor) {
+  LogStream stream;
+  for (int i = 0; i < 10; ++i) {
+    stream.Append(MakeData(1, "k" + std::to_string(i)));
+  }
+  auto r = stream.Read(4, 100, 1 << 20);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->size(), 7u);
+  EXPECT_EQ((*r)[0].lsn, 4u);
+  EXPECT_EQ((*r)[0].key, "k3");
+}
+
+TEST(LogStreamTest, ReadRespectsMaxRecords) {
+  LogStream stream;
+  for (int i = 0; i < 10; ++i) stream.Append(MakeData(1, "k"));
+  auto r = stream.Read(1, 3, 1 << 20);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+}
+
+TEST(LogStreamTest, ReadRespectsMaxBytesButReturnsAtLeastOne) {
+  LogStream stream;
+  for (int i = 0; i < 5; ++i) {
+    stream.Append(RedoRecord::Insert(1, 1, "key", std::string(1000, 'x')));
+  }
+  auto r = stream.Read(1, 100, 1);  // 1 byte budget
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 1u);
+  auto r2 = stream.Read(1, 100, 2500);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->size(), 2u);
+}
+
+TEST(LogStreamTest, ReadPastEndIsEmpty) {
+  LogStream stream;
+  stream.Append(MakeData(1, "a"));
+  auto r = stream.Read(5, 10, 1000);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(LogStreamTest, TruncationDropsPrefixAndRejectsOldReads) {
+  LogStream stream;
+  for (int i = 0; i < 10; ++i) stream.Append(MakeData(1, "k"));
+  stream.TruncateUntil(6);
+  EXPECT_EQ(stream.begin_lsn(), 6u);
+  EXPECT_EQ(stream.size(), 5u);
+  EXPECT_FALSE(stream.Read(3, 10, 1000).ok());
+  auto r = stream.Read(6, 10, 1 << 20);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 5u);
+  // New appends continue the LSN sequence.
+  EXPECT_EQ(stream.Append(MakeData(2, "z")), 11u);
+}
+
+TEST(LogStreamTest, AtFetchesSingleRecord) {
+  LogStream stream;
+  stream.Append(MakeData(1, "a"));
+  stream.Append(MakeData(2, "b"));
+  auto r = stream.At(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->txn_id, 2u);
+  EXPECT_FALSE(stream.At(3).ok());
+  EXPECT_FALSE(stream.At(0).ok());
+}
+
+TEST(LogStreamTest, BatchRoundTripUncompressed) {
+  LogStream stream;
+  for (int i = 0; i < 20; ++i) {
+    stream.Append(MakeData(i, "key" + std::to_string(i)));
+  }
+  auto records = stream.Read(1, 100, 1 << 20);
+  ASSERT_TRUE(records.ok());
+  std::string batch =
+      LogStream::EncodeBatch(*records, CompressionType::kNone);
+  std::vector<RedoRecord> decoded;
+  ASSERT_TRUE(LogStream::DecodeBatch(batch, &decoded).ok());
+  EXPECT_EQ(decoded, *records);
+}
+
+TEST(LogStreamTest, BatchRoundTripCompressedIsSmaller) {
+  std::vector<RedoRecord> records;
+  for (int i = 0; i < 50; ++i) {
+    RedoRecord r = RedoRecord::Insert(
+        i, 1, "warehouse_key_" + std::to_string(i % 3),
+        "customer_payload_field_repeated_content_" + std::to_string(i % 3));
+    r.lsn = i + 1;
+    records.push_back(r);
+  }
+  std::string raw = LogStream::EncodeBatch(records, CompressionType::kNone);
+  std::string lz = LogStream::EncodeBatch(records, CompressionType::kLz);
+  EXPECT_LT(lz.size(), raw.size() / 2);
+  std::vector<RedoRecord> decoded;
+  ASSERT_TRUE(LogStream::DecodeBatch(lz, &decoded).ok());
+  EXPECT_EQ(decoded, records);
+}
+
+TEST(LogStreamTest, CompressedBatchFallsBackWhenIncompressible) {
+  // A single tiny record may not compress; the batch must still decode.
+  std::vector<RedoRecord> records = {RedoRecord::Abort(1)};
+  records[0].lsn = 1;
+  std::string batch = LogStream::EncodeBatch(records, CompressionType::kLz);
+  std::vector<RedoRecord> decoded;
+  ASSERT_TRUE(LogStream::DecodeBatch(batch, &decoded).ok());
+  EXPECT_EQ(decoded, records);
+}
+
+TEST(LogStreamTest, DecodeBatchRejectsGarbage) {
+  std::vector<RedoRecord> decoded;
+  EXPECT_FALSE(LogStream::DecodeBatch("", &decoded).ok());
+  EXPECT_FALSE(LogStream::DecodeBatch("\x07garbage", &decoded).ok());
+  std::string bad;
+  bad.push_back(static_cast<char>(CompressionType::kNone));
+  bad += "\xff\xff\xff";
+  EXPECT_FALSE(LogStream::DecodeBatch(bad, &decoded).ok());
+}
+
+TEST(LogStreamTest, TotalBytesAccumulates) {
+  LogStream stream;
+  EXPECT_EQ(stream.total_bytes(), 0u);
+  stream.Append(MakeData(1, "a"));
+  const uint64_t after_one = stream.total_bytes();
+  EXPECT_GT(after_one, 0u);
+  stream.Append(MakeData(1, "b"));
+  EXPECT_GT(stream.total_bytes(), after_one);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,83 @@
+#include "src/sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/task.h"
+
+namespace globaldb::sim {
+namespace {
+
+Task<void> Job(Simulator* sim, CpuScheduler* cpu, SimDuration work,
+               std::vector<SimTime>* done) {
+  co_await cpu->Consume(work);
+  done->push_back(sim->now());
+}
+
+TEST(CpuSchedulerTest, SingleCoreSerializesWork) {
+  Simulator sim;
+  CpuScheduler cpu(&sim, 1);
+  std::vector<SimTime> done;
+  sim.Spawn(Job(&sim, &cpu, 100, &done));
+  sim.Spawn(Job(&sim, &cpu, 100, &done));
+  sim.Spawn(Job(&sim, &cpu, 100, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 200, 300}));
+  EXPECT_EQ(cpu.busy_ns(), 300);
+}
+
+TEST(CpuSchedulerTest, MultiCoreRunsInParallel) {
+  Simulator sim;
+  CpuScheduler cpu(&sim, 3);
+  std::vector<SimTime> done;
+  for (int i = 0; i < 3; ++i) sim.Spawn(Job(&sim, &cpu, 100, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 100, 100}));
+}
+
+TEST(CpuSchedulerTest, QueueDelayAccounted) {
+  Simulator sim;
+  CpuScheduler cpu(&sim, 1);
+  std::vector<SimTime> done;
+  sim.Spawn(Job(&sim, &cpu, 100, &done));
+  sim.Spawn(Job(&sim, &cpu, 50, &done));
+  sim.Run();
+  // Second job waited 100 ns for the core.
+  EXPECT_EQ(cpu.queue_delay_ns(), 100);
+  EXPECT_EQ(cpu.CurrentQueueDelay(), 0);
+}
+
+TEST(CpuSchedulerTest, CurrentQueueDelayReflectsBacklog) {
+  Simulator sim;
+  CpuScheduler cpu(&sim, 1);
+  std::vector<SimTime> done;
+  sim.Schedule(0, [&] {
+    sim.Spawn(Job(&sim, &cpu, 1000, &done));
+    EXPECT_EQ(cpu.CurrentQueueDelay(), 1000);
+  });
+  sim.Run();
+}
+
+TEST(CpuSchedulerTest, ZeroWorkCompletesImmediately) {
+  Simulator sim;
+  CpuScheduler cpu(&sim, 2);
+  std::vector<SimTime> done;
+  sim.Spawn(Job(&sim, &cpu, 0, &done));
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{0}));
+}
+
+TEST(CpuSchedulerTest, IdleGapThenNewWorkStartsAtNow) {
+  Simulator sim;
+  CpuScheduler cpu(&sim, 1);
+  std::vector<SimTime> done;
+  sim.Spawn(Job(&sim, &cpu, 100, &done));
+  sim.Schedule(500, [&] { sim.Spawn(Job(&sim, &cpu, 100, &done)); });
+  sim.Run();
+  EXPECT_EQ(done, (std::vector<SimTime>{100, 600}));
+}
+
+}  // namespace
+}  // namespace globaldb::sim

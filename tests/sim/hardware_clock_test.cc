@@ -1,0 +1,83 @@
+#include "src/sim/hardware_clock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "src/sim/simulator.h"
+
+namespace globaldb::sim {
+namespace {
+
+TEST(HardwareClockTest, ReadTracksTrueTimeWithinBound) {
+  Simulator sim(5);
+  HardwareClock clock(&sim, Rng(99));
+  for (int i = 1; i <= 1000; ++i) {
+    sim.RunUntil(i * 700 * kMicrosecond);
+    const SimTime reading = clock.Read();
+    const SimDuration bound = clock.ErrorBound();
+    EXPECT_LE(std::llabs(reading - sim.now()), bound)
+        << "at t=" << sim.now();
+  }
+}
+
+TEST(HardwareClockTest, MonotonicReads) {
+  Simulator sim(7);
+  HardwareClock clock(&sim, Rng(100));
+  SimTime prev = clock.Read();
+  for (int i = 1; i <= 5000; ++i) {
+    sim.RunUntil(i * 100 * kMicrosecond);
+    const SimTime r = clock.Read();
+    EXPECT_GT(r, prev);
+    prev = r;
+  }
+}
+
+TEST(HardwareClockTest, ErrorBoundSmallWhenHealthy) {
+  Simulator sim(9);
+  HardwareClock clock(&sim, Rng(101));
+  sim.RunUntil(10 * kSecond);
+  // With 1 ms sync interval, 60 us RTT, 200 PPM drift:
+  // bound <= 60us + 200e-6 * 1ms = 60.2 us.
+  EXPECT_LE(clock.ErrorBound(), 61 * kMicrosecond);
+}
+
+TEST(HardwareClockTest, ErrorBoundGrowsWhenSyncFails) {
+  Simulator sim(11);
+  HardwareClock clock(&sim, Rng(102));
+  sim.RunUntil(1 * kSecond);
+  const SimDuration healthy_bound = clock.ErrorBound();
+  clock.set_sync_healthy(false);
+  sim.RunUntil(11 * kSecond);
+  const SimDuration broken_bound = clock.ErrorBound();
+  EXPECT_GT(broken_bound, healthy_bound * 10);
+  // Recovery shrinks it again.
+  clock.set_sync_healthy(true);
+  sim.RunUntil(12 * kSecond);
+  EXPECT_LE(clock.ErrorBound(), 61 * kMicrosecond);
+}
+
+TEST(HardwareClockTest, InjectedOffsetVisible) {
+  Simulator sim(13);
+  HardwareClock clock(&sim, Rng(103));
+  clock.set_sync_healthy(false);  // keep the injected skew
+  sim.RunUntil(1 * kSecond);
+  const SimTime before = clock.Read();
+  clock.InjectOffset(5 * kMillisecond);
+  const SimTime after = clock.Read();
+  EXPECT_GE(after - before, 4 * kMillisecond);
+}
+
+TEST(HardwareClockTest, TwoClocksDisagreeWithinTwiceBound) {
+  Simulator sim(17);
+  HardwareClock a(&sim, Rng(1)), b(&sim, Rng(2));
+  for (int i = 1; i <= 500; ++i) {
+    sim.RunUntil(i * kMillisecond);
+    const SimTime ra = a.Read();
+    const SimTime rb = b.Read();
+    EXPECT_LE(std::llabs(ra - rb), a.ErrorBound() + b.ErrorBound() + 2);
+  }
+}
+
+}  // namespace
+}  // namespace globaldb::sim

@@ -1,0 +1,55 @@
+#include "src/sim/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace globaldb::sim {
+namespace {
+
+TEST(TopologyTest, ThreeCityMatchesPaperLatencies) {
+  Topology t = Topology::ThreeCity();
+  ASSERT_EQ(t.num_regions(), 3u);
+  // Section V: Xi'an-Langzhong 25 ms, Langzhong-Dongguan 35 ms,
+  // Xi'an-Dongguan 55 ms (RTT); one-way = half.
+  EXPECT_EQ(t.rtt[0][1], 25 * kMillisecond);
+  EXPECT_EQ(t.rtt[1][2], 35 * kMillisecond);
+  EXPECT_EQ(t.rtt[0][2], 55 * kMillisecond);
+  EXPECT_EQ(t.OneWayLatency(0, 1), 12500 * kMicrosecond);
+  // Symmetry and small diagonal.
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = 0; b < 3; ++b) {
+      EXPECT_EQ(t.rtt[a][b], t.rtt[b][a]);
+    }
+    EXPECT_LT(t.rtt[a][a], 1 * kMillisecond);
+  }
+}
+
+TEST(TopologyTest, SingleRegionIsRackLocal) {
+  Topology t = Topology::SingleRegion();
+  ASSERT_EQ(t.num_regions(), 1u);
+  EXPECT_LT(t.OneWayLatency(0, 0), 1 * kMillisecond);
+}
+
+TEST(TopologyTest, ChainLatencyIsAdditive) {
+  Topology t = Topology::Chain(4, 10 * kMillisecond);
+  ASSERT_EQ(t.num_regions(), 4u);
+  EXPECT_EQ(t.rtt[0][1], 10 * kMillisecond);
+  EXPECT_EQ(t.rtt[0][2], 20 * kMillisecond);
+  EXPECT_EQ(t.rtt[0][3], 30 * kMillisecond);
+  EXPECT_EQ(t.rtt[3][1], 20 * kMillisecond);
+}
+
+TEST(TopologyTest, UniformAppliesSameRttEverywhere) {
+  Topology t = Topology::Uniform(3, 40 * kMillisecond);
+  for (size_t a = 0; a < 3; ++a) {
+    for (size_t b = 0; b < 3; ++b) {
+      if (a == b) {
+        EXPECT_LT(t.rtt[a][b], 1 * kMillisecond);
+      } else {
+        EXPECT_EQ(t.rtt[a][b], 40 * kMillisecond);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace globaldb::sim

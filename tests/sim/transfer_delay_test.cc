@@ -1,0 +1,85 @@
+// Unit checks of the network delay model arithmetic: latency + serialization
+// at the effective bandwidth, the CUBIC-vs-BBR utilization curve, and jitter
+// bounds.
+
+#include <gtest/gtest.h>
+
+#include "src/sim/network.h"
+
+namespace globaldb::sim {
+namespace {
+
+class TransferDelayTest : public ::testing::Test {
+ protected:
+  TransferDelayTest()
+      : sim_(9), net_(&sim_, Topology::ThreeCity(), Options()) {
+    net_.RegisterNode(1, 0);
+    net_.RegisterNode(2, 1);
+    net_.RegisterNode(3, 0);
+  }
+  static NetworkOptions Options() {
+    NetworkOptions o;
+    o.jitter_fraction = 0;
+    o.nagle_enabled = false;
+    o.inter_region_bandwidth = 10e6;  // 10 MB/s for easy math
+    return o;
+  }
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(TransferDelayTest, TinyMessageIsPureLatency) {
+  // Xi'an -> Langzhong one-way = 12.5 ms.
+  const SimDuration d = net_.TransferDelay(1, 2, 1);
+  EXPECT_GE(d, 12500 * kMicrosecond);
+  EXPECT_LT(d, 12600 * kMicrosecond);
+}
+
+TEST_F(TransferDelayTest, SerializationScalesWithSize) {
+  const SimDuration small = net_.TransferDelay(1, 2, 1000);
+  const SimDuration large = net_.TransferDelay(1, 2, 1000000);
+  // ~1 MB at an effective (CUBIC-degraded) 10 MB/s link: >= 100 ms extra.
+  EXPECT_GT(large - small, 90 * kMillisecond);
+}
+
+TEST_F(TransferDelayTest, IntraRegionUsesFastPath) {
+  const SimDuration d = net_.TransferDelay(1, 3, 100000);
+  // 100 us one-way + 100 KB at 1.25 GB/s = well under 1 ms.
+  EXPECT_LT(d, 1 * kMillisecond);
+}
+
+TEST_F(TransferDelayTest, CubicUtilizationDegradesWithRtt) {
+  // Same payload; longer-RTT pair gets less effective bandwidth under the
+  // loss-based model, so serialization takes longer.
+  const size_t payload = 5 * 1000 * 1000;
+  const SimDuration near = net_.TransferDelay(1, 2, payload) -
+                           net_.TransferDelay(1, 2, 1);   // 25 ms RTT pair
+  net_.RegisterNode(4, 2);
+  const SimDuration far = net_.TransferDelay(1, 4, payload) -
+                          net_.TransferDelay(1, 4, 1);    // 55 ms RTT pair
+  EXPECT_GT(far, near);
+
+  // BBR removes the RTT dependence (both near full utilization).
+  net_.mutable_options()->bbr_enabled = true;
+  const SimDuration near_bbr = net_.TransferDelay(1, 2, payload) -
+                               net_.TransferDelay(1, 2, 1);
+  const SimDuration far_bbr = net_.TransferDelay(1, 4, payload) -
+                              net_.TransferDelay(1, 4, 1);
+  EXPECT_NEAR(static_cast<double>(far_bbr),
+              static_cast<double>(near_bbr),
+              static_cast<double>(near_bbr) * 0.02);
+  EXPECT_LT(far_bbr, far);
+}
+
+TEST_F(TransferDelayTest, JitterStaysWithinConfiguredFraction) {
+  net_.mutable_options()->jitter_fraction = 0.10;
+  const SimDuration base = 12500 * kMicrosecond;
+  for (int i = 0; i < 200; ++i) {
+    const SimDuration d = net_.TransferDelay(1, 2, 1);
+    EXPECT_GE(d, base);
+    EXPECT_LE(d, base + base / 10 + 1 * kMicrosecond);
+  }
+}
+
+}  // namespace
+}  // namespace globaldb::sim

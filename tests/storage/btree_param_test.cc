@@ -1,0 +1,137 @@
+// Parameterized B+-tree sweep over insertion patterns and sizes: ordered
+// iteration, lower-bound semantics, and structural invariants must hold for
+// sequential, reverse, random, clustered, and interleaved-erase workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/storage/btree.h"
+
+namespace globaldb {
+namespace {
+
+enum class Pattern { kSequential, kReverse, kRandom, kClustered, kErasing };
+
+const char* PatternName(Pattern p) {
+  switch (p) {
+    case Pattern::kSequential:
+      return "Sequential";
+    case Pattern::kReverse:
+      return "Reverse";
+    case Pattern::kRandom:
+      return "Random";
+    case Pattern::kClustered:
+      return "Clustered";
+    case Pattern::kErasing:
+      return "Erasing";
+  }
+  return "?";
+}
+
+std::string Key(int i) {
+  char buf[16];
+  snprintf(buf, sizeof(buf), "key%07d", i);
+  return buf;
+}
+
+class BTreeSweepTest
+    : public ::testing::TestWithParam<std::tuple<Pattern, int>> {};
+
+TEST_P(BTreeSweepTest, OrderedIterationAndLookups) {
+  auto [pattern, n] = GetParam();
+  Rng rng(static_cast<uint64_t>(n) * 131 + static_cast<int>(pattern));
+  BTree<int> tree;
+  std::set<int> expected;
+
+  auto insert = [&](int i) {
+    tree.Put(Key(i), i);
+    expected.insert(i);
+  };
+
+  switch (pattern) {
+    case Pattern::kSequential:
+      for (int i = 0; i < n; ++i) insert(i);
+      break;
+    case Pattern::kReverse:
+      for (int i = n - 1; i >= 0; --i) insert(i);
+      break;
+    case Pattern::kRandom:
+      for (int i = 0; i < n; ++i) insert(static_cast<int>(rng.Uniform(n)));
+      break;
+    case Pattern::kClustered:
+      // Bursts of adjacent keys starting at random offsets.
+      for (int i = 0; i < n; i += 16) {
+        const int base = static_cast<int>(rng.Uniform(n));
+        for (int j = 0; j < 16; ++j) insert((base + j) % n);
+      }
+      break;
+    case Pattern::kErasing:
+      for (int i = 0; i < n; ++i) insert(i);
+      for (int i = 0; i < n; ++i) {
+        if (rng.Bernoulli(0.5)) {
+          tree.Erase(Key(i));
+          expected.erase(i);
+        }
+      }
+      break;
+  }
+
+  ASSERT_EQ(tree.size(), expected.size());
+  ASSERT_TRUE(tree.CheckInvariants());
+
+  // Full ordered iteration matches the reference set.
+  auto it = tree.Begin();
+  for (int v : expected) {
+    ASSERT_TRUE(it.Valid());
+    EXPECT_EQ(it.key(), Key(v));
+    EXPECT_EQ(it.value(), v);
+    it.Next();
+  }
+  EXPECT_FALSE(it.Valid());
+
+  // Point lookups: present and absent keys.
+  for (int probe = 0; probe < std::min(n, 200); ++probe) {
+    const int i = static_cast<int>(rng.Uniform(n));
+    int* found = tree.Find(Key(i));
+    if (expected.count(i)) {
+      ASSERT_NE(found, nullptr);
+      EXPECT_EQ(*found, i);
+    } else {
+      EXPECT_EQ(found, nullptr);
+    }
+  }
+
+  // LowerBound agrees with the reference set's lower_bound.
+  for (int probe = 0; probe < 50; ++probe) {
+    const int i = static_cast<int>(rng.Uniform(n + 2));
+    auto ref = expected.lower_bound(i);
+    auto got = tree.LowerBound(Key(i));
+    if (ref == expected.end()) {
+      EXPECT_FALSE(got.Valid());
+    } else {
+      ASSERT_TRUE(got.Valid());
+      EXPECT_EQ(got.key(), Key(*ref));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreeSweepTest,
+    ::testing::Combine(::testing::Values(Pattern::kSequential,
+                                         Pattern::kReverse, Pattern::kRandom,
+                                         Pattern::kClustered,
+                                         Pattern::kErasing),
+                       ::testing::Values(1, 63, 64, 65, 1000, 20000)),
+    [](const auto& info) {
+      return std::string(PatternName(std::get<0>(info.param))) + "_" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace globaldb

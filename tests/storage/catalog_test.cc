@@ -1,0 +1,163 @@
+#include "src/storage/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "src/storage/schema.h"
+
+namespace globaldb {
+namespace {
+
+TableSchema MakeSchema(const std::string& name) {
+  TableSchema s;
+  s.name = name;
+  s.columns = {{"id", ColumnType::kInt64},
+               {"region", ColumnType::kString},
+               {"balance", ColumnType::kDouble}};
+  s.key_columns = {0};
+  s.distribution_column = 0;
+  return s;
+}
+
+TEST(CatalogTest, CreateAssignsIds) {
+  Catalog catalog;
+  auto id1 = catalog.CreateTable(MakeSchema("t1"));
+  auto id2 = catalog.CreateTable(MakeSchema("t2"));
+  ASSERT_TRUE(id1.ok());
+  ASSERT_TRUE(id2.ok());
+  EXPECT_NE(*id1, *id2);
+  EXPECT_EQ(catalog.NumTables(), 2u);
+  EXPECT_EQ(catalog.FindTable("t1")->id, *id1);
+  EXPECT_EQ(catalog.FindTableById(*id2)->name, "t2");
+}
+
+TEST(CatalogTest, DuplicateNameRejected) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(MakeSchema("t")).ok());
+  EXPECT_EQ(catalog.CreateTable(MakeSchema("t")).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(CatalogTest, InvalidSchemasRejected) {
+  Catalog catalog;
+  TableSchema s = MakeSchema("bad");
+  s.key_columns = {};
+  EXPECT_FALSE(catalog.CreateTable(s).ok());
+  s = MakeSchema("bad");
+  s.key_columns = {7};
+  EXPECT_FALSE(catalog.CreateTable(s).ok());
+  s = MakeSchema("bad");
+  s.columns.clear();
+  EXPECT_FALSE(catalog.CreateTable(s).ok());
+  s = MakeSchema("");
+  EXPECT_FALSE(catalog.CreateTable(s).ok());
+}
+
+TEST(CatalogTest, DropTable) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.CreateTable(MakeSchema("t")).ok());
+  ASSERT_TRUE(catalog.DropTable("t").ok());
+  EXPECT_EQ(catalog.FindTable("t"), nullptr);
+  EXPECT_EQ(catalog.DropTable("t").code(), StatusCode::kNotFound);
+}
+
+TEST(CatalogTest, SchemaEncodeDecodeRoundTrip) {
+  TableSchema s = MakeSchema("orders");
+  s.id = 42;
+  s.key_columns = {0, 1};
+  s.distribution_column = 1;
+  s.distribution = DistributionKind::kReplicated;
+  std::string buf;
+  s.EncodeTo(&buf);
+  auto decoded = TableSchema::Decode(buf);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->id, 42u);
+  EXPECT_EQ(decoded->name, "orders");
+  EXPECT_EQ(decoded->columns.size(), 3u);
+  EXPECT_EQ(decoded->columns[1].name, "region");
+  EXPECT_EQ(decoded->columns[1].type, ColumnType::kString);
+  EXPECT_EQ(decoded->key_columns, (std::vector<int>{0, 1}));
+  EXPECT_EQ(decoded->distribution_column, 1);
+  EXPECT_EQ(decoded->distribution, DistributionKind::kReplicated);
+}
+
+TEST(CatalogTest, DdlPayloadApply) {
+  Catalog primary;
+  TableSchema s = MakeSchema("t");
+  auto id = primary.CreateTable(s);
+  ASSERT_TRUE(id.ok());
+  const std::string create_payload =
+      Catalog::MakeCreatePayload(*primary.FindTable("t"));
+
+  // Replica catalog applies the payload.
+  Catalog replica;
+  ASSERT_TRUE(replica.ApplyDdl(create_payload, /*ts=*/500).ok());
+  ASSERT_NE(replica.FindTable("t"), nullptr);
+  EXPECT_EQ(replica.FindTable("t")->id, *id);
+  EXPECT_EQ(replica.LastDdlTimestamp(*id), 500u);
+  EXPECT_EQ(replica.MaxDdlTimestamp(), 500u);
+
+  // Replay is idempotent.
+  ASSERT_TRUE(replica.ApplyDdl(create_payload, 500).ok());
+  EXPECT_EQ(replica.NumTables(), 1u);
+
+  // Drop payload removes it.
+  ASSERT_TRUE(replica.ApplyDdl(Catalog::MakeDropPayload("t"), 600).ok());
+  EXPECT_EQ(replica.FindTable("t"), nullptr);
+  EXPECT_EQ(replica.MaxDdlTimestamp(), 600u);
+}
+
+TEST(CatalogTest, ApplyDdlRejectsGarbage) {
+  Catalog catalog;
+  EXPECT_FALSE(catalog.ApplyDdl("", 1).ok());
+  EXPECT_FALSE(catalog.ApplyDdl("Xjunk", 1).ok());
+  EXPECT_FALSE(catalog.ApplyDdl("C\x01\x02", 1).ok());
+}
+
+TEST(CatalogTest, DdlTimestampsMonotonic) {
+  Catalog catalog;
+  auto id = catalog.CreateTable(MakeSchema("t"));
+  ASSERT_TRUE(id.ok());
+  catalog.RecordDdlTimestamp(*id, 100);
+  catalog.RecordDdlTimestamp(*id, 50);  // stale, ignored
+  EXPECT_EQ(catalog.LastDdlTimestamp(*id), 100u);
+}
+
+TEST(SchemaTest, ValidateRow) {
+  TableSchema s = MakeSchema("t");
+  EXPECT_TRUE(
+      s.ValidateRow({int64_t{1}, std::string("x"), 2.5}).ok());
+  // Int accepted for double column.
+  EXPECT_TRUE(
+      s.ValidateRow({int64_t{1}, std::string("x"), int64_t{2}}).ok());
+  // Wrong arity.
+  EXPECT_FALSE(s.ValidateRow({int64_t{1}}).ok());
+  // Type mismatch.
+  EXPECT_FALSE(
+      s.ValidateRow({std::string("x"), std::string("x"), 2.5}).ok());
+  // Null in key column.
+  EXPECT_FALSE(s.ValidateRow({Value{}, std::string("x"), 2.5}).ok());
+  // Null elsewhere is fine.
+  EXPECT_TRUE(s.ValidateRow({int64_t{1}, Value{}, Value{}}).ok());
+}
+
+TEST(SchemaTest, RoutingStableAndBalanced) {
+  TableSchema s = MakeSchema("t");
+  const uint32_t kShards = 6;
+  int counts[kShards] = {0};
+  for (int i = 0; i < 6000; ++i) {
+    Row row = {int64_t{i}, std::string("r"), 0.0};
+    ShardId shard = RouteRowToShard(s, row, kShards);
+    ASSERT_LT(shard, kShards);
+    EXPECT_EQ(shard, RouteRowToShard(s, row, kShards));  // deterministic
+    counts[shard]++;
+  }
+  for (int c : counts) EXPECT_GT(c, 600);
+
+  // Replicated tables route to shard 0.
+  s.distribution = DistributionKind::kReplicated;
+  EXPECT_EQ(RouteRowToShard(s, {int64_t{123}, std::string("r"), 0.0}, kShards),
+            0u);
+}
+
+}  // namespace
+}  // namespace globaldb

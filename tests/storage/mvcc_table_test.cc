@@ -1,0 +1,213 @@
+#include "src/storage/mvcc_table.h"
+
+#include <gtest/gtest.h>
+
+namespace globaldb {
+namespace {
+
+class MvccTableTest : public ::testing::Test {
+ protected:
+  MvccTable table_{1};
+};
+
+TEST_F(MvccTableTest, InsertInvisibleUntilCommit) {
+  ASSERT_TRUE(table_.Insert("k", "v1", /*txn=*/10).ok());
+  // Not visible to other snapshots while provisional.
+  ReadResult r = table_.Read("k", /*snapshot=*/1000, /*reader=*/20);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.provisional_txn, 10u);
+  // Visible to the writer itself.
+  r = table_.Read("k", 1000, 10);
+  EXPECT_TRUE(r.found);
+  EXPECT_EQ(r.value, "v1");
+  // After commit at ts=100: visible at snapshots >= 100.
+  table_.CommitTxn(10, 100);
+  EXPECT_TRUE(table_.Read("k", 100, 20).found);
+  EXPECT_FALSE(table_.Read("k", 99, 20).found);
+}
+
+TEST_F(MvccTableTest, SnapshotIsolationAcrossVersions) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Update("k", "v2", 2, /*snapshot=*/150).ok());
+  table_.CommitTxn(2, 200);
+  ASSERT_TRUE(table_.Update("k", "v3", 3, /*snapshot=*/250).ok());
+  table_.CommitTxn(3, 300);
+
+  EXPECT_FALSE(table_.Read("k", 50).found);
+  EXPECT_EQ(table_.Read("k", 100).value, "v1");
+  EXPECT_EQ(table_.Read("k", 199).value, "v1");
+  EXPECT_EQ(table_.Read("k", 200).value, "v2");
+  EXPECT_EQ(table_.Read("k", 299).value, "v2");
+  EXPECT_EQ(table_.Read("k", 300).value, "v3");
+  EXPECT_EQ(table_.Read("k", 999999).value, "v3");
+}
+
+TEST_F(MvccTableTest, DuplicateInsertRejected) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  Status s = table_.Insert("k", "v2", 2);
+  EXPECT_EQ(s.code(), StatusCode::kAlreadyExists);
+  // Own duplicate insert also rejected.
+  ASSERT_TRUE(table_.Insert("j", "x", 3).ok());
+  EXPECT_EQ(table_.Insert("j", "y", 3).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(MvccTableTest, DeleteHidesRow) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Delete("k", 2, 150).ok());
+  table_.CommitTxn(2, 200);
+  EXPECT_TRUE(table_.Read("k", 150).found);   // old snapshot still sees it
+  EXPECT_FALSE(table_.Read("k", 200).found);  // deleted from 200 on
+  // Re-insert after delete works.
+  ASSERT_TRUE(table_.Insert("k", "v2", 3).ok());
+  table_.CommitTxn(3, 300);
+  EXPECT_EQ(table_.Read("k", 300).value, "v2");
+}
+
+TEST_F(MvccTableTest, WriteConflictFirstCommitterWins) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  // txn 2 commits an update; txn 3 (older snapshot) must then fail.
+  ASSERT_TRUE(table_.Update("k", "v2", 2, 150).ok());
+  table_.CommitTxn(2, 200);
+  Status s = table_.Update("k", "v3", 3, /*snapshot=*/150);
+  EXPECT_EQ(s.code(), StatusCode::kAborted);
+}
+
+TEST_F(MvccTableTest, ConcurrentProvisionalWriteConflicts) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Update("k", "v2", 2, 150).ok());
+  // txn 3 sees txn 2's provisional lock.
+  EXPECT_EQ(table_.Update("k", "v3", 3, 150).code(), StatusCode::kAborted);
+  EXPECT_EQ(table_.Delete("k", 3, 150).code(), StatusCode::kAborted);
+}
+
+TEST_F(MvccTableTest, AbortRollsBackEverything) {
+  ASSERT_TRUE(table_.Insert("a", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Update("a", "v2", 2, 150).ok());
+  ASSERT_TRUE(table_.Insert("b", "new", 2).ok());
+  table_.AbortTxn(2);
+  EXPECT_EQ(table_.Read("a", 500).value, "v1");
+  EXPECT_FALSE(table_.Read("b", 500).found);
+  // The lock is released: another txn can update.
+  EXPECT_TRUE(table_.Update("a", "v3", 3, 150).ok());
+}
+
+TEST_F(MvccTableTest, UpdateOwnWriteOverwrites) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Update("k", "v2", 2, 150).ok());
+  ASSERT_TRUE(table_.Update("k", "v3", 2, 150).ok());
+  table_.CommitTxn(2, 200);
+  EXPECT_EQ(table_.Read("k", 200).value, "v3");
+  // Exactly one new version was created (old + new).
+  EXPECT_EQ(table_.Read("k", 199).value, "v1");
+}
+
+TEST_F(MvccTableTest, InsertThenDeleteSameTxnInvisible) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  ASSERT_TRUE(table_.Delete("k", 1, 0).ok());
+  // Writer no longer sees it.
+  EXPECT_FALSE(table_.Read("k", 1000, 1).found);
+  table_.CommitTxn(1, 100);
+  EXPECT_FALSE(table_.Read("k", 1000).found);
+}
+
+TEST_F(MvccTableTest, ReadYourOwnDeletes) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Delete("k", 2, 150).ok());
+  EXPECT_FALSE(table_.Read("k", 150, 2).found);   // deleter doesn't see it
+  EXPECT_TRUE(table_.Read("k", 150, 3).found);    // others still do
+}
+
+TEST_F(MvccTableTest, UpdateNonexistentFails) {
+  EXPECT_EQ(table_.Update("nope", "v", 1, 100).code(), StatusCode::kNotFound);
+  EXPECT_EQ(table_.Delete("nope", 1, 100).code(), StatusCode::kNotFound);
+}
+
+TEST_F(MvccTableTest, ScanReturnsVisibleRange) {
+  for (int i = 0; i < 10; ++i) {
+    std::string key = "k" + std::to_string(i);
+    ASSERT_TRUE(table_.Insert(key, "v" + std::to_string(i), 1).ok());
+  }
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Delete("k3", 2, 150).ok());
+  table_.CommitTxn(2, 200);
+
+  auto rows = table_.Scan("k2", "k6", /*snapshot=*/300, kInvalidTxnId, 100,
+                          nullptr);
+  ASSERT_EQ(rows.size(), 3u);  // k2, k4, k5 (k3 deleted)
+  EXPECT_EQ(rows[0].key, "k2");
+  EXPECT_EQ(rows[1].key, "k4");
+  EXPECT_EQ(rows[2].key, "k5");
+
+  // At an old snapshot, k3 is still there.
+  rows = table_.Scan("k2", "k6", 150, kInvalidTxnId, 100, nullptr);
+  EXPECT_EQ(rows.size(), 4u);
+}
+
+TEST_F(MvccTableTest, ScanCollectsProvisionalTxns) {
+  ASSERT_TRUE(table_.Insert("a", "v", 1).ok());
+  table_.CommitTxn(1, 100);
+  ASSERT_TRUE(table_.Insert("b", "v", 2).ok());  // provisional
+  std::vector<TxnId> pending;
+  auto rows = table_.Scan("", "", 300, kInvalidTxnId, 100, &pending);
+  EXPECT_EQ(rows.size(), 1u);
+  ASSERT_EQ(pending.size(), 1u);
+  EXPECT_EQ(pending[0], 2u);
+}
+
+TEST_F(MvccTableTest, ScanRespectsLimit) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        table_.Insert("k" + std::to_string(1000 + i), "v", 1).ok());
+  }
+  table_.CommitTxn(1, 100);
+  auto rows = table_.Scan("", "", 200, kInvalidTxnId, 7, nullptr);
+  EXPECT_EQ(rows.size(), 7u);
+}
+
+TEST_F(MvccTableTest, ReplicaApplyPathMirrorsPrimary) {
+  // Replay: insert, commit, update, commit, delete, commit.
+  table_.ApplyInsert("k", "v1", 1);
+  table_.CommitTxn(1, 100);
+  table_.ApplyUpdate("k", "v2", 2);
+  table_.CommitTxn(2, 200);
+  table_.ApplyDelete("k", 3);
+  table_.CommitTxn(3, 300);
+  EXPECT_EQ(table_.Read("k", 150).value, "v1");
+  EXPECT_EQ(table_.Read("k", 250).value, "v2");
+  EXPECT_FALSE(table_.Read("k", 300).found);
+}
+
+TEST_F(MvccTableTest, ProvisionalReportedToReplicaReaders) {
+  table_.ApplyInsert("k", "v1", 1);
+  table_.CommitTxn(1, 100);
+  table_.ApplyUpdate("k", "v2", 2);  // txn 2 unresolved
+  ReadResult r = table_.Read("k", 150);
+  EXPECT_TRUE(r.found);  // committed v1 visible
+  EXPECT_EQ(r.value, "v1");
+  EXPECT_EQ(r.provisional_txn, 2u);  // but a pending writer is flagged
+}
+
+TEST_F(MvccTableTest, VacuumReclaimsDeadVersions) {
+  ASSERT_TRUE(table_.Insert("k", "v1", 1).ok());
+  table_.CommitTxn(1, 100);
+  for (int i = 0; i < 5; ++i) {
+    TxnId txn = 10 + i;
+    ASSERT_TRUE(table_.Update("k", "v" + std::to_string(i), txn, 1000).ok());
+    table_.CommitTxn(txn, 200 + i * 100);
+  }
+  const size_t reclaimed = table_.Vacuum(/*horizon=*/500);
+  EXPECT_GE(reclaimed, 3u);
+  // Latest version still readable.
+  EXPECT_TRUE(table_.Read("k", 10000).found);
+}
+
+}  // namespace
+}  // namespace globaldb

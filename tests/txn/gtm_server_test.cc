@@ -1,0 +1,158 @@
+// Direct unit tests of the GTM server's mode-dependent timestamp rules
+// (Eqs. 2-3 and the Fig. 2 abort rule), exercised through its RPC handler.
+
+#include "src/txn/gtm_server.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace globaldb {
+namespace {
+
+class GtmServerTest : public ::testing::Test {
+ protected:
+  GtmServerTest()
+      : sim_(3), net_(&sim_, sim::Topology::SingleRegion(), Options()) {
+    net_.RegisterNode(0, 0);
+    net_.RegisterNode(1, 0);
+    gtm_ = std::make_unique<GtmServer>(&sim_, &net_, 0);
+  }
+
+  static sim::NetworkOptions Options() {
+    sim::NetworkOptions o;
+    o.nagle_enabled = false;
+    return o;
+  }
+
+  GtmTimestampReply Ask(GtmTimestampRequest request) {
+    GtmTimestampReply reply;
+    bool done = false;
+    auto call = [](sim::Network* net, GtmTimestampRequest req,
+                   GtmTimestampReply* out, bool* done) -> sim::Task<void> {
+      auto response = co_await net->Call(1, 0, kGtmTimestampMethod,
+                                         req.Encode());
+      EXPECT_TRUE(response.ok());
+      if (response.ok()) {
+        auto decoded = GtmTimestampReply::Decode(*response);
+        EXPECT_TRUE(decoded.ok());
+        if (decoded.ok()) *out = *decoded;
+      }
+      *done = true;
+    };
+    sim_.Spawn(call(&net_, request, &reply, &done));
+    while (!done) sim_.RunFor(1 * kMillisecond);
+    return reply;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::unique_ptr<GtmServer> gtm_;
+};
+
+TEST_F(GtmServerTest, GtmModeIncrementsCounter) {
+  GtmTimestampRequest request;
+  request.client_mode = TimestampMode::kGtm;
+  EXPECT_EQ(Ask(request).ts, 1u);
+  EXPECT_EQ(Ask(request).ts, 2u);
+  EXPECT_EQ(Ask(request).ts, 3u);
+  EXPECT_EQ(gtm_->counter(), 3u);
+}
+
+TEST_F(GtmServerTest, DualModeBridgesAboveClockUpperBound) {
+  gtm_->SetMode(TimestampMode::kDual, 0);
+  GtmTimestampRequest request;
+  request.client_mode = TimestampMode::kDual;
+  request.gclock_upper = 1'000'000'000;
+  request.error_bound = 70 * kMicrosecond;
+  GtmTimestampReply reply = Ask(request);
+  EXPECT_EQ(reply.ts, 1'000'000'001u);  // max(counter, upper) + 1
+  EXPECT_EQ(reply.server_mode, TimestampMode::kDual);
+  // A subsequent plain-GTM request continues above the bridged value.
+  GtmTimestampRequest gtm_request;
+  gtm_request.client_mode = TimestampMode::kGtm;
+  EXPECT_GT(Ask(gtm_request).ts, 1'000'000'001u);
+}
+
+TEST_F(GtmServerTest, DualModeMakesGtmCommitsWaitTwiceTheErrorBound) {
+  gtm_->SetMode(TimestampMode::kDual, 0);
+  // Register the largest error bound seen in the transition window.
+  GtmTimestampRequest dual;
+  dual.client_mode = TimestampMode::kDual;
+  dual.gclock_upper = 500;
+  dual.error_bound = 80 * kMicrosecond;
+  (void)Ask(dual);
+  EXPECT_EQ(gtm_->max_error_bound(), 80 * kMicrosecond);
+
+  GtmTimestampRequest commit;
+  commit.client_mode = TimestampMode::kGtm;
+  commit.is_commit = true;
+  GtmTimestampReply reply = Ask(commit);
+  EXPECT_FALSE(reply.aborted);
+  EXPECT_EQ(reply.wait, 2 * 80 * kMicrosecond);  // Listing 1 safeguard
+  // Begins do not wait.
+  GtmTimestampRequest begin;
+  begin.client_mode = TimestampMode::kGtm;
+  EXPECT_EQ(Ask(begin).wait, 0);
+}
+
+TEST_F(GtmServerTest, GclockModeAbortsStaleGtmClients) {
+  gtm_->SetMode(TimestampMode::kGclock, 0);
+  GtmTimestampRequest request;
+  request.client_mode = TimestampMode::kGtm;
+  request.is_commit = true;
+  GtmTimestampReply reply = Ask(request);
+  EXPECT_TRUE(reply.aborted);
+  EXPECT_EQ(gtm_->metrics().Get("gtm.stale_aborts"), 1);
+  // DUAL stragglers are still served (they bridge safely).
+  GtmTimestampRequest dual;
+  dual.client_mode = TimestampMode::kDual;
+  dual.gclock_upper = 42;
+  reply = Ask(dual);
+  EXPECT_FALSE(reply.aborted);
+  EXPECT_GT(reply.ts, 42u);
+}
+
+TEST_F(GtmServerTest, FloorRaisesCounterMonotonically) {
+  gtm_->SetMode(TimestampMode::kGtm, 1'000);
+  GtmTimestampRequest request;
+  request.client_mode = TimestampMode::kGtm;
+  EXPECT_EQ(Ask(request).ts, 1'001u);
+  // A lower floor never regresses the counter.
+  gtm_->SetMode(TimestampMode::kGtm, 5);
+  EXPECT_EQ(Ask(request).ts, 1'002u);
+}
+
+TEST_F(GtmServerTest, EnteringDualResetsErrorBoundTracking) {
+  gtm_->SetMode(TimestampMode::kDual, 0);
+  GtmTimestampRequest dual;
+  dual.client_mode = TimestampMode::kDual;
+  dual.error_bound = 90 * kMicrosecond;
+  (void)Ask(dual);
+  EXPECT_EQ(gtm_->max_error_bound(), 90 * kMicrosecond);
+  // Leave and re-enter DUAL: a new transition window starts clean.
+  gtm_->SetMode(TimestampMode::kGclock, 0);
+  gtm_->SetMode(TimestampMode::kDual, 0);
+  EXPECT_EQ(gtm_->max_error_bound(), 0);
+}
+
+TEST_F(GtmServerTest, MalformedRequestRejectedSafely) {
+  GtmTimestampReply reply;
+  bool done = false;
+  auto call = [](sim::Network* net, GtmTimestampReply* out,
+                 bool* done) -> sim::Task<void> {
+    auto response = co_await net->Call(1, 0, kGtmTimestampMethod, "\x01");
+    EXPECT_TRUE(response.ok());
+    auto decoded = GtmTimestampReply::Decode(*response);
+    EXPECT_TRUE(decoded.ok());
+    if (decoded.ok()) *out = *decoded;
+    *done = true;
+  };
+  sim_.Spawn(call(&net_, &reply, &done));
+  while (!done) sim_.RunFor(1 * kMillisecond);
+  EXPECT_TRUE(reply.aborted);
+  EXPECT_EQ(gtm_->counter(), 0u);  // nothing issued
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,150 @@
+// Parameterized properties that must hold in every timestamp mode (GTM,
+// DUAL, GClock): uniqueness of commit timestamps, per-node monotonicity,
+// and external consistency (R.1: a transaction that begins after another
+// committed, in real time, sees a larger-or-equal timestamp).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/sim/hardware_clock.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/txn/gtm_server.h"
+#include "src/txn/timestamp_source.h"
+
+namespace globaldb {
+namespace {
+
+class TimestampModeTest : public ::testing::TestWithParam<TimestampMode> {
+ protected:
+  TimestampModeTest()
+      : sim_(101), net_(&sim_, sim::Topology::Uniform(2, 10 * kMillisecond),
+                        Options()) {
+    net_.RegisterNode(0, 0);
+    gtm_ = std::make_unique<GtmServer>(&sim_, &net_, 0);
+    gtm_->SetMode(GetParam() == TimestampMode::kGclock ? TimestampMode::kGtm
+                                                       : GetParam(),
+                  0);
+    for (NodeId cn = 1; cn <= 3; ++cn) {
+      net_.RegisterNode(cn, cn == 3 ? 1 : 0);
+      clocks_.push_back(
+          std::make_unique<sim::HardwareClock>(&sim_, sim_.rng().Fork()));
+      sources_.push_back(std::make_unique<TimestampSource>(
+          &sim_, &net_, cn, 0, clocks_.back().get()));
+      sources_.back()->SetMode(GetParam());
+    }
+  }
+
+  static sim::NetworkOptions Options() {
+    sim::NetworkOptions o;
+    o.nagle_enabled = false;
+    return o;
+  }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::unique_ptr<GtmServer> gtm_;
+  std::vector<std::unique_ptr<sim::HardwareClock>> clocks_;
+  std::vector<std::unique_ptr<TimestampSource>> sources_;
+};
+
+TEST_P(TimestampModeTest, CommitTimestampsUniqueAndPositive) {
+  // GTM and DUAL issue globally unique timestamps (a central counter).
+  // GClock timestamps are unique per node (clock reads are strictly
+  // monotonic locally); two nodes may legitimately tie, which MVCC
+  // visibility tolerates.
+  std::vector<std::vector<Timestamp>> issued(3);
+  auto client = [&](int node, int n) -> sim::Task<void> {
+    for (int i = 0; i < n; ++i) {
+      auto ts = co_await sources_[node]->CommitTs(GetParam());
+      EXPECT_TRUE(ts.ok());
+      if (ts.ok()) issued[node].push_back(*ts);
+      co_await sim_.Sleep(sim_.rng().Uniform(300 * kMicrosecond));
+    }
+  };
+  for (int node = 0; node < 3; ++node) sim_.Spawn(client(node, 30));
+  sim_.Run();
+  std::vector<Timestamp> all;
+  for (int node = 0; node < 3; ++node) {
+    ASSERT_EQ(issued[node].size(), 30u);
+    std::vector<Timestamp> sorted = issued[node];
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(std::unique(sorted.begin(), sorted.end()), sorted.end())
+        << "duplicate per-node timestamps, node " << node;
+    for (Timestamp ts : issued[node]) {
+      EXPECT_GT(ts, 0u);
+      all.push_back(ts);
+    }
+  }
+  if (GetParam() != TimestampMode::kGclock) {
+    std::sort(all.begin(), all.end());
+    EXPECT_EQ(std::unique(all.begin(), all.end()), all.end())
+        << "duplicate global timestamps in mode "
+        << TimestampModeName(GetParam());
+  }
+}
+
+TEST_P(TimestampModeTest, PerNodeMonotonic) {
+  auto client = [&](int node) -> sim::Task<void> {
+    Timestamp prev = 0;
+    for (int i = 0; i < 40; ++i) {
+      auto begin = co_await sources_[node]->BeginTs(false);
+      EXPECT_TRUE(begin.ok());
+      auto commit = co_await sources_[node]->CommitTs(GetParam());
+      EXPECT_TRUE(commit.ok());
+      if (commit.ok()) {
+        EXPECT_GT(*commit, prev) << "node " << node;
+        prev = *commit;
+        sources_[node]->RecordCommitted(*commit);
+      }
+    }
+  };
+  for (int node = 0; node < 3; ++node) sim_.Spawn(client(node));
+  sim_.Run();
+}
+
+TEST_P(TimestampModeTest, ExternalConsistencyAcrossNodes) {
+  struct Event {
+    SimTime start, end;
+    Timestamp ts;
+  };
+  std::vector<Event> events;
+  auto client = [&](int node) -> sim::Task<void> {
+    Rng rng(node + 1);
+    for (int i = 0; i < 30; ++i) {
+      co_await sim_.Sleep(rng.UniformRange(0, 2 * kMillisecond));
+      Event e;
+      e.start = sim_.now();
+      auto ts = co_await sources_[node]->CommitTs(GetParam());
+      EXPECT_TRUE(ts.ok());
+      if (!ts.ok()) continue;
+      e.end = sim_.now();
+      e.ts = *ts;
+      events.push_back(e);
+    }
+  };
+  for (int node = 0; node < 3; ++node) sim_.Spawn(client(node));
+  sim_.Run();
+  int violations = 0;
+  for (const Event& a : events) {
+    for (const Event& b : events) {
+      if (a.end < b.start && a.ts >= b.ts) ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0) << "R.1 violated in mode "
+                           << TimestampModeName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, TimestampModeTest,
+                         ::testing::Values(TimestampMode::kGtm,
+                                           TimestampMode::kDual,
+                                           TimestampMode::kGclock),
+                         [](const auto& info) {
+                           return std::string(TimestampModeName(info.param));
+                         });
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,378 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/sim/hardware_clock.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/txn/gtm_server.h"
+#include "src/txn/timestamp_source.h"
+#include "src/txn/transition.h"
+
+namespace globaldb {
+namespace {
+
+constexpr NodeId kGtmNode = 0;
+constexpr NodeId kCn1 = 1;
+constexpr NodeId kCn2 = 2;
+constexpr NodeId kCn3 = 3;
+
+/// Three CNs + one GTM server on a 2-region network (CN3 remote).
+class TimestampTest : public ::testing::Test {
+ protected:
+  TimestampTest()
+      : sim_(7), net_(&sim_, sim::Topology::Uniform(2, 20 * kMillisecond),
+                      NetOptions()) {
+    net_.RegisterNode(kGtmNode, 0);
+    net_.RegisterNode(kCn1, 0);
+    net_.RegisterNode(kCn2, 0);
+    net_.RegisterNode(kCn3, 1);
+    gtm_ = std::make_unique<GtmServer>(&sim_, &net_, kGtmNode);
+    for (NodeId cn : {kCn1, kCn2, kCn3}) {
+      clocks_.push_back(
+          std::make_unique<sim::HardwareClock>(&sim_, sim_.rng().Fork()));
+      sources_.push_back(std::make_unique<TimestampSource>(
+          &sim_, &net_, cn, kGtmNode, clocks_.back().get()));
+    }
+    coordinator_ = std::make_unique<TransitionCoordinator>(
+        &sim_, &net_, kCn1, kGtmNode, std::vector<NodeId>{kCn1, kCn2, kCn3});
+  }
+
+  static sim::NetworkOptions NetOptions() {
+    sim::NetworkOptions o;
+    o.nagle_enabled = false;
+    return o;
+  }
+
+  TimestampSource& src(int i) { return *sources_[i]; }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::unique_ptr<GtmServer> gtm_;
+  std::vector<std::unique_ptr<sim::HardwareClock>> clocks_;
+  std::vector<std::unique_ptr<TimestampSource>> sources_;
+  std::unique_ptr<TransitionCoordinator> coordinator_;
+};
+
+TEST_F(TimestampTest, GtmModeIssuesConsecutiveTimestamps) {
+  std::vector<Timestamp> got;
+  auto client = [&](TimestampSource* s) -> sim::Task<void> {
+    for (int i = 0; i < 5; ++i) {
+      auto grant = co_await s->BeginTs(false);
+      EXPECT_TRUE(grant.ok());
+      got.push_back(grant->ts);
+    }
+  };
+  sim_.Spawn(client(&src(0)));
+  sim_.Run();
+  ASSERT_EQ(got.size(), 5u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i + 1);
+}
+
+TEST_F(TimestampTest, GtmTimestampsGloballyUniqueAcrossNodes) {
+  std::vector<Timestamp> got;
+  auto client = [&](TimestampSource* s, int n) -> sim::Task<void> {
+    for (int i = 0; i < n; ++i) {
+      auto grant = co_await s->BeginTs(false);
+      EXPECT_TRUE(grant.ok());
+      got.push_back(grant->ts);
+    }
+  };
+  for (int i = 0; i < 3; ++i) sim_.Spawn(client(&src(i), 20));
+  sim_.Run();
+  ASSERT_EQ(got.size(), 60u);
+  std::sort(got.begin(), got.end());
+  EXPECT_EQ(std::unique(got.begin(), got.end()), got.end());
+}
+
+TEST_F(TimestampTest, RemoteCnPaysLatencyForGtmTimestamp) {
+  SimTime elapsed_local = 0, elapsed_remote = 0;
+  auto measure = [&](TimestampSource* s, SimTime* out) -> sim::Task<void> {
+    const SimTime start = sim_.now();
+    auto grant = co_await s->BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    *out = sim_.now() - start;
+  };
+  sim_.Spawn(measure(&src(0), &elapsed_local));
+  sim_.Run();
+  sim_.Spawn(measure(&src(2), &elapsed_remote));
+  sim_.Run();
+  EXPECT_LT(elapsed_local, 2 * kMillisecond);
+  EXPECT_GE(elapsed_remote, 20 * kMillisecond);  // RTT to the GTM server
+}
+
+TEST_F(TimestampTest, GclockExternalConsistencyAcrossNodes) {
+  for (auto& s : sources_) s->SetMode(TimestampMode::kGclock);
+  // Commit on node 0, then begin on node 1 strictly after the commit
+  // completes: R.1 requires begin_ts >= commit_ts.
+  Timestamp commit_ts = 0;
+  Timestamp begin_ts = 0;
+  auto scenario = [&]() -> sim::Task<void> {
+    auto c = co_await src(0).CommitTs(TimestampMode::kGclock);
+    EXPECT_TRUE(c.ok());
+    commit_ts = *c;
+    auto b = co_await src(1).BeginTs(false);
+    EXPECT_TRUE(b.ok());
+    begin_ts = b->ts;
+  };
+  sim_.Spawn(scenario());
+  sim_.Run();
+  EXPECT_GT(begin_ts, 0u);
+  EXPECT_GE(begin_ts, commit_ts);
+}
+
+TEST_F(TimestampTest, GclockExternalConsistencyProperty) {
+  for (auto& s : sources_) s->SetMode(TimestampMode::kGclock);
+  // Many commits on random nodes; every commit's timestamp must exceed all
+  // commits that finished (in real time) before it started.
+  struct Event {
+    SimTime start, end;
+    Timestamp ts;
+  };
+  std::vector<Event> events;
+  auto client = [&](int node, int n) -> sim::Task<void> {
+    Rng rng(node + 100);
+    for (int i = 0; i < n; ++i) {
+      co_await sim_.Sleep(rng.UniformRange(0, 200 * kMicrosecond));
+      Event e;
+      e.start = sim_.now();
+      auto c = co_await src(node).CommitTs(TimestampMode::kGclock);
+      EXPECT_TRUE(c.ok());
+      e.end = sim_.now();
+      e.ts = *c;
+      events.push_back(e);
+    }
+  };
+  for (int node = 0; node < 3; ++node) sim_.Spawn(client(node, 50));
+  sim_.Run();
+  ASSERT_EQ(events.size(), 150u);
+  for (const Event& a : events) {
+    for (const Event& b : events) {
+      if (a.end < b.start) {
+        EXPECT_LT(a.ts, b.ts) << "commit finished before another began but "
+                                 "got a larger timestamp";
+      }
+    }
+  }
+}
+
+TEST_F(TimestampTest, GclockCommitWaitsOutUncertainty) {
+  src(0).SetMode(TimestampMode::kGclock);
+  SimTime elapsed = 0;
+  auto measure = [&]() -> sim::Task<void> {
+    const SimTime start = sim_.now();
+    auto c = co_await src(0).CommitTs(TimestampMode::kGclock);
+    EXPECT_TRUE(c.ok());
+    elapsed = sim_.now() - start;
+    // After the wait, true time must have passed the timestamp.
+    EXPECT_GT(sim_.now(), static_cast<SimTime>(*c));
+  };
+  sim_.Spawn(measure());
+  sim_.Run();
+  // The wait is roughly the error bound (~60us), far below an RPC to GTM.
+  EXPECT_LE(elapsed, 1 * kMillisecond);
+}
+
+TEST_F(TimestampTest, SingleShardBypassUsesLastCommitted) {
+  src(0).SetMode(TimestampMode::kGclock);
+  src(0).RecordCommitted(123456789);
+  Timestamp ts = 0;
+  auto run = [&]() -> sim::Task<void> {
+    auto grant = co_await src(0).BeginTs(/*single_shard_read=*/true);
+    EXPECT_TRUE(grant.ok());
+    ts = grant->ts;
+  };
+  sim_.Spawn(run());
+  sim_.Run();
+  EXPECT_EQ(ts, 123456789u);
+  EXPECT_EQ(src(0).metrics().Get("ts.single_shard_bypass"), 1);
+}
+
+TEST_F(TimestampTest, TransitionToGclockKeepsTimestampsMonotonic) {
+  // Issue timestamps continuously while the coordinator flips the cluster
+  // GTM -> GClock. Every commit must see a timestamp larger than commits
+  // that finished before it started (external consistency through the
+  // transition), and no transaction may observe a non-monotonic snapshot.
+  struct Event {
+    SimTime start, end;
+    Timestamp ts;
+  };
+  std::vector<Event> events;
+  bool done = false;
+  auto client = [&](int node) -> sim::Task<void> {
+    Rng rng(node + 7);
+    while (!done) {
+      co_await sim_.Sleep(rng.UniformRange(100 * kMicrosecond,
+                                           2 * kMillisecond));
+      Event e;
+      e.start = sim_.now();
+      auto grant = co_await src(node).BeginTs(false);
+      if (!grant.ok()) continue;  // begin refused during switch: retry
+      auto c = co_await src(node).CommitTs(grant->mode);
+      if (!c.ok()) continue;  // stale GTM txn aborted: acceptable
+      e.end = sim_.now();
+      e.ts = *c;
+      src(node).RecordCommitted(*c);
+      events.push_back(e);
+    }
+  };
+  auto control = [&]() -> sim::Task<void> {
+    co_await sim_.Sleep(50 * kMillisecond);
+    auto r = co_await coordinator_->SwitchToGclock();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    co_await sim_.Sleep(50 * kMillisecond);
+    done = true;
+  };
+  for (int node = 0; node < 3; ++node) sim_.Spawn(client(node));
+  sim_.Spawn(control());
+  sim_.Run();
+
+  ASSERT_GT(events.size(), 20u);
+  EXPECT_EQ(gtm_->mode(), TimestampMode::kGclock);
+  for (auto& s : sources_) EXPECT_EQ(s->mode(), TimestampMode::kGclock);
+  int violations = 0;
+  for (const Event& a : events) {
+    for (const Event& b : events) {
+      if (a.end < b.start && a.ts >= b.ts) ++violations;
+    }
+  }
+  EXPECT_EQ(violations, 0);
+}
+
+TEST_F(TimestampTest, StaleGtmTransactionAbortsAfterSwitch) {
+  Status commit_status = Status::OK();
+  auto scenario = [&]() -> sim::Task<void> {
+    // Begin a GTM transaction, then flip the whole cluster to GClock while
+    // it is still running.
+    auto grant = co_await src(1).BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    EXPECT_EQ(grant->mode, TimestampMode::kGtm);
+    auto r = co_await coordinator_->SwitchToGclock();
+    EXPECT_TRUE(r.ok());
+    auto c = co_await src(1).CommitTs(grant->mode);
+    commit_status = c.ok() ? Status::OK() : c.status();
+  };
+  sim_.Spawn(scenario());
+  sim_.Run();
+  EXPECT_TRUE(commit_status.IsAborted()) << commit_status.ToString();
+}
+
+TEST_F(TimestampTest, TransitionBackToGtmNeverAborts) {
+  // GClock -> GTM: the paper says no transactions need to abort. Run
+  // traffic across the switch and count aborts.
+  int aborts = 0;
+  int commits = 0;
+  bool done = false;
+  bool started = false;  // traffic starts once the cluster is in GClock mode
+  auto client = [&](int node) -> sim::Task<void> {
+    while (!done) {
+      co_await sim_.Sleep(500 * kMicrosecond);
+      if (!started) continue;
+      auto grant = co_await src(node).BeginTs(false);
+      if (!grant.ok()) {
+        ++aborts;
+        continue;
+      }
+      auto c = co_await src(node).CommitTs(grant->mode);
+      if (c.ok()) {
+        ++commits;
+        src(node).RecordCommitted(*c);
+      } else {
+        ++aborts;
+      }
+    }
+  };
+  auto control = [&]() -> sim::Task<void> {
+    // First move to GClock, then back to GTM under load.
+    auto up = co_await coordinator_->SwitchToGclock();
+    EXPECT_TRUE(up.ok());
+    started = true;
+    co_await sim_.Sleep(20 * kMillisecond);
+    auto down = co_await coordinator_->SwitchToGtm();
+    EXPECT_TRUE(down.ok()) << down.status().ToString();
+    co_await sim_.Sleep(20 * kMillisecond);
+    done = true;
+  };
+  for (int node = 0; node < 3; ++node) sim_.Spawn(client(node));
+  sim_.Spawn(control());
+  sim_.Run();
+  EXPECT_EQ(gtm_->mode(), TimestampMode::kGtm);
+  EXPECT_GT(commits, 10);
+  EXPECT_EQ(aborts, 0);
+}
+
+TEST_F(TimestampTest, GtmCounterFlooredAboveGclockTimestamps) {
+  // After GClock -> GTM, new GTM timestamps must exceed all GClock ones.
+  Timestamp last_gclock = 0;
+  Timestamp first_gtm = 0;
+  auto scenario = [&]() -> sim::Task<void> {
+    auto up = co_await coordinator_->SwitchToGclock();
+    EXPECT_TRUE(up.ok());
+    auto c = co_await src(2).CommitTs(TimestampMode::kGclock);
+    EXPECT_TRUE(c.ok());
+    last_gclock = *c;
+    src(2).RecordCommitted(*c);
+    auto down = co_await coordinator_->SwitchToGtm();
+    EXPECT_TRUE(down.ok());
+    auto g = co_await src(0).BeginTs(false);
+    EXPECT_TRUE(g.ok());
+    first_gtm = g->ts;
+  };
+  sim_.Spawn(scenario());
+  sim_.Run();
+  EXPECT_GT(first_gtm, last_gclock);
+}
+
+TEST_F(TimestampTest, DualModeBridgesBothTimestampKinds) {
+  // Put everything in DUAL and check issued timestamps exceed both the GTM
+  // counter and the clock upper bound at request time.
+  auto setup = [&]() -> sim::Task<void> {
+    auto r1 = co_await net_.Call(kCn1, kGtmNode, kGtmSetModeMethod,
+                                 SetModeRequest{TimestampMode::kDual, 0}
+                                     .Encode());
+    EXPECT_TRUE(r1.ok());
+    src(0).SetMode(TimestampMode::kDual);
+    const Timestamp clock_upper = clocks_[0]->ReadUpper();
+    auto grant = co_await src(0).BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    EXPECT_GT(grant->ts, clock_upper);
+  };
+  sim_.Spawn(setup());
+  sim_.Run();
+}
+
+TEST_F(TimestampTest, ClockFaultFallbackScenario) {
+  // A broken clock sync grows error bounds; the operator switches the
+  // cluster to GTM mode and traffic continues (the paper's fault-tolerance
+  // story). Then the clock recovers and the cluster switches back.
+  auto scenario = [&]() -> sim::Task<void> {
+    auto up = co_await coordinator_->SwitchToGclock();
+    EXPECT_TRUE(up.ok());
+    clocks_[1]->set_sync_healthy(false);  // fault injection on CN2
+    co_await sim_.Sleep(2 * kSecond);
+    EXPECT_GT(clocks_[1]->ErrorBound(), 100 * kMicrosecond);
+    auto down = co_await coordinator_->SwitchToGtm();
+    EXPECT_TRUE(down.ok());
+    // Traffic under GTM mode works fine.
+    auto g = co_await src(1).BeginTs(false);
+    EXPECT_TRUE(g.ok());
+    auto c = co_await src(1).CommitTs(g->mode);
+    EXPECT_TRUE(c.ok());
+    // Clock recovers; switch back to GClock.
+    clocks_[1]->set_sync_healthy(true);
+    co_await sim_.Sleep(10 * kMillisecond);
+    auto up2 = co_await coordinator_->SwitchToGclock();
+    EXPECT_TRUE(up2.ok());
+    auto c2 = co_await src(1).CommitTs(TimestampMode::kGclock);
+    EXPECT_TRUE(c2.ok());
+    EXPECT_GT(*c2, *c);
+  };
+  sim_.Spawn(scenario());
+  sim_.Run();
+  EXPECT_EQ(gtm_->mode(), TimestampMode::kGclock);
+}
+
+}  // namespace
+}  // namespace globaldb

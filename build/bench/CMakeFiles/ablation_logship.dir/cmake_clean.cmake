@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_logship.dir/ablation_logship.cc.o"
+  "CMakeFiles/ablation_logship.dir/ablation_logship.cc.o.d"
+  "ablation_logship"
+  "ablation_logship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_logship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rcp.dir/ablation_rcp.cc.o"
+  "CMakeFiles/ablation_rcp.dir/ablation_rcp.cc.o.d"
+  "ablation_rcp"
+  "ablation_rcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

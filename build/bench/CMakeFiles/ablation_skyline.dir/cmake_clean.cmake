@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_skyline.dir/ablation_skyline.cc.o"
+  "CMakeFiles/ablation_skyline.dir/ablation_skyline.cc.o.d"
+  "ablation_skyline"
+  "ablation_skyline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_skyline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

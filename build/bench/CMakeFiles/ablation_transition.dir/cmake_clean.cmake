@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_transition.dir/ablation_transition.cc.o"
+  "CMakeFiles/ablation_transition.dir/ablation_transition.cc.o.d"
+  "ablation_transition"
+  "ablation_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

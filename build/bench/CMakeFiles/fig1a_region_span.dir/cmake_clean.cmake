@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1a_region_span.dir/fig1a_region_span.cc.o"
+  "CMakeFiles/fig1a_region_span.dir/fig1a_region_span.cc.o.d"
+  "fig1a_region_span"
+  "fig1a_region_span.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1a_region_span.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig1a_region_span.
+# This may be replaced when dependencies are built.

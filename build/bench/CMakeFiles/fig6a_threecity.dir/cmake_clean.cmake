@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6a_threecity.dir/fig6a_threecity.cc.o"
+  "CMakeFiles/fig6a_threecity.dir/fig6a_threecity.cc.o.d"
+  "fig6a_threecity"
+  "fig6a_threecity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6a_threecity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6c_readonly_tpcc.cc" "bench/CMakeFiles/fig6c_readonly_tpcc.dir/fig6c_readonly_tpcc.cc.o" "gcc" "bench/CMakeFiles/fig6c_readonly_tpcc.dir/fig6c_readonly_tpcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/globaldb_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_replication.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_log.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_compression.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

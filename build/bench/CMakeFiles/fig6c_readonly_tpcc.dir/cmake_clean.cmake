@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6c_readonly_tpcc.dir/fig6c_readonly_tpcc.cc.o"
+  "CMakeFiles/fig6c_readonly_tpcc.dir/fig6c_readonly_tpcc.cc.o.d"
+  "fig6c_readonly_tpcc"
+  "fig6c_readonly_tpcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6c_readonly_tpcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6d_sysbench.dir/fig6d_sysbench.cc.o"
+  "CMakeFiles/fig6d_sysbench.dir/fig6d_sysbench.cc.o.d"
+  "fig6d_sysbench"
+  "fig6d_sysbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6d_sysbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

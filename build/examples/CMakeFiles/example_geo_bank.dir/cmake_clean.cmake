@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_geo_bank.dir/geo_bank.cpp.o"
+  "CMakeFiles/example_geo_bank.dir/geo_bank.cpp.o.d"
+  "example_geo_bank"
+  "example_geo_bank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_geo_bank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

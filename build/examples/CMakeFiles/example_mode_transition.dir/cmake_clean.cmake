@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_mode_transition.dir/mode_transition.cpp.o"
+  "CMakeFiles/example_mode_transition.dir/mode_transition.cpp.o.d"
+  "example_mode_transition"
+  "example_mode_transition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_mode_transition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

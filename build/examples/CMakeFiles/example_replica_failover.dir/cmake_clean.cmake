@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_replica_failover.dir/replica_failover.cpp.o"
+  "CMakeFiles/example_replica_failover.dir/replica_failover.cpp.o.d"
+  "example_replica_failover"
+  "example_replica_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_replica_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_cluster.dir/cluster/cluster.cc.o"
+  "CMakeFiles/globaldb_cluster.dir/cluster/cluster.cc.o.d"
+  "CMakeFiles/globaldb_cluster.dir/cluster/coordinator_node.cc.o"
+  "CMakeFiles/globaldb_cluster.dir/cluster/coordinator_node.cc.o.d"
+  "CMakeFiles/globaldb_cluster.dir/cluster/data_node.cc.o"
+  "CMakeFiles/globaldb_cluster.dir/cluster/data_node.cc.o.d"
+  "CMakeFiles/globaldb_cluster.dir/cluster/rcp_service.cc.o"
+  "CMakeFiles/globaldb_cluster.dir/cluster/rcp_service.cc.o.d"
+  "CMakeFiles/globaldb_cluster.dir/cluster/replica_node.cc.o"
+  "CMakeFiles/globaldb_cluster.dir/cluster/replica_node.cc.o.d"
+  "libglobaldb_cluster.a"
+  "libglobaldb_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libglobaldb_cluster.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_common.dir/common/codec.cc.o"
+  "CMakeFiles/globaldb_common.dir/common/codec.cc.o.d"
+  "CMakeFiles/globaldb_common.dir/common/hash.cc.o"
+  "CMakeFiles/globaldb_common.dir/common/hash.cc.o.d"
+  "CMakeFiles/globaldb_common.dir/common/logging.cc.o"
+  "CMakeFiles/globaldb_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/globaldb_common.dir/common/rng.cc.o"
+  "CMakeFiles/globaldb_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/globaldb_common.dir/common/status.cc.o"
+  "CMakeFiles/globaldb_common.dir/common/status.cc.o.d"
+  "libglobaldb_common.a"
+  "libglobaldb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

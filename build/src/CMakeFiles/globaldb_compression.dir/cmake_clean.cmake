@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_compression.dir/compression/lz.cc.o"
+  "CMakeFiles/globaldb_compression.dir/compression/lz.cc.o.d"
+  "libglobaldb_compression.a"
+  "libglobaldb_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

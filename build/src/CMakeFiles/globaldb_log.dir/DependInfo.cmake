@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/log/log_stream.cc" "src/CMakeFiles/globaldb_log.dir/log/log_stream.cc.o" "gcc" "src/CMakeFiles/globaldb_log.dir/log/log_stream.cc.o.d"
+  "/root/repo/src/log/redo_record.cc" "src/CMakeFiles/globaldb_log.dir/log/redo_record.cc.o" "gcc" "src/CMakeFiles/globaldb_log.dir/log/redo_record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/globaldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/globaldb_compression.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

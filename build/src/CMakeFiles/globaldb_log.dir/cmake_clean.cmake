@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_log.dir/log/log_stream.cc.o"
+  "CMakeFiles/globaldb_log.dir/log/log_stream.cc.o.d"
+  "CMakeFiles/globaldb_log.dir/log/redo_record.cc.o"
+  "CMakeFiles/globaldb_log.dir/log/redo_record.cc.o.d"
+  "libglobaldb_log.a"
+  "libglobaldb_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_replication.dir/replication/log_shipper.cc.o"
+  "CMakeFiles/globaldb_replication.dir/replication/log_shipper.cc.o.d"
+  "CMakeFiles/globaldb_replication.dir/replication/replica_applier.cc.o"
+  "CMakeFiles/globaldb_replication.dir/replication/replica_applier.cc.o.d"
+  "libglobaldb_replication.a"
+  "libglobaldb_replication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

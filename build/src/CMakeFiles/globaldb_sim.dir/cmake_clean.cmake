@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_sim.dir/sim/hardware_clock.cc.o"
+  "CMakeFiles/globaldb_sim.dir/sim/hardware_clock.cc.o.d"
+  "CMakeFiles/globaldb_sim.dir/sim/network.cc.o"
+  "CMakeFiles/globaldb_sim.dir/sim/network.cc.o.d"
+  "CMakeFiles/globaldb_sim.dir/sim/simulator.cc.o"
+  "CMakeFiles/globaldb_sim.dir/sim/simulator.cc.o.d"
+  "libglobaldb_sim.a"
+  "libglobaldb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

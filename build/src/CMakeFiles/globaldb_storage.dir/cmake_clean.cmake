@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_storage.dir/storage/catalog.cc.o"
+  "CMakeFiles/globaldb_storage.dir/storage/catalog.cc.o.d"
+  "CMakeFiles/globaldb_storage.dir/storage/mvcc_table.cc.o"
+  "CMakeFiles/globaldb_storage.dir/storage/mvcc_table.cc.o.d"
+  "CMakeFiles/globaldb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/globaldb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/globaldb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/globaldb_storage.dir/storage/value.cc.o.d"
+  "libglobaldb_storage.a"
+  "libglobaldb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_txn.dir/txn/gtm_server.cc.o"
+  "CMakeFiles/globaldb_txn.dir/txn/gtm_server.cc.o.d"
+  "CMakeFiles/globaldb_txn.dir/txn/lock_manager.cc.o"
+  "CMakeFiles/globaldb_txn.dir/txn/lock_manager.cc.o.d"
+  "CMakeFiles/globaldb_txn.dir/txn/timestamp_source.cc.o"
+  "CMakeFiles/globaldb_txn.dir/txn/timestamp_source.cc.o.d"
+  "CMakeFiles/globaldb_txn.dir/txn/transition.cc.o"
+  "CMakeFiles/globaldb_txn.dir/txn/transition.cc.o.d"
+  "libglobaldb_txn.a"
+  "libglobaldb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

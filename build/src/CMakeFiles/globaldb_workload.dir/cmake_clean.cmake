@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/globaldb_workload.dir/workload/driver.cc.o"
+  "CMakeFiles/globaldb_workload.dir/workload/driver.cc.o.d"
+  "CMakeFiles/globaldb_workload.dir/workload/sysbench.cc.o"
+  "CMakeFiles/globaldb_workload.dir/workload/sysbench.cc.o.d"
+  "CMakeFiles/globaldb_workload.dir/workload/tpcc.cc.o"
+  "CMakeFiles/globaldb_workload.dir/workload/tpcc.cc.o.d"
+  "libglobaldb_workload.a"
+  "libglobaldb_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/globaldb_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

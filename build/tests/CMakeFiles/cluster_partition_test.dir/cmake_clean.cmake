@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_partition_test.dir/cluster/partition_test.cc.o"
+  "CMakeFiles/cluster_partition_test.dir/cluster/partition_test.cc.o.d"
+  "cluster_partition_test"
+  "cluster_partition_test.pdb"
+  "cluster_partition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_rcp_paper_example_test.dir/cluster/rcp_paper_example_test.cc.o"
+  "CMakeFiles/cluster_rcp_paper_example_test.dir/cluster/rcp_paper_example_test.cc.o.d"
+  "cluster_rcp_paper_example_test"
+  "cluster_rcp_paper_example_test.pdb"
+  "cluster_rcp_paper_example_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_rcp_paper_example_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

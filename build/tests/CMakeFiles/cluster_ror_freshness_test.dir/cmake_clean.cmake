@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_ror_freshness_test.dir/cluster/ror_freshness_test.cc.o"
+  "CMakeFiles/cluster_ror_freshness_test.dir/cluster/ror_freshness_test.cc.o.d"
+  "cluster_ror_freshness_test"
+  "cluster_ror_freshness_test.pdb"
+  "cluster_ror_freshness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_ror_freshness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_codec_test.dir/common/codec_test.cc.o"
+  "CMakeFiles/common_codec_test.dir/common/codec_test.cc.o.d"
+  "common_codec_test"
+  "common_codec_test.pdb"
+  "common_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

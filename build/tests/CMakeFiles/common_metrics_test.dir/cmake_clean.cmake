@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_metrics_test.dir/common/metrics_test.cc.o"
+  "CMakeFiles/common_metrics_test.dir/common/metrics_test.cc.o.d"
+  "common_metrics_test"
+  "common_metrics_test.pdb"
+  "common_metrics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_lz_test.dir/compression/lz_test.cc.o"
+  "CMakeFiles/compression_lz_test.dir/compression/lz_test.cc.o.d"
+  "compression_lz_test"
+  "compression_lz_test.pdb"
+  "compression_lz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_lz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_bank_invariant_test.dir/integration/bank_invariant_test.cc.o"
+  "CMakeFiles/integration_bank_invariant_test.dir/integration/bank_invariant_test.cc.o.d"
+  "integration_bank_invariant_test"
+  "integration_bank_invariant_test.pdb"
+  "integration_bank_invariant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_bank_invariant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_redo_record_test.dir/log/redo_record_test.cc.o"
+  "CMakeFiles/log_redo_record_test.dir/log/redo_record_test.cc.o.d"
+  "log_redo_record_test"
+  "log_redo_record_test.pdb"
+  "log_redo_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_redo_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

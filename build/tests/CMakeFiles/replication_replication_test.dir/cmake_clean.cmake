@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replication_replication_test.dir/replication/replication_test.cc.o"
+  "CMakeFiles/replication_replication_test.dir/replication/replication_test.cc.o.d"
+  "replication_replication_test"
+  "replication_replication_test.pdb"
+  "replication_replication_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replication_replication_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_hardware_clock_test.dir/sim/hardware_clock_test.cc.o"
+  "CMakeFiles/sim_hardware_clock_test.dir/sim/hardware_clock_test.cc.o.d"
+  "sim_hardware_clock_test"
+  "sim_hardware_clock_test.pdb"
+  "sim_hardware_clock_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_hardware_clock_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_transfer_delay_test.dir/sim/transfer_delay_test.cc.o"
+  "CMakeFiles/sim_transfer_delay_test.dir/sim/transfer_delay_test.cc.o.d"
+  "sim_transfer_delay_test"
+  "sim_transfer_delay_test.pdb"
+  "sim_transfer_delay_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_transfer_delay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_gtm_server_test.dir/txn/gtm_server_test.cc.o"
+  "CMakeFiles/txn_gtm_server_test.dir/txn/gtm_server_test.cc.o.d"
+  "txn_gtm_server_test"
+  "txn_gtm_server_test.pdb"
+  "txn_gtm_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_gtm_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

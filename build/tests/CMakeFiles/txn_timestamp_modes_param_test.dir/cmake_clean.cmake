@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_timestamp_modes_param_test.dir/txn/timestamp_modes_param_test.cc.o"
+  "CMakeFiles/txn_timestamp_modes_param_test.dir/txn/timestamp_modes_param_test.cc.o.d"
+  "txn_timestamp_modes_param_test"
+  "txn_timestamp_modes_param_test.pdb"
+  "txn_timestamp_modes_param_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_timestamp_modes_param_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[RcpPaperExampleTest.Figure4]=]  /root/repo/build/tests/cluster_rcp_paper_example_test [==[--gtest_filter=RcpPaperExampleTest.Figure4]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[RcpPaperExampleTest.Figure4]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  cluster_rcp_paper_example_test_TESTS RcpPaperExampleTest.Figure4)

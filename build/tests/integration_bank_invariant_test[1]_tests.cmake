@@ -1,0 +1,3 @@
+add_test([=[BankInvariantTest.TotalConservedUnderFaultsAndTransitions]=]  /root/repo/build/tests/integration_bank_invariant_test [==[--gtest_filter=BankInvariantTest.TotalConservedUnderFaultsAndTransitions]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[BankInvariantTest.TotalConservedUnderFaultsAndTransitions]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_bank_invariant_test_TESTS BankInvariantTest.TotalConservedUnderFaultsAndTransitions)

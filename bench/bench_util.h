@@ -3,10 +3,12 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <string>
 
 #include "src/cluster/cluster.h"
+#include "src/rpc/rpc_client.h"
 #include "src/workload/driver.h"
 #include "src/workload/sysbench.h"
 #include "src/workload/tpcc.h"
@@ -98,7 +100,56 @@ struct RunResult {
   double tps = 0;
   double p50_ms = 0;
   double p99_ms = 0;
+  /// Per-method RPC latency percentiles and retry counts aggregated across
+  /// every client in the cluster (see FormatRpcStats).
+  std::string rpc_stats;
 };
+
+/// Aggregates the `rpc.<method>.latency` / `rpc.<method>.retries` histograms
+/// from every RPC client in a *started* cluster — CN call paths, timestamp
+/// sources, RCP pollers, and log shippers — into one table, one method per
+/// line with call count, p50/p95/p99 latency and total retries.
+inline std::string FormatRpcStats(Cluster& cluster) {
+  std::map<std::string, Histogram> latency;
+  std::map<std::string, int64_t> retries;
+  auto fold = [&](rpc::RpcClient& client) {
+    for (auto& [name, hist] : client.metrics().histograms()) {
+      if (name.rfind("rpc.", 0) != 0) continue;
+      const std::string stem = name.substr(4);
+      if (stem.size() <= 8) continue;
+      const std::string method = stem.substr(0, stem.size() - 8);
+      if (stem.compare(stem.size() - 8, 8, ".latency") == 0) {
+        Histogram& merged = latency[method];
+        for (int64_t v : hist.values()) merged.Record(v);
+      } else if (stem.compare(stem.size() - 8, 8, ".retries") == 0) {
+        for (int64_t v : hist.values()) retries[method] += v;
+      }
+    }
+  };
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    CoordinatorNode& cn = cluster.cn(i);
+    fold(cn.rpc_client());
+    fold(cn.timestamp_source().rpc_client());
+    fold(cn.rcp_service().rpc_client());
+  }
+  for (ShardId shard = 0; shard < cluster.num_shards(); ++shard) {
+    LogShipper* shipper = cluster.data_node(shard).shipper();
+    if (shipper != nullptr) fold(shipper->rpc_client());
+  }
+
+  std::string out =
+      "    rpc method         calls  p50(us)  p95(us)  p99(us)  retries\n";
+  char line[160];
+  for (auto& [method, hist] : latency) {
+    snprintf(line, sizeof(line),
+             "    %-16s %8zu %8.0f %8.0f %8.0f %8lld\n", method.c_str(),
+             hist.count(), hist.Percentile(50) / 1e3,
+             hist.Percentile(95) / 1e3, hist.Percentile(99) / 1e3,
+             static_cast<long long>(retries[method]));
+    out += line;
+  }
+  return out;
+}
 
 /// Stands up a cluster, loads TPC-C, runs the mix, returns stats.
 inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
@@ -144,6 +195,10 @@ inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
            (long long)lock_waits, (long long)lock_timeouts,
            (long long)replica_reads, (long long)primary_reads);
   }
+  result.rpc_stats = FormatRpcStats(cluster);
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s", result.rpc_stats.c_str());
+  }
   result.tpm = result.stats.PerMinute();
   result.tps = result.stats.Throughput();
   result.p50_ms =
@@ -174,6 +229,10 @@ inline RunResult RunSysbenchPointSelectWith(ClusterOptions cluster_options,
   WorkloadDriver driver(&cluster, options);
   RunResult result;
   result.stats = driver.Run(sysbench.PointSelectFn());
+  result.rpc_stats = FormatRpcStats(cluster);
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s", result.rpc_stats.c_str());
+  }
   result.tpm = result.stats.PerMinute();
   result.tps = result.stats.Throughput();
   result.p50_ms =

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Full verification: configure a fresh build tree with warnings-as-errors,
+# build everything (library, tests, benches, examples), and run the test
+# suite. Usage: scripts/check.sh [build-dir]   (default: build-check)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-check}"
+
+rm -rf "${BUILD_DIR}"
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-Werror"
+cmake --build "${BUILD_DIR}" -j "$(nproc)"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"

@@ -9,13 +9,14 @@ namespace globaldb {
 
 namespace {
 
-/// Spawn-safe parallel RPC helper (plain function so no lambda closure can
-/// dangle under the coroutine frame).
-sim::Task<void> OneCall(sim::Network* network, NodeId from, NodeId to,
-                        std::string method, std::string payload,
-                        StatusOr<std::string>* slot, sim::WaitGroup* wg) {
-  *slot = co_await network->Call(from, to, method, std::move(payload));
-  wg->Done();
+/// The CN never retries automatically: its traffic is dominated by
+/// non-idempotent mutations (writes, precommits, commits) where a blind
+/// re-send after an ambiguous timeout could double-apply. Failover and
+/// error handling are protocol-level decisions made at each call site.
+rpc::RpcPolicy BuildPolicy() {
+  rpc::RpcPolicy policy;
+  policy.max_attempts = 1;
+  return policy;
 }
 
 }  // namespace
@@ -30,12 +31,14 @@ CoordinatorNode::CoordinatorNode(sim::Simulator* sim, sim::Network* network,
       region_(region),
       gtm_node_(gtm_node),
       options_(options),
+      client_(network, self, BuildPolicy()),
+      server_(network, self),
       cpu_(sim, options.cores) {
   clock_ = std::make_unique<sim::HardwareClock>(sim, sim->rng().Fork(),
                                                 clock_options);
   ts_source_ = std::make_unique<TimestampSource>(sim, network, self, gtm_node,
                                                  clock_.get());
-  RegisterHandlers();
+  BindService();
 }
 
 void CoordinatorNode::SetShardMap(std::vector<NodeId> primaries) {
@@ -73,25 +76,27 @@ void CoordinatorNode::StartServices(bool rcp_collector) {
   }
 }
 
-void CoordinatorNode::RegisterHandlers() {
-  network_->RegisterHandler(
-      self_, kCnRcpUpdateMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        if (rcp_ != nullptr) rcp_->ApplyUpdate(payload);
-        co_return "";
-      });
-  network_->RegisterHandler(
-      self_, kCnDdlApplyMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        StatusReply reply;
-        auto request = DdlRequest::Decode(payload);
-        if (!request.ok()) {
-          reply.status = request.status();
-        } else {
-          reply.status = catalog_.ApplyDdl(request->payload, request->ts);
-        }
-        co_return reply.Encode();
-      });
+void CoordinatorNode::BindService() {
+  server_.Handle(kCnRcpUpdate, [this](NodeId from, RcpUpdateMessage update) {
+    return HandleRcpUpdate(from, std::move(update));
+  });
+  server_.Handle(kCnDdlApply, [this](NodeId from, DdlRequest request) {
+    return HandleDdlApply(from, std::move(request));
+  });
+}
+
+sim::Task<StatusOr<rpc::EmptyMessage>> CoordinatorNode::HandleRcpUpdate(
+    NodeId from, RcpUpdateMessage update) {
+  // Updates may race service startup: before the RCP service exists the
+  // push is simply dropped (the next one arrives within a poll interval).
+  if (rcp_ != nullptr) rcp_->ApplyUpdate(update);
+  co_return rpc::EmptyMessage{};
+}
+
+sim::Task<StatusOr<rpc::EmptyMessage>> CoordinatorNode::HandleDdlApply(
+    NodeId from, DdlRequest request) {
+  GDB_CO_RETURN_IF_ERROR(catalog_.ApplyDdl(request.payload, request.ts));
+  co_return rpc::EmptyMessage{};
 }
 
 sim::Task<void> CoordinatorNode::HeartbeatLoop() {
@@ -106,7 +111,7 @@ sim::Task<void> CoordinatorNode::HeartbeatLoop() {
     TxnControlRequest heartbeat;
     heartbeat.ts = *ts;
     for (NodeId primary : shard_primaries_) {
-      network_->Send(self_, primary, kDnHeartbeatMethod, heartbeat.Encode());
+      client_.Send(primary, kDnHeartbeat, heartbeat);
     }
     metrics_.Add("cn.heartbeats");
   }
@@ -129,11 +134,9 @@ sim::Task<Status> CoordinatorNode::CreateTable(TableSchema schema) {
   DdlRequest request;
   request.ts = *ts;
   request.payload = Catalog::MakeCreatePayload(*created);
-  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(ddl_targets_, kDnDdlMethod,
-                                                request.Encode()));
+  GDB_CO_RETURN_IF_ERROR(co_await Broadcast(ddl_targets_, kDnDdl, request));
   // Peer CNs apply the schema directly (they do not replay redo).
-  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(peer_cns_, kCnDdlApplyMethod,
-                                                request.Encode()));
+  GDB_CO_RETURN_IF_ERROR(co_await Broadcast(peer_cns_, kCnDdlApply, request));
   metrics_.Add("cn.ddls");
   co_return Status::OK();
 }
@@ -150,10 +153,8 @@ sim::Task<Status> CoordinatorNode::DropTable(std::string name) {
   request.ts = *ts;
   request.payload = Catalog::MakeDropPayload(name);
   GDB_CO_RETURN_IF_ERROR(catalog_.ApplyDdl(request.payload, request.ts));
-  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(ddl_targets_, kDnDdlMethod,
-                                                request.Encode()));
-  GDB_CO_RETURN_IF_ERROR(co_await BroadcastControl(peer_cns_, kCnDdlApplyMethod,
-                                                request.Encode()));
+  GDB_CO_RETURN_IF_ERROR(co_await Broadcast(ddl_targets_, kDnDdl, request));
+  GDB_CO_RETURN_IF_ERROR(co_await Broadcast(peer_cns_, kCnDdlApply, request));
   co_return Status::OK();
 }
 
@@ -245,42 +246,10 @@ sim::Task<Status> CoordinatorNode::DoWrite(TxnHandle* txn,
   request.value = std::move(value);
 
   for (ShardId shard : WriteTargets(schema, route_row)) {
-    auto result = co_await CallDn(shard_primaries_[shard], kDnWriteMethod,
-                                  request.Encode());
+    auto result =
+        co_await client_.Call(shard_primaries_[shard], kDnWrite, request);
     if (!result.ok()) co_return result.status();
-    auto reply = StatusReply::Decode(*result);
-    if (!reply.ok()) co_return reply.status();
-    if (!reply->status.ok()) co_return reply->status;
     txn->write_shards.insert(shard);
-  }
-  co_return Status::OK();
-}
-
-sim::Task<StatusOr<std::string>> CoordinatorNode::CallDn(
-    NodeId node, const char* method, std::string payload) {
-  auto result = co_await network_->Call(self_, node, method,
-                                        std::move(payload));
-  co_return result;
-}
-
-sim::Task<Status> CoordinatorNode::BroadcastControl(
-    const std::vector<NodeId>& nodes, const char* method,
-    std::string payload) {
-  if (nodes.empty()) co_return Status::OK();
-  std::vector<StatusOr<std::string>> results(
-      nodes.size(), StatusOr<std::string>(Status::Unavailable("")));
-  sim::WaitGroup wg(sim_);
-  wg.Add(static_cast<int>(nodes.size()));
-  for (size_t i = 0; i < nodes.size(); ++i) {
-    sim_->Spawn(OneCall(network_, self_, nodes[i], method, payload,
-                        &results[i], &wg));
-  }
-  co_await wg.Wait();
-  for (const auto& result : results) {
-    if (!result.ok()) co_return result.status();
-    auto reply = StatusReply::Decode(*result);
-    if (!reply.ok()) co_return reply.status();
-    if (!reply->status.ok()) co_return reply->status;
   }
   co_return Status::OK();
 }
@@ -381,24 +350,21 @@ sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::Get(
 
   const NodeId target = PickReadNode(*txn, *schema, *shard);
   const bool is_replica = target != shard_primaries_[*shard];
-  const char* method = is_replica ? kRorReadMethod : kDnReadMethod;
-  auto result = co_await CallDn(target, method, request.Encode());
-  if (!result.ok()) {
-    if (is_replica) {
-      // Failover: exclude the replica and retry on the primary.
-      selector_.MarkFailed(target);
-      metrics_.Add("cn.replica_failovers");
-      result = co_await CallDn(shard_primaries_[*shard], kDnReadMethod,
-                               request.Encode());
-    }
-    if (!result.ok()) co_return result.status();
+  auto result =
+      co_await client_.Call(target, is_replica ? kRorRead : kDnRead, request);
+  if (!result.ok() && is_replica &&
+      rpc::IsTransportError(result.status())) {
+    // Failover: exclude the unreachable replica and retry on the primary.
+    // Application errors are not failed over — the primary would return
+    // the same answer.
+    selector_.MarkFailed(target);
+    metrics_.Add("cn.replica_failovers");
+    result = co_await client_.Call(shard_primaries_[*shard], kDnRead, request);
   }
-  auto reply = ReadReply::Decode(*result);
-  if (!reply.ok()) co_return reply.status();
-  if (!reply->status.ok()) co_return reply->status;
-  if (!reply->found) co_return std::optional<Row>{};
+  if (!result.ok()) co_return result.status();
+  if (!result->found) co_return std::optional<Row>{};
   Row row;
-  GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(reply->value), &row));
+  GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(result->value), &row));
   co_return std::optional<Row>(std::move(row));
 }
 
@@ -426,18 +392,15 @@ sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::GetForUpdate(
   request.snapshot = txn->snapshot;
   request.txn = txn->id;
 
-  auto result = co_await CallDn(shard_primaries_[shard], kDnLockReadMethod,
-                                request.Encode());
+  auto result =
+      co_await client_.Call(shard_primaries_[shard], kDnLockRead, request);
   if (!result.ok()) co_return result.status();
-  auto reply = ReadReply::Decode(*result);
-  if (!reply.ok()) co_return reply.status();
-  if (!reply->status.ok()) co_return reply->status;
   // The lock must be released at commit/abort, so the shard joins the
   // transaction's write set even if no write follows.
   txn->write_shards.insert(shard);
-  if (!reply->found) co_return std::optional<Row>{};
+  if (!result->found) co_return std::optional<Row>{};
   Row row;
-  GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(reply->value), &row));
+  GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(result->value), &row));
   co_return std::optional<Row>(std::move(row));
 }
 
@@ -471,40 +434,37 @@ sim::Task<StatusOr<std::vector<Row>>> CoordinatorNode::ScanRange(
     for (ShardId s = 0; s < total_shards; ++s) scan_shards.push_back(s);
   }
 
+  // Scatter: replicas answer ror.scan, primaries dn.scan, in one sweep.
   const size_t num_shards = scan_shards.size();
-  std::vector<StatusOr<std::string>> results(
-      num_shards, StatusOr<std::string>(Status::Unavailable("")));
-  std::vector<NodeId> targets(num_shards);
+  std::vector<std::pair<NodeId, rpc::RpcMethod<ScanRequest, ScanReply>>>
+      targets;
+  targets.reserve(num_shards);
   std::vector<bool> used_replica(num_shards, false);
-  sim::WaitGroup wg(sim_);
-  wg.Add(static_cast<int>(num_shards));
   for (size_t i = 0; i < num_shards; ++i) {
     const ShardId s = scan_shards[i];
-    targets[i] = PickReadNode(*txn, *schema, s);
-    used_replica[i] = targets[i] != shard_primaries_[s];
-    const char* method = used_replica[i] ? kRorScanMethod : kDnScanMethod;
-    sim_->Spawn(OneCall(network_, self_, targets[i], method, request.Encode(),
-                        &results[i], &wg));
+    const NodeId target = PickReadNode(*txn, *schema, s);
+    used_replica[i] = target != shard_primaries_[s];
+    targets.emplace_back(target, used_replica[i] ? kRorScan : kDnScan);
   }
-  co_await wg.Wait();
+  auto results = co_await client_.CallEach(targets, request);
 
   std::vector<std::pair<RowKey, std::string>> merged;
   for (size_t i = 0; i < num_shards; ++i) {
     const ShardId s = scan_shards[i];
     if (!results[i].ok()) {
-      if (!used_replica[i]) co_return results[i].status();
+      if (!used_replica[i] ||
+          !rpc::IsTransportError(results[i].status())) {
+        co_return results[i].status();
+      }
       // Replica failed mid-query: retry this shard on the primary.
-      selector_.MarkFailed(targets[i]);
+      selector_.MarkFailed(targets[i].first);
       metrics_.Add("cn.replica_failovers");
-      auto retry = co_await CallDn(shard_primaries_[s], kDnScanMethod,
-                                   request.Encode());
+      auto retry =
+          co_await client_.Call(shard_primaries_[s], kDnScan, request);
       if (!retry.ok()) co_return retry.status();
       results[i] = std::move(retry);
     }
-    auto reply = ScanReply::Decode(*results[i]);
-    if (!reply.ok()) co_return reply.status();
-    if (!reply->status.ok()) co_return reply->status;
-    for (auto& row : reply->rows) merged.push_back(std::move(row));
+    for (auto& row : results[i]->rows) merged.push_back(std::move(row));
   }
   std::sort(merged.begin(), merged.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
@@ -539,8 +499,7 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
 
   if (!commit) {
     metrics_.Add("cn.aborts");
-    co_return co_await BroadcastControl(shards, kDnAbortMethod,
-                                        control.Encode());
+    co_return co_await Broadcast(shards, kDnAbort, control);
   }
 
   // Phase 1: PENDING_COMMIT (one-shard) or PREPARE (2PC) on every write
@@ -554,11 +513,10 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   } else {
     control.ts = ts_source_->max_issued();
   }
-  Status precommit = co_await BroadcastControl(shards, kDnPrecommitMethod,
-                                               control.Encode());
+  Status precommit = co_await Broadcast(shards, kDnPrecommit, control);
   control.ts = 0;
   if (!precommit.ok()) {
-    (void)co_await BroadcastControl(shards, kDnAbortMethod, control.Encode());
+    (void)co_await Broadcast(shards, kDnAbort, control);
     metrics_.Add("cn.precommit_aborts");
     co_return precommit;
   }
@@ -566,15 +524,14 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   // Commit timestamp (includes GClock commit-wait / DUAL rules).
   auto ts = co_await ts_source_->CommitTs(txn->mode);
   if (!ts.ok()) {
-    (void)co_await BroadcastControl(shards, kDnAbortMethod, control.Encode());
+    (void)co_await Broadcast(shards, kDnAbort, control);
     metrics_.Add("cn.ts_aborts");
     co_return ts.status();
   }
 
   // Phase 2: commit everywhere (synchronous replication waits inside).
   control.ts = *ts;
-  Status committed = co_await BroadcastControl(shards, kDnCommitMethod,
-                                               control.Encode());
+  Status committed = co_await Broadcast(shards, kDnCommit, control);
   if (!committed.ok()) co_return committed;
   ts_source_->RecordCommitted(*ts);
   metrics_.Add("cn.commits");

@@ -5,6 +5,7 @@
 #include <optional>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/cluster/messages.h"
@@ -13,6 +14,8 @@
 #include "src/common/metrics.h"
 #include "src/common/statusor.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_client.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/hardware_clock.h"
 #include "src/sim/network.h"
@@ -139,15 +142,23 @@ class CoordinatorNode {
   RcpService& rcp_service() { return *rcp_; }
   Timestamp rcp() const { return rcp_ == nullptr ? 0 : rcp_->rcp(); }
   Metrics& metrics() { return metrics_; }
+  /// RPC client carrying all DN/peer traffic issued by this CN (per-method
+  /// latency histograms and the call trace live here).
+  rpc::RpcClient& rpc_client() { return client_; }
   CoordinatorOptions* mutable_options() { return &options_; }
 
  private:
-  sim::Task<StatusOr<std::string>> CallDn(NodeId node, const char* method,
-                                          std::string payload);
-  /// Runs one RPC per (node, payload) pair concurrently; returns all
-  /// decoded StatusReply results folded into one Status (first error wins).
-  sim::Task<Status> BroadcastControl(const std::vector<NodeId>& nodes,
-                                     const char* method, std::string payload);
+  /// One request fanned out to every node; first error wins. The CN client
+  /// never retries (see BuildPolicy in the .cc), so a broadcast failure is
+  /// surfaced to the commit protocol rather than silently re-sent.
+  template <typename M>
+  sim::Task<Status> Broadcast(const std::vector<NodeId>& nodes, M method,
+                              const typename M::Request& request) {
+    if (nodes.empty()) co_return Status::OK();
+    auto results = co_await client_.CallAll(nodes, method, request);
+    co_return rpc::FirstError(results);
+  }
+
   sim::Task<Status> EndTxn(TxnHandle* txn, bool commit);
 
   /// Resolves the shard to *read* for a row/key (replicated tables prefer
@@ -166,7 +177,11 @@ class CoordinatorNode {
   bool RorDdlVisible(const TableSchema& schema) const;
 
   sim::Task<void> HeartbeatLoop();
-  void RegisterHandlers();
+  void BindService();
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleRcpUpdate(
+      NodeId from, RcpUpdateMessage update);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleDdlApply(NodeId from,
+                                                        DdlRequest request);
   TxnId NextTxnId() { return (static_cast<TxnId>(self_) << 40) | ++txn_seq_; }
 
   sim::Simulator* sim_;
@@ -175,6 +190,8 @@ class CoordinatorNode {
   RegionId region_;
   NodeId gtm_node_;
   CoordinatorOptions options_;
+  rpc::RpcClient client_;
+  rpc::RpcServer server_;
 
   sim::CpuScheduler cpu_;
   std::unique_ptr<sim::HardwareClock> clock_;

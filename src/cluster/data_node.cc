@@ -1,5 +1,7 @@
 #include "src/cluster/data_node.h"
 
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace globaldb {
@@ -9,12 +11,13 @@ DataNode::DataNode(sim::Simulator* sim, sim::Network* network, NodeId self,
     : sim_(sim),
       network_(network),
       self_(self),
+      server_(network, self),
       shard_(shard),
       options_(options),
       store_(shard),
       locks_(sim, options.lock_timeout),
       cpu_(sim, options.cores) {
-  RegisterHandlers();
+  BindService();
 }
 
 void DataNode::ConfigureReplication(std::vector<NodeId> replicas,
@@ -32,98 +35,86 @@ void DataNode::AppendAndNotify(RedoRecord record) {
   if (shipper_ != nullptr) shipper_->NotifyAppend();
 }
 
-void DataNode::RegisterHandlers() {
-  auto bind = [this](auto method) {
-    return [this, method](NodeId from,
-                          std::string payload) -> sim::Task<std::string> {
-      return (this->*method)(from, std::move(payload));
-    };
-  };
-  network_->RegisterHandler(self_, kDnReadMethod, bind(&DataNode::HandleRead));
-  network_->RegisterHandler(self_, kDnLockReadMethod,
-                            bind(&DataNode::HandleLockRead));
-  network_->RegisterHandler(self_, kDnScanMethod, bind(&DataNode::HandleScan));
-  network_->RegisterHandler(self_, kDnWriteMethod,
-                            bind(&DataNode::HandleWrite));
-  network_->RegisterHandler(self_, kDnPrecommitMethod,
-                            bind(&DataNode::HandlePrecommit));
-  network_->RegisterHandler(self_, kDnCommitMethod,
-                            bind(&DataNode::HandleCommit));
-  network_->RegisterHandler(self_, kDnAbortMethod,
-                            bind(&DataNode::HandleAbort));
-  network_->RegisterHandler(self_, kDnDdlMethod, bind(&DataNode::HandleDdl));
-  network_->RegisterHandler(self_, kDnHeartbeatMethod,
-                            bind(&DataNode::HandleHeartbeat));
+void DataNode::BindService() {
+  server_.Handle(kDnRead, [this](NodeId from, ReadRequest request) {
+    return HandleRead(from, std::move(request));
+  });
+  server_.Handle(kDnLockRead, [this](NodeId from, ReadRequest request) {
+    return HandleLockRead(from, std::move(request));
+  });
+  server_.Handle(kDnScan, [this](NodeId from, ScanRequest request) {
+    return HandleScan(from, std::move(request));
+  });
+  server_.Handle(kDnWrite, [this](NodeId from, WriteRequest request) {
+    return HandleWrite(from, std::move(request));
+  });
+  server_.Handle(kDnPrecommit, [this](NodeId from, TxnControlRequest request) {
+    return HandlePrecommit(from, std::move(request));
+  });
+  server_.Handle(kDnCommit, [this](NodeId from, TxnControlRequest request) {
+    return HandleCommit(from, std::move(request));
+  });
+  server_.Handle(kDnAbort, [this](NodeId from, TxnControlRequest request) {
+    return HandleAbort(from, std::move(request));
+  });
+  server_.Handle(kDnDdl, [this](NodeId from, DdlRequest request) {
+    return HandleDdl(from, std::move(request));
+  });
+  server_.Handle(kDnHeartbeat, [this](NodeId from, TxnControlRequest request) {
+    return HandleHeartbeat(from, std::move(request));
+  });
 }
 
-sim::Task<std::string> DataNode::HandleRead(NodeId from, std::string payload) {
+sim::Task<StatusOr<ReadReply>> DataNode::HandleRead(NodeId from,
+                                                    ReadRequest request) {
   co_await cpu_.Consume(options_.read_cost);
   metrics_.Add("dn.reads");
   ReadReply reply;
-  auto request = ReadRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  MvccTable* table = store_.GetTable(request->table);
+  MvccTable* table = store_.GetTable(request.table);
   if (table == nullptr) {
     // The table exists in the catalog but no row has reached this shard:
     // an ordinary miss.
-    co_return reply.Encode();
+    co_return reply;
   }
-  ReadResult result = table->Read(request->key, request->snapshot,
-                                  request->txn);
+  ReadResult result = table->Read(request.key, request.snapshot, request.txn);
   reply.found = result.found;
   reply.value = std::move(result.value);
-  co_return reply.Encode();
+  co_return reply;
 }
 
-sim::Task<std::string> DataNode::HandleLockRead(NodeId from,
-                                                std::string payload) {
+sim::Task<StatusOr<ReadReply>> DataNode::HandleLockRead(NodeId from,
+                                                        ReadRequest request) {
   co_await cpu_.Consume(options_.read_cost);
   metrics_.Add("dn.lock_reads");
-  ReadReply reply;
-  auto request = ReadRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
   // SELECT ... FOR UPDATE semantics: take the row lock, then return the
   // *latest committed* version. Writers following this read update under
   // the held lock and cannot hit a write-write conflict.
   Status lock_status =
-      co_await locks_.Acquire(request->txn, request->table, request->key);
-  if (!lock_status.ok()) {
-    reply.status = lock_status;
-    co_return reply.Encode();
-  }
-  MvccTable* table = store_.GetTable(request->table);
+      co_await locks_.Acquire(request.txn, request.table, request.key);
+  if (!lock_status.ok()) co_return lock_status;
+  ReadReply reply;
+  MvccTable* table = store_.GetTable(request.table);
   if (table == nullptr) {
-    co_return reply.Encode();  // catalog-known table, storage-empty shard
+    co_return reply;  // catalog-known table, storage-empty shard
   }
-  ReadResult result =
-      table->Read(request->key, kTimestampMax - 1, request->txn);
+  ReadResult result = table->Read(request.key, kTimestampMax - 1, request.txn);
   reply.found = result.found;
   reply.value = std::move(result.value);
-  co_return reply.Encode();
+  co_return reply;
 }
 
-sim::Task<std::string> DataNode::HandleScan(NodeId from, std::string payload) {
+sim::Task<StatusOr<ScanReply>> DataNode::HandleScan(NodeId from,
+                                                    ScanRequest request) {
   metrics_.Add("dn.scans");
   ScanReply reply;
-  auto request = ScanRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  MvccTable* table = store_.GetTable(request->table);
+  MvccTable* table = store_.GetTable(request.table);
   if (table == nullptr) {
     // An empty shard simply has no rows in range.
     co_await cpu_.Consume(options_.read_cost);
-    co_return reply.Encode();
+    co_return reply;
   }
-  auto rows = table->Scan(request->start, request->end, request->snapshot,
-                          request->txn, request->limit, nullptr);
+  auto rows = table->Scan(request.start, request.end, request.snapshot,
+                          request.txn, request.limit, nullptr);
   co_await cpu_.Consume(options_.read_cost +
                         options_.scan_row_cost *
                             static_cast<SimDuration>(rows.size()));
@@ -131,150 +122,115 @@ sim::Task<std::string> DataNode::HandleScan(NodeId from, std::string payload) {
   for (auto& row : rows) {
     reply.rows.emplace_back(std::move(row.key), std::move(row.value));
   }
-  co_return reply.Encode();
+  co_return reply;
 }
 
-sim::Task<std::string> DataNode::HandleWrite(NodeId from,
-                                             std::string payload) {
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleWrite(
+    NodeId from, WriteRequest request) {
   co_await cpu_.Consume(options_.write_cost);
   metrics_.Add("dn.writes");
-  StatusReply reply;
-  auto request = WriteRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
 
   // Row lock first: writers queue instead of instantly aborting. If the
   // transaction already holds the lock (it did a locked read), the write
   // applies to the latest version — no snapshot conflict is possible.
   const bool already_held =
-      locks_.IsHeldBy(request->txn, request->table, request->key);
+      locks_.IsHeldBy(request.txn, request.table, request.key);
   Status lock_status =
-      co_await locks_.Acquire(request->txn, request->table, request->key);
-  if (!lock_status.ok()) {
-    reply.status = lock_status;
-    co_return reply.Encode();
-  }
-  if (already_held) request->snapshot = kTimestampMax;
+      co_await locks_.Acquire(request.txn, request.table, request.key);
+  if (!lock_status.ok()) co_return lock_status;
+  if (already_held) request.snapshot = kTimestampMax;
 
-  MvccTable* table = store_.GetOrCreateTable(request->table);
-  switch (request->op) {
+  MvccTable* table = store_.GetOrCreateTable(request.table);
+  Status status;
+  switch (request.op) {
     case WriteRequest::Op::kInsert:
-      reply.status = table->Insert(request->key, request->value, request->txn);
-      if (reply.status.ok()) {
-        AppendAndNotify(RedoRecord::Insert(request->txn, request->table,
-                                           request->key, request->value));
+      status = table->Insert(request.key, request.value, request.txn);
+      if (status.ok()) {
+        AppendAndNotify(RedoRecord::Insert(request.txn, request.table,
+                                           request.key, request.value));
       }
       break;
     case WriteRequest::Op::kUpdate:
-      reply.status = table->Update(request->key, request->value, request->txn,
-                                   request->snapshot);
-      if (reply.status.ok()) {
-        AppendAndNotify(RedoRecord::Update(request->txn, request->table,
-                                           request->key, request->value));
+      status = table->Update(request.key, request.value, request.txn,
+                             request.snapshot);
+      if (status.ok()) {
+        AppendAndNotify(RedoRecord::Update(request.txn, request.table,
+                                           request.key, request.value));
       }
       break;
     case WriteRequest::Op::kDelete:
-      reply.status =
-          table->Delete(request->key, request->txn, request->snapshot);
-      if (reply.status.ok()) {
+      status = table->Delete(request.key, request.txn, request.snapshot);
+      if (status.ok()) {
         AppendAndNotify(
-            RedoRecord::Delete(request->txn, request->table, request->key));
+            RedoRecord::Delete(request.txn, request.table, request.key));
       }
       break;
   }
-  co_return reply.Encode();
+  if (!status.ok()) co_return status;
+  co_return rpc::EmptyMessage{};
 }
 
-sim::Task<std::string> DataNode::HandlePrecommit(NodeId from,
-                                                 std::string payload) {
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandlePrecommit(
+    NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.precommits");
-  StatusReply reply;
-  auto request = TxnControlRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
   // PENDING_COMMIT / PREPARE is written *before* the commit timestamp is
   // assigned (Section IV-A): replicas lock the transaction's tuples from
   // this point until the final commit/abort record. The timestamp field
   // carries the CN's lower bound on the eventual commit timestamp.
-  RedoRecord record = request->two_phase
-                          ? RedoRecord::Prepare(request->txn)
-                          : RedoRecord::PendingCommit(request->txn);
-  record.timestamp = request->ts;
+  RedoRecord record = request.two_phase ? RedoRecord::Prepare(request.txn)
+                                        : RedoRecord::PendingCommit(request.txn);
+  record.timestamp = request.ts;
   AppendAndNotify(std::move(record));
-  co_return reply.Encode();
+  co_return rpc::EmptyMessage{};
 }
 
-sim::Task<std::string> DataNode::HandleCommit(NodeId from,
-                                              std::string payload) {
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleCommit(
+    NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.commits");
-  StatusReply reply;
-  auto request = TxnControlRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  store_.CommitTxn(request->txn, request->ts);
-  AppendAndNotify(request->two_phase
-                      ? RedoRecord::CommitPrepared(request->txn, request->ts)
-                      : RedoRecord::Commit(request->txn, request->ts));
+  store_.CommitTxn(request.txn, request.ts);
+  AppendAndNotify(request.two_phase
+                      ? RedoRecord::CommitPrepared(request.txn, request.ts)
+                      : RedoRecord::Commit(request.txn, request.ts));
   const Lsn commit_lsn = log_.next_lsn() - 1;
   // Synchronous replication waits here; async returns immediately.
+  Status durability;
   if (shipper_ != nullptr) {
-    reply.status = co_await shipper_->WaitDurable(commit_lsn);
+    durability = co_await shipper_->WaitDurable(commit_lsn);
   }
-  locks_.ReleaseAll(request->txn);
-  co_return reply.Encode();
+  locks_.ReleaseAll(request.txn);
+  if (!durability.ok()) co_return durability;
+  co_return rpc::EmptyMessage{};
 }
 
-sim::Task<std::string> DataNode::HandleAbort(NodeId from,
-                                             std::string payload) {
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleAbort(
+    NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.aborts");
-  StatusReply reply;
-  auto request = TxnControlRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  store_.AbortTxn(request->txn);
-  AppendAndNotify(request->two_phase ? RedoRecord::AbortPrepared(request->txn)
-                                     : RedoRecord::Abort(request->txn));
-  locks_.ReleaseAll(request->txn);
-  co_return reply.Encode();
+  store_.AbortTxn(request.txn);
+  AppendAndNotify(request.two_phase ? RedoRecord::AbortPrepared(request.txn)
+                                    : RedoRecord::Abort(request.txn));
+  locks_.ReleaseAll(request.txn);
+  co_return rpc::EmptyMessage{};
 }
 
-sim::Task<std::string> DataNode::HandleDdl(NodeId from, std::string payload) {
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleDdl(
+    NodeId from, DdlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.ddls");
-  StatusReply reply;
-  auto request = DdlRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  reply.status = catalog_.ApplyDdl(request->payload, request->ts);
-  if (reply.status.ok()) {
-    AppendAndNotify(RedoRecord::Ddl(request->ts, request->payload));
-  }
-  co_return reply.Encode();
+  Status status = catalog_.ApplyDdl(request.payload, request.ts);
+  if (!status.ok()) co_return status;
+  AppendAndNotify(RedoRecord::Ddl(request.ts, request.payload));
+  co_return rpc::EmptyMessage{};
 }
 
-sim::Task<std::string> DataNode::HandleHeartbeat(NodeId from,
-                                                 std::string payload) {
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleHeartbeat(
+    NodeId from, TxnControlRequest request) {
   // Heartbeats are cheap; no CPU charge so they cannot be crowded out.
   metrics_.Add("dn.heartbeats");
-  StatusReply reply;
-  auto request = TxnControlRequest::Decode(payload);
-  if (request.ok()) {
-    AppendAndNotify(RedoRecord::Heartbeat(request->ts));
-  }
-  co_return reply.Encode();
+  AppendAndNotify(RedoRecord::Heartbeat(request.ts));
+  co_return rpc::EmptyMessage{};
 }
 
 }  // namespace globaldb

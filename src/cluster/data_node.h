@@ -9,6 +9,7 @@
 #include "src/common/types.h"
 #include "src/log/log_stream.h"
 #include "src/replication/log_shipper.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
 #include "src/storage/catalog.h"
@@ -62,22 +63,30 @@ class DataNode {
   Metrics& metrics() { return metrics_; }
 
  private:
-  void RegisterHandlers();
-  sim::Task<std::string> HandleRead(NodeId from, std::string payload);
-  sim::Task<std::string> HandleLockRead(NodeId from, std::string payload);
-  sim::Task<std::string> HandleScan(NodeId from, std::string payload);
-  sim::Task<std::string> HandleWrite(NodeId from, std::string payload);
-  sim::Task<std::string> HandlePrecommit(NodeId from, std::string payload);
-  sim::Task<std::string> HandleCommit(NodeId from, std::string payload);
-  sim::Task<std::string> HandleAbort(NodeId from, std::string payload);
-  sim::Task<std::string> HandleDdl(NodeId from, std::string payload);
-  sim::Task<std::string> HandleHeartbeat(NodeId from, std::string payload);
+  void BindService();
+  sim::Task<StatusOr<ReadReply>> HandleRead(NodeId from, ReadRequest request);
+  sim::Task<StatusOr<ReadReply>> HandleLockRead(NodeId from,
+                                                ReadRequest request);
+  sim::Task<StatusOr<ScanReply>> HandleScan(NodeId from, ScanRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleWrite(NodeId from,
+                                                     WriteRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandlePrecommit(
+      NodeId from, TxnControlRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleCommit(
+      NodeId from, TxnControlRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleAbort(NodeId from,
+                                                     TxnControlRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleDdl(NodeId from,
+                                                   DdlRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleHeartbeat(
+      NodeId from, TxnControlRequest request);
 
   void AppendAndNotify(RedoRecord record);
 
   sim::Simulator* sim_;
   sim::Network* network_;
   NodeId self_;
+  rpc::RpcServer server_;
   ShardId shard_;
   DataNodeOptions options_;
 

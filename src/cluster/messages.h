@@ -8,45 +8,9 @@
 #include "src/common/codec.h"
 #include "src/common/statusor.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_method.h"
 
 namespace globaldb {
-
-// RPC methods served by primary data nodes.
-inline constexpr char kDnReadMethod[] = "dn.read";
-inline constexpr char kDnLockReadMethod[] = "dn.lock_read";
-inline constexpr char kDnScanMethod[] = "dn.scan";
-inline constexpr char kDnWriteMethod[] = "dn.write";
-inline constexpr char kDnPrecommitMethod[] = "dn.precommit";
-inline constexpr char kDnCommitMethod[] = "dn.commit";
-inline constexpr char kDnAbortMethod[] = "dn.abort";
-inline constexpr char kDnDdlMethod[] = "dn.ddl";
-inline constexpr char kDnHeartbeatMethod[] = "dn.heartbeat";
-
-// RPC methods served by replica data nodes (read-on-replica).
-inline constexpr char kRorReadMethod[] = "ror.read";
-inline constexpr char kRorScanMethod[] = "ror.scan";
-inline constexpr char kRorStatusMethod[] = "ror.status";
-
-// RPC methods served by coordinator nodes.
-inline constexpr char kCnRcpUpdateMethod[] = "cn.rcp_update";
-inline constexpr char kCnDdlApplyMethod[] = "cn.ddl_apply";
-
-/// Status serialization shared by all reply envelopes:
-/// [u8 code][lenprefixed message].
-inline void EncodeStatus(const Status& status, std::string* dst) {
-  dst->push_back(static_cast<char>(status.code()));
-  PutLengthPrefixed(dst, status.message());
-}
-
-inline bool DecodeStatus(Slice* in, Status* out) {
-  if (in->empty()) return false;
-  const auto code = static_cast<StatusCode>((*in)[0]);
-  in->RemovePrefix(1);
-  Slice message;
-  if (!GetLengthPrefixed(in, &message)) return false;
-  *out = Status(code, message.ToString());
-  return true;
-}
 
 /// Point read request (primary or replica).
 struct ReadRequest {
@@ -75,15 +39,13 @@ struct ReadRequest {
   }
 };
 
-/// Reply: status, found flag, value.
+/// Read result; errors travel in the RPC reply envelope, not here.
 struct ReadReply {
-  Status status;
   bool found = false;
   std::string value;
 
   std::string Encode() const {
     std::string s;
-    EncodeStatus(status, &s);
     s.push_back(found ? 1 : 0);
     PutLengthPrefixed(&s, value);
     return s;
@@ -91,9 +53,7 @@ struct ReadReply {
   static StatusOr<ReadReply> Decode(Slice in) {
     ReadReply r;
     Slice value;
-    if (!DecodeStatus(&in, &r.status) || in.empty()) {
-      return Status::Corruption("read reply");
-    }
+    if (in.empty()) return Status::Corruption("read reply");
     r.found = in[0] != 0;
     in.RemovePrefix(1);
     if (!GetLengthPrefixed(&in, &value)) {
@@ -137,12 +97,10 @@ struct ScanRequest {
 };
 
 struct ScanReply {
-  Status status;
   std::vector<std::pair<RowKey, std::string>> rows;
 
   std::string Encode() const {
     std::string s;
-    EncodeStatus(status, &s);
     PutVarint32(&s, static_cast<uint32_t>(rows.size()));
     for (const auto& [key, value] : rows) {
       PutLengthPrefixed(&s, key);
@@ -153,7 +111,7 @@ struct ScanReply {
   static StatusOr<ScanReply> Decode(Slice in) {
     ScanReply r;
     uint32_t n = 0;
-    if (!DecodeStatus(&in, &r.status) || !GetVarint32(&in, &n)) {
+    if (!GetVarint32(&in, &n)) {
       return Status::Corruption("scan reply");
     }
     r.rows.reserve(n);
@@ -201,24 +159,6 @@ struct WriteRequest {
     }
     r.key = key.ToString();
     r.value = value.ToString();
-    return r;
-  }
-};
-
-/// Generic status-only reply.
-struct StatusReply {
-  Status status;
-
-  std::string Encode() const {
-    std::string s;
-    EncodeStatus(status, &s);
-    return s;
-  }
-  static StatusOr<StatusReply> Decode(Slice in) {
-    StatusReply r;
-    if (!DecodeStatus(&in, &r.status)) {
-      return Status::Corruption("status reply");
-    }
     return r;
   }
 };
@@ -294,6 +234,75 @@ struct RorStatusReply {
     return r;
   }
 };
+
+/// Collector broadcast: the new RCP plus the per-replica statuses feeding
+/// each CN's skyline selector.
+struct RcpUpdateMessage {
+  Timestamp rcp = 0;
+  std::vector<std::pair<NodeId, RorStatusReply>> statuses;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, rcp);
+    PutVarint32(&s, static_cast<uint32_t>(statuses.size()));
+    for (const auto& [node, status] : statuses) {
+      PutVarint32(&s, node);
+      PutLengthPrefixed(&s, status.Encode());
+    }
+    return s;
+  }
+  static StatusOr<RcpUpdateMessage> Decode(Slice in) {
+    RcpUpdateMessage r;
+    uint32_t n = 0;
+    if (!GetVarint64(&in, &r.rcp) || !GetVarint32(&in, &n)) {
+      return Status::Corruption("rcp update");
+    }
+    r.statuses.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      uint32_t node = 0;
+      Slice encoded;
+      if (!GetVarint32(&in, &node) || !GetLengthPrefixed(&in, &encoded)) {
+        return Status::Corruption("rcp update entry");
+      }
+      auto status = RorStatusReply::Decode(encoded);
+      if (!status.ok()) return status.status();
+      r.statuses.emplace_back(node, *status);
+    }
+    return r;
+  }
+};
+
+// --- Method descriptors ------------------------------------------------------
+
+// Served by primary data nodes.
+inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kDnRead{"dn.read"};
+inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kDnLockRead{
+    "dn.lock_read"};
+inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kDnScan{"dn.scan"};
+inline constexpr rpc::RpcMethod<WriteRequest, rpc::EmptyMessage> kDnWrite{
+    "dn.write"};
+inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
+    kDnPrecommit{"dn.precommit"};
+inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
+    kDnCommit{"dn.commit"};
+inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
+    kDnAbort{"dn.abort"};
+inline constexpr rpc::RpcMethod<DdlRequest, rpc::EmptyMessage> kDnDdl{
+    "dn.ddl"};
+inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
+    kDnHeartbeat{"dn.heartbeat"};
+
+// Served by replica data nodes (read-on-replica).
+inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kRorRead{"ror.read"};
+inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kRorScan{"ror.scan"};
+inline constexpr rpc::RpcMethod<rpc::EmptyMessage, RorStatusReply> kRorStatus{
+    "ror.status"};
+
+// Served by coordinator nodes.
+inline constexpr rpc::RpcMethod<RcpUpdateMessage, rpc::EmptyMessage>
+    kCnRcpUpdate{"cn.rcp_update"};
+inline constexpr rpc::RpcMethod<DdlRequest, rpc::EmptyMessage> kCnDdlApply{
+    "cn.ddl_apply"};
 
 }  // namespace globaldb
 

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 
-#include "src/common/codec.h"
 #include "src/common/logging.h"
 #include "src/sim/future.h"
 
@@ -10,13 +9,12 @@ namespace globaldb {
 
 namespace {
 
-/// Spawn-safe single status poll (plain function: no lambda captures may
-/// outlive their closure in coroutines).
-sim::Task<void> PollReplica(sim::Network* network, NodeId from, NodeId to,
-                            StatusOr<std::string>* slot,
-                            sim::WaitGroup* wg) {
-  *slot = co_await network->Call(from, to, kRorStatusMethod, "");
-  wg->Done();
+/// Polls must never block the collector loop behind retries: a dead replica
+/// is simply marked failed and retried at the next poll interval.
+rpc::RpcPolicy PollPolicy() {
+  rpc::RpcPolicy policy;
+  policy.max_attempts = 1;
+  return policy;
 }
 
 }  // namespace
@@ -26,12 +24,12 @@ RcpService::RcpService(sim::Simulator* sim, sim::Network* network, NodeId self,
                        std::vector<NodeId> peer_cns, NodeSelector* selector,
                        SimDuration poll_interval)
     : sim_(sim),
-      network_(network),
       self_(self),
       replicas_(std::move(replicas)),
       peer_cns_(std::move(peer_cns)),
       selector_(selector),
-      poll_interval_(poll_interval) {}
+      poll_interval_(poll_interval),
+      client_(network, self, PollPolicy()) {}
 
 void RcpService::Activate() {
   if (active_) return;
@@ -48,15 +46,11 @@ sim::Task<void> RcpService::CollectorLoop() {
 
 sim::Task<void> RcpService::PollOnce() {
   metrics_.Add("rcp.polls");
-  std::vector<StatusOr<std::string>> results(
-      replicas_.size(), StatusOr<std::string>(Status::Unavailable("")));
-  sim::WaitGroup wg(sim_);
-  wg.Add(static_cast<int>(replicas_.size()));
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    sim_->Spawn(PollReplica(network_, self_, replicas_[i].node, &results[i],
-                            &wg));
-  }
-  co_await wg.Wait();
+  std::vector<NodeId> nodes;
+  nodes.reserve(replicas_.size());
+  for (const auto& desc : replicas_) nodes.push_back(desc.node);
+  auto results =
+      co_await client_.CallAll(nodes, kRorStatus, rpc::EmptyMessage{});
 
   // Fold statuses; compute per-shard maxima.
   std::map<ShardId, Timestamp> shard_max;
@@ -70,15 +64,14 @@ sim::Task<void> RcpService::PollOnce() {
       metrics_.Add("rcp.poll_failures");
       continue;
     }
-    auto status = RorStatusReply::Decode(*results[i]);
-    if (!status.ok()) continue;
-    statuses_[desc.node] = *status;
+    const RorStatusReply& status = *results[i];
+    statuses_[desc.node] = status;
     if (selector_ != nullptr) {
-      selector_->UpdateStatus(desc.node, status->max_commit_ts,
-                              status->queue_delay);
+      selector_->UpdateStatus(desc.node, status.max_commit_ts,
+                              status.queue_delay);
     }
     Timestamp& slot = shard_max[desc.shard];
-    slot = std::max(slot, status->max_commit_ts);
+    slot = std::max(slot, status.max_commit_ts);
   }
 
   // RCP = min over shards of the best replica of that shard. A shard whose
@@ -93,41 +86,28 @@ sim::Task<void> RcpService::PollOnce() {
   }
 
   // Push to peers: the RCP plus the statuses that feed their skylines.
-  const std::string update = EncodeUpdate();
+  const RcpUpdateMessage update = MakeUpdate();
   for (NodeId peer : peer_cns_) {
     if (peer == self_) continue;
-    network_->Send(self_, peer, kCnRcpUpdateMethod, update);
+    client_.Send(peer, kCnRcpUpdate, update);
   }
 }
 
-std::string RcpService::EncodeUpdate() const {
-  std::string payload;
-  PutVarint64(&payload, rcp_);
-  PutVarint32(&payload, static_cast<uint32_t>(statuses_.size()));
+RcpUpdateMessage RcpService::MakeUpdate() const {
+  RcpUpdateMessage update;
+  update.rcp = rcp_;
+  update.statuses.reserve(statuses_.size());
   for (const auto& [node, status] : statuses_) {
-    PutVarint32(&payload, node);
-    const std::string encoded = status.Encode();
-    PutLengthPrefixed(&payload, encoded);
+    update.statuses.emplace_back(node, status);
   }
-  return payload;
+  return update;
 }
 
-void RcpService::ApplyUpdate(Slice payload) {
-  Timestamp rcp = 0;
-  uint32_t n = 0;
-  if (!GetVarint64(&payload, &rcp) || !GetVarint32(&payload, &n)) return;
-  ObserveRcp(rcp);
-  for (uint32_t i = 0; i < n; ++i) {
-    uint32_t node = 0;
-    Slice encoded;
-    if (!GetVarint32(&payload, &node) ||
-        !GetLengthPrefixed(&payload, &encoded)) {
-      return;
-    }
-    auto status = RorStatusReply::Decode(encoded);
-    if (status.ok() && selector_ != nullptr) {
-      selector_->UpdateStatus(node, status->max_commit_ts,
-                              status->queue_delay);
+void RcpService::ApplyUpdate(const RcpUpdateMessage& update) {
+  ObserveRcp(update.rcp);
+  for (const auto& [node, status] : update.statuses) {
+    if (selector_ != nullptr) {
+      selector_->UpdateStatus(node, status.max_commit_ts, status.queue_delay);
     }
   }
   metrics_.Add("rcp.updates_applied");

@@ -2,13 +2,13 @@
 #define GLOBALDB_SRC_CLUSTER_RCP_SERVICE_H_
 
 #include <map>
-#include <string>
 #include <vector>
 
 #include "src/cluster/messages.h"
 #include "src/cluster/node_selector.h"
 #include "src/common/metrics.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_client.h"
 #include "src/sim/network.h"
 
 namespace globaldb {
@@ -50,23 +50,25 @@ class RcpService {
   /// Raises the local RCP (applied from collector broadcasts).
   void ObserveRcp(Timestamp rcp) { rcp_ = std::max(rcp_, rcp); }
 
-  /// Handler body for kCnRcpUpdateMethod (registered by the CN).
-  void ApplyUpdate(Slice payload);
+  /// Handler body for kCnRcpUpdate (registered by the CN).
+  void ApplyUpdate(const RcpUpdateMessage& update);
 
   Metrics& metrics() { return metrics_; }
+  /// RPC client used for polling and pushes (poll latency stats live here).
+  rpc::RpcClient& rpc_client() { return client_; }
 
  private:
   sim::Task<void> CollectorLoop();
   sim::Task<void> PollOnce();
-  std::string EncodeUpdate() const;
+  RcpUpdateMessage MakeUpdate() const;
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
   std::vector<ReplicaDesc> replicas_;
   std::vector<NodeId> peer_cns_;
   NodeSelector* selector_;
   SimDuration poll_interval_;
+  rpc::RpcClient client_;
 
   bool active_ = false;
   Timestamp rcp_ = 0;

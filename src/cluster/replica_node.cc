@@ -1,13 +1,15 @@
 #include "src/cluster/replica_node.h"
 
+#include <utility>
+
 namespace globaldb {
 
 ReplicaNode::ReplicaNode(sim::Simulator* sim, sim::Network* network,
                          NodeId self, ShardId shard,
                          ReplicaNodeOptions options)
     : sim_(sim),
-      network_(network),
       self_(self),
+      server_(network, self),
       shard_(shard),
       options_(options),
       store_(shard),
@@ -15,47 +17,36 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, sim::Network* network,
   applier_ = std::make_unique<ReplicaApplier>(sim, network, self, shard,
                                               &store_, &catalog_, &cpu_,
                                               options.applier);
-  RegisterHandlers();
+  BindService();
 }
 
-void ReplicaNode::RegisterHandlers() {
-  network_->RegisterHandler(
-      self_, kRorReadMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        return HandleRead(from, std::move(payload));
-      });
-  network_->RegisterHandler(
-      self_, kRorScanMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        return HandleScan(from, std::move(payload));
-      });
-  network_->RegisterHandler(
-      self_, kRorStatusMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        return HandleStatus(from, std::move(payload));
-      });
+void ReplicaNode::BindService() {
+  server_.Handle(kRorRead, [this](NodeId from, ReadRequest request) {
+    return HandleRead(from, std::move(request));
+  });
+  server_.Handle(kRorScan, [this](NodeId from, ScanRequest request) {
+    return HandleScan(from, std::move(request));
+  });
+  server_.Handle(kRorStatus, [this](NodeId from, rpc::EmptyMessage request) {
+    return HandleStatus(from, request);
+  });
 }
 
-sim::Task<std::string> ReplicaNode::HandleRead(NodeId from,
-                                               std::string payload) {
+sim::Task<StatusOr<ReadReply>> ReplicaNode::HandleRead(NodeId from,
+                                                       ReadRequest request) {
   co_await cpu_.Consume(options_.read_cost);
   metrics_.Add("ror.reads");
   ReadReply reply;
-  auto request = ReadRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  MvccTable* table = store_.GetTable(request->table);
+  MvccTable* table = store_.GetTable(request.table);
   if (table == nullptr) {
     // The table may simply have no rows replayed into this shard yet.
-    co_return reply.Encode();
+    co_return reply;
   }
   // Pending-commit tuple lock: retry after the blocking txn resolves.
   while (true) {
-    ReadResult result = table->Read(request->key, request->snapshot);
+    ReadResult result = table->Read(request.key, request.snapshot);
     if (result.provisional_txn != kInvalidTxnId &&
-        applier_->MustWait(result.provisional_txn, request->snapshot)) {
+        applier_->MustWait(result.provisional_txn, request.snapshot)) {
       metrics_.Add("ror.pending_waits");
       co_await applier_->WaitResolved(result.provisional_txn);
       continue;
@@ -64,30 +55,25 @@ sim::Task<std::string> ReplicaNode::HandleRead(NodeId from,
     reply.value = std::move(result.value);
     break;
   }
-  co_return reply.Encode();
+  co_return reply;
 }
 
-sim::Task<std::string> ReplicaNode::HandleScan(NodeId from,
-                                               std::string payload) {
+sim::Task<StatusOr<ScanReply>> ReplicaNode::HandleScan(NodeId from,
+                                                       ScanRequest request) {
   metrics_.Add("ror.scans");
   ScanReply reply;
-  auto request = ScanRequest::Decode(payload);
-  if (!request.ok()) {
-    reply.status = request.status();
-    co_return reply.Encode();
-  }
-  MvccTable* table = store_.GetTable(request->table);
+  MvccTable* table = store_.GetTable(request.table);
   if (table == nullptr) {
     co_await cpu_.Consume(options_.read_cost);
-    co_return reply.Encode();
+    co_return reply;
   }
   while (true) {
     std::vector<TxnId> pending;
-    auto rows = table->Scan(request->start, request->end, request->snapshot,
-                            kInvalidTxnId, request->limit, &pending);
+    auto rows = table->Scan(request.start, request.end, request.snapshot,
+                            kInvalidTxnId, request.limit, &pending);
     TxnId blocker = kInvalidTxnId;
     for (TxnId txn : pending) {
-      if (applier_->MustWait(txn, request->snapshot)) {
+      if (applier_->MustWait(txn, request.snapshot)) {
         blocker = txn;
         break;
       }
@@ -106,16 +92,16 @@ sim::Task<std::string> ReplicaNode::HandleScan(NodeId from,
     }
     break;
   }
-  co_return reply.Encode();
+  co_return reply;
 }
 
-sim::Task<std::string> ReplicaNode::HandleStatus(NodeId from,
-                                                 std::string payload) {
+sim::Task<StatusOr<RorStatusReply>> ReplicaNode::HandleStatus(
+    NodeId from, rpc::EmptyMessage request) {
   RorStatusReply reply;
   reply.max_commit_ts = applier_->max_commit_ts();
   reply.applied_lsn = applier_->applied_lsn();
   reply.queue_delay = cpu_.CurrentQueueDelay();
-  co_return reply.Encode();
+  co_return reply;
 }
 
 }  // namespace globaldb

@@ -7,6 +7,7 @@
 #include "src/common/metrics.h"
 #include "src/common/types.h"
 #include "src/replication/replica_applier.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
 #include "src/storage/catalog.h"
@@ -43,14 +44,15 @@ class ReplicaNode {
   Metrics& metrics() { return metrics_; }
 
  private:
-  void RegisterHandlers();
-  sim::Task<std::string> HandleRead(NodeId from, std::string payload);
-  sim::Task<std::string> HandleScan(NodeId from, std::string payload);
-  sim::Task<std::string> HandleStatus(NodeId from, std::string payload);
+  void BindService();
+  sim::Task<StatusOr<ReadReply>> HandleRead(NodeId from, ReadRequest request);
+  sim::Task<StatusOr<ScanReply>> HandleScan(NodeId from, ScanRequest request);
+  sim::Task<StatusOr<RorStatusReply>> HandleStatus(NodeId from,
+                                                   rpc::EmptyMessage request);
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
+  rpc::RpcServer server_;
   ShardId shard_;
   ReplicaNodeOptions options_;
 

@@ -19,13 +19,13 @@ class Histogram {
     values_.push_back(value);
     sum_ += value;
     min_ = values_.size() == 1 ? value : std::min(min_, value);
-    max_ = std::max(max_, value);
+    max_ = values_.size() == 1 ? value : std::max(max_, value);
     sorted_ = false;
   }
 
   size_t count() const { return values_.size(); }
   int64_t min() const { return values_.empty() ? 0 : min_; }
-  int64_t max() const { return max_; }
+  int64_t max() const { return values_.empty() ? 0 : max_; }
   double mean() const {
     return values_.empty() ? 0.0 : static_cast<double>(sum_) / values_.size();
   }
@@ -41,6 +41,10 @@ class Histogram {
     size_t idx = static_cast<size_t>(rank);
     return values_[std::min(idx, values_.size() - 1)];
   }
+
+  /// Raw samples in insertion order until the first Percentile() call
+  /// (which sorts in place).
+  const std::vector<int64_t>& values() const { return values_; }
 
   void Clear() {
     values_.clear();

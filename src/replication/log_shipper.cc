@@ -7,16 +7,28 @@
 
 namespace globaldb {
 
+namespace {
+
+/// The ship loop is its own retry mechanism (it must re-read the stream and
+/// rewind the cursor on failure), so the RPC layer never retries for it.
+rpc::RpcPolicy ShipperRpcPolicy() {
+  rpc::RpcPolicy policy;
+  policy.max_attempts = 1;
+  return policy;
+}
+
+}  // namespace
+
 LogShipper::LogShipper(sim::Simulator* sim, sim::Network* network, NodeId self,
                        ShardId shard, LogStream* stream,
                        std::vector<NodeId> replicas, ShipperOptions options)
     : sim_(sim),
-      network_(network),
       self_(self),
       shard_(shard),
       stream_(stream),
       replicas_(std::move(replicas)),
       options_(options),
+      client_(network, self, ShipperRpcPolicy()),
       append_signal_(sim) {
   for (NodeId r : replicas_) acked_[r] = 0;
 }
@@ -49,37 +61,26 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
     }
 
     const std::vector<RedoRecord>& batch = *batch_or;
-    std::string payload;
-    PutVarint32(&payload, shard_);
-    PutVarint64(&payload, batch.front().lsn);
-    const std::string encoded =
-        LogStream::EncodeBatch(batch, options_.compression);
-    payload += encoded;
+    ReplAppendRequest request;
+    request.shard = shard_;
+    request.start_lsn = batch.front().lsn;
+    request.batch = LogStream::EncodeBatch(batch, options_.compression);
 
     metrics_.Add("ship.batches");
     metrics_.Add("ship.records", static_cast<int64_t>(batch.size()));
-    metrics_.Add("ship.bytes", static_cast<int64_t>(payload.size()));
+    metrics_.Add("ship.bytes",
+                 static_cast<int64_t>(request.Encode().size()));
 
-    auto reply = co_await network_->Call(self_, replica, kReplAppendMethod,
-                                         std::move(payload));
+    auto reply = co_await client_.Call(replica, kReplAppend, request);
     if (!reply.ok()) {
       metrics_.Add("ship.failures");
       co_await sim_->Sleep(options_.retry_backoff);
       continue;
     }
-    Slice in(*reply);
-    Lsn applied = 0;
-    if (!GetVarint64(&in, &applied)) {
-      metrics_.Add("ship.bad_replies");
-      co_await sim_->Sleep(options_.retry_backoff);
-      continue;
-    }
-    if (applied >= cursor) {
-      cursor = applied + 1;
-    } else {
-      // Replica is behind our cursor (e.g. it restarted); rewind.
-      cursor = applied + 1;
-    }
+    const Lsn applied = reply->applied_lsn;
+    // Advance past the ack; if the replica is behind our cursor (e.g. it
+    // restarted) this rewinds to resend.
+    cursor = applied + 1;
     OnAck(replica, applied);
   }
 }

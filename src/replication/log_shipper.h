@@ -10,13 +10,12 @@
 #include "src/common/types.h"
 #include "src/compression/lz.h"
 #include "src/log/log_stream.h"
+#include "src/replication/messages.h"
+#include "src/rpc/rpc_client.h"
 #include "src/sim/future.h"
 #include "src/sim/network.h"
 
 namespace globaldb {
-
-/// RPC method replicas register for batch delivery.
-inline constexpr char kReplAppendMethod[] = "repl.append";
 
 struct ShipperOptions {
   ReplicationMode mode = ReplicationMode::kAsync;
@@ -72,6 +71,8 @@ class LogShipper {
   const ShipperOptions& options() const { return options_; }
   ShipperOptions* mutable_options() { return &options_; }
   Metrics& metrics() { return metrics_; }
+  /// RPC client shipping the batches (per-replica latency stats live here).
+  rpc::RpcClient& rpc_client() { return client_; }
 
  private:
   struct DurabilityWaiter {
@@ -85,12 +86,12 @@ class LogShipper {
   bool DurabilityReached(Lsn lsn) const;
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
   ShardId shard_;
   LogStream* stream_;
   std::vector<NodeId> replicas_;
   ShipperOptions options_;
+  rpc::RpcClient client_;
 
   std::map<NodeId, Lsn> acked_;
   std::vector<DurabilityWaiter> waiters_;

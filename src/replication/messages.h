@@ -1,0 +1,65 @@
+#ifndef GLOBALDB_SRC_REPLICATION_MESSAGES_H_
+#define GLOBALDB_SRC_REPLICATION_MESSAGES_H_
+
+#include <string>
+#include <utility>
+
+#include "src/common/codec.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/rpc/rpc_method.h"
+
+namespace globaldb {
+
+/// One shipped redo batch: the shard it belongs to, the LSN of the first
+/// record, and the (optionally compressed) LogStream::EncodeBatch bytes.
+struct ReplAppendRequest {
+  uint32_t shard = 0;
+  Lsn start_lsn = kInvalidLsn;
+  std::string batch;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, shard);
+    PutVarint64(&s, start_lsn);
+    s += batch;
+    return s;
+  }
+  static StatusOr<ReplAppendRequest> Decode(Slice in) {
+    ReplAppendRequest r;
+    if (!GetVarint32(&in, &r.shard) || !GetVarint64(&in, &r.start_lsn)) {
+      return Status::Corruption("repl append req");
+    }
+    r.batch = in.ToString();
+    return r;
+  }
+};
+
+/// Cumulative ack: the highest LSN the replica has applied (or buffered
+/// while stalled). The shipper resumes from `applied_lsn + 1`.
+struct ReplAppendReply {
+  Lsn applied_lsn = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, applied_lsn);
+    return s;
+  }
+  static StatusOr<ReplAppendReply> Decode(Slice in) {
+    ReplAppendReply r;
+    if (!GetVarint64(&in, &r.applied_lsn)) {
+      return Status::Corruption("repl append reply");
+    }
+    return r;
+  }
+};
+
+// --- Method descriptors ------------------------------------------------------
+
+// Served by replica appliers.
+inline constexpr rpc::RpcMethod<ReplAppendRequest, ReplAppendReply>
+    kReplAppend{"repl.append"};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_REPLICATION_MESSAGES_H_

@@ -1,10 +1,9 @@
 #include "src/replication/replica_applier.h"
 
 #include <algorithm>
+#include <utility>
 
-#include "src/common/codec.h"
 #include "src/common/logging.h"
-#include "src/replication/log_shipper.h"
 
 namespace globaldb {
 
@@ -13,48 +12,45 @@ ReplicaApplier::ReplicaApplier(sim::Simulator* sim, sim::Network* network,
                                Catalog* catalog, sim::CpuScheduler* cpu,
                                ApplierOptions options)
     : sim_(sim),
-      network_(network),
       self_(self),
+      server_(network, self),
       shard_(shard),
       store_(store),
       catalog_(catalog),
       cpu_(cpu),
       options_(options),
       resolved_signal_(sim) {
-  network_->RegisterHandler(
-      self_, kReplAppendMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        return HandleAppend(from, std::move(payload));
-      });
+  server_.Handle(kReplAppend, [this](NodeId from, ReplAppendRequest request) {
+    return HandleAppend(from, std::move(request));
+  });
 }
 
-sim::Task<std::string> ReplicaApplier::HandleAppend(NodeId from,
-                                                    std::string payload) {
-  std::string ack;
-  Slice in(payload);
-  uint32_t shard = 0;
-  Lsn start_lsn = 0;
-  if (!GetVarint32(&in, &shard) || !GetVarint64(&in, &start_lsn) ||
-      shard != shard_) {
+sim::Task<StatusOr<ReplAppendReply>> ReplicaApplier::HandleAppend(
+    NodeId from, ReplAppendRequest request) {
+  // Every exit acks the current applied LSN: the shipper treats the ack as
+  // the cursor to resume from, so bad batches / stalls / gaps all resolve to
+  // "resend from applied_lsn_ + 1".
+  ReplAppendReply ack;
+  if (request.shard != shard_) {
     metrics_.Add("apply.bad_batches");
-    PutVarint64(&ack, applied_lsn_);
+    ack.applied_lsn = applied_lsn_;
     co_return ack;
   }
   if (stalled_) {
     // Pretend the batch was lost; the shipper will retry.
-    PutVarint64(&ack, applied_lsn_);
+    ack.applied_lsn = applied_lsn_;
     co_return ack;
   }
   std::vector<RedoRecord> records;
-  if (!LogStream::DecodeBatch(in, &records).ok()) {
+  if (!LogStream::DecodeBatch(Slice(request.batch), &records).ok()) {
     metrics_.Add("apply.bad_batches");
-    PutVarint64(&ack, applied_lsn_);
+    ack.applied_lsn = applied_lsn_;
     co_return ack;
   }
-  if (start_lsn > applied_lsn_ + 1) {
+  if (request.start_lsn > applied_lsn_ + 1) {
     // Gap: refuse; shipper rewinds to our ack.
     metrics_.Add("apply.gaps");
-    PutVarint64(&ack, applied_lsn_);
+    ack.applied_lsn = applied_lsn_;
     co_return ack;
   }
 
@@ -72,7 +68,7 @@ sim::Task<std::string> ReplicaApplier::HandleAppend(NodeId from,
   }
   metrics_.Add("apply.records", static_cast<int64_t>(applied));
   metrics_.Add("apply.batches");
-  PutVarint64(&ack, applied_lsn_);
+  ack.applied_lsn = applied_lsn_;
   co_return ack;
 }
 

@@ -9,6 +9,8 @@
 #include "src/common/metrics.h"
 #include "src/common/types.h"
 #include "src/log/log_stream.h"
+#include "src/replication/messages.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/future.h"
 #include "src/sim/network.h"
@@ -71,13 +73,14 @@ class ReplicaApplier {
   Metrics& metrics() { return metrics_; }
 
  private:
-  sim::Task<std::string> HandleAppend(NodeId from, std::string payload);
+  sim::Task<StatusOr<ReplAppendReply>> HandleAppend(NodeId from,
+                                                    ReplAppendRequest request);
   void ApplyRecord(const RedoRecord& record);
   void ResolveTxn(TxnId txn);
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
+  rpc::RpcServer server_;
   ShardId shard_;
   ShardStore* store_;
   Catalog* catalog_;

@@ -1,0 +1,77 @@
+#include "src/rpc/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace globaldb::rpc {
+
+namespace {
+
+/// Human-scale duration: ns below 10us, us below 10ms, ms above.
+std::string FormatDuration(SimDuration d) {
+  char buf[32];
+  if (d < 10 * kMicrosecond) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", d);
+  } else if (d < 10 * kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.1fus",
+                  static_cast<double>(d) / kMicrosecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fms",
+                  static_cast<double>(d) / kMillisecond);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::vector<TraceEvent> TraceLog::Snapshot() const {
+  std::vector<TraceEvent> out;
+  out.reserve(events_.size());
+  // events_[next_..) are the oldest entries once the ring has wrapped.
+  for (size_t i = 0; i < events_.size(); ++i) {
+    out.push_back(events_[(next_ + i) % events_.size()]);
+  }
+  return out;
+}
+
+std::string TraceLog::Format(const TraceEvent& event) {
+  std::string line = "[t=";
+  line += FormatDuration(event.start);
+  line += " +";
+  line += FormatDuration(event.elapsed);
+  line += "] ";
+  line += event.method;
+  line += event.one_way ? " => " : " -> ";
+  line += std::to_string(event.peer);
+  if (!event.one_way) {
+    line += " attempts=";
+    line += std::to_string(event.attempts);
+    line += " req=";
+    line += std::to_string(event.request_bytes);
+    line += "B reply=";
+    line += std::to_string(event.reply_bytes);
+    line += "B ";
+    line += StatusCodeName(event.outcome);
+  } else {
+    line += " req=";
+    line += std::to_string(event.request_bytes);
+    line += "B one-way";
+  }
+  return line;
+}
+
+std::string TraceLog::Dump(size_t max_events) const {
+  std::vector<TraceEvent> events = Snapshot();
+  size_t first = 0;
+  if (max_events > 0 && events.size() > max_events) {
+    first = events.size() - max_events;
+  }
+  std::string out;
+  for (size_t i = first; i < events.size(); ++i) {
+    out += Format(events[i]);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace globaldb::rpc

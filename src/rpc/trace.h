@@ -1,0 +1,77 @@
+#ifndef GLOBALDB_SRC_RPC_TRACE_H_
+#define GLOBALDB_SRC_RPC_TRACE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/common/types.h"
+
+namespace globaldb::rpc {
+
+/// One completed RPC as seen by the issuing client.
+struct TraceEvent {
+  SimTime start = 0;          ///< virtual time the call was issued
+  SimDuration elapsed = 0;    ///< queue + wire + retry time until completion
+  NodeId peer = 0;            ///< callee node
+  const char* method = "";    ///< descriptor name (static storage)
+  int attempts = 1;           ///< 1 = no retries
+  size_t request_bytes = 0;
+  size_t reply_bytes = 0;     ///< 0 on failure or one-way sends
+  StatusCode outcome = StatusCode::kOk;
+  bool one_way = false;       ///< fire-and-forget Send (no reply expected)
+};
+
+/// Fixed-capacity ring buffer of the most recent RPCs issued by one client.
+/// Cheap enough to stay always-on; bench harnesses dump it post-mortem to
+/// explain tail latencies (which call retried, against whom, for how long).
+class TraceLog {
+ public:
+  explicit TraceLog(size_t capacity = 256) : capacity_(capacity) {
+    events_.reserve(capacity_);
+  }
+
+  void Record(TraceEvent event) {
+    ++total_recorded_;
+    if (capacity_ == 0) return;
+    if (events_.size() < capacity_) {
+      events_.push_back(event);
+    } else {
+      events_[next_] = event;
+      next_ = (next_ + 1) % capacity_;
+    }
+  }
+
+  size_t capacity() const { return capacity_; }
+  /// Events currently retained (<= capacity).
+  size_t size() const { return events_.size(); }
+  /// Events ever recorded, including those evicted from the ring.
+  uint64_t total_recorded() const { return total_recorded_; }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// One event as a single text line, e.g.
+  ///   [  1.203ms +450us] gtm.timestamp -> 0 attempts=2 req=12B reply=9B OK
+  static std::string Format(const TraceEvent& event);
+
+  /// Formats the newest `max_events` retained events (0 = all retained),
+  /// oldest first, one per line.
+  std::string Dump(size_t max_events = 0) const;
+
+  void Clear() {
+    events_.clear();
+    next_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEvent> events_;
+  size_t next_ = 0;  // overwrite position once the ring is full
+  uint64_t total_recorded_ = 0;
+};
+
+}  // namespace globaldb::rpc
+
+#endif  // GLOBALDB_SRC_RPC_TRACE_H_

@@ -1,0 +1,81 @@
+#ifndef GLOBALDB_SRC_RPC_WIRE_H_
+#define GLOBALDB_SRC_RPC_WIRE_H_
+
+#include <string>
+
+#include "src/common/codec.h"
+#include "src/common/slice.h"
+#include "src/common/statusor.h"
+
+namespace globaldb::rpc {
+
+/// Reply envelope shared by every RPC method.
+///
+/// Requests travel as the bare message encoding (no envelope), so crafted
+/// payloads and the shipper's pre-encoded batches stay byte-compatible.
+/// Replies are prefixed with one flag byte:
+///
+///   [0x01][reply message bytes]            success
+///   [0x00][u8 code][lenprefixed message]   application / decode error
+///
+/// Transport failures (node down, partition, timeout) never reach the
+/// envelope: they surface as StatusOr errors from the network layer.
+
+/// Serializes `status` as [u8 code][lenprefixed message].
+inline void EncodeStatus(const Status& status, std::string* dst) {
+  dst->push_back(static_cast<char>(status.code()));
+  PutLengthPrefixed(dst, status.message());
+}
+
+inline bool DecodeStatus(Slice* in, Status* out) {
+  if (in->empty()) return false;
+  const auto code = static_cast<StatusCode>((*in)[0]);
+  in->RemovePrefix(1);
+  Slice message;
+  if (!GetLengthPrefixed(in, &message)) return false;
+  *out = Status(code, message.ToString());
+  return true;
+}
+
+inline std::string EncodeOkEnvelope(const std::string& reply_payload) {
+  std::string s;
+  s.reserve(reply_payload.size() + 1);
+  s.push_back(1);
+  s += reply_payload;
+  return s;
+}
+
+inline std::string EncodeErrorEnvelope(const Status& status) {
+  std::string s;
+  s.push_back(0);
+  EncodeStatus(status.ok() ? Status::Internal("error envelope without error")
+                           : status,
+               &s);
+  return s;
+}
+
+/// Splits a reply envelope into the typed reply or the carried error.
+template <typename Reply>
+StatusOr<Reply> DecodeEnvelope(const std::string& wire) {
+  Slice in(wire);
+  if (in.empty()) return Status::Corruption("rpc envelope: empty reply");
+  const char flag = in[0];
+  in.RemovePrefix(1);
+  if (flag == 1) return Reply::Decode(in);
+  if (flag != 0) return Status::Corruption("rpc envelope: bad flag");
+  Status status;
+  if (!DecodeStatus(&in, &status) || status.ok()) {
+    return Status::Corruption("rpc envelope: bad error status");
+  }
+  return status;
+}
+
+/// True for the transport-level failures a retry can help with. Application
+/// errors returned by a handler use other codes and are never retried.
+inline bool IsTransportError(const Status& status) {
+  return status.IsUnavailable() || status.IsTimedOut();
+}
+
+}  // namespace globaldb::rpc
+
+#endif  // GLOBALDB_SRC_RPC_WIRE_H_

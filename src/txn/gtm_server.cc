@@ -1,5 +1,7 @@
 #include "src/txn/gtm_server.h"
 
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace globaldb {
@@ -7,24 +9,21 @@ namespace globaldb {
 GtmServer::GtmServer(sim::Simulator* sim, sim::Network* network, NodeId self,
                      int cores, SimDuration service_time)
     : sim_(sim),
-      network_(network),
       self_(self),
+      server_(network, self),
       cpu_(sim, cores),
       service_time_(service_time) {
-  RegisterHandlers();
+  BindService();
 }
 
-void GtmServer::RegisterHandlers() {
-  network_->RegisterHandler(
-      self_, kGtmTimestampMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        return HandleTimestamp(from, std::move(payload));
-      });
-  network_->RegisterHandler(
-      self_, kGtmSetModeMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        return HandleSetMode(from, std::move(payload));
-      });
+void GtmServer::BindService() {
+  server_.Handle(kGtmTimestamp, [this](NodeId from,
+                                       GtmTimestampRequest request) {
+    return HandleTimestamp(from, std::move(request));
+  });
+  server_.Handle(kGtmSetMode, [this](NodeId from, SetModeRequest request) {
+    return HandleSetMode(from, std::move(request));
+  });
 }
 
 void GtmServer::SetMode(TimestampMode mode, Timestamp floor) {
@@ -37,19 +36,13 @@ void GtmServer::SetMode(TimestampMode mode, Timestamp floor) {
   RaiseCounter(floor);
 }
 
-sim::Task<std::string> GtmServer::HandleTimestamp(NodeId from,
-                                                  std::string payload) {
+sim::Task<StatusOr<GtmTimestampReply>> GtmServer::HandleTimestamp(
+    NodeId from, GtmTimestampRequest request) {
   co_await cpu_.Consume(service_time_);
   metrics_.Add("gtm.timestamp_requests");
 
-  auto request = GtmTimestampRequest::Decode(payload);
   GtmTimestampReply reply;
   reply.server_mode = mode_;
-  if (!request.ok()) {
-    reply.aborted = true;
-    co_return reply.Encode();
-  }
-
   switch (mode_) {
     case TimestampMode::kGtm:
       // Plain centralized counter (Eq. 2).
@@ -60,40 +53,37 @@ sim::Task<std::string> GtmServer::HandleTimestamp(NodeId from,
       // during the transition window; GTM-mode committers must wait 2x this
       // so their commits cannot be missed by new GClock snapshots
       // (Listing 1 scenario).
-      max_error_bound_ = std::max(max_error_bound_, request->error_bound);
-      counter_ = std::max(counter_, request->gclock_upper) + 1;
+      max_error_bound_ = std::max(max_error_bound_, request.error_bound);
+      counter_ = std::max(counter_, request.gclock_upper) + 1;
       reply.ts = counter_;
-      if (request->client_mode == TimestampMode::kGtm && request->is_commit) {
+      if (request.client_mode == TimestampMode::kGtm && request.is_commit) {
         reply.wait = 2 * max_error_bound_;
       }
       break;
     }
     case TimestampMode::kGclock:
       // The cluster has moved on; stale GTM transactions must abort.
-      if (request->client_mode == TimestampMode::kGtm) {
+      if (request.client_mode == TimestampMode::kGtm) {
         metrics_.Add("gtm.stale_aborts");
         reply.aborted = true;
       } else {
         // DUAL stragglers can still finish: keep bridging.
-        counter_ = std::max(counter_, request->gclock_upper) + 1;
+        counter_ = std::max(counter_, request.gclock_upper) + 1;
         reply.ts = counter_;
       }
       break;
   }
-  co_return reply.Encode();
+  co_return reply;
 }
 
-sim::Task<std::string> GtmServer::HandleSetMode(NodeId from,
-                                                std::string payload) {
+sim::Task<StatusOr<AckReply>> GtmServer::HandleSetMode(NodeId from,
+                                                       SetModeRequest request) {
   co_await cpu_.Consume(service_time_);
-  auto request = SetModeRequest::Decode(payload);
+  SetMode(request.mode, request.floor);
   AckReply ack;
-  if (request.ok()) {
-    SetMode(request->mode, request->floor);
-    ack.max_issued = counter_;
-    ack.max_error_bound = max_error_bound_;
-  }
-  co_return ack.Encode();
+  ack.max_issued = counter_;
+  ack.max_error_bound = max_error_bound_;
+  co_return ack;
 }
 
 }  // namespace globaldb

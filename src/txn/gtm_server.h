@@ -5,6 +5,7 @@
 
 #include "src/common/metrics.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
 #include "src/txn/messages.h"
@@ -47,13 +48,15 @@ class GtmServer {
   Metrics& metrics() { return metrics_; }
 
  private:
-  void RegisterHandlers();
-  sim::Task<std::string> HandleTimestamp(NodeId from, std::string payload);
-  sim::Task<std::string> HandleSetMode(NodeId from, std::string payload);
+  void BindService();
+  sim::Task<StatusOr<GtmTimestampReply>> HandleTimestamp(
+      NodeId from, GtmTimestampRequest request);
+  sim::Task<StatusOr<AckReply>> HandleSetMode(NodeId from,
+                                              SetModeRequest request);
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
+  rpc::RpcServer server_;
   sim::CpuScheduler cpu_;
   SimDuration service_time_;
 

@@ -6,14 +6,9 @@
 #include "src/common/codec.h"
 #include "src/common/statusor.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_method.h"
 
 namespace globaldb {
-
-/// RPC method names used by the transaction-management plane.
-inline constexpr char kGtmTimestampMethod[] = "gtm.timestamp";
-inline constexpr char kGtmSetModeMethod[] = "gtm.set_mode";
-inline constexpr char kCnSetModeMethod[] = "cn.set_mode";
-inline constexpr char kCnMaxIssuedMethod[] = "cn.max_issued";
 
 /// Request for a timestamp from the GTM server. DUAL-mode clients attach
 /// their GClock upper bound so the server can issue
@@ -130,6 +125,20 @@ struct AckReply {
     return r;
   }
 };
+
+// --- Method descriptors ------------------------------------------------------
+
+// Served by the GTM server.
+inline constexpr rpc::RpcMethod<GtmTimestampRequest, GtmTimestampReply>
+    kGtmTimestamp{"gtm.timestamp"};
+inline constexpr rpc::RpcMethod<SetModeRequest, AckReply> kGtmSetMode{
+    "gtm.set_mode"};
+
+// Served by each CN's timestamp source.
+inline constexpr rpc::RpcMethod<SetModeRequest, AckReply> kCnSetMode{
+    "cn.set_mode"};
+inline constexpr rpc::RpcMethod<rpc::EmptyMessage, AckReply> kCnMaxIssued{
+    "cn.max_issued"};
 
 }  // namespace globaldb
 

@@ -1,5 +1,7 @@
 #include "src/txn/timestamp_source.h"
 
+#include <utility>
+
 #include "src/common/logging.h"
 
 namespace globaldb {
@@ -8,36 +10,40 @@ TimestampSource::TimestampSource(sim::Simulator* sim, sim::Network* network,
                                  NodeId self, NodeId gtm_node,
                                  sim::HardwareClock* clock)
     : sim_(sim),
-      network_(network),
       self_(self),
       gtm_node_(gtm_node),
-      clock_(clock) {
-  RegisterHandlers();
+      clock_(clock),
+      client_(network, self),
+      server_(network, self) {
+  BindService();
 }
 
-void TimestampSource::RegisterHandlers() {
-  network_->RegisterHandler(
-      self_, kCnSetModeMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        auto request = SetModeRequest::Decode(payload);
-        AckReply ack;
-        if (request.ok()) {
-          SetMode(request->mode);
-          ack.max_issued = std::max(max_issued_, static_cast<Timestamp>(
-                                                     clock_->ReadUpper()));
-          ack.max_error_bound = clock_->ErrorBound();
-        }
-        co_return ack.Encode();
-      });
-  network_->RegisterHandler(
-      self_, kCnMaxIssuedMethod,
-      [this](NodeId from, std::string payload) -> sim::Task<std::string> {
-        AckReply ack;
-        ack.max_issued =
-            std::max(max_issued_, static_cast<Timestamp>(clock_->ReadUpper()));
-        ack.max_error_bound = clock_->ErrorBound();
-        co_return ack.Encode();
-      });
+void TimestampSource::BindService() {
+  server_.Handle(kCnSetMode, [this](NodeId from, SetModeRequest request) {
+    return HandleSetMode(from, std::move(request));
+  });
+  server_.Handle(kCnMaxIssued, [this](NodeId from, rpc::EmptyMessage request) {
+    return HandleMaxIssued(from, request);
+  });
+}
+
+AckReply TimestampSource::MakeAck() const {
+  AckReply ack;
+  ack.max_issued =
+      std::max(max_issued_, static_cast<Timestamp>(clock_->ReadUpper()));
+  ack.max_error_bound = clock_->ErrorBound();
+  return ack;
+}
+
+sim::Task<StatusOr<AckReply>> TimestampSource::HandleSetMode(
+    NodeId from, SetModeRequest request) {
+  SetMode(request.mode);
+  co_return MakeAck();
+}
+
+sim::Task<StatusOr<AckReply>> TimestampSource::HandleMaxIssued(
+    NodeId from, rpc::EmptyMessage request) {
+  co_return MakeAck();
 }
 
 sim::Task<void> TimestampSource::WaitClockPast(Timestamp ts) {
@@ -74,13 +80,7 @@ sim::Task<StatusOr<GtmTimestampReply>> TimestampSource::CallGtm(
     request.error_bound = clock_->ErrorBound();
   }
   metrics_.Add("ts.gtm_rpcs");
-  auto response = co_await network_->Call(self_, gtm_node_,
-                                          kGtmTimestampMethod,
-                                          request.Encode());
-  if (!response.ok()) co_return response.status();
-  auto reply = GtmTimestampReply::Decode(*response);
-  if (!reply.ok()) co_return reply.status();
-  co_return *reply;
+  co_return co_await client_.Call(gtm_node_, kGtmTimestamp, request);
 }
 
 sim::Task<StatusOr<TimestampSource::Grant>> TimestampSource::BeginTs(

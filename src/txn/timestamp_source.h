@@ -6,6 +6,8 @@
 #include "src/common/metrics.h"
 #include "src/common/statusor.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_client.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/hardware_clock.h"
 #include "src/sim/network.h"
 #include "src/txn/messages.h"
@@ -35,7 +37,7 @@ class TimestampSource {
   TimestampSource& operator=(const TimestampSource&) = delete;
 
   TimestampMode mode() const { return mode_; }
-  /// Local mode switch (normally driven via the kCnSetModeMethod RPC).
+  /// Local mode switch (normally driven via the kCnSetMode RPC).
   void SetMode(TimestampMode mode) { mode_ = mode; }
 
   /// Snapshot timestamp for a new transaction. Single-shard read-only work
@@ -67,6 +69,8 @@ class TimestampSource {
 
   sim::HardwareClock* clock() { return clock_; }
   Metrics& metrics() { return metrics_; }
+  /// RPC client used for GTM traffic (retry/latency stats live here).
+  rpc::RpcClient& rpc_client() { return client_; }
 
  private:
   /// Waits until the local clock reading exceeds `ts` (commit wait).
@@ -76,13 +80,20 @@ class TimestampSource {
   /// DUAL-path RPC to the GTM server.
   sim::Task<StatusOr<GtmTimestampReply>> CallGtm(TimestampMode client_mode,
                                                  bool is_commit);
-  void RegisterHandlers();
+  void BindService();
+  /// Current issued-timestamp watermark + clock error bound.
+  AckReply MakeAck() const;
+  sim::Task<StatusOr<AckReply>> HandleSetMode(NodeId from,
+                                              SetModeRequest request);
+  sim::Task<StatusOr<AckReply>> HandleMaxIssued(NodeId from,
+                                                rpc::EmptyMessage request);
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
   NodeId gtm_node_;
   sim::HardwareClock* clock_;
+  rpc::RpcClient client_;
+  rpc::RpcServer server_;
 
   TimestampMode mode_ = TimestampMode::kGtm;
   Timestamp last_committed_ = 0;

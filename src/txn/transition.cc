@@ -12,22 +12,18 @@ sim::Task<StatusOr<AckReply>> TransitionCoordinator::SetGtmMode(
   SetModeRequest request;
   request.mode = mode;
   request.floor = floor;
-  auto response = co_await network_->Call(self_, gtm_node_, kGtmSetModeMethod,
-                                          request.Encode());
-  if (!response.ok()) co_return response.status();
-  co_return AckReply::Decode(*response);
+  co_return co_await client_.Call(gtm_node_, kGtmSetMode, request);
 }
 
 sim::Task<StatusOr<TransitionCoordinator::SweepResult>>
 TransitionCoordinator::SetAllCnModes(TimestampMode mode) {
+  // Sequential on purpose: the transition protocol tolerates a slow sweep
+  // but not a half-switched cluster left behind by an aborted fan-out.
   SweepResult result;
+  SetModeRequest request;
+  request.mode = mode;
   for (NodeId cn : cn_nodes_) {
-    SetModeRequest request;
-    request.mode = mode;
-    auto response =
-        co_await network_->Call(self_, cn, kCnSetModeMethod, request.Encode());
-    if (!response.ok()) co_return response.status();
-    auto ack = AckReply::Decode(*response);
+    auto ack = co_await client_.Call(cn, kCnSetMode, request);
     if (!ack.ok()) co_return ack.status();
     result.max_issued = std::max(result.max_issued, ack->max_issued);
     result.max_error_bound =

@@ -6,6 +6,7 @@
 #include "src/common/metrics.h"
 #include "src/common/statusor.h"
 #include "src/common/types.h"
+#include "src/rpc/rpc_client.h"
 #include "src/sim/network.h"
 #include "src/txn/messages.h"
 
@@ -36,10 +37,10 @@ class TransitionCoordinator {
                         NodeId self, NodeId gtm_node,
                         std::vector<NodeId> cn_nodes)
       : sim_(sim),
-        network_(network),
         self_(self),
         gtm_node_(gtm_node),
-        cn_nodes_(std::move(cn_nodes)) {}
+        cn_nodes_(std::move(cn_nodes)),
+        client_(network, self) {}
 
   /// Fig. 2. Returns the DUAL dwell time waited (for instrumentation).
   sim::Task<StatusOr<SimDuration>> SwitchToGclock();
@@ -48,6 +49,8 @@ class TransitionCoordinator {
   sim::Task<StatusOr<Timestamp>> SwitchToGtm();
 
   Metrics& metrics() { return metrics_; }
+  /// RPC client driving the transition control plane.
+  rpc::RpcClient& rpc_client() { return client_; }
 
  private:
   struct SweepResult {
@@ -61,10 +64,10 @@ class TransitionCoordinator {
   sim::Task<StatusOr<SweepResult>> SetAllCnModes(TimestampMode mode);
 
   sim::Simulator* sim_;
-  sim::Network* network_;
   NodeId self_;
   NodeId gtm_node_;
   std::vector<NodeId> cn_nodes_;
+  rpc::RpcClient client_;
   Metrics metrics_;
 };
 

@@ -9,6 +9,7 @@
 #include "src/cluster/rcp_service.h"
 #include "src/replication/log_shipper.h"
 #include "src/replication/replica_applier.h"
+#include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -19,6 +20,13 @@ namespace {
 // Timestamps from the figure.
 constexpr Timestamp ts1 = 101, ts2 = 102, ts3 = 103, ts4 = 104, ts5 = 105;
 
+sim::Task<StatusOr<RorStatusReply>> ReplicaStatus(ReplicaApplier* applier) {
+  RorStatusReply reply;
+  reply.max_commit_ts = applier->max_commit_ts();
+  reply.applied_lsn = applier->applied_lsn();
+  co_return reply;
+}
+
 struct Shard {
   LogStream log;
   ShardStore store;
@@ -26,6 +34,7 @@ struct Shard {
   sim::CpuScheduler cpu;
   std::unique_ptr<ReplicaApplier> applier;
   std::unique_ptr<LogShipper> shipper;
+  std::unique_ptr<rpc::RpcServer> server;
 
   Shard(sim::Simulator* sim, sim::Network* net, NodeId primary,
         NodeId replica, ShardId shard)
@@ -39,15 +48,11 @@ struct Shard {
     shipper->Start();
     // Serve the status RPC the RCP collector polls (normally registered by
     // ReplicaNode; this test wires the applier directly).
+    server = std::make_unique<rpc::RpcServer>(net, replica);
     ReplicaApplier* a = applier.get();
-    net->RegisterHandler(
-        replica, kRorStatusMethod,
-        [a](NodeId, std::string) -> sim::Task<std::string> {
-          RorStatusReply reply;
-          reply.max_commit_ts = a->max_commit_ts();
-          reply.applied_lsn = a->applied_lsn();
-          co_return reply.Encode();
-        });
+    server->Handle(kRorStatus, [a](NodeId, rpc::EmptyMessage) {
+      return ReplicaStatus(a);
+    });
   }
 };
 

@@ -58,6 +58,25 @@ TEST(HistogramTest, NegativeValuesSupported) {
   EXPECT_EQ(h.mean(), 0.0);
 }
 
+TEST(HistogramTest, AllNegativeSamplesReportNegativeMax) {
+  // Regression: max() seeded from 0 used to report 0 when every recorded
+  // sample was negative (e.g. clock-skew deltas).
+  Histogram h;
+  h.Record(-30);
+  h.Record(-10);
+  h.Record(-20);
+  EXPECT_EQ(h.min(), -30);
+  EXPECT_EQ(h.max(), -10);
+}
+
+TEST(HistogramTest, ValuesExposesRawSamples) {
+  Histogram h;
+  h.Record(3);
+  h.Record(1);
+  h.Record(2);
+  EXPECT_EQ(h.values(), (std::vector<int64_t>{3, 1, 2}));
+}
+
 TEST(HistogramTest, ClearResets) {
   Histogram h;
   h.Record(1);

@@ -4,7 +4,9 @@
 
 #include "src/common/codec.h"
 #include "src/replication/log_shipper.h"
+#include "src/replication/messages.h"
 #include "src/replication/replica_applier.h"
+#include "src/rpc/rpc_client.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -328,22 +330,20 @@ TEST_F(ReplicationTest, DuplicateBatchDeliveryIsIdempotent) {
   AppendTxn(1, "k", "v", 100);
   auto records = stream_.Read(1, 100, 1 << 20);
   ASSERT_TRUE(records.ok());
-  std::string payload;
-  PutVarint32(&payload, 0);
-  PutVarint64(&payload, 1);
-  payload += LogStream::EncodeBatch(*records, CompressionType::kNone);
+  ReplAppendRequest request;
+  request.shard = 0;
+  request.start_lsn = 1;
+  request.batch = LogStream::EncodeBatch(*records, CompressionType::kNone);
 
+  rpc::RpcClient client(&net_, kPrimary);
   auto deliver = [&]() -> sim::Task<void> {
-    auto r1 = co_await net_.Call(kPrimary, kReplicaLocal, kReplAppendMethod,
-                                 payload);
+    auto r1 = co_await client.Call(kReplicaLocal, kReplAppend, request);
     EXPECT_TRUE(r1.ok());
-    auto r2 = co_await net_.Call(kPrimary, kReplicaLocal, kReplAppendMethod,
-                                 payload);
+    auto r2 = co_await client.Call(kReplicaLocal, kReplAppend, request);
     EXPECT_TRUE(r2.ok());
-    Slice in(*r2);
-    Lsn acked = 0;
-    EXPECT_TRUE(GetVarint64(&in, &acked));
-    EXPECT_EQ(acked, 3u);
+    if (r2.ok()) {
+      EXPECT_EQ(r2->applied_lsn, 3u);
+    }
   };
   sim_.Spawn(deliver());
   sim_.Run();
@@ -357,18 +357,17 @@ TEST_F(ReplicationTest, GapBatchRefused) {
   AppendTxn(2, "j", "w", 200);
   auto records = stream_.Read(4, 100, 1 << 20);  // second txn only
   ASSERT_TRUE(records.ok());
-  std::string payload;
-  PutVarint32(&payload, 0);
-  PutVarint64(&payload, 4);  // gap: replica has applied nothing
-  payload += LogStream::EncodeBatch(*records, CompressionType::kNone);
+  ReplAppendRequest request;
+  request.shard = 0;
+  request.start_lsn = 4;  // gap: replica has applied nothing
+  request.batch = LogStream::EncodeBatch(*records, CompressionType::kNone);
+  rpc::RpcClient client(&net_, kPrimary);
   auto deliver = [&]() -> sim::Task<void> {
-    auto r = co_await net_.Call(kPrimary, kReplicaLocal, kReplAppendMethod,
-                                payload);
+    auto r = co_await client.Call(kReplicaLocal, kReplAppend, request);
     EXPECT_TRUE(r.ok());
-    Slice in(*r);
-    Lsn acked = 99;
-    EXPECT_TRUE(GetVarint64(&in, &acked));
-    EXPECT_EQ(acked, 0u);  // refused
+    if (r.ok()) {
+      EXPECT_EQ(r->applied_lsn, 0u);  // refused
+    }
   };
   sim_.Spawn(deliver());
   sim_.Run();

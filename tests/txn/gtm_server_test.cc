@@ -5,6 +5,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/rpc/rpc_client.h"
+#include "src/rpc/wire.h"
 #include "src/sim/simulator.h"
 
 namespace globaldb {
@@ -17,6 +19,7 @@ class GtmServerTest : public ::testing::Test {
     net_.RegisterNode(0, 0);
     net_.RegisterNode(1, 0);
     gtm_ = std::make_unique<GtmServer>(&sim_, &net_, 0);
+    client_ = std::make_unique<rpc::RpcClient>(&net_, 1);
   }
 
   static sim::NetworkOptions Options() {
@@ -28,19 +31,14 @@ class GtmServerTest : public ::testing::Test {
   GtmTimestampReply Ask(GtmTimestampRequest request) {
     GtmTimestampReply reply;
     bool done = false;
-    auto call = [](sim::Network* net, GtmTimestampRequest req,
+    auto call = [](rpc::RpcClient* client, GtmTimestampRequest req,
                    GtmTimestampReply* out, bool* done) -> sim::Task<void> {
-      auto response = co_await net->Call(1, 0, kGtmTimestampMethod,
-                                         req.Encode());
+      auto response = co_await client->Call(0, kGtmTimestamp, req);
       EXPECT_TRUE(response.ok());
-      if (response.ok()) {
-        auto decoded = GtmTimestampReply::Decode(*response);
-        EXPECT_TRUE(decoded.ok());
-        if (decoded.ok()) *out = *decoded;
-      }
+      if (response.ok()) *out = *response;
       *done = true;
     };
-    sim_.Spawn(call(&net_, request, &reply, &done));
+    sim_.Spawn(call(client_.get(), request, &reply, &done));
     while (!done) sim_.RunFor(1 * kMillisecond);
     return reply;
   }
@@ -48,6 +46,7 @@ class GtmServerTest : public ::testing::Test {
   sim::Simulator sim_;
   sim::Network net_;
   std::unique_ptr<GtmServer> gtm_;
+  std::unique_ptr<rpc::RpcClient> client_;
 };
 
 TEST_F(GtmServerTest, GtmModeIncrementsCounter) {
@@ -137,20 +136,24 @@ TEST_F(GtmServerTest, EnteringDualResetsErrorBoundTracking) {
 }
 
 TEST_F(GtmServerTest, MalformedRequestRejectedSafely) {
-  GtmTimestampReply reply;
+  // A garbage payload is rejected at the dispatcher with a Corruption error
+  // envelope; the server never reaches the handler, so no timestamp is
+  // issued or lost.
+  Status status = Status::OK();
   bool done = false;
-  auto call = [](sim::Network* net, GtmTimestampReply* out,
+  auto call = [](rpc::RpcClient* client, Status* out,
                  bool* done) -> sim::Task<void> {
-    auto response = co_await net->Call(1, 0, kGtmTimestampMethod, "\x01");
+    auto response = co_await client->RawCall(0, kGtmTimestamp.name, "\x01");
     EXPECT_TRUE(response.ok());
-    auto decoded = GtmTimestampReply::Decode(*response);
-    EXPECT_TRUE(decoded.ok());
-    if (decoded.ok()) *out = *decoded;
+    if (response.ok()) {
+      auto decoded = rpc::DecodeEnvelope<GtmTimestampReply>(*response);
+      *out = decoded.status();
+    }
     *done = true;
   };
-  sim_.Spawn(call(&net_, &reply, &done));
+  sim_.Spawn(call(client_.get(), &status, &done));
   while (!done) sim_.RunFor(1 * kMillisecond);
-  EXPECT_TRUE(reply.aborted);
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
   EXPECT_EQ(gtm_->counter(), 0u);  // nothing issued
 }
 

@@ -329,9 +329,8 @@ TEST_F(TimestampTest, DualModeBridgesBothTimestampKinds) {
   // Put everything in DUAL and check issued timestamps exceed both the GTM
   // counter and the clock upper bound at request time.
   auto setup = [&]() -> sim::Task<void> {
-    auto r1 = co_await net_.Call(kCn1, kGtmNode, kGtmSetModeMethod,
-                                 SetModeRequest{TimestampMode::kDual, 0}
-                                     .Encode());
+    auto r1 = co_await src(0).rpc_client().Call(
+        kGtmNode, kGtmSetMode, SetModeRequest{TimestampMode::kDual, 0});
     EXPECT_TRUE(r1.ok());
     src(0).SetMode(TimestampMode::kDual);
     const Timestamp clock_upper = clocks_[0]->ReadUpper();

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
 # Full verification: configure a fresh build tree with warnings-as-errors,
-# build everything (library, tests, benches, examples), and run the test
-# suite. Usage: scripts/check.sh [build-dir]   (default: build-check)
+# build everything (library, tests, benches, examples), run the test suite,
+# then rebuild with ASan+UBSan and run the tier-1 suite plus a chaos smoke
+# (the randomized fault-schedule test on its three fixed seeds) under the
+# sanitizers. Usage: scripts/check.sh [build-dir]   (default: build-check)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build-check}"
+SAN_DIR="${BUILD_DIR}-asan"
 
 rm -rf "${BUILD_DIR}"
 cmake -B "${BUILD_DIR}" -S . \
@@ -13,3 +16,20 @@ cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_CXX_FLAGS="-Werror"
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
+
+echo "== ASan+UBSan pass =="
+rm -rf "${SAN_DIR}"
+cmake -B "${SAN_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=Debug \
+  -DCMAKE_CXX_FLAGS="-Werror -fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build "${SAN_DIR}" -j "$(nproc)"
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1"
+ctest --test-dir "${SAN_DIR}" --output-on-failure -j "$(nproc)"
+
+# Chaos smoke: the seeded random fault schedule (TPC-C under crashes,
+# partitions, and clock outages) on its three fixed seeds, under sanitizers.
+echo "== chaos smoke (seeds 101/202/303) =="
+ctest --test-dir "${SAN_DIR}" --output-on-failure \
+  -R 'RandomFaultTest|ClockFallbackTest|PartitionHealTest'

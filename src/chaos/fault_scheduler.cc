@@ -1,0 +1,208 @@
+#include "src/chaos/fault_scheduler.h"
+
+#include <algorithm>
+#include <string>
+
+#include "src/common/logging.h"
+
+namespace globaldb::chaos {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNodeCrash:
+      return "node_crash";
+    case FaultKind::kNodeRestart:
+      return "node_restart";
+    case FaultKind::kLinkPartition:
+      return "link_partition";
+    case FaultKind::kLinkHeal:
+      return "link_heal";
+    case FaultKind::kRegionPartition:
+      return "region_partition";
+    case FaultKind::kRegionHeal:
+      return "region_heal";
+    case FaultKind::kClockSyncOutage:
+      return "clock_sync_outage";
+    case FaultKind::kClockSyncRestore:
+      return "clock_sync_restore";
+    case FaultKind::kClockStep:
+      return "clock_step";
+  }
+  return "unknown";
+}
+
+void FaultScheduler::AddRandomSchedule(Rng* rng,
+                                       const RandomScheduleOptions& options) {
+  const Cluster& cluster = *cluster_;
+  const uint32_t shards = static_cast<uint32_t>(cluster.num_shards());
+  const uint32_t replicas = cluster.options().replicas_per_shard;
+  const uint32_t regions =
+      static_cast<uint32_t>(cluster.options().topology.num_regions());
+  const SimDuration window = options.end - options.start;
+
+  auto fault_time = [&]() {
+    return options.start + static_cast<SimDuration>(
+                               rng->Uniform(static_cast<uint64_t>(window)));
+  };
+  auto fault_duration = [&]() {
+    return static_cast<SimDuration>(
+        rng->UniformRange(options.min_fault_duration,
+                          options.max_fault_duration));
+  };
+  auto pair = [&](FaultEvent fault, FaultKind heal_kind) {
+    FaultEvent heal = fault;
+    heal.at = fault.at + fault_duration();
+    heal.kind = heal_kind;
+    events_.push_back(fault);
+    events_.push_back(heal);
+  };
+
+  for (int i = 0; i < options.replica_crashes && replicas > 0; ++i) {
+    const ShardId shard = static_cast<ShardId>(rng->Uniform(shards));
+    const uint32_t index = static_cast<uint32_t>(rng->Uniform(replicas));
+    FaultEvent fault;
+    fault.at = fault_time();
+    fault.kind = FaultKind::kNodeCrash;
+    fault.node = cluster.ReplicaNodeId(shard, index);
+    pair(fault, FaultKind::kNodeRestart);
+  }
+
+  // Partition a replica from its primary: the shipper must back off, then
+  // catch the replica up after heal.
+  for (int i = 0; i < options.link_partitions && replicas > 0; ++i) {
+    const ShardId shard = static_cast<ShardId>(rng->Uniform(shards));
+    const uint32_t index = static_cast<uint32_t>(rng->Uniform(replicas));
+    FaultEvent fault;
+    fault.at = fault_time();
+    fault.kind = FaultKind::kLinkPartition;
+    fault.node = Cluster::PrimaryNodeId(shard);
+    fault.peer = cluster.ReplicaNodeId(shard, index);
+    pair(fault, FaultKind::kLinkHeal);
+  }
+
+  for (int i = 0; i < options.region_partitions && regions >= 2; ++i) {
+    const RegionId a = static_cast<RegionId>(rng->Uniform(regions));
+    RegionId b = static_cast<RegionId>(rng->Uniform(regions - 1));
+    if (b >= a) ++b;
+    FaultEvent fault;
+    fault.at = fault_time();
+    fault.kind = FaultKind::kRegionPartition;
+    fault.region_a = a;
+    fault.region_b = b;
+    pair(fault, FaultKind::kRegionHeal);
+  }
+
+  const uint32_t cns = static_cast<uint32_t>(cluster.num_cns());
+  for (int i = 0; i < options.clock_outages && cns > 0; ++i) {
+    FaultEvent fault;
+    fault.at = fault_time();
+    fault.kind = FaultKind::kClockSyncOutage;
+    fault.node = Cluster::CnNodeId(static_cast<uint32_t>(rng->Uniform(cns)));
+    pair(fault, FaultKind::kClockSyncRestore);
+  }
+
+  for (int i = 0; i < options.clock_steps && cns > 0; ++i) {
+    FaultEvent fault;
+    fault.at = fault_time();
+    fault.kind = FaultKind::kClockStep;
+    fault.node = Cluster::CnNodeId(static_cast<uint32_t>(rng->Uniform(cns)));
+    fault.clock_step = static_cast<SimDuration>(
+        rng->UniformRange(-options.max_clock_step, options.max_clock_step));
+    events_.push_back(fault);
+  }
+}
+
+void FaultScheduler::Start() {
+  if (started_) return;
+  started_ = true;
+  // Stable sort keeps the scripted order for events at equal times.
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at < b.at;
+                   });
+  cluster_->simulator()->Spawn(ReplayLoop());
+}
+
+sim::Task<void> FaultScheduler::ReplayLoop() {
+  sim::Simulator* sim = cluster_->simulator();
+  for (const FaultEvent& event : events_) {
+    if (event.at > sim->now()) co_await sim->Sleep(event.at - sim->now());
+    Apply(event);
+    metrics_.Add(std::string("chaos.") + FaultKindName(event.kind));
+    injected_.push_back(event);
+  }
+}
+
+void FaultScheduler::ForTargetClocks(NodeId node,
+                                     void (*fn)(sim::HardwareClock*,
+                                                SimDuration),
+                                     SimDuration arg) {
+  for (size_t i = 0; i < cluster_->num_cns(); ++i) {
+    CoordinatorNode& cn = cluster_->cn(i);
+    if (node == kInvalidNodeId || cn.node_id() == node) {
+      fn(&cn.clock(), arg);
+    }
+  }
+}
+
+void FaultScheduler::Apply(const FaultEvent& event) {
+  GDB_LOG(Info) << "chaos: " << FaultKindName(event.kind) << " node="
+                << event.node << " peer=" << event.peer;
+  switch (event.kind) {
+    case FaultKind::kNodeCrash:
+      cluster_->network().SetNodeUp(event.node, false);
+      break;
+    case FaultKind::kNodeRestart: {
+      cluster_->network().SetNodeUp(event.node, true);
+      // A restarted replica re-announces its durable LSN to the primary so
+      // the shipper rewinds and resumes promptly.
+      if (event.node >= 1000) {
+        const uint32_t offset = static_cast<uint32_t>(event.node - 1000);
+        const ShardId shard = offset / 100;
+        const uint32_t index = offset % 100;
+        if (shard < cluster_->num_shards() &&
+            index < cluster_->options().replicas_per_shard) {
+          cluster_->replica(shard, index).Restart();
+        }
+      }
+      break;
+    }
+    case FaultKind::kLinkPartition:
+      cluster_->network().SetPartitioned(event.node, event.peer, true);
+      break;
+    case FaultKind::kLinkHeal:
+      cluster_->network().SetPartitioned(event.node, event.peer, false);
+      break;
+    case FaultKind::kRegionPartition:
+      cluster_->network().SetRegionPartitioned(event.region_a, event.region_b,
+                                               true);
+      break;
+    case FaultKind::kRegionHeal:
+      cluster_->network().SetRegionPartitioned(event.region_a, event.region_b,
+                                               false);
+      break;
+    case FaultKind::kClockSyncOutage:
+      ForTargetClocks(event.node,
+                      [](sim::HardwareClock* clock, SimDuration) {
+                        clock->set_sync_healthy(false);
+                      },
+                      0);
+      break;
+    case FaultKind::kClockSyncRestore:
+      ForTargetClocks(event.node,
+                      [](sim::HardwareClock* clock, SimDuration) {
+                        clock->set_sync_healthy(true);
+                      },
+                      0);
+      break;
+    case FaultKind::kClockStep:
+      ForTargetClocks(event.node,
+                      [](sim::HardwareClock* clock, SimDuration step) {
+                        clock->InjectOffset(step);
+                      },
+                      event.clock_step);
+      break;
+  }
+}
+
+}  // namespace globaldb::chaos

@@ -1,0 +1,104 @@
+#ifndef GLOBALDB_SRC_CHAOS_FAULT_SCHEDULER_H_
+#define GLOBALDB_SRC_CHAOS_FAULT_SCHEDULER_H_
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/common/metrics.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace globaldb::chaos {
+
+enum class FaultKind {
+  kNodeCrash,         // network: node down (in-flight calls reset)
+  kNodeRestart,       // node back up; replicas re-announce their durable LSN
+  kLinkPartition,     // silent black hole between two nodes
+  kLinkHeal,
+  kRegionPartition,   // silent black hole between two regions
+  kRegionHeal,
+  kClockSyncOutage,   // a CN's clock stops syncing (error bound grows)
+  kClockSyncRestore,  // syncing resumes (bound re-anchors on next reading)
+  kClockStep,         // one-time clock step on a CN (operator error model)
+};
+
+const char* FaultKindName(FaultKind kind);
+
+/// One scripted fault, fired at absolute simulated time `at`. Which fields
+/// matter depends on the kind; `node == kInvalidNodeId` on a clock fault
+/// targets every CN (a fleet-wide time-device outage).
+struct FaultEvent {
+  SimTime at = 0;
+  FaultKind kind = FaultKind::kNodeCrash;
+  NodeId node = kInvalidNodeId;
+  NodeId peer = kInvalidNodeId;       // link partitions
+  RegionId region_a = 0;              // region partitions
+  RegionId region_b = 0;
+  SimDuration clock_step = 0;         // kClockStep
+};
+
+/// Knobs for AddRandomSchedule: how many of each fault class to generate
+/// inside [start, end]. Every generated fault is paired with its heal, so a
+/// schedule always leaves the cluster whole by `end` + max_fault_duration.
+struct RandomScheduleOptions {
+  SimTime start = 1 * kSecond;
+  SimTime end = 5 * kSecond;
+  int replica_crashes = 2;
+  int link_partitions = 1;
+  int region_partitions = 1;
+  int clock_outages = 1;
+  int clock_steps = 0;
+  SimDuration min_fault_duration = 100 * kMillisecond;
+  SimDuration max_fault_duration = 1 * kSecond;
+  SimDuration max_clock_step = 2 * kMillisecond;
+};
+
+/// Deterministic fault timeline replayed against a running Cluster.
+///
+/// Faults are either scripted one by one (AddEvent) or generated from a
+/// seeded Rng (AddRandomSchedule); either way the timeline is fixed before
+/// Start() and the simulator's determinism makes every run reproducible.
+/// Each injected event is counted in metrics() (`chaos.<kind>`) and kept in
+/// injected() for post-run assertions.
+///
+/// Only replica data nodes are crashed by the random generator: primaries
+/// have no failover path in this model, so crashing one would just halt its
+/// shard. Scripted schedules may still crash any node explicitly.
+class FaultScheduler {
+ public:
+  explicit FaultScheduler(Cluster* cluster) : cluster_(cluster) {}
+
+  FaultScheduler(const FaultScheduler&) = delete;
+  FaultScheduler& operator=(const FaultScheduler&) = delete;
+
+  void AddEvent(FaultEvent event) { events_.push_back(event); }
+
+  /// Generates a paired fault/heal schedule from `rng` per `options`.
+  void AddRandomSchedule(Rng* rng, const RandomScheduleOptions& options);
+
+  /// Spawns the replay coroutine; events fire at their absolute times (in
+  /// timeline order for equal times). Call once, after the cluster started.
+  void Start();
+
+  /// Events injected so far, in firing order.
+  const std::vector<FaultEvent>& injected() const { return injected_; }
+  Metrics& metrics() { return metrics_; }
+
+ private:
+  sim::Task<void> ReplayLoop();
+  void Apply(const FaultEvent& event);
+  /// Applies set_sync_healthy / InjectOffset to the targeted CN clock(s).
+  void ForTargetClocks(NodeId node, void (*fn)(sim::HardwareClock*,
+                                               SimDuration),
+                       SimDuration arg);
+
+  Cluster* cluster_;
+  bool started_ = false;
+  std::vector<FaultEvent> events_;
+  std::vector<FaultEvent> injected_;
+  Metrics metrics_;
+};
+
+}  // namespace globaldb::chaos
+
+#endif  // GLOBALDB_SRC_CHAOS_FAULT_SCHEDULER_H_

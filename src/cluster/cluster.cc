@@ -43,6 +43,7 @@ Cluster::Cluster(sim::Simulator* sim, ClusterOptions options)
       network_->RegisterNode(rid, ReplicaRegion(shard, r));
       replica_nodes_.push_back(std::make_unique<ReplicaNode>(
           sim, network_.get(), rid, shard, options_.replica_node));
+      replica_nodes_.back()->SetPrimary(id);
       replica_ids.push_back(rid);
     }
     data_nodes_.back()->ConfigureReplication(replica_ids, options_.shipper);
@@ -64,6 +65,9 @@ Cluster::Cluster(sim::Simulator* sim, ClusterOptions options)
 
   transition_ = std::make_unique<TransitionCoordinator>(
       sim, network_.get(), cn_ids.front(), GtmNodeId(), cn_ids);
+  health_ = std::make_unique<HealthMonitor>(
+      sim, network_.get(), cn_ids.front(), cn_ids, transition_.get(),
+      options_.initial_mode, options_.health);
 }
 
 void Cluster::Start() {
@@ -71,6 +75,7 @@ void Cluster::Start() {
   for (size_t i = 0; i < cns_.size(); ++i) {
     cns_[i]->StartServices(/*rcp_collector=*/i == 0);
   }
+  if (options_.health.enabled) health_->Start();
 }
 
 CoordinatorNode& Cluster::cn_in_region(RegionId region) {

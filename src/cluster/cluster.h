@@ -6,6 +6,7 @@
 
 #include "src/cluster/coordinator_node.h"
 #include "src/cluster/data_node.h"
+#include "src/cluster/health_monitor.h"
 #include "src/cluster/replica_node.h"
 #include "src/sim/network.h"
 #include "src/sim/simulator.h"
@@ -29,6 +30,8 @@ struct ClusterOptions {
   uint32_t replicas_per_shard = 2;
 
   TimestampMode initial_mode = TimestampMode::kGtm;
+  /// Failure detector + automatic GClock<->GTM fallback (runs on CN 0).
+  HealthMonitorOptions health;
   ShipperOptions shipper;
   DataNodeOptions data_node;
   ReplicaNodeOptions replica_node;
@@ -68,6 +71,7 @@ class Cluster {
     return *replica_nodes_[shard * options_.replicas_per_shard + index];
   }
   TransitionCoordinator& transition() { return *transition_; }
+  HealthMonitor& health() { return *health_; }
 
   static NodeId GtmNodeId() { return 0; }
   static NodeId CnNodeId(uint32_t index) { return 1 + index; }
@@ -99,6 +103,7 @@ class Cluster {
   std::vector<std::unique_ptr<DataNode>> data_nodes_;
   std::vector<std::unique_ptr<ReplicaNode>> replica_nodes_;
   std::unique_ptr<TransitionCoordinator> transition_;
+  std::unique_ptr<HealthMonitor> health_;
 };
 
 }  // namespace globaldb

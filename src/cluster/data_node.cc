@@ -63,6 +63,18 @@ void DataNode::BindService() {
   server_.Handle(kDnHeartbeat, [this](NodeId from, TxnControlRequest request) {
     return HandleHeartbeat(from, std::move(request));
   });
+  server_.Handle(kReplHello, [this](NodeId from, ReplHelloRequest request) {
+    return HandleReplHello(from, std::move(request));
+  });
+}
+
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleReplHello(
+    NodeId from, ReplHelloRequest request) {
+  metrics_.Add("dn.repl_hellos");
+  if (request.shard == shard_ && shipper_ != nullptr) {
+    shipper_->AnnounceReplica(from, request.durable_lsn);
+  }
+  co_return rpc::EmptyMessage{};
 }
 
 sim::Task<StatusOr<ReadReply>> DataNode::HandleRead(NodeId from,

@@ -80,6 +80,8 @@ class DataNode {
                                                    DdlRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleHeartbeat(
       NodeId from, TxnControlRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleReplHello(
+      NodeId from, ReplHelloRequest request);
 
   void AppendAndNotify(RedoRecord record);
 

@@ -236,18 +236,26 @@ struct RorStatusReply {
 };
 
 /// Collector broadcast: the new RCP plus the per-replica statuses feeding
-/// each CN's skyline selector.
+/// each CN's skyline selector. Each entry carries the collector's failure
+/// detector verdict so peer CNs exclude dead replicas instead of re-marking
+/// them healthy from a stale status snapshot.
 struct RcpUpdateMessage {
+  struct Entry {
+    NodeId node = kInvalidNodeId;
+    bool healthy = true;
+    RorStatusReply status;
+  };
   Timestamp rcp = 0;
-  std::vector<std::pair<NodeId, RorStatusReply>> statuses;
+  std::vector<Entry> statuses;
 
   std::string Encode() const {
     std::string s;
     PutVarint64(&s, rcp);
     PutVarint32(&s, static_cast<uint32_t>(statuses.size()));
-    for (const auto& [node, status] : statuses) {
-      PutVarint32(&s, node);
-      PutLengthPrefixed(&s, status.Encode());
+    for (const auto& entry : statuses) {
+      PutVarint32(&s, entry.node);
+      s.push_back(entry.healthy ? 1 : 0);
+      PutLengthPrefixed(&s, entry.status.Encode());
     }
     return s;
   }
@@ -259,14 +267,20 @@ struct RcpUpdateMessage {
     }
     r.statuses.reserve(n);
     for (uint32_t i = 0; i < n; ++i) {
-      uint32_t node = 0;
+      Entry entry;
       Slice encoded;
-      if (!GetVarint32(&in, &node) || !GetLengthPrefixed(&in, &encoded)) {
+      if (!GetVarint32(&in, &entry.node) || in.empty()) {
+        return Status::Corruption("rcp update entry");
+      }
+      entry.healthy = in[0] != 0;
+      in.RemovePrefix(1);
+      if (!GetLengthPrefixed(&in, &encoded)) {
         return Status::Corruption("rcp update entry");
       }
       auto status = RorStatusReply::Decode(encoded);
       if (!status.ok()) return status.status();
-      r.statuses.emplace_back(node, *status);
+      entry.status = *status;
+      r.statuses.push_back(std::move(entry));
     }
     return r;
   }

@@ -61,9 +61,11 @@ sim::Task<void> RcpService::PollOnce() {
     const auto& desc = replicas_[i];
     if (!results[i].ok()) {
       if (selector_ != nullptr) selector_->MarkFailed(desc.node);
+      failed_.insert(desc.node);
       metrics_.Add("rcp.poll_failures");
       continue;
     }
+    if (failed_.erase(desc.node) > 0) metrics_.Add("rcp.replica_recovered");
     const RorStatusReply& status = *results[i];
     statuses_[desc.node] = status;
     if (selector_ != nullptr) {
@@ -98,16 +100,24 @@ RcpUpdateMessage RcpService::MakeUpdate() const {
   update.rcp = rcp_;
   update.statuses.reserve(statuses_.size());
   for (const auto& [node, status] : statuses_) {
-    update.statuses.emplace_back(node, status);
+    RcpUpdateMessage::Entry entry;
+    entry.node = node;
+    entry.healthy = failed_.count(node) == 0;
+    entry.status = status;
+    update.statuses.push_back(std::move(entry));
   }
   return update;
 }
 
 void RcpService::ApplyUpdate(const RcpUpdateMessage& update) {
   ObserveRcp(update.rcp);
-  for (const auto& [node, status] : update.statuses) {
-    if (selector_ != nullptr) {
-      selector_->UpdateStatus(node, status.max_commit_ts, status.queue_delay);
+  for (const auto& entry : update.statuses) {
+    if (selector_ == nullptr) continue;
+    if (entry.healthy) {
+      selector_->UpdateStatus(entry.node, entry.status.max_commit_ts,
+                              entry.status.queue_delay);
+    } else {
+      selector_->MarkFailed(entry.node);
     }
   }
   metrics_.Add("rcp.updates_applied");

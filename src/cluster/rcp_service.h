@@ -2,6 +2,7 @@
 #define GLOBALDB_SRC_CLUSTER_RCP_SERVICE_H_
 
 #include <map>
+#include <set>
 #include <vector>
 
 #include "src/cluster/messages.h"
@@ -74,6 +75,9 @@ class RcpService {
   Timestamp rcp_ = 0;
   /// Collector-side last polled status per replica.
   std::map<NodeId, RorStatusReply> statuses_;
+  /// Replicas whose last poll failed; broadcast as unhealthy until a poll
+  /// succeeds again (the collector keeps probing them every interval).
+  std::set<NodeId> failed_;
   Metrics metrics_;
 };
 

@@ -10,6 +10,7 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, sim::Network* network,
     : sim_(sim),
       self_(self),
       server_(network, self),
+      client_(network, self),
       shard_(shard),
       options_(options),
       store_(shard),
@@ -18,6 +19,21 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, sim::Network* network,
                                               &store_, &catalog_, &cpu_,
                                               options.applier);
   BindService();
+}
+
+void ReplicaNode::Restart() {
+  metrics_.Add("replica.restarts");
+  applier_->OnRestart();
+  if (primary_ != kInvalidNodeId) sim_->Spawn(SendHello());
+}
+
+sim::Task<void> ReplicaNode::SendHello() {
+  ReplHelloRequest request;
+  request.shard = shard_;
+  request.durable_lsn = applier_->applied_lsn();
+  // Best effort: if the hello is lost the shipper still recovers via its
+  // normal retry path, just slower.
+  (void)co_await client_.Call(primary_, kReplHello, request);
 }
 
 void ReplicaNode::BindService() {

@@ -7,6 +7,7 @@
 #include "src/common/metrics.h"
 #include "src/common/types.h"
 #include "src/replication/replica_applier.h"
+#include "src/rpc/rpc_client.h"
 #include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
@@ -37,6 +38,17 @@ class ReplicaNode {
   NodeId node_id() const { return self_; }
   ShardId shard() const { return shard_; }
 
+  /// The primary data node this replica follows (for the restart
+  /// announcement). Wired by the Cluster.
+  void SetPrimary(NodeId primary) { primary_ = primary; }
+
+  /// Simulated process restart after a crash. Durable state survives — the
+  /// store, applied LSN, and pending-transaction map are all recovered from
+  /// the replica's redo log — and the node re-announces its durable LSN to
+  /// the primary (kReplHello) so the shipper rewinds its cursor and resumes
+  /// catch-up immediately instead of waiting out its retry backoff.
+  void Restart();
+
   ShardStore& store() { return store_; }
   Catalog& catalog() { return catalog_; }
   ReplicaApplier& applier() { return *applier_; }
@@ -45,6 +57,7 @@ class ReplicaNode {
 
  private:
   void BindService();
+  sim::Task<void> SendHello();
   sim::Task<StatusOr<ReadReply>> HandleRead(NodeId from, ReadRequest request);
   sim::Task<StatusOr<ScanReply>> HandleScan(NodeId from, ScanRequest request);
   sim::Task<StatusOr<RorStatusReply>> HandleStatus(NodeId from,
@@ -53,7 +66,9 @@ class ReplicaNode {
   sim::Simulator* sim_;
   NodeId self_;
   rpc::RpcServer server_;
+  rpc::RpcClient client_;
   ShardId shard_;
+  NodeId primary_ = kInvalidNodeId;
   ReplicaNodeOptions options_;
 
   ShardStore store_;

@@ -28,9 +28,11 @@ LogShipper::LogShipper(sim::Simulator* sim, sim::Network* network, NodeId self,
       stream_(stream),
       replicas_(std::move(replicas)),
       options_(options),
-      client_(network, self, ShipperRpcPolicy()),
-      append_signal_(sim) {
-  for (NodeId r : replicas_) acked_[r] = 0;
+      client_(network, self, ShipperRpcPolicy()) {
+  for (NodeId r : replicas_) {
+    acked_[r] = 0;
+    peers_[r].cursor = stream_->begin_lsn();
+  }
 }
 
 void LogShipper::Start() {
@@ -39,24 +41,84 @@ void LogShipper::Start() {
   }
 }
 
-void LogShipper::NotifyAppend() { append_signal_.NotifyAll(); }
+void LogShipper::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // Fail blocked durability waiters: their commits cannot become durable
+  // once shipping stops, and leaving the coroutines suspended forever would
+  // leak them (and hang the commits they serve).
+  for (auto& waiter : waiters_) {
+    if (waiter.lsn == kInvalidLsn) continue;
+    waiter.done.TrySet(false);
+    waiter.lsn = kInvalidLsn;
+  }
+  waiters_.clear();
+  // Wake loops sleeping on idle/backoff timers so they observe stopped_ and
+  // exit now rather than when their timer would have fired.
+  WakeLoops();
+}
+
+void LogShipper::NotifyAppend() { WakeLoops(); }
+
+void LogShipper::AnnounceReplica(NodeId replica, Lsn durable_lsn) {
+  auto it = peers_.find(replica);
+  if (it == peers_.end()) return;
+  metrics_.Add("ship.hellos");
+  PeerState& peer = it->second;
+  peer.resume_hint = durable_lsn;
+  peer.consecutive_failures = 0;
+  peer.backoff = 0;
+  WakeLoops();
+}
+
+bool LogShipper::IsReplicaHealthy(NodeId replica) const {
+  auto it = peers_.find(replica);
+  return it == peers_.end() || it->second.healthy;
+}
+
+void LogShipper::WakeLoops() {
+  auto sleepers = std::move(sleepers_);
+  sleepers_.clear();
+  for (auto& sleeper : sleepers) sleeper.TrySet(true);
+}
+
+sim::Task<void> LogShipper::InterruptibleSleep(SimDuration d) {
+  if (d <= 0) co_return;
+  // Prune sleepers already resolved by their timer (nobody moved them out).
+  sleepers_.erase(std::remove_if(sleepers_.begin(), sleepers_.end(),
+                                 [](const sim::Promise<bool>& p) {
+                                   return p.has_value();
+                                 }),
+                  sleepers_.end());
+  sim::Promise<bool> wake(sim_);
+  sleepers_.push_back(wake);
+  sim::Future<bool> future = wake.GetFuture();
+  sim_->Schedule(d, [wake]() mutable { wake.TrySet(true); });
+  (void)co_await future;
+}
 
 sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
-  Lsn cursor = stream_->begin_lsn();
+  PeerState& peer = peers_[replica];
   while (!stopped_) {
-    auto batch_or = stream_->Read(cursor, options_.max_batch_records,
+    if (peer.resume_hint != kInvalidLsn) {
+      // Restart announcement: resume from the replica's durable tail (this
+      // may rewind past acks if the replica lost state, or skip ahead past
+      // records it already holds).
+      peer.cursor = peer.resume_hint + 1;
+      peer.resume_hint = kInvalidLsn;
+    }
+    auto batch_or = stream_->Read(peer.cursor, options_.max_batch_records,
                                   options_.max_batch_bytes);
     if (!batch_or.ok()) {
       // Our cursor was truncated away (should not happen: truncation waits
       // for acks). Resync from the stream start.
-      cursor = stream_->begin_lsn();
+      peer.cursor = stream_->begin_lsn();
       continue;
     }
     if (batch_or->empty()) {
-      // Nothing to ship. A bounded idle sleep (rather than waiting solely
-      // on the append signal) keeps the loop robust against notifications
-      // that race with the read above.
-      co_await sim_->Sleep(options_.idle_wait);
+      // Nothing to ship: wait for NotifyAppend, with a bounded sleep as a
+      // fallback against notifications racing the read above.
+      co_await InterruptibleSleep(options_.idle_wait);
       continue;
     }
 
@@ -72,16 +134,40 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
                  static_cast<int64_t>(request.Encode().size()));
 
     auto reply = co_await client_.Call(replica, kReplAppend, request);
+    if (stopped_) break;
     if (!reply.ok()) {
-      metrics_.Add("ship.failures");
-      co_await sim_->Sleep(options_.retry_backoff);
+      OnShipFailure(&peer, replica);
+      co_await InterruptibleSleep(peer.backoff);
       continue;
     }
+    if (!peer.healthy) {
+      peer.healthy = true;
+      metrics_.Add("ship.replica_recovered");
+    }
+    peer.consecutive_failures = 0;
+    peer.backoff = 0;
     const Lsn applied = reply->applied_lsn;
     // Advance past the ack; if the replica is behind our cursor (e.g. it
-    // restarted) this rewinds to resend.
-    cursor = applied + 1;
+    // refused a gap or restarted) this rewinds to resend.
+    if (peer.resume_hint == kInvalidLsn) peer.cursor = applied + 1;
     OnAck(replica, applied);
+  }
+}
+
+void LogShipper::OnShipFailure(PeerState* peer, NodeId replica) {
+  metrics_.Add("ship.failures");
+  ++peer->consecutive_failures;
+  peer->backoff = peer->backoff == 0
+                      ? options_.retry_backoff
+                      : std::min(2 * peer->backoff,
+                                 options_.max_retry_backoff);
+  if (peer->healthy &&
+      peer->consecutive_failures >= options_.unhealthy_after_failures) {
+    peer->healthy = false;
+    metrics_.Add("ship.replica_down");
+    GDB_LOG(Info) << "shipper " << self_ << ": replica " << replica
+                  << " marked down after " << peer->consecutive_failures
+                  << " failures";
   }
 }
 
@@ -138,10 +224,12 @@ bool LogShipper::DurabilityReached(Lsn lsn) const {
 
 sim::Task<Status> LogShipper::WaitDurable(Lsn lsn) {
   if (DurabilityReached(lsn)) co_return Status::OK();
+  if (stopped_) co_return Status::Unavailable("log shipper stopped");
   metrics_.Add("ship.durability_waits");
   waiters_.emplace_back(lsn, sim_);
   sim::Future<bool> future = waiters_.back().done.GetFuture();
-  co_await future;
+  const bool reached = co_await future;
+  if (!reached) co_return Status::Unavailable("log shipper stopped");
   co_return Status::OK();
 }
 

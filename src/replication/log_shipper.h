@@ -26,8 +26,13 @@ struct ShipperOptions {
   /// Idle poll interval when no new records arrive (heartbeats keep this
   /// path rarely taken).
   SimDuration idle_wait = 2 * kMillisecond;
-  /// Backoff before retrying a failed replica.
+  /// Initial backoff before retrying a failed replica; doubles per
+  /// consecutive failure up to `max_retry_backoff`.
   SimDuration retry_backoff = 50 * kMillisecond;
+  SimDuration max_retry_backoff = 2 * kSecond;
+  /// Consecutive ship failures before a replica is considered down (feeds
+  /// the per-replica health state and the ship.replica_down metric).
+  int unhealthy_after_failures = 3;
   /// For kSyncQuorum: how many replicas (not counting the primary) must
   /// have persisted a commit before it is acknowledged.
   int quorum_replicas = 1;
@@ -51,14 +56,27 @@ class LogShipper {
 
   /// Spawns the per-replica ship loops.
   void Start();
-  void Stop() { stopped_ = true; }
+  /// Stops the ship loops, failing any blocked WaitDurable waiters with
+  /// Unavailable and waking loops sleeping on idle/backoff timers (they
+  /// observe `stopped_` and exit instead of staying suspended forever).
+  void Stop();
 
   /// Wakes idle ship loops after the primary appends new records.
   void NotifyAppend();
 
+  /// Handles a replica's restart announcement (kReplHello): rewinds that
+  /// replica's cursor to `durable_lsn + 1`, clears its failure/backoff
+  /// state, and wakes its loop so catch-up starts immediately.
+  void AnnounceReplica(NodeId replica, Lsn durable_lsn);
+
+  /// Per-replica health as tracked by the ship loop (false after
+  /// `unhealthy_after_failures` consecutive failures, true again on the
+  /// first successful ship).
+  bool IsReplicaHealthy(NodeId replica) const;
+
   /// Blocks until the replication mode's durability condition holds for
   /// `lsn`: no-op for async, quorum acks for kSyncQuorum, all replicas for
-  /// kSyncAll.
+  /// kSyncAll. Fails with Unavailable if the shipper stops first.
   sim::Task<Status> WaitDurable(Lsn lsn);
 
   /// Highest LSN acknowledged by `replica` (0 if none).
@@ -81,8 +99,24 @@ class LogShipper {
     DurabilityWaiter(Lsn l, sim::Simulator* sim) : lsn(l), done(sim) {}
   };
 
+  /// Per-replica ship-loop state: the resume cursor, a pending rewind from
+  /// a restart announcement, and failure/backoff tracking.
+  struct PeerState {
+    Lsn cursor = 0;
+    /// When valid, the loop rewinds its cursor to this before reading.
+    Lsn resume_hint = kInvalidLsn;
+    int consecutive_failures = 0;
+    SimDuration backoff = 0;
+    bool healthy = true;
+  };
+
   sim::Task<void> ShipLoop(NodeId replica);
+  /// Sleeps up to `d`, waking early on NotifyAppend / AnnounceReplica /
+  /// Stop (the loops re-check state on every wakeup).
+  sim::Task<void> InterruptibleSleep(SimDuration d);
+  void WakeLoops();
   void OnAck(NodeId replica, Lsn acked);
+  void OnShipFailure(PeerState* peer, NodeId replica);
   bool DurabilityReached(Lsn lsn) const;
 
   sim::Simulator* sim_;
@@ -94,8 +128,9 @@ class LogShipper {
   rpc::RpcClient client_;
 
   std::map<NodeId, Lsn> acked_;
+  std::map<NodeId, PeerState> peers_;
   std::vector<DurabilityWaiter> waiters_;
-  sim::CondVar append_signal_;
+  std::vector<sim::Promise<bool>> sleepers_;
   bool stopped_ = false;
   Metrics metrics_;
 };

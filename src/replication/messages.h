@@ -54,11 +54,38 @@ struct ReplAppendReply {
   }
 };
 
+/// Sent by a replica to its primary after a restart: announces the highest
+/// LSN the replica holds durably so the shipper can rewind its cursor and
+/// resume immediately instead of waiting out its retry backoff (and without
+/// risking a silent gap if the replica lost its applied tail).
+struct ReplHelloRequest {
+  uint32_t shard = 0;
+  Lsn durable_lsn = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, shard);
+    PutVarint64(&s, durable_lsn);
+    return s;
+  }
+  static StatusOr<ReplHelloRequest> Decode(Slice in) {
+    ReplHelloRequest r;
+    if (!GetVarint32(&in, &r.shard) || !GetVarint64(&in, &r.durable_lsn)) {
+      return Status::Corruption("repl hello req");
+    }
+    return r;
+  }
+};
+
 // --- Method descriptors ------------------------------------------------------
 
 // Served by replica appliers.
 inline constexpr rpc::RpcMethod<ReplAppendRequest, ReplAppendReply>
     kReplAppend{"repl.append"};
+
+// Served by the primary data node (forwarded to its log shipper).
+inline constexpr rpc::RpcMethod<ReplHelloRequest, rpc::EmptyMessage>
+    kReplHello{"repl.hello"};
 
 }  // namespace globaldb
 

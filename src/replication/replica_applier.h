@@ -64,6 +64,16 @@ class ReplicaApplier {
   /// Suspends until `txn` is no longer pending.
   sim::Task<void> WaitResolved(TxnId txn);
 
+  /// Called when the hosting replica node restarts. Batch application is
+  /// write-ahead durable (an ack implies the batch is persisted), so the
+  /// store, applied LSN, and the pending map — rebuilt by the recovery log
+  /// scan — all survive; this clears fault-injection state and counts the
+  /// restart.
+  void OnRestart() {
+    stalled_ = false;
+    metrics_.Add("apply.restarts");
+  }
+
   /// Artificially delays replay by `d` per batch (fault injection: a slow /
   /// lagging replica for staleness and skyline tests).
   void set_extra_apply_delay(SimDuration d) { extra_apply_delay_ = d; }

@@ -32,7 +32,24 @@ void Network::RegisterHandler(NodeId node, const std::string& method,
 
 void Network::SetNodeUp(NodeId node, bool up) {
   GDB_CHECK(nodes_.count(node));
-  nodes_[node].up = up;
+  NodeInfo& info = nodes_[node];
+  info.up = up;
+  if (up) return;
+  // Crash semantics: every open connection to the node resets. Each pending
+  // caller sees Unavailable after one RST flight time rather than waiting
+  // out the RPC timeout.
+  auto inflight = std::move(info.inflight);
+  info.inflight.clear();
+  for (auto& [caller, promise] : inflight) {
+    if (promise.has_value()) continue;
+    const SimDuration rst_delay =
+        topology_.OneWayLatency(info.region, RegionOf(caller));
+    metrics_.Add("rpc.connection_resets");
+    Promise<StatusOr<std::string>> p = promise;
+    sim_->Schedule(rst_delay, [p]() mutable {
+      p.TrySet(Status::Unavailable("connection reset: peer down"));
+    });
+  }
 }
 
 bool Network::IsNodeUp(NodeId node) const {
@@ -153,12 +170,31 @@ Task<StatusOr<std::string>> Network::Call(NodeId from, NodeId to,
   Future<StatusOr<std::string>> future = reply.GetFuture();
 
   if (!CanReach(from, to)) {
-    // Connection refused after the timeout (no route / dead peer).
     Promise<StatusOr<std::string>> p = reply;
-    sim_->Schedule(timeout, [p]() mutable {
-      p.TrySet(Status::Unavailable("target unreachable"));
-    });
+    if (IsNodeUp(from) && nodes_.count(to) && !IsNodeUp(to)) {
+      // Dead peer: the connection attempt is refused after one round trip
+      // (SYN out, RST back) — much faster than the timeout.
+      const SimDuration rtt =
+          std::min(2 * topology_.OneWayLatency(rf, rt), timeout);
+      sim_->Schedule(rtt, [p]() mutable {
+        p.TrySet(Status::Unavailable("connection refused: peer down"));
+      });
+    } else {
+      // Partition (or dead caller): packets vanish silently; only the
+      // timeout resolves the call.
+      sim_->Schedule(timeout, [p]() mutable {
+        p.TrySet(Status::Unavailable("target unreachable"));
+      });
+    }
   } else {
+    // Track the call so SetNodeUp(to, false) can reset it promptly.
+    auto& inflight = nodes_[to].inflight;
+    inflight.erase(std::remove_if(inflight.begin(), inflight.end(),
+                                  [](const auto& entry) {
+                                    return entry.second.has_value();
+                                  }),
+                   inflight.end());
+    inflight.emplace_back(from, reply);
     sim_->Spawn(DeliverCall(from, to, method, std::move(payload), reply));
     Promise<StatusOr<std::string>> p = reply;
     sim_->Schedule(timeout,

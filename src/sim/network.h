@@ -90,6 +90,10 @@ class Network {
 
   // --- Fault injection ---------------------------------------------------
 
+  /// Taking a node down resets every in-flight call addressed to it: each
+  /// caller observes Unavailable after one RST flight time instead of riding
+  /// out the full RPC timeout. Partitions, by contrast, are silent black
+  /// holes — blocked calls there still time out.
   void SetNodeUp(NodeId node, bool up);
   bool IsNodeUp(NodeId node) const;
   /// Blocks traffic in both directions between two nodes.
@@ -107,6 +111,10 @@ class Network {
     RegionId region = 0;
     bool up = true;
     std::map<std::string, RpcHandler> handlers;
+    /// Reply promises of calls currently addressed to this node, so a crash
+    /// can reset them promptly (connection reset). Resolved entries are
+    /// pruned lazily on the next call.
+    std::vector<std::pair<NodeId, Promise<StatusOr<std::string>>>> inflight;
   };
 
   double EffectiveBandwidth(RegionId from, RegionId to) const;

@@ -1,0 +1,175 @@
+// Deterministic clock-fault scenario: a fleet-wide clock-sync outage on a
+// GClock cluster must trigger the health monitor's automatic GClock -> GTM
+// fallback, commits must keep succeeding in every phase, and after the sync
+// service heals the monitor must dwell and return the cluster to GClock.
+// Finally the committed-increment count must equal the stored counter value
+// (no write lost or double-applied across the transitions).
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/fault_scheduler.h"
+#include "src/cluster/cluster.h"
+
+namespace globaldb {
+namespace {
+
+/// Serially increments the single counter row through `cn`, tallying commit
+/// outcomes. Every successful commit adds exactly 1 to the stored value.
+sim::Task<void> IncrementLoop(Cluster* cluster, int cn_index, int* commits,
+                              int* failures, const bool* stop) {
+  CoordinatorNode* cn = &cluster->cn(cn_index);
+  sim::Simulator* sim = cluster->simulator();
+  while (!*stop) {
+    co_await sim->Sleep(3 * kMillisecond);
+    auto txn = co_await cn->Begin();
+    if (!txn.ok()) {
+      ++*failures;
+      continue;
+    }
+    Row key = {static_cast<int64_t>(1)};
+    auto row = co_await cn->GetForUpdate(&*txn, "counter", key);
+    if (!row.ok() || !row->has_value()) {
+      (void)co_await cn->Abort(&*txn);
+      ++*failures;
+      continue;
+    }
+    Row updated = **row;
+    std::get<int64_t>(updated[1]) += 1;
+    Status s = co_await cn->Update(&*txn, "counter", updated);
+    if (!s.ok()) {
+      (void)co_await cn->Abort(&*txn);
+      ++*failures;
+      continue;
+    }
+    // A failed Commit aborts internally; do not abort again.
+    s = co_await cn->Commit(&*txn);
+    if (s.ok()) {
+      ++*commits;
+    } else {
+      ++*failures;
+    }
+  }
+}
+
+TEST(ClockFallbackTest, SyncOutageFallsBackToGtmAndReturns) {
+  sim::Simulator sim(31);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  options.initial_mode = TimestampMode::kGclock;
+  // Fast-drifting clocks so the error bound crosses the fallback threshold
+  // within ~0.5 s of outage instead of ~5 s (keeps the test short).
+  options.clock.max_drift_ppm = 2000;
+  options.health.probe_interval = 50 * kMillisecond;
+  options.health.probe_timeout = 80 * kMillisecond;  // > 55 ms worst RTT
+  options.health.fallback_error_bound = 1 * kMillisecond;
+  options.health.recover_error_bound = 200 * kMicrosecond;
+  options.health.recover_dwell = 300 * kMillisecond;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool ready = false;
+  auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    TableSchema schema;
+    schema.name = "counter";
+    schema.columns = {{"id", ColumnType::kInt64},
+                      {"value", ColumnType::kInt64}};
+    schema.key_columns = {0};
+    schema.distribution_column = 0;
+    EXPECT_TRUE((co_await cn.CreateTable(schema)).ok());
+    auto txn = co_await cn.Begin();
+    EXPECT_TRUE(txn.ok());
+    if (!txn.ok()) co_return;
+    Row row = {static_cast<int64_t>(1), static_cast<int64_t>(0)};
+    EXPECT_TRUE((co_await cn.Insert(&*txn, "counter", row)).ok());
+    EXPECT_TRUE((co_await cn.Commit(&*txn)).ok());
+    *ready = true;
+  };
+  sim.Spawn(setup(&cluster, &ready));
+  while (!ready) sim.RunFor(10 * kMillisecond);
+
+  // Fleet-wide time-device outage from t=1s to t=3s (node unset = all CNs).
+  chaos::FaultScheduler faults(&cluster);
+  chaos::FaultEvent outage;
+  outage.at = 1 * kSecond;
+  outage.kind = chaos::FaultKind::kClockSyncOutage;
+  faults.AddEvent(outage);
+  chaos::FaultEvent restore = outage;
+  restore.at = 3 * kSecond;
+  restore.kind = chaos::FaultKind::kClockSyncRestore;
+  faults.AddEvent(restore);
+  faults.Start();
+
+  bool stop = false;
+  int commits = 0, failures = 0;
+  for (int c = 0; c < 3; ++c) {
+    sim.Spawn(IncrementLoop(&cluster, c, &commits, &failures, &stop));
+  }
+
+  // Phase 1: healthy GClock.
+  sim.RunUntil(1 * kSecond);
+  const int commits_healthy = commits;
+  EXPECT_GT(commits_healthy, 0);
+  EXPECT_EQ(cluster.health().mode(), TimestampMode::kGclock);
+
+  // Phase 2: outage. The error bound crosses 1 ms ~0.5 s in; the next probe
+  // drives the fallback. Commits must keep flowing the whole time.
+  sim.RunUntil(2 * kSecond);
+  const int commits_outage = commits;
+  EXPECT_GT(commits_outage, commits_healthy);
+  EXPECT_EQ(cluster.health().metrics().Get("health.fallback_to_gtm"), 1);
+  EXPECT_EQ(cluster.transition().metrics().Get("transition.to_gtm"), 1);
+  EXPECT_EQ(cluster.health().mode(), TimestampMode::kGtm);
+  EXPECT_TRUE(cluster.health().fell_back());
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    EXPECT_EQ(cluster.cn(i).timestamp_source().mode(), TimestampMode::kGtm);
+  }
+
+  // Phase 3: still broken clocks, running on GTM.
+  sim.RunUntil(3 * kSecond);
+  const int commits_gtm = commits;
+  EXPECT_GT(commits_gtm, commits_outage);
+  EXPECT_EQ(cluster.health().metrics().Get("health.return_to_gclock"), 0);
+
+  // Phase 4: sync restored at 3 s; after the recovery dwell the monitor
+  // returns the cluster to GClock.
+  sim.RunUntil(5 * kSecond);
+  const int commits_recovered = commits;
+  EXPECT_GT(commits_recovered, commits_gtm);
+  EXPECT_EQ(cluster.health().metrics().Get("health.return_to_gclock"), 1);
+  EXPECT_GE(cluster.transition().metrics().Get("transition.to_gclock"), 1);
+  EXPECT_EQ(cluster.health().mode(), TimestampMode::kGclock);
+  EXPECT_FALSE(cluster.health().fell_back());
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    EXPECT_EQ(cluster.cn(i).timestamp_source().mode(),
+              TimestampMode::kGclock);
+  }
+  EXPECT_EQ(faults.metrics().Get("chaos.clock_sync_outage"), 1);
+  EXPECT_EQ(faults.metrics().Get("chaos.clock_sync_restore"), 1);
+
+  // Wind down and verify no committed increment was lost: the counter value
+  // must equal the number of commits the writers observed.
+  stop = true;
+  sim.RunFor(500 * kMillisecond);
+  int64_t value = -1;
+  auto read_back = [](Cluster* cluster, int64_t* out) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    auto txn = co_await cn.Begin();
+    EXPECT_TRUE(txn.ok());
+    if (!txn.ok()) co_return;
+    Row key = {static_cast<int64_t>(1)};
+    auto row = co_await cn.Get(&*txn, "counter", key);
+    EXPECT_TRUE(row.ok());
+    EXPECT_TRUE(row.ok() && row->has_value());
+    if (!row.ok() || !row->has_value()) co_return;
+    *out = std::get<int64_t>((**row)[1]);
+    (void)co_await cn.Abort(&*txn);
+  };
+  sim.Spawn(read_back(&cluster, &value));
+  sim.RunFor(500 * kMillisecond);
+  EXPECT_EQ(value, commits);
+}
+
+}  // namespace
+}  // namespace globaldb

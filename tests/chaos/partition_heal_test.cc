@@ -1,0 +1,183 @@
+// Replica outage and recovery: one replica of shard 0 is partitioned from
+// its primary, the other crashes outright, while a writer keeps inserting.
+// The shipper must mark both unhealthy (capped backoff, no livelock), and
+// after heal/restart both must converge to the primary's exact log tail —
+// the restart path via the replica's durable-LSN re-announcement, the
+// partition path via normal retry. Zero committed writes may be lost.
+
+#include <gtest/gtest.h>
+
+#include "src/chaos/fault_scheduler.h"
+#include "src/cluster/cluster.h"
+
+namespace globaldb {
+namespace {
+
+sim::Task<void> InsertLoop(Cluster* cluster, int cn_index, int64_t id_base,
+                           int* committed, const bool* stop) {
+  CoordinatorNode* cn = &cluster->cn(cn_index);
+  sim::Simulator* sim = cluster->simulator();
+  int64_t next_id = id_base;
+  while (!*stop) {
+    co_await sim->Sleep(2 * kMillisecond);
+    auto txn = co_await cn->Begin();
+    if (!txn.ok()) continue;
+    Row row = {next_id, next_id * 10};
+    Status s = co_await cn->Insert(&*txn, "events", row);
+    if (!s.ok()) {
+      (void)co_await cn->Abort(&*txn);
+      continue;
+    }
+    s = co_await cn->Commit(&*txn);
+    if (s.ok()) {
+      ++*committed;
+      ++next_id;
+    } else {
+      ++next_id;  // id burned either way; uniqueness is what matters
+    }
+  }
+}
+
+TEST(PartitionHealTest, ReplicasConvergeToPrimaryTailAfterHeal) {
+  sim::Simulator sim(41);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  // Short transport timeout so partitioned ship calls fail in 200 ms, not
+  // the 5 s default (a partition is a silent black hole).
+  options.network.rpc_timeout = 200 * kMillisecond;
+  options.initial_mode = TimestampMode::kGtm;
+  options.shipper.max_retry_backoff = 500 * kMillisecond;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool ready = false;
+  auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    TableSchema schema;
+    schema.name = "events";
+    schema.columns = {{"id", ColumnType::kInt64},
+                      {"payload", ColumnType::kInt64}};
+    schema.key_columns = {0};
+    schema.distribution_column = 0;
+    EXPECT_TRUE((co_await cn.CreateTable(schema)).ok());
+    *ready = true;
+  };
+  sim.Spawn(setup(&cluster, &ready));
+  while (!ready) sim.RunFor(10 * kMillisecond);
+
+  const NodeId partitioned_replica = cluster.ReplicaNodeId(0, 0);
+  const NodeId crashed_replica = cluster.ReplicaNodeId(0, 1);
+  chaos::FaultScheduler faults(&cluster);
+  {
+    chaos::FaultEvent e;
+    e.kind = chaos::FaultKind::kLinkPartition;
+    e.at = 200 * kMillisecond;
+    e.node = Cluster::PrimaryNodeId(0);
+    e.peer = partitioned_replica;
+    faults.AddEvent(e);
+    e.kind = chaos::FaultKind::kLinkHeal;
+    e.at = 1200 * kMillisecond;
+    faults.AddEvent(e);
+  }
+  {
+    chaos::FaultEvent e;
+    e.kind = chaos::FaultKind::kNodeCrash;
+    e.at = 400 * kMillisecond;
+    e.node = crashed_replica;
+    faults.AddEvent(e);
+    e.kind = chaos::FaultKind::kNodeRestart;
+    e.at = 1400 * kMillisecond;
+    faults.AddEvent(e);
+  }
+  faults.Start();
+
+  // Several writers per CN (cross-region commits take up to ~110 ms each, so
+  // a single serial writer would only manage ~10 commits/s).
+  bool stop = false;
+  int committed = 0;
+  for (int w = 0; w < 9; ++w) {
+    sim.Spawn(InsertLoop(&cluster, w % 3, 1 + w * 1000000, &committed,
+                         &stop));
+  }
+
+  // Mid-outage: the shipper has marked both shard-0 replicas down and
+  // stopped hammering them (capped exponential backoff).
+  sim.RunUntil(1 * kSecond);
+  LogShipper* shipper = cluster.data_node(0).shipper();
+  ASSERT_NE(shipper, nullptr);
+  EXPECT_FALSE(shipper->IsReplicaHealthy(partitioned_replica));
+  EXPECT_FALSE(shipper->IsReplicaHealthy(crashed_replica));
+  EXPECT_EQ(shipper->metrics().Get("ship.replica_down"), 2);
+  const Timestamp rcp_mid = cluster.cn(0).rcp();
+
+  // Run through heal + restart, stop the writer, then quiesce (stop CN
+  // heartbeats so the log tail is stable) and let shippers catch up.
+  sim.RunUntil(2 * kSecond);
+  stop = true;
+  sim.RunFor(100 * kMillisecond);
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    cluster.cn(i).StopServices();
+  }
+  sim.RunFor(2500 * kMillisecond);
+
+  EXPECT_GT(committed, 100);
+  // RCP never went backwards across the outage.
+  EXPECT_GE(cluster.cn(0).rcp(), rcp_mid);
+
+  // Every replica of every shard has applied the primary's exact log tail:
+  // no silent LSN gap survived the partition or the crash.
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    const Lsn tail = cluster.data_node(s).log().next_lsn() - 1;
+    LogShipper* sh = cluster.data_node(s).shipper();
+    ASSERT_NE(sh, nullptr);
+    for (uint32_t r = 0; r < cluster.options().replicas_per_shard; ++r) {
+      EXPECT_EQ(cluster.replica(s, r).applier().applied_lsn(), tail)
+          << "shard " << s << " replica " << r;
+      EXPECT_EQ(sh->AckedLsn(cluster.ReplicaNodeId(s, r)), tail);
+      EXPECT_TRUE(sh->IsReplicaHealthy(cluster.ReplicaNodeId(s, r)));
+    }
+  }
+
+  // The restart went through the hello path: the replica re-announced its
+  // durable LSN and the primary rewound its cursor.
+  EXPECT_EQ(cluster.replica(0, 1).metrics().Get("replica.restarts"), 1);
+  EXPECT_GE(cluster.data_node(0).metrics().Get("dn.repl_hellos"), 1);
+  EXPECT_GE(shipper->metrics().Get("ship.hellos"), 1);
+  EXPECT_GE(shipper->metrics().Get("ship.replica_recovered"), 2);
+  // The RCP collector saw the crashed replica fail and come back.
+  EXPECT_GE(cluster.cn(0).rcp_service().metrics().Get("rcp.replica_recovered"),
+            1);
+
+  // Zero lost committed writes: every committed insert is present on the
+  // primary AND on every replica of its shard.
+  const TableSchema* schema = cluster.cn(0).catalog().FindTable("events");
+  ASSERT_NE(schema, nullptr);
+  size_t primary_rows = 0;
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    MvccTable* table = cluster.data_node(s).store().GetTable(schema->id);
+    const size_t shard_rows =
+        table == nullptr
+            ? 0
+            : table
+                  ->Scan("", "", kTimestampMax - 1, kInvalidTxnId, 100000,
+                         nullptr)
+                  .size();
+    primary_rows += shard_rows;
+    for (uint32_t r = 0; r < cluster.options().replicas_per_shard; ++r) {
+      MvccTable* rt = cluster.replica(s, r).store().GetTable(schema->id);
+      const size_t replica_rows =
+          rt == nullptr
+              ? 0
+              : rt->Scan("", "", kTimestampMax - 1, kInvalidTxnId, 100000,
+                         nullptr)
+                    .size();
+      EXPECT_EQ(replica_rows, shard_rows)
+          << "shard " << s << " replica " << r;
+    }
+  }
+  EXPECT_EQ(primary_rows, static_cast<size_t>(committed));
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,121 @@
+// TPC-C under a seeded random fault schedule (replica crashes, a
+// primary<->replica link partition, a region partition, a clock-sync
+// outage). Across multiple seeds: the workload keeps committing, every CN's
+// RCP stays monotone, and after all faults heal every replica converges to
+// its primary's exact log tail.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/chaos/fault_scheduler.h"
+#include "src/cluster/cluster.h"
+#include "src/workload/tpcc.h"
+
+namespace globaldb {
+namespace {
+
+/// Samples every CN's RCP periodically; flags any backward movement.
+sim::Task<void> RcpWatcher(Cluster* cluster, const bool* stop,
+                           bool* monotone) {
+  std::vector<Timestamp> last(cluster->num_cns(), 0);
+  while (!*stop) {
+    co_await cluster->simulator()->Sleep(10 * kMillisecond);
+    for (size_t i = 0; i < cluster->num_cns(); ++i) {
+      const Timestamp rcp = cluster->cn(i).rcp();
+      if (rcp < last[i]) *monotone = false;
+      last[i] = rcp;
+    }
+  }
+}
+
+class RandomFaultTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomFaultTest, TpccSurvivesRandomFaultSchedule) {
+  const uint64_t seed = GetParam();
+  sim::Simulator sim(seed);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  // Fail partitioned calls in 300 ms so blocked clients churn instead of
+  // riding out the 5 s default timeout.
+  options.network.rpc_timeout = 300 * kMillisecond;
+  options.initial_mode = TimestampMode::kGclock;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  TpccConfig config;
+  config.num_warehouses = 6;
+  config.customers_per_district = 10;
+  config.items = 200;
+  config.initial_orders_per_district = 5;
+  TpccWorkload tpcc(&cluster, config, seed);
+  ASSERT_TRUE(tpcc.Setup().ok());
+  cluster.WaitForRcp();
+
+  bool stop = false;
+  bool rcp_monotone = true;
+  sim.Spawn(RcpWatcher(&cluster, &stop, &rcp_monotone));
+
+  // Fault window sits inside the measurement window; every fault is paired
+  // with its heal, so the cluster is whole again before the final checks.
+  chaos::RandomScheduleOptions fopts;
+  fopts.start = sim.now() + 800 * kMillisecond;
+  fopts.end = sim.now() + 3 * kSecond;
+  fopts.replica_crashes = 2;
+  fopts.link_partitions = 1;
+  fopts.region_partitions = 1;
+  fopts.clock_outages = 1;
+  fopts.min_fault_duration = 150 * kMillisecond;
+  fopts.max_fault_duration = 600 * kMillisecond;
+  Rng fault_rng(seed * 7 + 1);
+  chaos::FaultScheduler faults(&cluster);
+  faults.AddRandomSchedule(&fault_rng, fopts);
+  faults.Start();
+
+  WorkloadDriver::Options dopts;
+  dopts.clients = 12;
+  dopts.warmup = 500 * kMillisecond;
+  dopts.duration = 3 * kSecond;
+  dopts.seed = seed;
+  WorkloadDriver driver(&cluster, dopts);
+  WorkloadStats stats = driver.Run(tpcc.MixFn());
+
+  // The cluster never stopped committing under faults.
+  EXPECT_GT(stats.committed, 50) << "seed " << seed;
+  EXPECT_LT(stats.AbortRate(), 0.9) << "seed " << seed;
+  // Every scheduled fault (and its heal) actually fired.
+  EXPECT_EQ(faults.injected().size(), 10u);
+
+  // Quiesce (stop heartbeats so log tails freeze) and let shippers finish
+  // catching every replica up.
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    cluster.cn(i).StopServices();
+  }
+  sim.RunFor(3 * kSecond);
+  stop = true;
+  sim.RunFor(50 * kMillisecond);
+
+  EXPECT_TRUE(rcp_monotone) << "seed " << seed;
+
+  // Convergence: no replica is missing any part of its primary's log.
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    const Lsn tail = cluster.data_node(s).log().next_lsn() - 1;
+    LogShipper* shipper = cluster.data_node(s).shipper();
+    ASSERT_NE(shipper, nullptr);
+    for (uint32_t r = 0; r < cluster.options().replicas_per_shard; ++r) {
+      const NodeId replica = cluster.ReplicaNodeId(s, r);
+      EXPECT_EQ(cluster.replica(s, r).applier().applied_lsn(), tail)
+          << "seed " << seed << " shard " << s << " replica " << r;
+      EXPECT_EQ(shipper->AckedLsn(replica), tail)
+          << "seed " << seed << " shard " << s << " replica " << r;
+      EXPECT_TRUE(shipper->IsReplicaHealthy(replica));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomFaultTest,
+                         ::testing::Values(101u, 202u, 303u));
+
+}  // namespace
+}  // namespace globaldb

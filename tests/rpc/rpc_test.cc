@@ -124,7 +124,9 @@ TEST_F(RpcTest, DeadlineSurfacesTimedOutWithoutFurtherAttempts) {
   policy.max_attempts = 5;
   rpc::RpcClient client(&net_, kClient, policy);
 
-  net_.SetNodeUp(kServer, false);
+  // A partition is a silent black hole (a down node would refuse the
+  // connection within one RTT and trigger a retry before the deadline).
+  net_.SetPartitioned(kClient, kServer, true);
   rpc::CallOptions options;
   options.deadline = 100 * kMillisecond;
   auto result = RunCall(&client, "late", options);

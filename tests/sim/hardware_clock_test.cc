@@ -57,6 +57,41 @@ TEST(HardwareClockTest, ErrorBoundGrowsWhenSyncFails) {
   EXPECT_LE(clock.ErrorBound(), 61 * kMicrosecond);
 }
 
+TEST(HardwareClockTest, ErrorBoundGrowsLinearlyDuringOutage) {
+  Simulator sim(19);
+  HardwareClock clock(&sim, Rng(104));
+  sim.RunUntil(1 * kSecond);
+  clock.set_sync_healthy(false);
+  // With 200 PPM max drift the bound must grow by 200 us per second of
+  // outage, deterministically (the bound uses max drift, not actual drift).
+  sim.RunUntil(2 * kSecond);
+  const SimDuration b1 = clock.ErrorBound();
+  sim.RunUntil(3 * kSecond);
+  const SimDuration b2 = clock.ErrorBound();
+  sim.RunUntil(5 * kSecond);
+  const SimDuration b3 = clock.ErrorBound();
+  const SimDuration per_second = 200 * kMicrosecond;
+  EXPECT_NEAR(static_cast<double>(b2 - b1), static_cast<double>(per_second),
+              static_cast<double>(10 * kMicrosecond));
+  EXPECT_NEAR(static_cast<double>(b3 - b2),
+              static_cast<double>(2 * per_second),
+              static_cast<double>(10 * kMicrosecond));
+}
+
+TEST(HardwareClockTest, ReAnchorsPromptlyAfterSyncRestored) {
+  Simulator sim(21);
+  HardwareClock clock(&sim, Rng(105));
+  sim.RunUntil(1 * kSecond);
+  clock.set_sync_healthy(false);
+  sim.RunUntil(6 * kSecond);
+  EXPECT_GT(clock.ErrorBound(), 900 * kMicrosecond);  // ~1 ms after 5 s
+  clock.set_sync_healthy(true);
+  // The very next sync interval (1 ms) re-anchors the bound to steady state;
+  // the health monitor relies on this to arm its recovery dwell quickly.
+  sim.RunUntil(6 * kSecond + 10 * kMillisecond);
+  EXPECT_LE(clock.ErrorBound(), 61 * kMicrosecond);
+}
+
 TEST(HardwareClockTest, InjectedOffsetVisible) {
   Simulator sim(13);
   HardwareClock clock(&sim, Rng(103));

@@ -1,0 +1,145 @@
+// Fault-semantics tests for the simulated network:
+//  - A call to a down node is refused after one RTT (SYN out, RST back),
+//    not after the full RPC timeout.
+//  - Crashing a node resets calls already in flight to it promptly.
+//  - A partition is a silent black hole: blocked calls ride out the full
+//    timeout, both directions are blocked, and healing restores traffic.
+#include <gtest/gtest.h>
+
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+
+namespace globaldb::sim {
+namespace {
+
+constexpr NodeId kA = 1;  // xian      (region 0)
+constexpr NodeId kB = 2;  // langzhong (region 1)
+constexpr NodeId kC = 3;  // dongguan  (region 2)
+
+// Xi'an <-> Langzhong RTT in the ThreeCity topology.
+constexpr SimDuration kAbRtt = 25 * kMillisecond;
+
+class NetworkFaultTest : public ::testing::Test {
+ protected:
+  NetworkFaultTest()
+      : sim_(3), net_(&sim_, Topology::ThreeCity(), MakeOptions()) {
+    net_.RegisterNode(kA, 0);
+    net_.RegisterNode(kB, 1);
+    net_.RegisterNode(kC, 2);
+    for (NodeId node : {kA, kB, kC}) {
+      net_.RegisterHandler(node, "echo",
+                           [](NodeId, std::string p) -> Task<std::string> {
+                             co_return "echo:" + p;
+                           });
+    }
+  }
+
+  static NetworkOptions MakeOptions() {
+    NetworkOptions o;
+    o.jitter_fraction = 0;  // determinism for latency assertions
+    o.nagle_enabled = false;
+    return o;
+  }
+
+  Task<void> DoCall(NodeId from, NodeId to, StatusOr<std::string>* out,
+                    SimTime* completed_at, SimDuration timeout = 0) {
+    *out = co_await net_.Call(from, to, "echo", "x", timeout);
+    *completed_at = sim_.now();
+  }
+
+  Simulator sim_;
+  Network net_;
+};
+
+TEST_F(NetworkFaultTest, DownNodeRefusesConnectionWithinOneRtt) {
+  net_.SetNodeUp(kB, false);
+  StatusOr<std::string> result = Status::Internal("unset");
+  SimTime completed = 0;
+  sim_.Spawn(DoCall(kA, kB, &result, &completed));
+  sim_.Run();
+  EXPECT_TRUE(result.status().IsUnavailable()) << result.status().ToString();
+  // Refused after one round trip, nowhere near the 5 s RPC timeout.
+  EXPECT_GE(completed, kAbRtt);
+  EXPECT_LT(completed, kAbRtt + 5 * kMillisecond);
+}
+
+TEST_F(NetworkFaultTest, CrashResetsInFlightCallPromptly) {
+  StatusOr<std::string> result = Status::Internal("unset");
+  SimTime completed = 0;
+  sim_.Spawn(DoCall(kA, kB, &result, &completed));
+  // Kill the target while the request is still in flight (one-way latency
+  // is 12.5 ms). The caller sees whichever comes first: the request arriving
+  // at a dead node (12.5 ms) or the RST scheduled at the crash (5 + 12.5 =
+  // 17.5 ms) — either way well before the full RTT, let alone the timeout.
+  sim_.Schedule(5 * kMillisecond, [&] { net_.SetNodeUp(kB, false); });
+  sim_.Run();
+  EXPECT_TRUE(result.status().IsUnavailable());
+  EXPECT_GE(completed, 12 * kMillisecond);
+  EXPECT_LT(completed, 18 * kMillisecond);
+  EXPECT_EQ(net_.metrics().Get("rpc.connection_resets"), 1);
+}
+
+TEST_F(NetworkFaultTest, PartitionedCallRidesOutFullTimeout) {
+  net_.SetPartitioned(kA, kB, true);
+  StatusOr<std::string> result = Status::Internal("unset");
+  SimTime completed = 0;
+  sim_.Spawn(DoCall(kA, kB, &result, &completed));
+  sim_.Run();
+  EXPECT_TRUE(result.status().IsUnavailable());
+  // Silent black hole: no RST comes back, only the timeout resolves it.
+  EXPECT_GE(completed, net_.options().rpc_timeout);
+}
+
+TEST_F(NetworkFaultTest, PartitionBlocksBothDirectionsAndHeals) {
+  net_.SetPartitioned(kA, kB, true);
+  StatusOr<std::string> ab = Status::Internal("unset");
+  StatusOr<std::string> ba = Status::Internal("unset");
+  SimTime t = 0;
+  sim_.Spawn(DoCall(kA, kB, &ab, &t, 100 * kMillisecond));
+  sim_.Spawn(DoCall(kB, kA, &ba, &t, 100 * kMillisecond));
+  sim_.Run();
+  EXPECT_FALSE(ab.ok());
+  EXPECT_FALSE(ba.ok());
+
+  net_.SetPartitioned(kA, kB, false);
+  sim_.Spawn(DoCall(kA, kB, &ab, &t));
+  sim_.Spawn(DoCall(kB, kA, &ba, &t));
+  sim_.Run();
+  EXPECT_TRUE(ab.ok());
+  EXPECT_TRUE(ba.ok());
+}
+
+TEST_F(NetworkFaultTest, RegionPartitionSparesThirdRegionAndHeals) {
+  net_.SetRegionPartitioned(0, 1, true);
+  StatusOr<std::string> ab = Status::Internal("unset");
+  StatusOr<std::string> ac = Status::Internal("unset");
+  SimTime t = 0;
+  sim_.Spawn(DoCall(kA, kB, &ab, &t, 100 * kMillisecond));
+  sim_.Spawn(DoCall(kA, kC, &ac, &t));
+  sim_.Run();
+  EXPECT_FALSE(ab.ok());
+  EXPECT_TRUE(ac.ok());  // region 2 unaffected
+
+  net_.SetRegionPartitioned(0, 1, false);
+  sim_.Spawn(DoCall(kA, kB, &ab, &t));
+  sim_.Run();
+  EXPECT_TRUE(ab.ok());
+}
+
+TEST_F(NetworkFaultTest, RestartedNodeServesAgain) {
+  net_.SetNodeUp(kB, false);
+  StatusOr<std::string> result = Status::Internal("unset");
+  SimTime completed = 0;
+  sim_.Spawn(DoCall(kA, kB, &result, &completed));
+  sim_.Run();
+  EXPECT_FALSE(result.ok());
+
+  net_.SetNodeUp(kB, true);
+  sim_.Spawn(DoCall(kA, kB, &result, &completed));
+  sim_.Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "echo:x");
+}
+
+}  // namespace
+}  // namespace globaldb::sim

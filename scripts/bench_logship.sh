@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Log-shipping transport benchmark: 16 MB catch-up throughput and
+# steady-state visibility lag over a 50 ms RTT link, stop-and-wait
+# (window=1) vs the default pipelined window=8. Emits BENCH_logship.json
+# (override with OUT=...) and fails if the catch-up speedup is < 4x.
+# Usage: scripts/bench_logship.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${OUT:-BENCH_logship.json}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target ablation_logship
+
+GDB_LOGSHIP_CATCHUP_ONLY=1 GDB_LOGSHIP_JSON="${OUT}" \
+  "${BUILD_DIR}/bench/ablation_logship"
+
+echo "== ${OUT} =="
+cat "${OUT}"
+
+SPEEDUP="$(sed -n 's/.*"catchup_speedup": \([0-9.]*\).*/\1/p' "${OUT}")"
+awk -v s="${SPEEDUP}" 'BEGIN { exit !(s >= 4.0) }' || {
+  echo "FAIL: catch-up speedup ${SPEEDUP}x < 4x" >&2
+  exit 1
+}
+echo "OK: catch-up speedup ${SPEEDUP}x >= 4x"

@@ -17,6 +17,11 @@ cmake -B "${BUILD_DIR}" -S . \
 cmake --build "${BUILD_DIR}" -j "$(nproc)"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 
+# Log-shipping transport smoke: the pipelined window must keep its >= 4x
+# catch-up advantage over stop-and-wait on a 50 ms RTT link.
+echo "== log shipping bench smoke =="
+scripts/bench_logship.sh "${BUILD_DIR}"
+
 echo "== ASan+UBSan pass =="
 rm -rf "${SAN_DIR}"
 cmake -B "${SAN_DIR}" -S . \

@@ -28,6 +28,24 @@ StatusOr<std::vector<RedoRecord>> LogStream::Read(Lsn from, size_t max_records,
   return out;
 }
 
+StatusOr<LogStream::BatchExtent> LogStream::Extent(Lsn from,
+                                                   size_t max_records,
+                                                   size_t max_bytes) const {
+  if (from < begin_lsn_) {
+    return Status::OutOfRange("lsn " + std::to_string(from) + " truncated");
+  }
+  BatchExtent extent;
+  for (Lsn lsn = from; lsn < next_lsn() && extent.records < max_records;
+       ++lsn) {
+    const size_t sz = records_[lsn - begin_lsn_].EncodedSize();
+    if (extent.records > 0 && extent.bytes + sz > max_bytes) break;
+    extent.end_lsn = lsn;
+    ++extent.records;
+    extent.bytes += sz;
+  }
+  return extent;
+}
+
 StatusOr<RedoRecord> LogStream::At(Lsn lsn) const {
   if (lsn < begin_lsn_ || lsn >= next_lsn()) {
     return Status::NotFound("lsn " + std::to_string(lsn));

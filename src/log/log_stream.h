@@ -40,6 +40,19 @@ class LogStream {
   StatusOr<std::vector<RedoRecord>> Read(Lsn from, size_t max_records,
                                          size_t max_bytes) const;
 
+  /// The boundary a Read(from, max_records, max_bytes) would produce, without
+  /// copying any records. The shipper uses this to key its encoded-batch
+  /// cache before deciding whether it needs to read + encode at all.
+  struct BatchExtent {
+    /// Last LSN the batch would include (valid only when records > 0).
+    Lsn end_lsn = kInvalidLsn;
+    size_t records = 0;
+    /// Encoded size of the included records (pre-compression).
+    size_t bytes = 0;
+  };
+  StatusOr<BatchExtent> Extent(Lsn from, size_t max_records,
+                               size_t max_bytes) const;
+
   /// Returns the record at `lsn` (for tests / recovery inspection).
   StatusOr<RedoRecord> At(Lsn lsn) const;
 

@@ -1,0 +1,30 @@
+#include "src/replication/batch_cache.h"
+
+namespace globaldb {
+
+std::shared_ptr<const std::string> EncodedBatchCache::Get(
+    const BatchCacheKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return nullptr;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void EncodedBatchCache::Put(const BatchCacheKey& key,
+                            std::shared_ptr<const std::string> payload) {
+  if (capacity_ == 0) return;
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second->second = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(payload));
+  entries_[key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+}  // namespace globaldb

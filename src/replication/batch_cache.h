@@ -1,0 +1,63 @@
+#ifndef GLOBALDB_SRC_REPLICATION_BATCH_CACHE_H_
+#define GLOBALDB_SRC_REPLICATION_BATCH_CACHE_H_
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <utility>
+
+#include "src/common/types.h"
+#include "src/compression/lz.h"
+
+namespace globaldb {
+
+/// Identifies one fully-encoded kReplAppend payload: the redo range it
+/// covers and how it was compressed. LSNs are immutable once appended, so
+/// an entry never goes stale — eviction is purely capacity-driven.
+struct BatchCacheKey {
+  Lsn start_lsn = kInvalidLsn;
+  Lsn end_lsn = kInvalidLsn;
+  CompressionType compression = CompressionType::kNone;
+
+  bool operator<(const BatchCacheKey& other) const {
+    return std::tie(start_lsn, end_lsn, compression) <
+           std::tie(other.start_lsn, other.end_lsn, other.compression);
+  }
+};
+
+/// Small LRU of encoded ship batches, shared by the primary's per-replica
+/// ship loops so a redo range is read + compressed + framed once instead of
+/// once per replica. Payloads are shared_ptr<const string>: an evicted
+/// entry stays alive for any in-flight send still holding it.
+class EncodedBatchCache {
+ public:
+  explicit EncodedBatchCache(size_t capacity) : capacity_(capacity) {}
+
+  EncodedBatchCache(const EncodedBatchCache&) = delete;
+  EncodedBatchCache& operator=(const EncodedBatchCache&) = delete;
+
+  /// Returns the cached payload and marks it most-recently-used, or nullptr.
+  std::shared_ptr<const std::string> Get(const BatchCacheKey& key);
+
+  /// Inserts (or refreshes) an entry, evicting the least-recently-used one
+  /// when over capacity. No-op when capacity is 0.
+  void Put(const BatchCacheKey& key,
+           std::shared_ptr<const std::string> payload);
+
+  size_t size() const { return entries_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  using LruList =
+      std::list<std::pair<BatchCacheKey, std::shared_ptr<const std::string>>>;
+
+  size_t capacity_;
+  LruList lru_;  // most-recently-used at the front
+  std::map<BatchCacheKey, LruList::iterator> entries_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_REPLICATION_BATCH_CACHE_H_

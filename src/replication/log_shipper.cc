@@ -1,9 +1,12 @@
 #include "src/replication/log_shipper.h"
 
 #include <algorithm>
+#include <limits>
+#include <utility>
 
 #include "src/common/codec.h"
 #include "src/common/logging.h"
+#include "src/rpc/wire.h"
 
 namespace globaldb {
 
@@ -28,11 +31,13 @@ LogShipper::LogShipper(sim::Simulator* sim, sim::Network* network, NodeId self,
       stream_(stream),
       replicas_(std::move(replicas)),
       options_(options),
-      client_(network, self, ShipperRpcPolicy()) {
+      client_(network, self, ShipperRpcPolicy()),
+      cache_(options.encode_cache_entries) {
   for (NodeId r : replicas_) {
     acked_[r] = 0;
     peers_[r].cursor = stream_->begin_lsn();
   }
+  sorted_acks_.assign(acked_.size(), 0);
 }
 
 void LogShipper::Start() {
@@ -68,12 +73,18 @@ void LogShipper::AnnounceReplica(NodeId replica, Lsn durable_lsn) {
   peer.resume_hint = durable_lsn;
   peer.consecutive_failures = 0;
   peer.backoff = 0;
+  peer.next_send_at = 0;
   WakeLoops();
 }
 
 bool LogShipper::IsReplicaHealthy(NodeId replica) const {
   auto it = peers_.find(replica);
   return it == peers_.end() || it->second.healthy;
+}
+
+size_t LogShipper::InflightBatches(NodeId replica) const {
+  auto it = peers_.find(replica);
+  return it == peers_.end() ? 0 : it->second.inflight;
 }
 
 void LogShipper::WakeLoops() {
@@ -97,61 +108,151 @@ sim::Task<void> LogShipper::InterruptibleSleep(SimDuration d) {
   (void)co_await future;
 }
 
+void LogShipper::Rewind(PeerState* peer, Lsn to) {
+  // Invalidate the window: replies from batches sent before this rewind are
+  // stale (their acks are still consumed — they are cumulative — but they
+  // no longer touch failure / backoff / window state).
+  ++peer->epoch;
+  peer->inflight = 0;
+  peer->cursor = std::max(to, stream_->begin_lsn());
+}
+
+std::shared_ptr<const std::string> LogShipper::EncodedRequest(
+    Lsn start, const LogStream::BatchExtent& extent) {
+  const BatchCacheKey key{start, extent.end_lsn, options_.compression};
+  if (options_.encode_cache_entries > 0) {
+    if (auto hit = cache_.Get(key)) {
+      metrics_.Add("ship.cache_hits");
+      return hit;
+    }
+    metrics_.Add("ship.cache_misses");
+  }
+  // Re-read exactly the extent's record count: the stream may have grown
+  // since Extent(), and the payload must match the (start, end) cache key.
+  auto batch_or =
+      stream_->Read(start, extent.records, std::numeric_limits<size_t>::max());
+  if (!batch_or.ok() || batch_or->empty()) return nullptr;
+  ReplAppendRequest request;
+  request.shard = shard_;
+  request.start_lsn = start;
+  request.batch = LogStream::EncodeBatch(*batch_or, options_.compression);
+  auto payload = std::make_shared<const std::string>(request.Encode());
+  if (options_.encode_cache_entries > 0) cache_.Put(key, payload);
+  return payload;
+}
+
 sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
   PeerState& peer = peers_[replica];
+  const size_t window = std::max<size_t>(1, options_.max_inflight_batches);
   while (!stopped_) {
     if (peer.resume_hint != kInvalidLsn) {
       // Restart announcement: resume from the replica's durable tail (this
       // may rewind past acks if the replica lost state, or skip ahead past
       // records it already holds).
-      peer.cursor = peer.resume_hint + 1;
+      Rewind(&peer, peer.resume_hint + 1);
       peer.resume_hint = kInvalidLsn;
     }
-    auto batch_or = stream_->Read(peer.cursor, options_.max_batch_records,
-                                  options_.max_batch_bytes);
-    if (!batch_or.ok()) {
+    if (peer.next_send_at > sim_->now()) {
+      // Backoff gate after a failure burst. An announcement clears the gate
+      // and wakes us early.
+      co_await InterruptibleSleep(peer.next_send_at - sim_->now());
+      continue;
+    }
+    if (peer.inflight >= window) {
+      // Window full: park until an ack frees a slot (every SendBatch
+      // completion wakes the loops).
+      metrics_.Add("ship.window_full");
+      co_await InterruptibleSleep(options_.idle_wait);
+      continue;
+    }
+    auto extent_or = stream_->Extent(peer.cursor, options_.max_batch_records,
+                                     options_.max_batch_bytes);
+    if (!extent_or.ok()) {
       // Our cursor was truncated away (should not happen: truncation waits
       // for acks). Resync from the stream start.
       peer.cursor = stream_->begin_lsn();
       continue;
     }
-    if (batch_or->empty()) {
+    if (extent_or->records == 0) {
       // Nothing to ship: wait for NotifyAppend, with a bounded sleep as a
       // fallback against notifications racing the read above.
       co_await InterruptibleSleep(options_.idle_wait);
       continue;
     }
 
-    const std::vector<RedoRecord>& batch = *batch_or;
-    ReplAppendRequest request;
-    request.shard = shard_;
-    request.start_lsn = batch.front().lsn;
-    request.batch = LogStream::EncodeBatch(batch, options_.compression);
-
-    metrics_.Add("ship.batches");
-    metrics_.Add("ship.records", static_cast<int64_t>(batch.size()));
-    metrics_.Add("ship.bytes",
-                 static_cast<int64_t>(request.Encode().size()));
-
-    auto reply = co_await client_.Call(replica, kReplAppend, request);
-    if (stopped_) break;
-    if (!reply.ok()) {
-      OnShipFailure(&peer, replica);
-      co_await InterruptibleSleep(peer.backoff);
+    std::shared_ptr<const std::string> payload =
+        EncodedRequest(peer.cursor, *extent_or);
+    if (payload == nullptr) {
+      peer.cursor = stream_->begin_lsn();
       continue;
     }
+    metrics_.Add("ship.batches");
+    metrics_.Add("ship.records", static_cast<int64_t>(extent_or->records));
+    metrics_.Add("ship.bytes", static_cast<int64_t>(payload->size()));
+    metrics_.Add("ship.inflight");  // gauge: -1 on completion
+    ++peer.inflight;
+    peer.cursor = extent_or->end_lsn + 1;
+    sim_->Spawn(SendBatch(replica, peer.epoch, std::move(payload)));
+    // No await: keep filling the window until it is full or the stream is
+    // drained.
+  }
+}
+
+sim::Task<void> LogShipper::SendBatch(
+    NodeId replica, uint64_t epoch,
+    std::shared_ptr<const std::string> payload) {
+  auto wire =
+      co_await client_.RawCall(replica, kReplAppend.name, std::string(*payload));
+  metrics_.Add("ship.inflight", -1);
+  if (stopped_) co_return;
+  auto it = peers_.find(replica);
+  if (it == peers_.end()) co_return;
+  PeerState& peer = it->second;
+  // A rewind after this batch was sent bumped the epoch: the reply is
+  // stale. Its cumulative ack is still consumed below, but it must not
+  // clear (or charge) failure / backoff / window state the rewind set up.
+  const bool current = epoch == peer.epoch;
+  if (current && peer.inflight > 0) --peer.inflight;
+
+  StatusOr<ReplAppendReply> reply =
+      wire.ok() ? rpc::DecodeEnvelope<ReplAppendReply>(*wire)
+                : StatusOr<ReplAppendReply>(wire.status());
+  if (!reply.ok()) {
+    if (current) {
+      // One failure (and one backoff step) per burst: the rewind bumps the
+      // epoch, so the other in-flight batches of this window failing right
+      // after us are stale and charge nothing.
+      OnShipFailure(&peer, replica);
+      Rewind(&peer, AckedLsn(replica) + 1);
+      peer.next_send_at = sim_->now() + peer.backoff;
+    }
+    WakeLoops();
+    co_return;
+  }
+
+  OnAck(replica, reply->applied_lsn);
+  // Per-replica visibility lag at ack time, in records (how far the
+  // replica's applied tail trails the primary's).
+  metrics_.Hist("ship.lag." + std::to_string(replica))
+      .Record(static_cast<int64_t>(stream_->next_lsn() - 1 -
+                                   AckedLsn(replica)));
+  if (current) {
     if (!peer.healthy) {
       peer.healthy = true;
       metrics_.Add("ship.replica_recovered");
     }
     peer.consecutive_failures = 0;
     peer.backoff = 0;
-    const Lsn applied = reply->applied_lsn;
-    // Advance past the ack; if the replica is behind our cursor (e.g. it
-    // refused a gap or restarted) this rewinds to resend.
-    if (peer.resume_hint == kInvalidLsn) peer.cursor = applied + 1;
-    OnAck(replica, applied);
+    peer.next_send_at = 0;
+    if (!reply->accepted) {
+      // The replica dropped the batch (stall, gap with reordering off, or
+      // reorder buffer full): fall back to resending from its cumulative
+      // ack. A healthy RPC round trip, so no backoff is charged.
+      metrics_.Add("ship.rewinds");
+      Rewind(&peer, AckedLsn(replica) + 1);
+    }
   }
+  WakeLoops();
 }
 
 void LogShipper::OnShipFailure(PeerState* peer, NodeId replica) {
@@ -173,7 +274,24 @@ void LogShipper::OnShipFailure(PeerState* peer, NodeId replica) {
 
 void LogShipper::OnAck(NodeId replica, Lsn acked) {
   Lsn& slot = acked_[replica];
-  slot = std::max(slot, acked);
+  if (acked > slot) {
+    // Maintain the descending ack vector in place: find this replica's old
+    // value, raise it, bubble it left past smaller entries. Equal values
+    // are interchangeable, so matching "a" slot with the old value is
+    // enough.
+    auto pos = std::find(sorted_acks_.begin(), sorted_acks_.end(), slot);
+    GDB_CHECK(pos != sorted_acks_.end());
+    *pos = acked;
+    while (pos != sorted_acks_.begin() && *(pos - 1) < *pos) {
+      std::iter_swap(pos - 1, pos);
+      --pos;
+    }
+    slot = acked;
+    const size_t k = std::min<size_t>(
+        std::max(options_.quorum_replicas, 1), sorted_acks_.size());
+    quorum_acked_ = sorted_acks_[k - 1];
+    all_acked_ = sorted_acks_.back();
+  }
   // Resolve durability waiters.
   for (auto& waiter : waiters_) {
     if (waiter.lsn != kInvalidLsn && DurabilityReached(waiter.lsn)) {
@@ -195,19 +313,12 @@ Lsn LogShipper::AckedLsn(NodeId replica) const {
 
 Lsn LogShipper::QuorumAckedLsn() const {
   if (acked_.empty()) return stream_->next_lsn() - 1;
-  std::vector<Lsn> lsns;
-  lsns.reserve(acked_.size());
-  for (const auto& [node, lsn] : acked_) lsns.push_back(lsn);
-  std::sort(lsns.begin(), lsns.end(), std::greater<>());
-  const int k = std::min<int>(options_.quorum_replicas,
-                              static_cast<int>(lsns.size()));
-  return lsns[k - 1];
+  return quorum_acked_;
 }
 
 Lsn LogShipper::AllAckedLsn() const {
-  Lsn min_lsn = stream_->next_lsn() - 1;
-  for (const auto& [node, lsn] : acked_) min_lsn = std::min(min_lsn, lsn);
-  return min_lsn;
+  if (acked_.empty()) return stream_->next_lsn() - 1;
+  return std::min(stream_->next_lsn() - 1, all_acked_);
 }
 
 bool LogShipper::DurabilityReached(Lsn lsn) const {

@@ -2,6 +2,7 @@
 #define GLOBALDB_SRC_REPLICATION_LOG_SHIPPER_H_
 
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "src/common/types.h"
 #include "src/compression/lz.h"
 #include "src/log/log_stream.h"
+#include "src/replication/batch_cache.h"
 #include "src/replication/messages.h"
 #include "src/rpc/rpc_client.h"
 #include "src/sim/future.h"
@@ -23,6 +25,13 @@ struct ShipperOptions {
   CompressionType compression = CompressionType::kLz;
   size_t max_batch_records = 2000;
   size_t max_batch_bytes = 256 * 1024;
+  /// Sliding-window depth: kReplAppend batches allowed in flight per
+  /// replica. 1 degenerates to stop-and-wait (one batch per RTT, the old
+  /// behavior); 8 keeps a 50 ms WAN link busy at the default batch size.
+  size_t max_inflight_batches = 8;
+  /// Entries in the shared encoded-batch LRU, so N replica loops encode and
+  /// compress each redo range once instead of N times. 0 disables caching.
+  size_t encode_cache_entries = 16;
   /// Idle poll interval when no new records arrive (heartbeats keep this
   /// path rarely taken).
   SimDuration idle_wait = 2 * kMillisecond;
@@ -38,8 +47,18 @@ struct ShipperOptions {
   int quorum_replicas = 1;
 };
 
-/// Primary-side redo log shipper: one streaming loop per replica, each with
-/// its own LSN cursor, batching, optional LZ compression, and retry.
+/// Primary-side redo log shipper: one streaming loop per replica, each a
+/// sliding-window pipelined transport with batching, optional LZ
+/// compression, and retry.
+///
+/// Window protocol: the loop's *send cursor* runs ahead of the replica's
+/// *cumulative ack*, spawning up to `max_inflight_batches` concurrent
+/// kReplAppend calls. Acks are cumulative (the replica's applied LSN), so a
+/// failure or a refused batch rewinds the send cursor to `ack + 1` and bumps
+/// the peer's epoch — replies from sends issued before the rewind are stale:
+/// their cumulative acks are still consumed, but they no longer touch the
+/// failure / backoff / window state. At most one backoff is charged per
+/// failure burst, preserving the capped-exponential health behavior.
 ///
 /// Async mode (GlobalDB): transactions never wait for shipping.
 /// Sync modes (baseline): DataNode::WaitDurable blocks commit until the
@@ -82,9 +101,14 @@ class LogShipper {
   /// Highest LSN acknowledged by `replica` (0 if none).
   Lsn AckedLsn(NodeId replica) const;
   /// Highest LSN acknowledged by at least `quorum_replicas` replicas.
+  /// Maintained incrementally per ack (this sits on the sync-commit hot
+  /// path, called per-ack per-waiter).
   Lsn QuorumAckedLsn() const;
   /// Highest LSN acknowledged by every replica.
   Lsn AllAckedLsn() const;
+
+  /// Batches currently in flight to `replica` (window occupancy).
+  size_t InflightBatches(NodeId replica) const;
 
   const ShipperOptions& options() const { return options_; }
   ShipperOptions* mutable_options() { return &options_; }
@@ -99,20 +123,43 @@ class LogShipper {
     DurabilityWaiter(Lsn l, sim::Simulator* sim) : lsn(l), done(sim) {}
   };
 
-  /// Per-replica ship-loop state: the resume cursor, a pending rewind from
-  /// a restart announcement, and failure/backoff tracking.
+  /// Per-replica ship-loop state: the send cursor, the in-flight window, a
+  /// pending rewind from a restart announcement, and failure/backoff
+  /// tracking.
   struct PeerState {
+    /// Next LSN to send (runs ahead of the cumulative ack while batches are
+    /// in flight).
     Lsn cursor = 0;
     /// When valid, the loop rewinds its cursor to this before reading.
     Lsn resume_hint = kInvalidLsn;
+    /// Bumped by every rewind; replies tagged with an older epoch only
+    /// contribute their cumulative ack.
+    uint64_t epoch = 0;
+    /// Current-epoch batches in flight (the window occupancy).
+    size_t inflight = 0;
+    /// Earliest time the loop may send again (the backoff gate after a
+    /// failure burst).
+    SimTime next_send_at = 0;
     int consecutive_failures = 0;
     SimDuration backoff = 0;
     bool healthy = true;
   };
 
   sim::Task<void> ShipLoop(NodeId replica);
+  /// One in-flight window slot: ships a pre-encoded batch and feeds the
+  /// reply back into the peer's window / health / ack state.
+  sim::Task<void> SendBatch(NodeId replica, uint64_t epoch,
+                            std::shared_ptr<const std::string> payload);
+  /// Returns the fully-encoded kReplAppend payload for the extent starting
+  /// at `start`, via the shared cache when possible. Null if the range was
+  /// truncated away between Extent and Read.
+  std::shared_ptr<const std::string> EncodedRequest(
+      Lsn start, const LogStream::BatchExtent& extent);
+  /// Invalidates the in-flight window and moves the send cursor to `to`
+  /// (clamped to the stream's first retained LSN).
+  void Rewind(PeerState* peer, Lsn to);
   /// Sleeps up to `d`, waking early on NotifyAppend / AnnounceReplica /
-  /// Stop (the loops re-check state on every wakeup).
+  /// Stop / ack completion (the loops re-check state on every wakeup).
   sim::Task<void> InterruptibleSleep(SimDuration d);
   void WakeLoops();
   void OnAck(NodeId replica, Lsn acked);
@@ -126,8 +173,15 @@ class LogShipper {
   std::vector<NodeId> replicas_;
   ShipperOptions options_;
   rpc::RpcClient client_;
+  EncodedBatchCache cache_;
 
   std::map<NodeId, Lsn> acked_;
+  /// acked_ values in descending order, updated in place per ack, so the
+  /// quorum / all-replica LSNs are O(replicas) bubble steps instead of a
+  /// sort per query.
+  std::vector<Lsn> sorted_acks_;
+  Lsn quorum_acked_ = 0;
+  Lsn all_acked_ = 0;
   std::map<NodeId, PeerState> peers_;
   std::vector<DurabilityWaiter> waiters_;
   std::vector<sim::Promise<bool>> sleepers_;

@@ -35,21 +35,32 @@ struct ReplAppendRequest {
   }
 };
 
-/// Cumulative ack: the highest LSN the replica has applied (or buffered
-/// while stalled). The shipper resumes from `applied_lsn + 1`.
+/// Cumulative ack: the highest LSN the replica has applied. The ack never
+/// covers batches parked in the replica's reorder buffer, so the shipper can
+/// always fall back to resending from `applied_lsn + 1`.
+///
+/// `accepted` distinguishes "the replica kept this batch" (applied now, or
+/// buffered out-of-order for a later drain) from "the replica dropped it"
+/// (stall, decode failure, gap with reordering disabled, reorder buffer
+/// full). A refused batch makes the shipper rewind its send cursor to the
+/// cumulative ack; an accepted one does not.
 struct ReplAppendReply {
   Lsn applied_lsn = 0;
+  bool accepted = true;
 
   std::string Encode() const {
     std::string s;
     PutVarint64(&s, applied_lsn);
+    PutVarint32(&s, accepted ? 1 : 0);
     return s;
   }
   static StatusOr<ReplAppendReply> Decode(Slice in) {
     ReplAppendReply r;
-    if (!GetVarint64(&in, &r.applied_lsn)) {
+    uint32_t accepted = 0;
+    if (!GetVarint64(&in, &r.applied_lsn) || !GetVarint32(&in, &accepted)) {
       return Status::Corruption("repl append reply");
     }
+    r.accepted = accepted != 0;
     return r;
   }
 };

@@ -27,35 +27,90 @@ ReplicaApplier::ReplicaApplier(sim::Simulator* sim, sim::Network* network,
 
 sim::Task<StatusOr<ReplAppendReply>> ReplicaApplier::HandleAppend(
     NodeId from, ReplAppendRequest request) {
-  // Every exit acks the current applied LSN: the shipper treats the ack as
-  // the cursor to resume from, so bad batches / stalls / gaps all resolve to
-  // "resend from applied_lsn_ + 1".
+  // Every exit acks the current applied LSN — cumulative, never covering
+  // batches that are merely buffered — so the shipper can always fall back
+  // to "resend from applied_lsn_ + 1". `accepted=false` marks batches the
+  // replica dropped (stall, decode failure, refused gap): those make the
+  // shipper rewind immediately instead of waiting out the window.
   ReplAppendReply ack;
   if (request.shard != shard_) {
     metrics_.Add("apply.bad_batches");
     ack.applied_lsn = applied_lsn_;
+    ack.accepted = false;
     co_return ack;
   }
   if (stalled_) {
     // Pretend the batch was lost; the shipper will retry.
     ack.applied_lsn = applied_lsn_;
+    ack.accepted = false;
     co_return ack;
   }
   std::vector<RedoRecord> records;
   if (!LogStream::DecodeBatch(Slice(request.batch), &records).ok()) {
     metrics_.Add("apply.bad_batches");
     ack.applied_lsn = applied_lsn_;
+    ack.accepted = false;
     co_return ack;
   }
   if (request.start_lsn > applied_lsn_ + 1) {
-    // Gap: refuse; shipper rewinds to our ack.
-    metrics_.Add("apply.gaps");
+    // LSN gap: an earlier window slot is still in flight (or was lost).
+    // Park the batch for an in-order drain instead of refusing, unless
+    // reordering is disabled or the buffer is full. The gap check and the
+    // buffer insert are one synchronous region — no suspension point —
+    // so a concurrent handler draining the buffer cannot miss this batch.
+    if (options_.reorder_buffer_bytes == 0) {
+      metrics_.Add("apply.gaps");
+      ack.applied_lsn = applied_lsn_;
+      ack.accepted = false;
+      co_return ack;
+    }
+    BufferedBatch batch;
+    batch.end_lsn = records.empty() ? request.start_lsn : records.back().lsn;
+    batch.bytes = request.batch.size();
+    batch.records = std::move(records);
+    ack.accepted = TryBuffer(request.start_lsn, std::move(batch));
     ack.applied_lsn = applied_lsn_;
     co_return ack;
   }
 
   if (extra_apply_delay_ > 0) co_await sim_->Sleep(extra_apply_delay_);
 
+  // In-order (or duplicate) batch: replay it, then drain whatever buffered
+  // batches it made contiguous. Pipelined shipping makes this handler
+  // reentrant, so the replay region is serialized behind a FIFO gate.
+  co_await AcquireApply();
+  size_t applied = co_await ApplyRecords(records);
+  applied += co_await DrainReorder();
+  ReleaseApply();
+  metrics_.Add("apply.records", static_cast<int64_t>(applied));
+  metrics_.Add("apply.batches");
+  ack.applied_lsn = applied_lsn_;
+  co_return ack;
+}
+
+sim::Task<void> ReplicaApplier::AcquireApply() {
+  if (!apply_busy_) {
+    apply_busy_ = true;
+    co_return;
+  }
+  apply_waiters_.emplace_back(sim_);
+  sim::Future<bool> turn = apply_waiters_.back().GetFuture();
+  (void)co_await turn;
+}
+
+void ReplicaApplier::ReleaseApply() {
+  if (apply_waiters_.empty()) {
+    apply_busy_ = false;
+    return;
+  }
+  // Hand the gate to the next waiter directly (stays busy).
+  sim::Promise<bool> next = std::move(apply_waiters_.front());
+  apply_waiters_.pop_front();
+  next.TrySet(true);
+}
+
+sim::Task<size_t> ReplicaApplier::ApplyRecords(
+    const std::vector<RedoRecord>& records) {
   size_t applied = 0;
   for (const RedoRecord& record : records) {
     if (record.lsn <= applied_lsn_) continue;  // duplicate from a resend
@@ -66,10 +121,48 @@ sim::Task<StatusOr<ReplAppendReply>> ReplicaApplier::HandleAppend(
     applied_lsn_ = record.lsn;
     ++applied;
   }
-  metrics_.Add("apply.records", static_cast<int64_t>(applied));
-  metrics_.Add("apply.batches");
-  ack.applied_lsn = applied_lsn_;
-  co_return ack;
+  co_return applied;
+}
+
+sim::Task<size_t> ReplicaApplier::DrainReorder() {
+  size_t applied = 0;
+  while (!reorder_.empty() && reorder_.begin()->first <= applied_lsn_ + 1) {
+    auto it = reorder_.begin();
+    BufferedBatch batch = std::move(it->second);
+    reorder_bytes_ -= batch.bytes;
+    reorder_.erase(it);
+    applied += co_await ApplyRecords(batch.records);
+    metrics_.Add("apply.reorder_drained");
+  }
+  co_return applied;
+}
+
+bool ReplicaApplier::TryBuffer(Lsn start_lsn, BufferedBatch batch) {
+  auto it = reorder_.find(start_lsn);
+  if (it != reorder_.end()) {
+    metrics_.Add("apply.reorder_duplicates");
+    if (batch.end_lsn <= it->second.end_lsn) return true;  // already covered
+    reorder_bytes_ -= it->second.bytes;
+    reorder_.erase(it);
+  }
+  while (reorder_bytes_ + batch.bytes > options_.reorder_buffer_bytes) {
+    // Over the cap: evict the farthest-ahead batch (it is the one the
+    // shipper will get to resending last). If the newcomer is the farthest,
+    // refuse it instead — the shipper falls back to its cumulative-ack
+    // rewind.
+    if (reorder_.empty() || std::prev(reorder_.end())->first <= start_lsn) {
+      metrics_.Add("apply.reorder_refused");
+      return false;
+    }
+    auto last = std::prev(reorder_.end());
+    reorder_bytes_ -= last->second.bytes;
+    reorder_.erase(last);
+    metrics_.Add("apply.reorder_evictions");
+  }
+  reorder_bytes_ += batch.bytes;
+  reorder_.emplace(start_lsn, std::move(batch));
+  metrics_.Add("apply.reordered");
+  return true;
 }
 
 void ReplicaApplier::ApplyRecord(const RedoRecord& record) {

@@ -1,6 +1,7 @@
 #ifndef GLOBALDB_SRC_REPLICATION_REPLICA_APPLIER_H_
 #define GLOBALDB_SRC_REPLICATION_REPLICA_APPLIER_H_
 
+#include <deque>
 #include <map>
 #include <set>
 #include <string>
@@ -23,6 +24,11 @@ struct ApplierOptions {
   /// CPU cost charged per replayed record (divided across the node's cores,
   /// which models the paper's parallel redo replay).
   SimDuration apply_cost_per_record = 1 * kMicrosecond;
+  /// Byte cap on the out-of-order reorder buffer: batches arriving ahead of
+  /// `applied_lsn + 1` (the pipelined shipper's later window slots racing
+  /// an earlier one) wait here and drain in LSN order once the gap fills.
+  /// 0 restores the strict refuse-any-gap policy.
+  size_t reorder_buffer_bytes = 4 * 1024 * 1024;
 };
 
 /// Replica-side redo replay (Section IV-A).
@@ -67,12 +73,20 @@ class ReplicaApplier {
   /// Called when the hosting replica node restarts. Batch application is
   /// write-ahead durable (an ack implies the batch is persisted), so the
   /// store, applied LSN, and the pending map — rebuilt by the recovery log
-  /// scan — all survive; this clears fault-injection state and counts the
+  /// scan — all survive; this clears fault-injection state plus the
+  /// volatile reorder buffer (its batches were never acked as applied, so
+  /// the shipper's rewind to the durable LSN resends them) and counts the
   /// restart.
   void OnRestart() {
     stalled_ = false;
+    reorder_.clear();
+    reorder_bytes_ = 0;
     metrics_.Add("apply.restarts");
   }
+
+  /// Reorder-buffer occupancy (buffered out-of-order batches / bytes).
+  size_t reorder_batches() const { return reorder_.size(); }
+  size_t reorder_bytes() const { return reorder_bytes_; }
 
   /// Artificially delays replay by `d` per batch (fault injection: a slow /
   /// lagging replica for staleness and skyline tests).
@@ -83,8 +97,31 @@ class ReplicaApplier {
   Metrics& metrics() { return metrics_; }
 
  private:
+  /// One out-of-order batch parked until the LSN gap before it fills.
+  struct BufferedBatch {
+    Lsn end_lsn = 0;
+    size_t bytes = 0;
+    std::vector<RedoRecord> records;
+  };
+
   sim::Task<StatusOr<ReplAppendReply>> HandleAppend(NodeId from,
                                                     ReplAppendRequest request);
+  /// FIFO mutual exclusion around record replay: pipelined batches make
+  /// HandleAppend reentrant, and the replay loop suspends on the CPU model,
+  /// so without a gate two overlapping handlers could interleave (and
+  /// double-apply) records.
+  sim::Task<void> AcquireApply();
+  void ReleaseApply();
+  /// Replays `records` in order (skipping duplicates at or below the
+  /// applied LSN); returns how many were applied. Must hold the apply gate.
+  sim::Task<size_t> ApplyRecords(const std::vector<RedoRecord>& records);
+  /// Drains buffered batches that became contiguous with the applied tail.
+  /// Must hold the apply gate.
+  sim::Task<size_t> DrainReorder();
+  /// Parks an out-of-order batch, evicting the farthest-ahead batches when
+  /// over the byte cap (or refusing the newcomer if it *is* the farthest).
+  /// Returns false when the batch was refused.
+  bool TryBuffer(Lsn start_lsn, BufferedBatch batch);
   void ApplyRecord(const RedoRecord& record);
   void ResolveTxn(TxnId txn);
 
@@ -101,6 +138,12 @@ class ReplicaApplier {
   Timestamp max_commit_ts_ = 0;
   std::map<TxnId, Timestamp> pending_;
   sim::CondVar resolved_signal_;
+  /// Out-of-order batches keyed by start LSN, waiting for their gap to fill.
+  std::map<Lsn, BufferedBatch> reorder_;
+  size_t reorder_bytes_ = 0;
+  /// Apply-gate state: one holder, FIFO waiters.
+  bool apply_busy_ = false;
+  std::deque<sim::Promise<bool>> apply_waiters_;
   SimDuration extra_apply_delay_ = 0;
   bool stalled_ = false;
   Metrics metrics_;

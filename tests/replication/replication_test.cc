@@ -352,7 +352,7 @@ TEST_F(ReplicationTest, DuplicateBatchDeliveryIsIdempotent) {
   EXPECT_EQ(replicas_[0]->applier.metrics().Get("apply.records"), 3);
 }
 
-TEST_F(ReplicationTest, GapBatchRefused) {
+TEST_F(ReplicationTest, GapBatchBufferedNotApplied) {
   AppendTxn(1, "k", "v", 100);
   AppendTxn(2, "j", "w", 200);
   auto records = stream_.Read(4, 100, 1 << 20);  // second txn only
@@ -366,12 +366,51 @@ TEST_F(ReplicationTest, GapBatchRefused) {
     auto r = co_await client.Call(kReplicaLocal, kReplAppend, request);
     EXPECT_TRUE(r.ok());
     if (r.ok()) {
-      EXPECT_EQ(r->applied_lsn, 0u);  // refused
+      // Accepted into the reorder buffer, but the cumulative ack does not
+      // move: nothing was applied.
+      EXPECT_TRUE(r->accepted);
+      EXPECT_EQ(r->applied_lsn, 0u);
     }
   };
   sim_.Spawn(deliver());
   sim_.Run();
-  EXPECT_EQ(replicas_[0]->applier.metrics().Get("apply.gaps"), 1);
+  ReplicaApplier& applier = replicas_[0]->applier;
+  EXPECT_EQ(applier.applied_lsn(), 0u);
+  EXPECT_EQ(applier.reorder_batches(), 1u);
+  EXPECT_EQ(applier.metrics().Get("apply.reordered"), 1);
+  EXPECT_EQ(applier.metrics().Get("apply.records"), 0);
+}
+
+TEST_F(ReplicationTest, GapBatchRefusedWhenReorderingDisabled) {
+  AppendTxn(1, "k", "v", 100);
+  AppendTxn(2, "j", "w", 200);
+  net_.RegisterNode(4, 0);
+  ShardStore store(0);
+  Catalog catalog;
+  sim::CpuScheduler cpu(&sim_, 4);
+  ApplierOptions options;
+  options.reorder_buffer_bytes = 0;  // strict refuse-any-gap policy
+  ReplicaApplier applier(&sim_, &net_, 4, /*shard=*/0, &store, &catalog, &cpu,
+                         options);
+  auto records = stream_.Read(4, 100, 1 << 20);  // second txn only
+  ASSERT_TRUE(records.ok());
+  ReplAppendRequest request;
+  request.shard = 0;
+  request.start_lsn = 4;  // gap: replica has applied nothing
+  request.batch = LogStream::EncodeBatch(*records, CompressionType::kNone);
+  rpc::RpcClient client(&net_, kPrimary);
+  auto deliver = [&]() -> sim::Task<void> {
+    auto r = co_await client.Call(4, kReplAppend, request);
+    EXPECT_TRUE(r.ok());
+    if (r.ok()) {
+      EXPECT_FALSE(r->accepted);  // refused
+      EXPECT_EQ(r->applied_lsn, 0u);
+    }
+  };
+  sim_.Spawn(deliver());
+  sim_.Run();
+  EXPECT_EQ(applier.metrics().Get("apply.gaps"), 1);
+  EXPECT_EQ(applier.reorder_batches(), 0u);
 }
 
 }  // namespace

@@ -1,0 +1,241 @@
+// Ablation: the hot transaction path amortizations (DESIGN.md §10) —
+// pipelined write batching (per-shard kDnWriteBatch buffers flushed at
+// thresholds/barriers/commit) and GTM timestamp coalescing (concurrent
+// begin/commit requests sharing one kGtmTimestamp RPC) — measured with
+// TPC-C NewOrder on a 3-region uniform topology at 10/50/100 ms RTT under
+// both GTM and GClock timestamping.
+//
+// A second section isolates the coalescer: N closed-loop begin+commit
+// clients against a GTM server 50 ms away, reporting GTM RPCs per
+// transaction with coalescing on vs off.
+//
+// With GDB_TXNPATH_GATE_ONLY set, only the 50 ms GTM-mode batching on/off
+// pair and the coalescing micro-section run (the check.sh smoke path);
+// with GDB_TXNPATH_JSON=<path>, those numbers are written as JSON
+// (BENCH_txnpath.json).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+#include "src/txn/gtm_server.h"
+#include "src/txn/timestamp_source.h"
+
+using namespace globaldb;
+using namespace globaldb::bench;
+
+namespace {
+
+struct TxnPathResult {
+  RunResult run;
+  double gtm_rpcs_per_txn = 0;
+  double mean_batch_entries = 0;
+};
+
+TxnPathResult RunTxnPath(bool batching, TimestampMode mode, SimDuration rtt,
+                         TpccConfig config, int clients,
+                         SimDuration duration) {
+  sim::Simulator sim(47);
+  ClusterOptions options =
+      MakeClusterOptions(SystemKind::kGlobalDb, sim::Topology::Uniform(3, rtt));
+  options.initial_mode = mode;
+  options.coordinator.enable_write_batching = batching;
+  // Coalescing rides along in both variants: the ablation isolates the
+  // write-batching axis; the micro-section below isolates the coalescer.
+  options.coordinator.coalesce_gtm = true;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options driver_options;
+  driver_options.clients = clients;
+  // Eager NewOrder pays tens of sequential RTTs per transaction; the
+  // window must hold several of them or the slow variants measure zero.
+  driver_options.warmup = std::max<SimDuration>(400 * kMillisecond, 8 * rtt);
+  driver_options.duration = std::max<SimDuration>(duration, 50 * rtt);
+  WorkloadDriver driver(&cluster, driver_options);
+  TxnPathResult result;
+  result.run.stats = driver.Run(
+      [&tpcc](CoordinatorNode* cn, Rng* rng) { return tpcc.NewOrder(cn, rng); });
+  result.run.tpm = result.run.stats.PerMinute();
+  result.run.tps = result.run.stats.Throughput();
+  result.run.p50_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(50)) /
+      kMillisecond;
+  result.run.p99_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(99)) /
+      kMillisecond;
+
+  int64_t gtm_rpcs = 0;
+  Histogram batch_sizes;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    gtm_rpcs += cluster.cn(i).timestamp_source().metrics().Get("ts.gtm_rpcs");
+    for (int64_t v :
+         cluster.cn(i).metrics().Hist("cn.write_batch_size").values()) {
+      batch_sizes.Record(v);
+    }
+  }
+  const int64_t txns = result.run.stats.committed + result.run.stats.aborted;
+  if (txns > 0) {
+    result.gtm_rpcs_per_txn =
+        static_cast<double>(gtm_rpcs) / static_cast<double>(txns);
+  }
+  result.mean_batch_entries = batch_sizes.mean();
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s%s", FormatRpcStats(cluster).c_str(),
+           FormatCommitPhaseStats(cluster).c_str());
+  }
+  return result;
+}
+
+// --- GTM coalescing micro-section -------------------------------------------
+
+sim::Task<void> BeginCommitLoop(TimestampSource* src, int64_t* done,
+                                const bool* stop) {
+  while (!*stop) {
+    auto grant = co_await src->BeginTs(false);
+    if (!grant.ok()) continue;
+    auto ts = co_await src->CommitTs(grant->mode);
+    if (ts.ok()) ++*done;
+  }
+}
+
+struct CoalesceRow {
+  double txn_per_s = 0;
+  double rpcs_per_txn = 0;
+  double mean_batch = 0;
+};
+
+/// N closed-loop begin+commit clients on one CN with the GTM server 50 ms
+/// away (one-way 25 ms per hop, RTT 50 ms), GTM mode.
+CoalesceRow RunCoalesceMicro(int clients, bool coalesce) {
+  sim::Simulator sim(31);
+  sim::NetworkOptions nopt;
+  nopt.nagle_enabled = false;
+  sim::Network net(&sim, sim::Topology::Uniform(2, 50 * kMillisecond), nopt);
+  const NodeId gtm_node = 0, cn = 1;
+  net.RegisterNode(gtm_node, 0);
+  net.RegisterNode(cn, 1);
+  GtmServer gtm(&sim, &net, gtm_node);
+  sim::HardwareClock clock(&sim, sim.rng().Fork());
+  TimestampSource src(&sim, &net, cn, gtm_node, &clock);
+  src.set_coalescing(coalesce);
+
+  const SimDuration duration = 5 * kSecond;
+  int64_t done = 0;
+  bool stop = false;
+  for (int i = 0; i < clients; ++i) {
+    sim.Spawn(BeginCommitLoop(&src, &done, &stop));
+  }
+  sim.RunFor(duration);
+  stop = true;
+  sim.RunFor(500 * kMillisecond);
+
+  CoalesceRow row;
+  row.txn_per_s =
+      static_cast<double>(done) / (static_cast<double>(duration) / kSecond);
+  // Each transaction issues two timestamp requests (begin + commit); the
+  // gate counts RPCs per *transaction*, so without coalescing this is ~2.
+  const int64_t rpcs = src.metrics().Get("ts.gtm_rpcs");
+  if (done > 0) {
+    row.rpcs_per_txn = static_cast<double>(rpcs) / static_cast<double>(done);
+  }
+  row.mean_batch = src.metrics().Hist("ts.coalesce_batch").mean();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  const bool gate_only = getenv("GDB_TXNPATH_GATE_ONLY") != nullptr;
+  const SimDuration duration = BenchDuration();
+  const int clients = BenchClients();
+  TpccConfig config = MakeTpccConfig();
+  // Every transaction's home warehouse lives behind a WAN link (the paper's
+  // physical-affinity knob at its worst case): with local warehouses the
+  // write statements never leave the region and there is nothing for the
+  // write batch to amortize.
+  config.remote_warehouse_fraction = 1.0;
+
+  if (!gate_only) {
+    PrintHeader("Ablation: pipelined write batching (TPC-C NewOrder, "
+                "3-region uniform RTT)",
+                "mode    rtt_ms  batching   NewOrder/min   p50_ms   p99_ms  "
+                "gtm_rpcs/txn  batch_entries");
+    const TimestampMode modes[] = {TimestampMode::kGtm, TimestampMode::kGclock};
+    const SimDuration rtts[] = {10 * kMillisecond, 50 * kMillisecond,
+                                100 * kMillisecond};
+    for (TimestampMode mode : modes) {
+      for (SimDuration rtt : rtts) {
+        for (bool batching : {false, true}) {
+          TxnPathResult r =
+              RunTxnPath(batching, mode, rtt, config, clients, duration);
+          printf("%-7s %6lld  %-8s %12.0f %8.1f %8.1f %13.3f %14.1f\n",
+                 mode == TimestampMode::kGtm ? "GTM" : "GClock",
+                 static_cast<long long>(rtt / kMillisecond),
+                 batching ? "on" : "off", r.run.tpm, r.run.p50_ms,
+                 r.run.p99_ms, r.gtm_rpcs_per_txn, r.mean_batch_entries);
+          fflush(stdout);
+        }
+      }
+    }
+  }
+
+  // Acceptance pair: GTM mode, 50 ms RTT, batching off vs on.
+  PrintHeader("Write batching gate (GTM, 50 ms RTT)",
+              "batching   NewOrder/min   p50_ms   p99_ms");
+  TxnPathResult off = RunTxnPath(false, TimestampMode::kGtm,
+                                 50 * kMillisecond, config, clients, duration);
+  printf("%-8s %14.0f %8.1f %8.1f\n", "off", off.run.tpm, off.run.p50_ms,
+         off.run.p99_ms);
+  fflush(stdout);
+  TxnPathResult on = RunTxnPath(true, TimestampMode::kGtm, 50 * kMillisecond,
+                                config, clients, duration);
+  printf("%-8s %14.0f %8.1f %8.1f\n", "on", on.run.tpm, on.run.p50_ms,
+         on.run.p99_ms);
+  const double speedup = off.run.tpm > 0 ? on.run.tpm / off.run.tpm : 0;
+  const double p50_cut =
+      off.run.p50_ms > 0 ? 1.0 - on.run.p50_ms / off.run.p50_ms : 0;
+  printf("speedup (on/off): %.2fx   p50 reduction: %.0f%%\n", speedup,
+         p50_cut * 100.0);
+
+  PrintHeader("GTM timestamp coalescing (16 closed-loop clients, 50 ms to "
+              "the GTM)",
+              "coalescing   txn/s   gtm_rpcs/txn   mean_batch");
+  const CoalesceRow plain = RunCoalesceMicro(16, false);
+  printf("%-10s %7.0f %14.3f %12.1f\n", "off", plain.txn_per_s,
+         plain.rpcs_per_txn, plain.mean_batch);
+  fflush(stdout);
+  const CoalesceRow merged = RunCoalesceMicro(16, true);
+  printf("%-10s %7.0f %14.3f %12.1f\n", "on", merged.txn_per_s,
+         merged.rpcs_per_txn, merged.mean_batch);
+
+  if (const char* json_path = getenv("GDB_TXNPATH_JSON")) {
+    FILE* f = fopen(json_path, "w");
+    GDB_CHECK(f != nullptr) << "cannot write " << json_path;
+    fprintf(f,
+            "{\n"
+            "  \"rtt_ms\": 50,\n"
+            "  \"mode\": \"gtm\",\n"
+            "  \"batching_off\": {\"neworder_per_min\": %.1f, \"p50_ms\": "
+            "%.2f, \"p99_ms\": %.2f},\n"
+            "  \"batching_on\": {\"neworder_per_min\": %.1f, \"p50_ms\": "
+            "%.2f, \"p99_ms\": %.2f},\n"
+            "  \"speedup\": %.3f,\n"
+            "  \"p50_reduction\": %.3f,\n"
+            "  \"coalesce_clients\": 16,\n"
+            "  \"gtm_rpcs_per_txn_coalesced\": %.4f,\n"
+            "  \"gtm_rpcs_per_txn_plain\": %.4f,\n"
+            "  \"coalesce_mean_batch\": %.2f\n"
+            "}\n",
+            off.run.tpm, off.run.p50_ms, off.run.p99_ms, on.run.tpm,
+            on.run.p50_ms, on.run.p99_ms, speedup, p50_cut,
+            merged.rpcs_per_txn, plain.rpcs_per_txn, merged.mean_batch);
+    fclose(f);
+  }
+  return 0;
+}

@@ -151,6 +151,44 @@ inline std::string FormatRpcStats(Cluster& cluster) {
   return out;
 }
 
+/// Aggregates the commit-phase and write-batching histograms from every CN
+/// (DESIGN.md §10 observability): per-phase commit latency (precommit /
+/// commit-ts / phase-2), flushed batch sizes, and the GTM coalescing batch
+/// sizes from the timestamp sources. One line per non-empty histogram.
+inline std::string FormatCommitPhaseStats(Cluster& cluster) {
+  const char* cn_hists[] = {"cn.precommit_us", "cn.commit_ts_us",
+                            "cn.commit_phase2_us", "cn.write_batch_size"};
+  std::map<std::string, Histogram> merged;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    for (const char* name : cn_hists) {
+      for (int64_t v : cluster.cn(i).metrics().Hist(name).values()) {
+        merged[name].Record(v);
+      }
+    }
+    for (int64_t v : cluster.cn(i)
+                         .timestamp_source()
+                         .metrics()
+                         .Hist("ts.coalesce_batch")
+                         .values()) {
+      merged["ts.coalesce_batch"].Record(v);
+    }
+  }
+  std::string out =
+      "    txn path stat        count     mean      p50      p95      p99\n";
+  char line[160];
+  for (auto& [name, hist] : merged) {
+    if (hist.count() == 0) continue;
+    snprintf(line, sizeof(line),
+             "    %-18s %8zu %8.1f %8lld %8lld %8lld\n", name.c_str(),
+             hist.count(), hist.mean(),
+             static_cast<long long>(hist.Percentile(50)),
+             static_cast<long long>(hist.Percentile(95)),
+             static_cast<long long>(hist.Percentile(99)));
+    out += line;
+  }
+  return out;
+}
+
 /// Stands up a cluster, loads TPC-C, runs the mix, returns stats.
 inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
                          TpccConfig config, int clients,
@@ -197,7 +235,8 @@ inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
   }
   result.rpc_stats = FormatRpcStats(cluster);
   if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
-    printf("%s", result.rpc_stats.c_str());
+    printf("%s%s", result.rpc_stats.c_str(),
+           FormatCommitPhaseStats(cluster).c_str());
   }
   result.tpm = result.stats.PerMinute();
   result.tps = result.stats.Throughput();
@@ -231,7 +270,8 @@ inline RunResult RunSysbenchPointSelectWith(ClusterOptions cluster_options,
   result.stats = driver.Run(sysbench.PointSelectFn());
   result.rpc_stats = FormatRpcStats(cluster);
   if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
-    printf("%s", result.rpc_stats.c_str());
+    printf("%s%s", result.rpc_stats.c_str(),
+           FormatCommitPhaseStats(cluster).c_str());
   }
   result.tpm = result.stats.PerMinute();
   result.tps = result.stats.Throughput();

@@ -33,7 +33,7 @@ RunResult RunPinned(SystemKind kind, SimDuration delay_rtt, TpccConfig config,
   WorkloadDriver driver(&cluster, options);
   RunResult result;
   result.stats = driver.Run(tpcc.MixFn());
-  result.rpc_stats = FormatRpcStats(cluster);
+  result.rpc_stats = FormatRpcStats(cluster) + FormatCommitPhaseStats(cluster);
   result.tpm = result.stats.PerMinute();
   result.p50_ms =
       static_cast<double>(result.stats.latency.Percentile(50)) / kMillisecond;

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Hot-transaction-path benchmark (DESIGN.md §10): TPC-C NewOrder with
+# pipelined write batching on vs off at 50 ms RTT (GTM mode, remote home
+# warehouses), plus GTM timestamp coalescing under 16 closed-loop clients.
+# Emits BENCH_txnpath.json (override with OUT=...) and fails unless
+#   - batching gives a >= 2x NewOrder throughput speedup OR a >= 40% p50
+#     latency reduction, and
+#   - coalescing needs < 0.5 GTM RPCs per transaction.
+# Usage: scripts/bench_txnpath.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${OUT:-BENCH_txnpath.json}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target ablation_txnpath
+
+GDB_TXNPATH_GATE_ONLY=1 GDB_TXNPATH_JSON="${OUT}" \
+GDB_BENCH_DURATION_MS="${GDB_BENCH_DURATION_MS:-1500}" \
+GDB_BENCH_CLIENTS="${GDB_BENCH_CLIENTS:-180}" \
+  "${BUILD_DIR}/bench/ablation_txnpath"
+
+echo "== ${OUT} =="
+cat "${OUT}"
+
+json_field() {
+  sed -n "s/.*\"$1\": \([-0-9.]*\).*/\1/p" "${OUT}"
+}
+
+SPEEDUP="$(json_field speedup)"
+P50_CUT="$(json_field p50_reduction)"
+RPCS="$(json_field gtm_rpcs_per_txn_coalesced)"
+
+awk -v s="${SPEEDUP}" -v c="${P50_CUT}" \
+    'BEGIN { exit !(s >= 2.0 || c >= 0.40) }' || {
+  echo "FAIL: batching speedup ${SPEEDUP}x < 2x and p50 reduction" \
+       "${P50_CUT} < 40%" >&2
+  exit 1
+}
+echo "OK: batching speedup ${SPEEDUP}x / p50 reduction ${P50_CUT}"
+
+awk -v r="${RPCS}" 'BEGIN { exit !(r < 0.5) }' || {
+  echo "FAIL: ${RPCS} GTM RPCs per txn >= 0.5 with coalescing" >&2
+  exit 1
+}
+echo "OK: ${RPCS} GTM RPCs per txn with coalescing (< 0.5)"

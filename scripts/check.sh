@@ -22,6 +22,12 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "$(nproc)"
 echo "== log shipping bench smoke =="
 scripts/bench_logship.sh "${BUILD_DIR}"
 
+# Hot-transaction-path smoke: write batching must keep its >= 2x NewOrder
+# speedup (or >= 40% p50 cut) at 50 ms RTT, and GTM coalescing must stay
+# under 0.5 GTM RPCs per transaction with 16 concurrent clients.
+echo "== txn path bench smoke =="
+scripts/bench_txnpath.sh "${BUILD_DIR}"
+
 echo "== ASan+UBSan pass =="
 rm -rf "${SAN_DIR}"
 cmake -B "${SAN_DIR}" -S . \

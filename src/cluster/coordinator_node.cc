@@ -38,12 +38,22 @@ CoordinatorNode::CoordinatorNode(sim::Simulator* sim, sim::Network* network,
                                                 clock_options);
   ts_source_ = std::make_unique<TimestampSource>(sim, network, self, gtm_node,
                                                  clock_.get());
+  ts_source_->set_coalescing(options_.coalesce_gtm);
   BindService();
 }
 
 void CoordinatorNode::SetShardMap(std::vector<NodeId> primaries) {
   shard_primaries_ = std::move(primaries);
   if (ddl_targets_.empty()) ddl_targets_ = shard_primaries_;
+  // Precompute the shards mastered in our region once; replicated-table
+  // reads rotate across this set on every statement.
+  local_replicated_shards_.clear();
+  for (ShardId s = 0; s < static_cast<ShardId>(shard_primaries_.size());
+       ++s) {
+    if (network_->RegionOf(shard_primaries_[s]) == region_) {
+      local_replicated_shards_.push_back(s);
+    }
+  }
 }
 
 void CoordinatorNode::AddReplica(ShardId shard, NodeId node, RegionId region) {
@@ -207,16 +217,12 @@ StatusOr<ShardId> CoordinatorNode::ShardOf(const TableSchema& schema,
   const uint32_t num_shards = static_cast<uint32_t>(shard_primaries_.size());
   if (num_shards == 0) return Status::FailedPrecondition("no shards");
   if (schema.distribution == DistributionKind::kReplicated) {
-    // Read any copy: rotate across the shards whose primaries live in our
-    // region so one data node does not absorb every replicated-table read.
-    std::vector<ShardId> local;
-    for (ShardId s = 0; s < num_shards; ++s) {
-      if (network_->RegionOf(shard_primaries_[s]) == region_) {
-        local.push_back(s);
-      }
-    }
-    if (local.empty()) return ShardId{0};
-    return local[replicated_rotation_++ % local.size()];
+    // Read any copy: rotate across the (precomputed) shards whose primaries
+    // live in our region so one data node does not absorb every
+    // replicated-table read.
+    if (local_replicated_shards_.empty()) return ShardId{0};
+    return local_replicated_shards_[replicated_rotation_++ %
+                                    local_replicated_shards_.size()];
   }
   return RouteRowToShard(schema, row, num_shards);
 }
@@ -237,21 +243,146 @@ sim::Task<Status> CoordinatorNode::DoWrite(TxnHandle* txn,
                                            WriteRequest::Op op, RowKey key,
                                            std::string value,
                                            const Row& route_row) {
-  WriteRequest request;
-  request.op = op;
-  request.txn = txn->id;
-  request.snapshot = txn->snapshot;
-  request.table = schema.id;
-  request.key = std::move(key);
-  request.value = std::move(value);
+  std::vector<ShardId> targets = WriteTargets(schema, route_row);
 
-  for (ShardId shard : WriteTargets(schema, route_row)) {
-    auto result =
-        co_await client_.Call(shard_primaries_[shard], kDnWrite, request);
-    if (!result.ok()) co_return result.status();
+  if (!options_.enable_write_batching) {
+    WriteRequest request;
+    request.op = op;
+    request.txn = txn->id;
+    request.snapshot = txn->snapshot;
+    request.table = schema.id;
+    request.key = std::move(key);
+    request.value = std::move(value);
+    co_return co_await DoWriteEager(txn, std::move(request),
+                                    std::move(targets));
+  }
+
+  if (txn->writes == nullptr) {
+    txn->writes = std::make_shared<TxnWriteBuffer>(sim_);
+  }
+  // A flush that already failed dooms the transaction; stop buffering and
+  // let the caller abort.
+  GDB_CO_RETURN_IF_ERROR(txn->writes->error);
+
+  WriteBatchRequest::Entry entry;
+  entry.op = op;
+  entry.table = schema.id;
+  entry.key = std::move(key);
+  entry.value = std::move(value);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    const ShardId shard = targets[i];
+    auto& buffer = txn->writes->pending[shard];
+    buffer.push_back(i + 1 == targets.size() ? std::move(entry) : entry);
+    // The shard joins the write set at enqueue time: commit flushes to it,
+    // and an abort after a partial flush must still reach it.
     txn->write_shards.insert(shard);
+    if (buffer.size() >= options_.write_batch_max_entries) {
+      StartFlush(txn->writes, txn->id, txn->snapshot, shard);
+    }
   }
   co_return Status::OK();
+}
+
+sim::Task<Status> CoordinatorNode::DoWriteEager(TxnHandle* txn,
+                                                WriteRequest request,
+                                                std::vector<ShardId> targets) {
+  // Every target joins the write set before the outcome is known: a write
+  // that failed after acquiring its row lock still needs the abort
+  // broadcast to reach that shard.
+  std::vector<NodeId> nodes;
+  nodes.reserve(targets.size());
+  for (ShardId shard : targets) {
+    nodes.push_back(shard_primaries_[shard]);
+    txn->write_shards.insert(shard);
+  }
+  if (nodes.size() == 1) {
+    auto result = co_await client_.Call(nodes[0], kDnWrite, request);
+    co_return result.status();
+  }
+  // Replicated-table write: all shards in parallel, first error wins.
+  auto results = co_await client_.CallAll(nodes, kDnWrite, request);
+  co_return rpc::FirstError(results);
+}
+
+void CoordinatorNode::StartFlush(const std::shared_ptr<TxnWriteBuffer>& wb,
+                                 TxnId txn, Timestamp snapshot,
+                                 ShardId shard) {
+  auto it = wb->pending.find(shard);
+  if (it == wb->pending.end() || it->second.empty()) return;
+  WriteBatchRequest request;
+  request.txn = txn;
+  request.snapshot = snapshot;
+  request.entries = std::move(it->second);
+  it->second.clear();
+  metrics_.Add("cn.write_batches");
+  metrics_.Hist("cn.write_batch_size")
+      .Record(static_cast<int64_t>(request.entries.size()));
+  wb->inflight.Add(1);
+  ++wb->inflight_count;
+  sim_->Spawn(FlushShardBatch(wb, shard_primaries_[shard],
+                              std::move(request)));
+}
+
+sim::Task<void> CoordinatorNode::FlushShardBatch(
+    std::shared_ptr<TxnWriteBuffer> wb, NodeId target,
+    WriteBatchRequest request) {
+  auto reply = co_await client_.Call(target, kDnWriteBatch, request);
+  if (!reply.ok()) {
+    if (wb->error.ok()) wb->error = reply.status();
+  } else {
+    for (const auto& result : reply->results) {
+      if (result.code == StatusCode::kOk) continue;
+      metrics_.Add("cn.write_batch_entry_failures");
+      if (wb->error.ok()) wb->error = result.ToStatus();
+      break;
+    }
+  }
+  --wb->inflight_count;
+  wb->inflight.Done();
+}
+
+sim::Task<Status> CoordinatorNode::FlushWrites(TxnHandle* txn) {
+  auto wb = txn->writes;
+  if (wb == nullptr) co_return Status::OK();
+  for (auto& [shard, buffer] : wb->pending) {
+    if (!buffer.empty()) {
+      StartFlush(wb, txn->id, txn->snapshot, shard);
+    }
+  }
+  co_await wb->inflight.Wait();
+  co_return wb->error;
+}
+
+bool CoordinatorNode::NeedsFlushForKey(const TxnHandle& txn, TableId table,
+                                       const RowKey& key) const {
+  const TxnWriteBuffer* wb = txn.writes.get();
+  if (wb == nullptr) return false;
+  // A recorded failure must surface at the next barrier; flushes still on
+  // the wire could race the read on the data node, so wait them out too.
+  if (!wb->error.ok() || wb->inflight_count > 0) return true;
+  for (const auto& [shard, buffer] : wb->pending) {
+    for (const auto& entry : buffer) {
+      if (entry.table == table && entry.key == key) return true;
+    }
+  }
+  return false;
+}
+
+bool CoordinatorNode::NeedsFlushForScan(const TxnHandle& txn, TableId table,
+                                        const RowKey& start,
+                                        const RowKey& end) const {
+  const TxnWriteBuffer* wb = txn.writes.get();
+  if (wb == nullptr) return false;
+  if (!wb->error.ok() || wb->inflight_count > 0) return true;
+  for (const auto& [shard, buffer] : wb->pending) {
+    for (const auto& entry : buffer) {
+      if (entry.table == table && entry.key >= start &&
+          (end.empty() || entry.key < end)) {
+        return true;
+      }
+    }
+  }
+  return false;
 }
 
 sim::Task<Status> CoordinatorNode::Insert(TxnHandle* txn,
@@ -348,6 +479,13 @@ sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::Get(
   request.snapshot = txn->snapshot;
   request.txn = txn->use_ror ? kInvalidTxnId : txn->id;
 
+  // Read-your-writes: if this key is sitting in the write buffer (or any
+  // flush is still in flight), flush before reading.
+  if (NeedsFlushForKey(*txn, schema->id, request.key)) {
+    metrics_.Add("cn.flush_barriers");
+    GDB_CO_RETURN_IF_ERROR(co_await FlushWrites(txn));
+  }
+
   const NodeId target = PickReadNode(*txn, *schema, *shard);
   const bool is_replica = target != shard_primaries_[*shard];
   auto result =
@@ -392,6 +530,11 @@ sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::GetForUpdate(
   request.snapshot = txn->snapshot;
   request.txn = txn->id;
 
+  if (NeedsFlushForKey(*txn, schema->id, request.key)) {
+    metrics_.Add("cn.flush_barriers");
+    GDB_CO_RETURN_IF_ERROR(co_await FlushWrites(txn));
+  }
+
   auto result =
       co_await client_.Call(shard_primaries_[shard], kDnLockRead, request);
   if (!result.ok()) co_return result.status();
@@ -418,6 +561,11 @@ sim::Task<StatusOr<std::vector<Row>>> CoordinatorNode::ScanRange(
   request.snapshot = txn->snapshot;
   request.txn = txn->use_ror ? kInvalidTxnId : txn->id;
   request.limit = limit;
+
+  if (NeedsFlushForScan(*txn, schema->id, start, end)) {
+    metrics_.Add("cn.flush_barriers");
+    GDB_CO_RETURN_IF_ERROR(co_await FlushWrites(txn));
+  }
 
   // Determine the shards to touch: a distribution-key-prefixed scan hits
   // exactly one shard; otherwise broadcast to every shard and merge.
@@ -482,6 +630,22 @@ sim::Task<StatusOr<std::vector<Row>>> CoordinatorNode::ScanRange(
 
 sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   co_await cpu_.Consume(options_.statement_cost);
+
+  // Resolve the buffered-write pipeline first. A commit sends the final
+  // flush just ahead of precommit; an abort discards entries that were
+  // never sent but must still drain in-flight flushes — the abort broadcast
+  // below must not overtake a batch still on the wire, or the locks that
+  // batch acquires would be orphaned.
+  Status flushed = Status::OK();
+  if (txn->writes != nullptr) {
+    if (commit) {
+      flushed = co_await FlushWrites(txn);
+    } else {
+      for (auto& [shard, buffer] : txn->writes->pending) buffer.clear();
+      co_await txn->writes->inflight.Wait();
+    }
+  }
+
   if (txn->write_shards.empty()) {
     metrics_.Add(commit ? "cn.readonly_commits" : "cn.readonly_aborts");
     co_return Status::OK();
@@ -501,6 +665,13 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
     metrics_.Add("cn.aborts");
     co_return co_await Broadcast(shards, kDnAbort, control);
   }
+  if (!flushed.ok()) {
+    // A buffered write failed: the failing shard already rolled itself
+    // back; tell the rest.
+    metrics_.Add("cn.batch_flush_aborts");
+    (void)co_await Broadcast(shards, kDnAbort, control);
+    co_return flushed;
+  }
 
   // Phase 1: PENDING_COMMIT (one-shard) or PREPARE (2PC) on every write
   // shard — before the commit timestamp exists (Section IV-A). The record
@@ -513,7 +684,10 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   } else {
     control.ts = ts_source_->max_issued();
   }
+  const SimTime precommit_start = sim_->now();
   Status precommit = co_await Broadcast(shards, kDnPrecommit, control);
+  metrics_.Hist("cn.precommit_us")
+      .Record((sim_->now() - precommit_start) / kMicrosecond);
   control.ts = 0;
   if (!precommit.ok()) {
     (void)co_await Broadcast(shards, kDnAbort, control);
@@ -522,7 +696,10 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   }
 
   // Commit timestamp (includes GClock commit-wait / DUAL rules).
+  const SimTime ts_start = sim_->now();
   auto ts = co_await ts_source_->CommitTs(txn->mode);
+  metrics_.Hist("cn.commit_ts_us").Record((sim_->now() - ts_start) /
+                                          kMicrosecond);
   if (!ts.ok()) {
     (void)co_await Broadcast(shards, kDnAbort, control);
     metrics_.Add("cn.ts_aborts");
@@ -531,7 +708,10 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
 
   // Phase 2: commit everywhere (synchronous replication waits inside).
   control.ts = *ts;
+  const SimTime phase2_start = sim_->now();
   Status committed = co_await Broadcast(shards, kDnCommit, control);
+  metrics_.Hist("cn.commit_phase2_us")
+      .Record((sim_->now() - phase2_start) / kMicrosecond);
   if (!committed.ok()) co_return committed;
   ts_source_->RecordCommitted(*ts);
   metrics_.Add("cn.commits");

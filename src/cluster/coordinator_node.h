@@ -1,6 +1,7 @@
 #ifndef GLOBALDB_SRC_CLUSTER_COORDINATOR_NODE_H_
 #define GLOBALDB_SRC_CLUSTER_COORDINATOR_NODE_H_
 
+#include <map>
 #include <memory>
 #include <optional>
 #include <set>
@@ -17,6 +18,7 @@
 #include "src/rpc/rpc_client.h"
 #include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
+#include "src/sim/future.h"
 #include "src/sim/hardware_clock.h"
 #include "src/sim/network.h"
 #include "src/storage/catalog.h"
@@ -38,6 +40,16 @@ struct CoordinatorOptions {
   /// snapshot (the paper's ROR feature). When false (baseline), all reads
   /// go to primaries with regular timestamps.
   bool enable_ror = true;
+  /// When true (default), writes buffer in a per-transaction, per-shard
+  /// queue and flush as kDnWriteBatch RPCs — at the size threshold below,
+  /// at a read-your-writes barrier, or at commit just ahead of precommit
+  /// (DESIGN.md §10). When false, each write is an awaited kDnWrite RPC.
+  bool enable_write_batching = true;
+  /// Per-shard buffered entries that force an early background flush.
+  size_t write_batch_max_entries = 16;
+  /// When true (default), concurrent GTM/DUAL timestamp requests on this CN
+  /// coalesce into single ranged kGtmTimestamp RPCs.
+  bool coalesce_gtm = true;
 };
 
 /// Options for a single read-only request.
@@ -48,6 +60,20 @@ struct ReadOptions {
   SimDuration max_staleness = 0;
 };
 
+/// Buffered-write state of one transaction on its CN: entries not yet sent,
+/// flushes on the wire, and the first error any flush reported. Held by
+/// shared_ptr so in-flight flush coroutines stay safe if the handle dies
+/// first; `error` is surfaced at the next flush barrier (read overlap or
+/// commit) and aborts the transaction there.
+struct TxnWriteBuffer {
+  explicit TxnWriteBuffer(sim::Simulator* sim) : inflight(sim) {}
+  /// Entries queued per shard, in statement order.
+  std::map<ShardId, std::vector<WriteBatchRequest::Entry>> pending;
+  sim::WaitGroup inflight;
+  int inflight_count = 0;
+  Status error;
+};
+
 /// An open transaction as tracked by its coordinating CN.
 struct TxnHandle {
   TxnId id = kInvalidTxnId;
@@ -56,6 +82,8 @@ struct TxnHandle {
   bool read_only = false;
   bool use_ror = false;  // read-only + routed to replicas at the RCP
   std::set<ShardId> write_shards;
+  /// Lazily created on the first buffered write (write batching enabled).
+  std::shared_ptr<TxnWriteBuffer> writes;
 };
 
 /// A coordinator (computing) node: parses/plans client operations, routes
@@ -170,6 +198,29 @@ class CoordinatorNode {
   sim::Task<Status> DoWrite(TxnHandle* txn, const TableSchema& schema,
                             WriteRequest::Op op, RowKey key,
                             std::string value, const Row& route_row);
+  /// Eager (non-batched) write path: one awaited RPC per target, fanned out
+  /// in parallel for replicated tables.
+  sim::Task<Status> DoWriteEager(TxnHandle* txn, WriteRequest request,
+                                 std::vector<ShardId> targets);
+  /// Moves `shard`'s pending entries into a kDnWriteBatch request and spawns
+  /// its flush coroutine (no-op on an empty buffer).
+  void StartFlush(const std::shared_ptr<TxnWriteBuffer>& wb, TxnId txn,
+                  Timestamp snapshot, ShardId shard);
+  /// Background flush of one batch; records the first failure in wb->error.
+  sim::Task<void> FlushShardBatch(std::shared_ptr<TxnWriteBuffer> wb,
+                                  NodeId target, WriteBatchRequest request);
+  /// Flush barrier: sends every non-empty shard buffer, awaits all in-flight
+  /// flushes, and returns the first error any of them hit.
+  sim::Task<Status> FlushWrites(TxnHandle* txn);
+  /// True when a point read of (table, key) — or any read while flushes are
+  /// in flight or failed — must run the flush barrier first to preserve
+  /// read-your-writes.
+  bool NeedsFlushForKey(const TxnHandle& txn, TableId table,
+                        const RowKey& key) const;
+  /// Same for a range scan over [start, end) of `table` (empty end =
+  /// unbounded).
+  bool NeedsFlushForScan(const TxnHandle& txn, TableId table,
+                         const RowKey& start, const RowKey& end) const;
   /// Chooses the node (replica or primary) for a ROR read of `shard`.
   NodeId PickReadNode(const TxnHandle& txn, const TableSchema& schema,
                       ShardId shard);
@@ -201,6 +252,9 @@ class CoordinatorNode {
   std::unique_ptr<RcpService> rcp_;
 
   std::vector<NodeId> shard_primaries_;
+  /// Shards whose primaries live in this CN's region, precomputed in
+  /// SetShardMap (replicated-table reads rotate across them).
+  std::vector<ShardId> local_replicated_shards_;
   std::vector<NodeId> peer_cns_;
   std::vector<NodeId> ddl_targets_;
   uint64_t txn_seq_ = 0;

@@ -48,6 +48,9 @@ void DataNode::BindService() {
   server_.Handle(kDnWrite, [this](NodeId from, WriteRequest request) {
     return HandleWrite(from, std::move(request));
   });
+  server_.Handle(kDnWriteBatch, [this](NodeId from, WriteBatchRequest request) {
+    return HandleWriteBatch(from, std::move(request));
+  });
   server_.Handle(kDnPrecommit, [this](NodeId from, TxnControlRequest request) {
     return HandlePrecommit(from, std::move(request));
   });
@@ -137,49 +140,92 @@ sim::Task<StatusOr<ScanReply>> DataNode::HandleScan(NodeId from,
   co_return reply;
 }
 
+sim::Task<Status> DataNode::ApplyWrite(TxnId txn, Timestamp snapshot,
+                                       WriteRequest::Op op, TableId table_id,
+                                       RowKey key, std::string value) {
+  // Row lock first: writers queue instead of instantly aborting. If the
+  // transaction already holds the lock (it did a locked read), the write
+  // applies to the latest version — no snapshot conflict is possible.
+  const bool already_held = locks_.IsHeldBy(txn, table_id, key);
+  Status lock_status = co_await locks_.Acquire(txn, table_id, key);
+  if (!lock_status.ok()) co_return lock_status;
+  if (already_held) snapshot = kTimestampMax;
+
+  MvccTable* table = store_.GetOrCreateTable(table_id);
+  Status status;
+  switch (op) {
+    case WriteRequest::Op::kInsert:
+      status = table->Insert(key, value, txn);
+      if (status.ok()) {
+        AppendAndNotify(RedoRecord::Insert(txn, table_id, key, value));
+      }
+      break;
+    case WriteRequest::Op::kUpdate:
+      status = table->Update(key, value, txn, snapshot);
+      if (status.ok()) {
+        AppendAndNotify(RedoRecord::Update(txn, table_id, key, value));
+      }
+      break;
+    case WriteRequest::Op::kDelete:
+      status = table->Delete(key, txn, snapshot);
+      if (status.ok()) {
+        AppendAndNotify(RedoRecord::Delete(txn, table_id, key));
+      }
+      break;
+  }
+  co_return status;
+}
+
 sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleWrite(
     NodeId from, WriteRequest request) {
   co_await cpu_.Consume(options_.write_cost);
   metrics_.Add("dn.writes");
-
-  // Row lock first: writers queue instead of instantly aborting. If the
-  // transaction already holds the lock (it did a locked read), the write
-  // applies to the latest version — no snapshot conflict is possible.
-  const bool already_held =
-      locks_.IsHeldBy(request.txn, request.table, request.key);
-  Status lock_status =
-      co_await locks_.Acquire(request.txn, request.table, request.key);
-  if (!lock_status.ok()) co_return lock_status;
-  if (already_held) request.snapshot = kTimestampMax;
-
-  MvccTable* table = store_.GetOrCreateTable(request.table);
-  Status status;
-  switch (request.op) {
-    case WriteRequest::Op::kInsert:
-      status = table->Insert(request.key, request.value, request.txn);
-      if (status.ok()) {
-        AppendAndNotify(RedoRecord::Insert(request.txn, request.table,
-                                           request.key, request.value));
-      }
-      break;
-    case WriteRequest::Op::kUpdate:
-      status = table->Update(request.key, request.value, request.txn,
-                             request.snapshot);
-      if (status.ok()) {
-        AppendAndNotify(RedoRecord::Update(request.txn, request.table,
-                                           request.key, request.value));
-      }
-      break;
-    case WriteRequest::Op::kDelete:
-      status = table->Delete(request.key, request.txn, request.snapshot);
-      if (status.ok()) {
-        AppendAndNotify(
-            RedoRecord::Delete(request.txn, request.table, request.key));
-      }
-      break;
-  }
+  Status status = co_await ApplyWrite(request.txn, request.snapshot,
+                                      request.op, request.table,
+                                      std::move(request.key),
+                                      std::move(request.value));
   if (!status.ok()) co_return status;
   co_return rpc::EmptyMessage{};
+}
+
+sim::Task<StatusOr<WriteBatchReply>> DataNode::HandleWriteBatch(
+    NodeId from, WriteBatchRequest request) {
+  metrics_.Add("dn.write_batches");
+  metrics_.Hist("dn.write_batch_entries")
+      .Record(static_cast<int64_t>(request.entries.size()));
+  WriteBatchReply reply;
+  reply.results.resize(request.entries.size());
+  bool failed = false;
+  for (size_t i = 0; i < request.entries.size(); ++i) {
+    if (failed) {
+      // One failing entry poisons the rest of the batch: they were issued
+      // after it in statement order and the transaction is going to abort.
+      reply.results[i].code = StatusCode::kAborted;
+      reply.results[i].message = "skipped: earlier batch entry failed";
+      continue;
+    }
+    co_await cpu_.Consume(options_.write_cost);
+    metrics_.Add("dn.batched_writes");
+    WriteBatchRequest::Entry& entry = request.entries[i];
+    Status status = co_await ApplyWrite(request.txn, request.snapshot,
+                                        entry.op, entry.table,
+                                        std::move(entry.key),
+                                        std::move(entry.value));
+    reply.results[i].code = status.code();
+    reply.results[i].message = std::string(status.message());
+    if (!status.ok()) {
+      // Roll this shard back immediately and free every lock the
+      // transaction holds here: nothing stays orphaned even if the
+      // coordinator's abort broadcast never arrives (it may have crashed
+      // between flush and precommit).
+      failed = true;
+      metrics_.Add("dn.write_batch_failures");
+      store_.AbortTxn(request.txn);
+      AppendAndNotify(RedoRecord::Abort(request.txn));
+      locks_.ReleaseAll(request.txn);
+    }
+  }
+  co_return reply;
 }
 
 sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandlePrecommit(

@@ -163,6 +163,105 @@ struct WriteRequest {
   }
 };
 
+/// A pipelined batch of buffered writes for one shard, flushed in statement
+/// order (the CN's per-transaction write buffer, DESIGN.md §10). The primary
+/// applies entries sequentially — lock, apply, redo — exactly as it would
+/// have for individual kDnWrite calls. After the first failing entry it
+/// rolls the transaction back on this shard and releases every lock the
+/// transaction holds there, marking the remaining entries as skipped.
+struct WriteBatchRequest {
+  struct Entry {
+    WriteRequest::Op op = WriteRequest::Op::kInsert;
+    TableId table = kInvalidTableId;
+    RowKey key;
+    std::string value;
+  };
+  TxnId txn = kInvalidTxnId;
+  Timestamp snapshot = 0;
+  std::vector<Entry> entries;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, txn);
+    PutVarint64(&s, snapshot);
+    PutVarint32(&s, static_cast<uint32_t>(entries.size()));
+    for (const auto& e : entries) {
+      s.push_back(static_cast<char>(e.op));
+      PutVarint32(&s, e.table);
+      PutLengthPrefixed(&s, e.key);
+      PutLengthPrefixed(&s, e.value);
+    }
+    return s;
+  }
+  static StatusOr<WriteBatchRequest> Decode(Slice in) {
+    WriteBatchRequest r;
+    uint32_t n = 0;
+    if (!GetVarint64(&in, &r.txn) || !GetVarint64(&in, &r.snapshot) ||
+        !GetVarint32(&in, &n)) {
+      return Status::Corruption("write batch req");
+    }
+    r.entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      if (in.empty()) return Status::Corruption("write batch entry");
+      e.op = static_cast<WriteRequest::Op>(in[0]);
+      in.RemovePrefix(1);
+      Slice key, value;
+      if (!GetVarint32(&in, &e.table) || !GetLengthPrefixed(&in, &key) ||
+          !GetLengthPrefixed(&in, &value)) {
+        return Status::Corruption("write batch entry fields");
+      }
+      e.key = key.ToString();
+      e.value = value.ToString();
+      r.entries.push_back(std::move(e));
+    }
+    return r;
+  }
+};
+
+/// Per-entry outcomes of a write batch, aligned with the request's entries.
+/// The RPC envelope stays OK whenever the batch was processed; entry
+/// failures travel here so the CN knows which statement failed (and that
+/// the shard already cleaned itself up).
+struct WriteBatchReply {
+  struct EntryResult {
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+    Status ToStatus() const {
+      return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+    }
+  };
+  std::vector<EntryResult> results;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, static_cast<uint32_t>(results.size()));
+    for (const auto& res : results) {
+      PutVarint32(&s, static_cast<uint32_t>(res.code));
+      PutLengthPrefixed(&s, res.message);
+    }
+    return s;
+  }
+  static StatusOr<WriteBatchReply> Decode(Slice in) {
+    WriteBatchReply r;
+    uint32_t n = 0;
+    if (!GetVarint32(&in, &n)) return Status::Corruption("write batch reply");
+    r.results.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      EntryResult res;
+      uint32_t code = 0;
+      Slice message;
+      if (!GetVarint32(&in, &code) || !GetLengthPrefixed(&in, &message)) {
+        return Status::Corruption("write batch reply entry");
+      }
+      res.code = static_cast<StatusCode>(code);
+      res.message = message.ToString();
+      r.results.push_back(std::move(res));
+    }
+    return r;
+  }
+};
+
 /// Pre-commit (PENDING_COMMIT for one-shard commits, PREPARE for 2PC),
 /// commit (COMMIT / COMMIT_PREPARED at `ts`), and abort.
 struct TxnControlRequest {
@@ -295,6 +394,8 @@ inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kDnLockRead{
 inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kDnScan{"dn.scan"};
 inline constexpr rpc::RpcMethod<WriteRequest, rpc::EmptyMessage> kDnWrite{
     "dn.write"};
+inline constexpr rpc::RpcMethod<WriteBatchRequest, WriteBatchReply>
+    kDnWriteBatch{"dn.write_batch"};
 inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
     kDnPrecommit{"dn.precommit"};
 inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>

@@ -40,21 +40,27 @@ sim::Task<StatusOr<GtmTimestampReply>> GtmServer::HandleTimestamp(
     NodeId from, GtmTimestampRequest request) {
   co_await cpu_.Consume(service_time_);
   metrics_.Add("gtm.timestamp_requests");
+  // Coalesced requests draw `count` timestamps in one round trip; the reply
+  // carries the last of the contiguous range (ts - count, ts].
+  const uint64_t count = std::max<uint32_t>(1, request.count);
+  metrics_.Add("gtm.timestamps_granted", static_cast<int64_t>(count));
 
   GtmTimestampReply reply;
   reply.server_mode = mode_;
   switch (mode_) {
     case TimestampMode::kGtm:
-      // Plain centralized counter (Eq. 2).
-      reply.ts = ++counter_;
+      // Plain centralized counter (Eq. 2), advanced by the batch size.
+      counter_ += count;
+      reply.ts = counter_;
       break;
     case TimestampMode::kDual: {
-      // Bridge timestamps (Eq. 3). Also track the largest error bound seen
+      // Bridge timestamps (Eq. 3); the whole range lands above the batch's
+      // largest GClock upper bound. Also track the largest error bound seen
       // during the transition window; GTM-mode committers must wait 2x this
       // so their commits cannot be missed by new GClock snapshots
       // (Listing 1 scenario).
       max_error_bound_ = std::max(max_error_bound_, request.error_bound);
-      counter_ = std::max(counter_, request.gclock_upper) + 1;
+      counter_ = std::max(counter_, request.gclock_upper) + count;
       reply.ts = counter_;
       if (request.client_mode == TimestampMode::kGtm && request.is_commit) {
         reply.wait = 2 * max_error_bound_;
@@ -68,7 +74,7 @@ sim::Task<StatusOr<GtmTimestampReply>> GtmServer::HandleTimestamp(
         reply.aborted = true;
       } else {
         // DUAL stragglers can still finish: keep bridging.
-        counter_ = std::max(counter_, request.gclock_upper) + 1;
+        counter_ = std::max(counter_, request.gclock_upper) + count;
         reply.ts = counter_;
       }
       break;

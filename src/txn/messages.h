@@ -10,14 +10,18 @@
 
 namespace globaldb {
 
-/// Request for a timestamp from the GTM server. DUAL-mode clients attach
-/// their GClock upper bound so the server can issue
-/// TS_DUAL = max(TS_GTM, TS_GClock) + 1 (Eq. 3).
+/// Request for `count` timestamps from the GTM server. DUAL-mode clients
+/// attach their GClock upper bound so the server can issue
+/// TS_DUAL = max(TS_GTM, TS_GClock) + 1 (Eq. 3). A coalescing timestamp
+/// source (DESIGN.md §10) sets count > 1 to draw one contiguous range for
+/// several concurrent waiters with a single round trip; `is_commit` is the
+/// OR and `gclock_upper`/`error_bound` the max over the coalesced waiters.
 struct GtmTimestampRequest {
   TimestampMode client_mode = TimestampMode::kGtm;
   bool is_commit = false;
   Timestamp gclock_upper = 0;   // client's TS_GClock upper bound (DUAL only)
   SimDuration error_bound = 0;  // client's T_err (DUAL only)
+  uint32_t count = 1;           // timestamps requested (coalesced batch size)
 
   std::string Encode() const {
     std::string s;
@@ -25,6 +29,7 @@ struct GtmTimestampRequest {
     s.push_back(is_commit ? 1 : 0);
     PutVarint64(&s, gclock_upper);
     PutVarint64(&s, static_cast<uint64_t>(error_bound));
+    PutVarint32(&s, count);
     return s;
   }
 
@@ -35,7 +40,8 @@ struct GtmTimestampRequest {
     r.is_commit = in[1] != 0;
     in.RemovePrefix(2);
     uint64_t err = 0;
-    if (!GetVarint64(&in, &r.gclock_upper) || !GetVarint64(&in, &err)) {
+    if (!GetVarint64(&in, &r.gclock_upper) || !GetVarint64(&in, &err) ||
+        !GetVarint32(&in, &r.count)) {
       return Status::Corruption("gtm req: truncated");
     }
     r.error_bound = static_cast<SimDuration>(err);
@@ -43,7 +49,8 @@ struct GtmTimestampRequest {
   }
 };
 
-/// Reply: the issued timestamp, a commit wait the client must perform
+/// Reply: the issued timestamp (for count > 1 the *last* of the contiguous
+/// range (ts - count, ts]), a commit wait the client must perform
 /// before making its commit visible (non-zero only for GTM-mode commits
 /// while the server is in DUAL mode: 2x the max observed error bound), and
 /// the server's current mode. `aborted` is set when a GTM-mode transaction

@@ -2,12 +2,15 @@
 #define GLOBALDB_SRC_TXN_TIMESTAMP_SOURCE_H_
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
 #include "src/common/metrics.h"
 #include "src/common/statusor.h"
 #include "src/common/types.h"
 #include "src/rpc/rpc_client.h"
 #include "src/rpc/rpc_server.h"
+#include "src/sim/future.h"
 #include "src/sim/hardware_clock.h"
 #include "src/sim/network.h"
 #include "src/txn/messages.h"
@@ -39,6 +42,13 @@ class TimestampSource {
   TimestampMode mode() const { return mode_; }
   /// Local mode switch (normally driven via the kCnSetMode RPC).
   void SetMode(TimestampMode mode) { mode_ = mode; }
+
+  /// When on (the default), concurrent GTM/DUAL requests on this node share
+  /// a single in-flight kGtmTimestamp RPC: the server grants a contiguous
+  /// range of `count` timestamps and the source fans it out to the waiters
+  /// in arrival order (DESIGN.md §10). Off reverts to one RPC per request.
+  void set_coalescing(bool on) { coalesce_ = on; }
+  bool coalescing() const { return coalesce_; }
 
   /// Snapshot timestamp for a new transaction. Single-shard read-only work
   /// can bypass the GClock invocation wait via the node's last committed
@@ -77,9 +87,28 @@ class TimestampSource {
   sim::Task<void> WaitClockPast(Timestamp ts);
   /// GClock timestamp + wait (both invocation and commit use this).
   sim::Task<Timestamp> GclockTimestamp();
-  /// DUAL-path RPC to the GTM server.
+  /// GTM-path RPC (GTM and DUAL modes). With coalescing on this enqueues a
+  /// waiter and lets the pump batch it with its contemporaries.
   sim::Task<StatusOr<GtmTimestampReply>> CallGtm(TimestampMode client_mode,
                                                  bool is_commit);
+  /// One queued GTM/DUAL request awaiting a coalesced grant. DUAL inputs
+  /// (clock upper bound, error bound) are captured at enqueue time: the
+  /// granted range exceeds the batch max, so each waiter's timestamp still
+  /// dominates everything it observed before requesting.
+  struct GtmWaiter {
+    explicit GtmWaiter(sim::Simulator* sim) : reply(sim) {}
+    bool is_commit = false;
+    Timestamp gclock_upper = 0;
+    SimDuration error_bound = 0;
+    sim::Promise<StatusOr<GtmTimestampReply>> reply;
+  };
+  /// Drains queue_[mode]: one RPC per accumulated batch, fanning the granted
+  /// range to waiters in arrival order. At most one pump (and so one
+  /// in-flight RPC) per mode.
+  sim::Task<void> PumpGtm(TimestampMode mode);
+  static constexpr int ModeIndex(TimestampMode mode) {
+    return static_cast<int>(mode);
+  }
   void BindService();
   /// Current issued-timestamp watermark + clock error bound.
   AckReply MakeAck() const;
@@ -98,6 +127,12 @@ class TimestampSource {
   TimestampMode mode_ = TimestampMode::kGtm;
   Timestamp last_committed_ = 0;
   Timestamp max_issued_ = 0;
+  bool coalesce_ = true;
+  // Waiter queues and pump liveness, indexed by TimestampMode. GTM and DUAL
+  // requests are never mixed in one RPC: the server applies different grant
+  // rules (Eq. 2 vs Eq. 3) to each.
+  std::vector<std::shared_ptr<GtmWaiter>> queue_[3];
+  bool pump_active_[3] = {false, false, false};
   Metrics metrics_;
 };
 

@@ -1,0 +1,201 @@
+// GTM timestamp coalescing (DESIGN.md §10): concurrent begin/commit
+// requests on one CN share a single in-flight kGtmTimestamp RPC, the
+// server grants a contiguous range, and the source fans it out in arrival
+// order. These tests pin down the RPC amortization, strict monotonicity
+// of the fanned-out grants, and the per-waiter DUAL wait semantics.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/sim/hardware_clock.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/txn/gtm_server.h"
+#include "src/txn/timestamp_source.h"
+
+namespace globaldb {
+namespace {
+
+constexpr NodeId kGtmNode = 0;
+constexpr NodeId kCn1 = 1;
+constexpr NodeId kCn2 = 2;
+
+/// Two CNs + the GTM server on a 2-region network (20 ms inter-region).
+class GtmCoalesceTest : public ::testing::Test {
+ protected:
+  GtmCoalesceTest()
+      : sim_(11), net_(&sim_, sim::Topology::Uniform(2, 20 * kMillisecond),
+                       NetOptions()) {
+    net_.RegisterNode(kGtmNode, 0);
+    net_.RegisterNode(kCn1, 0);
+    net_.RegisterNode(kCn2, 1);
+    gtm_ = std::make_unique<GtmServer>(&sim_, &net_, kGtmNode);
+    for (NodeId cn : {kCn1, kCn2}) {
+      clocks_.push_back(
+          std::make_unique<sim::HardwareClock>(&sim_, sim_.rng().Fork()));
+      sources_.push_back(std::make_unique<TimestampSource>(
+          &sim_, &net_, cn, kGtmNode, clocks_.back().get()));
+    }
+  }
+
+  static sim::NetworkOptions NetOptions() {
+    sim::NetworkOptions o;
+    o.nagle_enabled = false;
+    return o;
+  }
+
+  TimestampSource& src(int i) { return *sources_[i]; }
+
+  sim::Simulator sim_;
+  sim::Network net_;
+  std::unique_ptr<GtmServer> gtm_;
+  std::vector<std::unique_ptr<sim::HardwareClock>> clocks_;
+  std::vector<std::unique_ptr<TimestampSource>> sources_;
+};
+
+// 16 concurrent begins on one CN collapse into at most 2 GTM RPCs (the
+// first client's pump departs alone before the rest enqueue — Spawn runs
+// eagerly), and the fanned-out grants are strictly monotonic in arrival
+// order with no duplicates.
+TEST_F(GtmCoalesceTest, ConcurrentBeginsShareOneRpc) {
+  std::vector<Timestamp> got;
+  auto client = [&](TimestampSource* s) -> sim::Task<void> {
+    auto grant = co_await s->BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    if (grant.ok()) got.push_back(grant->ts);
+  };
+  for (int i = 0; i < 16; ++i) sim_.Spawn(client(&src(0)));
+  sim_.Run();
+
+  ASSERT_EQ(got.size(), 16u);
+  for (size_t i = 1; i < got.size(); ++i) EXPECT_GT(got[i], got[i - 1]);
+  EXPECT_LE(src(0).metrics().Get("ts.gtm_rpcs"), 2);
+  EXPECT_LE(gtm_->metrics().Get("gtm.timestamp_requests"), 2);
+  EXPECT_GE(src(0).metrics().Hist("ts.coalesce_batch").max(), 8);
+  EXPECT_EQ(gtm_->metrics().Get("gtm.timestamps_granted"), 16);
+}
+
+// Grants stay globally unique and per-node monotonic when two CNs coalesce
+// independently against the same server, across several waves.
+TEST_F(GtmCoalesceTest, GrantsUniqueAcrossNodesAndWaves) {
+  std::vector<Timestamp> node0, node1;
+  auto client = [&](TimestampSource* s,
+                    std::vector<Timestamp>* out) -> sim::Task<void> {
+    auto grant = co_await s->BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    if (grant.ok()) out->push_back(grant->ts);
+  };
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 8; ++i) {
+      sim_.Spawn(client(&src(0), &node0));
+      sim_.Spawn(client(&src(1), &node1));
+    }
+    sim_.RunFor(200 * kMillisecond);
+  }
+  ASSERT_EQ(node0.size(), 24u);
+  ASSERT_EQ(node1.size(), 24u);
+  for (size_t i = 1; i < node0.size(); ++i) EXPECT_GT(node0[i], node0[i - 1]);
+  for (size_t i = 1; i < node1.size(); ++i) EXPECT_GT(node1[i], node1[i - 1]);
+  std::vector<Timestamp> all = node0;
+  all.insert(all.end(), node1.begin(), node1.end());
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+  // Each wave on each node needs at most 2 RPCs.
+  EXPECT_LE(src(0).metrics().Get("ts.gtm_rpcs"), 6);
+  EXPECT_LE(src(1).metrics().Get("ts.gtm_rpcs"), 6);
+}
+
+// With coalescing off the source reverts to one RPC per request.
+TEST_F(GtmCoalesceTest, DisabledCoalescingIssuesOneRpcPerRequest) {
+  src(0).set_coalescing(false);
+  auto client = [&](TimestampSource* s) -> sim::Task<void> {
+    auto grant = co_await s->BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+  };
+  for (int i = 0; i < 8; ++i) sim_.Spawn(client(&src(0)));
+  sim_.Run();
+  EXPECT_EQ(src(0).metrics().Get("ts.gtm_rpcs"), 8);
+  EXPECT_EQ(gtm_->metrics().Get("gtm.timestamp_requests"), 8);
+}
+
+// DUAL-mode commits coalesced into one RPC: every grant must exceed the
+// GClock upper bound its waiter captured at enqueue (we check against the
+// pre-spawn upper, which lower-bounds all of them), the commit wait must
+// still run per waiter (clock lower bound past the grant on return), and
+// the batch still costs at most 2 RPCs.
+TEST_F(GtmCoalesceTest, DualCoalescedCommitsKeepPerWaiterWait) {
+  gtm_->SetMode(TimestampMode::kDual, 0);
+  const Timestamp pre_upper =
+      static_cast<Timestamp>(clocks_[0]->ReadUpper());
+  std::vector<Timestamp> got;
+  int waits_done = 0;
+  auto client = [&](TimestampSource* s) -> sim::Task<void> {
+    auto ts = co_await s->CommitTs(TimestampMode::kDual);
+    EXPECT_TRUE(ts.ok());
+    if (!ts.ok()) co_return;
+    got.push_back(*ts);
+    const SimTime lower = clocks_[0]->Read() - clocks_[0]->ErrorBound();
+    EXPECT_GT(lower, static_cast<SimTime>(*ts));
+    ++waits_done;
+  };
+  for (int i = 0; i < 8; ++i) sim_.Spawn(client(&src(0)));
+  sim_.Run();
+
+  ASSERT_EQ(got.size(), 8u);
+  EXPECT_EQ(waits_done, 8);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_GT(got[i], pre_upper);
+  for (size_t i = 1; i < got.size(); ++i) EXPECT_GT(got[i], got[i - 1]);
+  EXPECT_LE(src(0).metrics().Get("ts.gtm_rpcs"), 2);
+}
+
+// Listing 1: a GTM-mode commit during the DUAL window waits out 2x the max
+// error bound even when it shares its RPC with begins — and the begins
+// coalesced into the same batch must NOT inherit that wait.
+TEST_F(GtmCoalesceTest, GtmCommitDualWaitIsPerWaiter) {
+  gtm_->SetMode(TimestampMode::kDual, 0);
+  // Seed the server's max error bound with one DUAL commit from the other
+  // CN (GTM-mode requests carry no error bound of their own).
+  bool seeded = false;
+  auto seed = [&]() -> sim::Task<void> {
+    auto ts = co_await src(1).CommitTs(TimestampMode::kDual);
+    EXPECT_TRUE(ts.ok());
+    seeded = true;
+  };
+  sim_.Spawn(seed());
+  while (!seeded) sim_.RunFor(10 * kMillisecond);
+
+  std::vector<SimTime> begin_done, commit_done;
+  auto begin_client = [&]() -> sim::Task<void> {
+    auto grant = co_await src(0).BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    begin_done.push_back(sim_.now());
+  };
+  auto commit_client = [&]() -> sim::Task<void> {
+    auto ts = co_await src(0).CommitTs(TimestampMode::kGtm);
+    EXPECT_TRUE(ts.ok());
+    commit_done.push_back(sim_.now());
+  };
+  // Begins first: the first begin departs alone (eager spawn); the other
+  // begins and all commits share the second RPC.
+  for (int i = 0; i < 4; ++i) sim_.Spawn(begin_client());
+  for (int i = 0; i < 4; ++i) sim_.Spawn(commit_client());
+  sim_.Run();
+
+  ASSERT_EQ(begin_done.size(), 4u);
+  ASSERT_EQ(commit_done.size(), 4u);
+  EXPECT_EQ(src(0).metrics().Get("ts.dual_commit_waits"), 4);
+  EXPECT_LE(src(0).metrics().Get("ts.gtm_rpcs"), 2);
+  // Every commit finished strictly after every begin: the begins returned
+  // as soon as the shared RPC landed, the commits then slept the wait.
+  const SimTime last_begin =
+      *std::max_element(begin_done.begin(), begin_done.end());
+  const SimTime first_commit =
+      *std::min_element(commit_done.begin(), commit_done.end());
+  EXPECT_GT(first_commit, last_begin);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -258,7 +258,8 @@ sim::Task<Status> CoordinatorNode::DoWrite(TxnHandle* txn,
   }
 
   if (txn->writes == nullptr) {
-    txn->writes = std::make_shared<TxnWriteBuffer>(sim_);
+    txn->writes =
+        std::make_shared<TxnWriteBuffer>(sim_, txn->id, txn->snapshot);
   }
   // A flush that already failed dooms the transaction; stop buffering and
   // let the caller abort.
@@ -271,13 +272,13 @@ sim::Task<Status> CoordinatorNode::DoWrite(TxnHandle* txn,
   entry.value = std::move(value);
   for (size_t i = 0; i < targets.size(); ++i) {
     const ShardId shard = targets[i];
-    auto& buffer = txn->writes->pending[shard];
-    buffer.push_back(i + 1 == targets.size() ? std::move(entry) : entry);
+    auto& sq = txn->writes->shards[shard];
+    sq.queued.push_back(i + 1 == targets.size() ? std::move(entry) : entry);
     // The shard joins the write set at enqueue time: commit flushes to it,
     // and an abort after a partial flush must still reach it.
     txn->write_shards.insert(shard);
-    if (buffer.size() >= options_.write_batch_max_entries) {
-      StartFlush(txn->writes, txn->id, txn->snapshot, shard);
+    if (sq.queued.size() >= options_.write_batch_max_entries) {
+      StartFlush(txn->writes, shard);
     }
   }
   co_return Status::OK();
@@ -305,28 +306,45 @@ sim::Task<Status> CoordinatorNode::DoWriteEager(TxnHandle* txn,
 }
 
 void CoordinatorNode::StartFlush(const std::shared_ptr<TxnWriteBuffer>& wb,
-                                 TxnId txn, Timestamp snapshot,
                                  ShardId shard) {
-  auto it = wb->pending.find(shard);
-  if (it == wb->pending.end() || it->second.empty()) return;
+  auto it = wb->shards.find(shard);
+  if (it == wb->shards.end() || it->second.queued.empty()) return;
+  TxnWriteBuffer::ShardQueue& sq = it->second;
+  if (!wb->error.ok()) {
+    // The transaction is doomed: a batch sent now could re-acquire locks on
+    // a shard that already rolled itself back after the failing entry, and
+    // would stay orphaned if the CN died before the abort broadcast. Drop
+    // the entries; EndTxn's abort broadcast cleans up what earlier batches
+    // applied.
+    sq.queued.clear();
+    return;
+  }
+  if (sq.inflight) {
+    // Per-shard serialization (see ShardQueue): the chained flush departs
+    // when the in-flight batch completes, so batches reach the DN in
+    // statement order regardless of network jitter.
+    sq.flush_deferred = true;
+    return;
+  }
   WriteBatchRequest request;
-  request.txn = txn;
-  request.snapshot = snapshot;
-  request.entries = std::move(it->second);
-  it->second.clear();
+  request.txn = wb->txn;
+  request.snapshot = wb->snapshot;
+  request.entries = std::move(sq.queued);
+  sq.queued.clear();
+  sq.inflight = true;
   metrics_.Add("cn.write_batches");
   metrics_.Hist("cn.write_batch_size")
       .Record(static_cast<int64_t>(request.entries.size()));
   wb->inflight.Add(1);
   ++wb->inflight_count;
-  sim_->Spawn(FlushShardBatch(wb, shard_primaries_[shard],
-                              std::move(request)));
+  sim_->Spawn(FlushShardBatch(wb, shard, std::move(request)));
 }
 
 sim::Task<void> CoordinatorNode::FlushShardBatch(
-    std::shared_ptr<TxnWriteBuffer> wb, NodeId target,
+    std::shared_ptr<TxnWriteBuffer> wb, ShardId shard,
     WriteBatchRequest request) {
-  auto reply = co_await client_.Call(target, kDnWriteBatch, request);
+  auto reply =
+      co_await client_.Call(shard_primaries_[shard], kDnWriteBatch, request);
   if (!reply.ok()) {
     if (wb->error.ok()) wb->error = reply.status();
   } else {
@@ -337,6 +355,13 @@ sim::Task<void> CoordinatorNode::FlushShardBatch(
       break;
     }
   }
+  TxnWriteBuffer::ShardQueue& sq = wb->shards[shard];
+  sq.inflight = false;
+  const bool deferred = sq.flush_deferred;
+  sq.flush_deferred = false;
+  // Chain before releasing the wait group: the count never dips to zero in
+  // between, so a barrier already in Wait() covers the chained batch too.
+  if (deferred) StartFlush(wb, shard);
   --wb->inflight_count;
   wb->inflight.Done();
 }
@@ -344,10 +369,8 @@ sim::Task<void> CoordinatorNode::FlushShardBatch(
 sim::Task<Status> CoordinatorNode::FlushWrites(TxnHandle* txn) {
   auto wb = txn->writes;
   if (wb == nullptr) co_return Status::OK();
-  for (auto& [shard, buffer] : wb->pending) {
-    if (!buffer.empty()) {
-      StartFlush(wb, txn->id, txn->snapshot, shard);
-    }
+  for (auto& [shard, sq] : wb->shards) {
+    if (!sq.queued.empty()) StartFlush(wb, shard);
   }
   co_await wb->inflight.Wait();
   co_return wb->error;
@@ -360,8 +383,8 @@ bool CoordinatorNode::NeedsFlushForKey(const TxnHandle& txn, TableId table,
   // A recorded failure must surface at the next barrier; flushes still on
   // the wire could race the read on the data node, so wait them out too.
   if (!wb->error.ok() || wb->inflight_count > 0) return true;
-  for (const auto& [shard, buffer] : wb->pending) {
-    for (const auto& entry : buffer) {
+  for (const auto& [shard, sq] : wb->shards) {
+    for (const auto& entry : sq.queued) {
       if (entry.table == table && entry.key == key) return true;
     }
   }
@@ -374,8 +397,8 @@ bool CoordinatorNode::NeedsFlushForScan(const TxnHandle& txn, TableId table,
   const TxnWriteBuffer* wb = txn.writes.get();
   if (wb == nullptr) return false;
   if (!wb->error.ok() || wb->inflight_count > 0) return true;
-  for (const auto& [shard, buffer] : wb->pending) {
-    for (const auto& entry : buffer) {
+  for (const auto& [shard, sq] : wb->shards) {
+    for (const auto& entry : sq.queued) {
       if (entry.table == table && entry.key >= start &&
           (end.empty() || entry.key < end)) {
         return true;
@@ -641,7 +664,7 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
     if (commit) {
       flushed = co_await FlushWrites(txn);
     } else {
-      for (auto& [shard, buffer] : txn->writes->pending) buffer.clear();
+      for (auto& [shard, sq] : txn->writes->shards) sq.queued.clear();
       co_await txn->writes->inflight.Wait();
     }
   }

@@ -66,9 +66,23 @@ struct ReadOptions {
 /// first; `error` is surfaced at the next flush barrier (read overlap or
 /// commit) and aborts the transaction there.
 struct TxnWriteBuffer {
-  explicit TxnWriteBuffer(sim::Simulator* sim) : inflight(sim) {}
-  /// Entries queued per shard, in statement order.
-  std::map<ShardId, std::vector<WriteBatchRequest::Entry>> pending;
+  TxnWriteBuffer(sim::Simulator* sim, TxnId txn, Timestamp snapshot)
+      : txn(txn), snapshot(snapshot), inflight(sim) {}
+  /// One shard's slice of the buffer. At most one batch per shard is ever on
+  /// the wire: the network gives no per-pair FIFO guarantee and the DN's
+  /// batch handler suspends between entries, so a second in-flight batch
+  /// could apply ahead of the first and commit writes out of statement
+  /// order. A flush requested while one is in flight is recorded in
+  /// `flush_deferred` and chained when the current batch completes.
+  struct ShardQueue {
+    /// Entries not yet sent, in statement order.
+    std::vector<WriteBatchRequest::Entry> queued;
+    bool inflight = false;
+    bool flush_deferred = false;
+  };
+  const TxnId txn;
+  const Timestamp snapshot;
+  std::map<ShardId, ShardQueue> shards;
   sim::WaitGroup inflight;
   int inflight_count = 0;
   Status error;
@@ -202,13 +216,17 @@ class CoordinatorNode {
   /// in parallel for replicated tables.
   sim::Task<Status> DoWriteEager(TxnHandle* txn, WriteRequest request,
                                  std::vector<ShardId> targets);
-  /// Moves `shard`'s pending entries into a kDnWriteBatch request and spawns
-  /// its flush coroutine (no-op on an empty buffer).
-  void StartFlush(const std::shared_ptr<TxnWriteBuffer>& wb, TxnId txn,
-                  Timestamp snapshot, ShardId shard);
-  /// Background flush of one batch; records the first failure in wb->error.
+  /// Moves `shard`'s queued entries into a kDnWriteBatch request and spawns
+  /// its flush coroutine. No-op on an empty buffer; defers (chains) when a
+  /// batch for the shard is already in flight; drops the entries when a
+  /// previous flush already failed — the transaction is doomed and a batch
+  /// sent now would re-acquire locks on a shard that may have rolled itself
+  /// back.
+  void StartFlush(const std::shared_ptr<TxnWriteBuffer>& wb, ShardId shard);
+  /// Background flush of one batch; records the first failure in wb->error
+  /// and chains the shard's deferred flush, if any, on completion.
   sim::Task<void> FlushShardBatch(std::shared_ptr<TxnWriteBuffer> wb,
-                                  NodeId target, WriteBatchRequest request);
+                                  ShardId shard, WriteBatchRequest request);
   /// Flush barrier: sends every non-empty shard buffer, awaits all in-flight
   /// flushes, and returns the first error any of them hit.
   sim::Task<Status> FlushWrites(TxnHandle* txn);

@@ -195,13 +195,19 @@ sim::Task<StatusOr<WriteBatchReply>> DataNode::HandleWriteBatch(
       .Record(static_cast<int64_t>(request.entries.size()));
   WriteBatchReply reply;
   reply.results.resize(request.entries.size());
-  bool failed = false;
+  // This shard already rolled the transaction back after a failing entry in
+  // an earlier batch. Applying anything now would re-acquire locks behind
+  // the rollback and leave the shard dirty if the coordinator never sends
+  // its abort; reject the whole batch instead.
+  bool failed = self_aborted_txns_.count(request.txn) > 0;
+  if (failed) metrics_.Add("dn.write_batch_rejects");
   for (size_t i = 0; i < request.entries.size(); ++i) {
     if (failed) {
-      // One failing entry poisons the rest of the batch: they were issued
-      // after it in statement order and the transaction is going to abort.
+      // One failing entry poisons the rest of the batch (and any batch
+      // arriving after a self-rollback): they follow it in statement order
+      // and the transaction is going to abort.
       reply.results[i].code = StatusCode::kAborted;
-      reply.results[i].message = "skipped: earlier batch entry failed";
+      reply.results[i].message = "skipped: transaction failed on this shard";
       continue;
     }
     co_await cpu_.Consume(options_.write_cost);
@@ -223,9 +229,20 @@ sim::Task<StatusOr<WriteBatchReply>> DataNode::HandleWriteBatch(
       store_.AbortTxn(request.txn);
       AppendAndNotify(RedoRecord::Abort(request.txn));
       locks_.ReleaseAll(request.txn);
+      RememberSelfAborted(request.txn);
     }
   }
   co_return reply;
+}
+
+void DataNode::RememberSelfAborted(TxnId txn) {
+  if (!self_aborted_txns_.insert(txn).second) return;
+  self_aborted_order_.push_back(txn);
+  constexpr size_t kMaxRemembered = 1024;
+  while (self_aborted_order_.size() > kMaxRemembered) {
+    self_aborted_txns_.erase(self_aborted_order_.front());
+    self_aborted_order_.pop_front();
+  }
 }
 
 sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandlePrecommit(
@@ -247,6 +264,7 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleCommit(
     NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.commits");
+  self_aborted_txns_.erase(request.txn);
   store_.CommitTxn(request.txn, request.ts);
   AppendAndNotify(request.two_phase
                       ? RedoRecord::CommitPrepared(request.txn, request.ts)
@@ -266,6 +284,9 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleAbort(
     NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.aborts");
+  // The coordinator's resolution arrived; no further batches can follow it
+  // for this transaction, so the self-abort marker can go.
+  self_aborted_txns_.erase(request.txn);
   store_.AbortTxn(request.txn);
   AppendAndNotify(request.two_phase ? RedoRecord::AbortPrepared(request.txn)
                                     : RedoRecord::Abort(request.txn));

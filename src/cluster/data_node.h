@@ -1,7 +1,9 @@
 #ifndef GLOBALDB_SRC_CLUSTER_DATA_NODE_H_
 #define GLOBALDB_SRC_CLUSTER_DATA_NODE_H_
 
+#include <deque>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/cluster/messages.h"
@@ -91,6 +93,10 @@ class DataNode {
       NodeId from, ReplHelloRequest request);
 
   void AppendAndNotify(RedoRecord record);
+  /// Records a transaction this shard rolled back on its own (failing batch
+  /// entry). Bounded FIFO: the CN normally resolves with an abort broadcast
+  /// shortly after, but a crashed CN must not grow the set forever.
+  void RememberSelfAborted(TxnId txn);
 
   sim::Simulator* sim_;
   sim::Network* network_;
@@ -105,6 +111,13 @@ class DataNode {
   LockManager locks_;
   sim::CpuScheduler cpu_;
   std::unique_ptr<LogShipper> shipper_;
+  /// Transactions this shard aborted itself after a failing batch entry.
+  /// Even though the CN serializes batches per shard, a write batch that
+  /// arrives for one of these (e.g. from a buggy or restarted coordinator)
+  /// must not re-acquire locks behind the rollback: its entries are
+  /// rejected until the coordinator's commit/abort resolution arrives.
+  std::set<TxnId> self_aborted_txns_;
+  std::deque<TxnId> self_aborted_order_;
   Metrics metrics_;
 };
 

@@ -85,32 +85,38 @@ sim::Task<StatusOr<GtmTimestampReply>> TimestampSource::CallGtm(
   }
 
   auto waiter = std::make_shared<GtmWaiter>(sim_);
-  waiter->is_commit = is_commit;
   if (client_mode == TimestampMode::kDual) {
     waiter->gclock_upper = static_cast<Timestamp>(clock_->ReadUpper());
     waiter->error_bound = clock_->ErrorBound();
   }
+  // Begins and commits queue (and pump) separately so every batch is
+  // homogeneous: the server's verdict on the shared RPC — stale abort, DUAL
+  // wait — is then genuinely the answer each waiter would have received
+  // alone, and the fan-out below can apply it verbatim.
   const int idx = ModeIndex(client_mode);
-  queue_[idx].push_back(waiter);
-  if (!pump_active_[idx]) {
-    pump_active_[idx] = true;
-    sim_->Spawn(PumpGtm(client_mode));
+  const int ci = CommitIndex(is_commit);
+  queue_[idx][ci].push_back(waiter);
+  if (!pump_active_[idx][ci]) {
+    pump_active_[idx][ci] = true;
+    sim_->Spawn(PumpGtm(client_mode, is_commit));
   }
   auto future = waiter->reply.GetFuture();
   co_return co_await future;
 }
 
-sim::Task<void> TimestampSource::PumpGtm(TimestampMode mode) {
+sim::Task<void> TimestampSource::PumpGtm(TimestampMode mode, bool is_commit) {
   const int idx = ModeIndex(mode);
-  while (!queue_[idx].empty()) {
-    std::vector<std::shared_ptr<GtmWaiter>> batch = std::move(queue_[idx]);
-    queue_[idx].clear();
+  const int ci = CommitIndex(is_commit);
+  while (!queue_[idx][ci].empty()) {
+    std::vector<std::shared_ptr<GtmWaiter>> batch =
+        std::move(queue_[idx][ci]);
+    queue_[idx][ci].clear();
 
     GtmTimestampRequest request;
     request.client_mode = mode;
+    request.is_commit = is_commit;
     request.count = static_cast<uint32_t>(batch.size());
     for (const auto& w : batch) {
-      request.is_commit = request.is_commit || w->is_commit;
       request.gclock_upper = std::max(request.gclock_upper, w->gclock_upper);
       request.error_bound = std::max(request.error_bound, w->error_bound);
     }
@@ -125,24 +131,22 @@ sim::Task<void> TimestampSource::PumpGtm(TimestampMode mode) {
     auto reply = co_await client_.Call(gtm_node_, kGtmTimestamp, request);
     if (!reply.ok() || reply->aborted) {
       // Transport failures and GClock-mode refusals apply to the batch as a
-      // whole: every waiter would have received the same answer alone.
+      // whole: the batch is homogeneous in (mode, is_commit), so every
+      // waiter really would have received the same answer alone.
       for (const auto& w : batch) w->reply.Set(reply);
       continue;
     }
     // The server granted the contiguous range (ts - count, ts]. Fan it out
-    // in arrival order so grants on this node stay strictly monotonic; the
-    // DUAL wait/abort handling stays per waiter in CommitTs.
+    // in arrival order so grants on this node stay strictly monotonic per
+    // class; the DUAL wait/abort handling stays per waiter in CommitTs.
     const Timestamp first = reply->ts - batch.size() + 1;
     for (size_t i = 0; i < batch.size(); ++i) {
       GtmTimestampReply personal = *reply;
       personal.ts = first + static_cast<Timestamp>(i);
-      // The 2x-error-bound DUAL wait applies only to GTM-mode commits; a
-      // begin coalesced into the same RPC must not inherit it.
-      if (!batch[i]->is_commit) personal.wait = 0;
       batch[i]->reply.Set(personal);
     }
   }
-  pump_active_[idx] = false;
+  pump_active_[idx][ci] = false;
 }
 
 sim::Task<StatusOr<TimestampSource::Grant>> TimestampSource::BeginTs(

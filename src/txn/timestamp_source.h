@@ -97,18 +97,18 @@ class TimestampSource {
   /// dominates everything it observed before requesting.
   struct GtmWaiter {
     explicit GtmWaiter(sim::Simulator* sim) : reply(sim) {}
-    bool is_commit = false;
     Timestamp gclock_upper = 0;
     SimDuration error_bound = 0;
     sim::Promise<StatusOr<GtmTimestampReply>> reply;
   };
-  /// Drains queue_[mode]: one RPC per accumulated batch, fanning the granted
-  /// range to waiters in arrival order. At most one pump (and so one
-  /// in-flight RPC) per mode.
-  sim::Task<void> PumpGtm(TimestampMode mode);
+  /// Drains queue_[mode][is_commit]: one RPC per accumulated batch, fanning
+  /// the granted range to waiters in arrival order. At most one pump (and
+  /// so one in-flight RPC) per queue.
+  sim::Task<void> PumpGtm(TimestampMode mode, bool is_commit);
   static constexpr int ModeIndex(TimestampMode mode) {
     return static_cast<int>(mode);
   }
+  static constexpr int CommitIndex(bool is_commit) { return is_commit ? 1 : 0; }
   void BindService();
   /// Current issued-timestamp watermark + clock error bound.
   AckReply MakeAck() const;
@@ -128,11 +128,14 @@ class TimestampSource {
   Timestamp last_committed_ = 0;
   Timestamp max_issued_ = 0;
   bool coalesce_ = true;
-  // Waiter queues and pump liveness, indexed by TimestampMode. GTM and DUAL
-  // requests are never mixed in one RPC: the server applies different grant
-  // rules (Eq. 2 vs Eq. 3) to each.
-  std::vector<std::shared_ptr<GtmWaiter>> queue_[3];
-  bool pump_active_[3] = {false, false, false};
+  // Waiter queues and pump liveness, indexed by (TimestampMode, is_commit).
+  // A batch is homogeneous on both axes: GTM and DUAL are never mixed (the
+  // server applies different grant rules — Eq. 2 vs Eq. 3), and begins never
+  // share an RPC with commits, so the server's per-request verdict (abort,
+  // DUAL wait) applies to every waiter of the batch identically — no
+  // per-waiter patching of the shared reply.
+  std::vector<std::shared_ptr<GtmWaiter>> queue_[3][2];
+  bool pump_active_[3][2] = {};
   Metrics metrics_;
 };
 

@@ -223,6 +223,56 @@ TEST_F(WriteBatchTest, ThresholdFlushOverlapsExecution) {
   EXPECT_EQ(TotalLocksHeld(), 0u);
 }
 
+// Two writes of the same key split across threshold batches must apply in
+// statement order. At most one batch per shard is ever on the wire — the
+// second flush chains behind the first — so the later value wins regardless
+// of network jitter (the sim network has no per-pair FIFO guarantee).
+TEST_F(WriteBatchTest, SameKeyAcrossBatchesAppliesInStatementOrder) {
+  ClusterOptions options = ThreeCityOptions();
+  options.coordinator.write_batch_max_entries = 2;
+  Build(options);
+  auto& cn = cluster_->cn(0);
+  ASSERT_TRUE(RunTask(cn.CreateTable(AccountsSchema())).ok());
+
+  const ShardId shard = 0;
+  std::vector<int64_t> ids = IdsOnShard(shard, 2);
+  auto work = [this, &cn, ids]() -> sim::Task<Status> {
+    auto txn = co_await cn.Begin();
+    if (!txn.ok()) co_return txn.status();
+    // Batch 1: two inserts hit the threshold and the flush departs.
+    for (int64_t id : ids) {
+      Row row = {id, std::string("owner"), int64_t{1}};
+      Status s = co_await cn.Insert(&*txn, "accounts", row);
+      if (!s.ok()) co_return s;
+    }
+    // Batch 2 rewrites the same keys while batch 1 is still on the wire:
+    // it must be deferred and chained, never overtake.
+    for (int64_t id : ids) {
+      Row row = {id, std::string("owner"), int64_t{2}};
+      Status s = co_await cn.Update(&*txn, "accounts", row);
+      if (!s.ok()) co_return s;
+    }
+    co_return co_await cn.Commit(&*txn);
+  };
+  ASSERT_TRUE(RunTask(work()).ok());
+  EXPECT_GE(cn.metrics().Get("cn.write_batches"), 2);
+
+  for (int64_t id : ids) {
+    auto reader = [this, &cn,
+                   id]() -> sim::Task<StatusOr<std::optional<Row>>> {
+      auto txn = co_await cn.Begin();
+      if (!txn.ok()) co_return txn.status();
+      Row key = {id};
+      co_return co_await cn.Get(&*txn, "accounts", key);
+    };
+    auto row = RunTask(reader());
+    ASSERT_TRUE(row.ok());
+    ASSERT_TRUE(row->has_value());
+    EXPECT_EQ(std::get<int64_t>((**row)[2]), 2);
+  }
+  EXPECT_EQ(TotalLocksHeld(), 0u);
+}
+
 // A failing entry (duplicate insert) aborts the transaction at the next
 // barrier — here the commit flush — and every lock it took anywhere in the
 // cluster is released; its provisional writes are rolled back.

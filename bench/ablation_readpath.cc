@@ -1,0 +1,212 @@
+// Ablation: the batched read path (DESIGN.md §11) — MultiGet grouping
+// independent point reads per shard and fanning the groups out in
+// parallel (kDnReadBatch / kRorReadBatch) instead of one round trip per
+// key — measured on read-only TPC-C (Order-status + Stock-level, 50%
+// multi-shard) over a MultiGet on/off × ROR on/off × 10/50/100 ms RTT
+// grid on a 3-region uniform topology.
+//
+// A second section holds the acceptance pair: TPC-C NewOrder (GTM mode,
+// remote home warehouses, write batching on in both variants) with
+// MultiGet off vs on at 50 ms RTT — the item/stock read loop is the
+// serial-RTT hot spot the batch collapses — plus the read-only TPC-C
+// throughput non-regression pair with ROR on.
+//
+// With GDB_READPATH_GATE_ONLY set, only the acceptance pairs run (the
+// check.sh smoke path); with GDB_READPATH_JSON=<path>, their numbers are
+// written as JSON (BENCH_readpath.json).
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench/bench_util.h"
+
+using namespace globaldb;
+using namespace globaldb::bench;
+
+namespace {
+
+struct ReadPathResult {
+  RunResult run;
+  double reads_per_batch = 0;
+};
+
+/// Read-only TPC-C with the grid's two ablation axes (MultiGet, ROR).
+ReadPathResult RunReadOnly(bool multiget, bool ror, SimDuration rtt,
+                           TpccConfig config, int clients,
+                           SimDuration duration) {
+  sim::Simulator sim(53);
+  ClusterOptions options =
+      MakeClusterOptions(SystemKind::kGlobalDb, sim::Topology::Uniform(3, rtt));
+  options.coordinator.enable_read_batching = multiget;
+  options.coordinator.enable_ror = ror;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options driver_options;
+  driver_options.clients = clients;
+  driver_options.warmup = std::max<SimDuration>(400 * kMillisecond, 8 * rtt);
+  driver_options.duration = std::max<SimDuration>(duration, 50 * rtt);
+  WorkloadDriver driver(&cluster, driver_options);
+  ReadPathResult result;
+  result.run.stats = driver.Run(tpcc.MixFn());
+  result.run.tpm = result.run.stats.PerMinute();
+  result.run.tps = result.run.stats.Throughput();
+  result.run.p50_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(50)) /
+      kMillisecond;
+  result.run.p99_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(99)) /
+      kMillisecond;
+  Histogram batch_sizes;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    for (int64_t v :
+         cluster.cn(i).metrics().Hist("cn.read_batch_size").values()) {
+      batch_sizes.Record(v);
+    }
+  }
+  result.reads_per_batch = batch_sizes.mean();
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s%s", FormatRpcStats(cluster).c_str(),
+           FormatReadPathStats(cluster).c_str());
+  }
+  return result;
+}
+
+/// The latency gate: NewOrder under GTM with every home warehouse behind
+/// a WAN link. Write batching stays on in both variants so the measured
+/// delta is purely the item/stock read loop going from ~2 serial RTTs per
+/// order line to one batched fan-out.
+ReadPathResult RunNewOrder(bool multiget, SimDuration rtt, TpccConfig config,
+                           int clients, SimDuration duration) {
+  sim::Simulator sim(47);
+  ClusterOptions options =
+      MakeClusterOptions(SystemKind::kGlobalDb, sim::Topology::Uniform(3, rtt));
+  options.initial_mode = TimestampMode::kGtm;
+  options.coordinator.enable_write_batching = true;
+  options.coordinator.enable_read_batching = multiget;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options driver_options;
+  driver_options.clients = clients;
+  driver_options.warmup = std::max<SimDuration>(400 * kMillisecond, 8 * rtt);
+  driver_options.duration = std::max<SimDuration>(duration, 50 * rtt);
+  WorkloadDriver driver(&cluster, driver_options);
+  ReadPathResult result;
+  result.run.stats = driver.Run(
+      [&tpcc](CoordinatorNode* cn, Rng* rng) { return tpcc.NewOrder(cn, rng); });
+  result.run.tpm = result.run.stats.PerMinute();
+  result.run.tps = result.run.stats.Throughput();
+  result.run.p50_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(50)) /
+      kMillisecond;
+  result.run.p99_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(99)) /
+      kMillisecond;
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s%s", FormatRpcStats(cluster).c_str(),
+           FormatReadPathStats(cluster).c_str());
+  }
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const bool gate_only = getenv("GDB_READPATH_GATE_ONLY") != nullptr;
+  const SimDuration duration = BenchDuration();
+  const int clients = BenchClients();
+  TpccConfig readonly_config = MakeTpccConfig();
+  readonly_config.read_only_mix = true;  // Order-status + Stock-level only
+  readonly_config.read_only_multi_shard_fraction = 0.5;
+
+  if (!gate_only) {
+    PrintHeader("Ablation: batched read path (read-only TPC-C, 3-region "
+                "uniform RTT)",
+                "ror   rtt_ms  multiget       txn/s   p50_ms   p99_ms  "
+                "reads/batch");
+    const SimDuration rtts[] = {10 * kMillisecond, 50 * kMillisecond,
+                                100 * kMillisecond};
+    for (bool ror : {false, true}) {
+      for (SimDuration rtt : rtts) {
+        for (bool multiget : {false, true}) {
+          ReadPathResult r = RunReadOnly(multiget, ror, rtt, readonly_config,
+                                         clients, duration);
+          printf("%-5s %6lld  %-8s %11.0f %8.1f %8.1f %12.1f\n",
+                 ror ? "on" : "off", static_cast<long long>(rtt / kMillisecond),
+                 multiget ? "on" : "off", r.run.tps, r.run.p50_ms,
+                 r.run.p99_ms, r.reads_per_batch);
+          fflush(stdout);
+        }
+      }
+    }
+  }
+
+  // Acceptance pair 1: NewOrder p50 latency, MultiGet off vs on at 50 ms.
+  TpccConfig neworder_config = MakeTpccConfig();
+  neworder_config.remote_warehouse_fraction = 1.0;
+  PrintHeader("Read batching latency gate (NewOrder, GTM, 50 ms RTT)",
+              "multiget   NewOrder/min   p50_ms   p99_ms");
+  ReadPathResult no_off = RunNewOrder(false, 50 * kMillisecond,
+                                      neworder_config, clients, duration);
+  printf("%-8s %14.0f %8.1f %8.1f\n", "off", no_off.run.tpm,
+         no_off.run.p50_ms, no_off.run.p99_ms);
+  fflush(stdout);
+  ReadPathResult no_on = RunNewOrder(true, 50 * kMillisecond, neworder_config,
+                                     clients, duration);
+  printf("%-8s %14.0f %8.1f %8.1f\n", "on", no_on.run.tpm, no_on.run.p50_ms,
+         no_on.run.p99_ms);
+  const double p50_ratio =
+      no_on.run.p50_ms > 0 ? no_off.run.p50_ms / no_on.run.p50_ms : 0;
+  printf("p50 reduction (off/on): %.2fx\n", p50_ratio);
+
+  // Acceptance pair 2: read-only TPC-C throughput with ROR must not
+  // regress when batching turns on (the fig6c configuration).
+  PrintHeader("Read-only throughput gate (ROR on, 50 ms RTT)",
+              "multiget       txn/s   p50_ms");
+  ReadPathResult ro_off = RunReadOnly(false, true, 50 * kMillisecond,
+                                      readonly_config, clients, duration);
+  printf("%-8s %11.0f %8.1f\n", "off", ro_off.run.tps, ro_off.run.p50_ms);
+  fflush(stdout);
+  ReadPathResult ro_on = RunReadOnly(true, true, 50 * kMillisecond,
+                                     readonly_config, clients, duration);
+  printf("%-8s %11.0f %8.1f\n", "on", ro_on.run.tps, ro_on.run.p50_ms);
+  const double tps_ratio =
+      ro_off.run.tps > 0 ? ro_on.run.tps / ro_off.run.tps : 0;
+  printf("throughput ratio (on/off): %.3f   reads/batch: %.1f\n", tps_ratio,
+         ro_on.reads_per_batch);
+
+  if (const char* json_path = getenv("GDB_READPATH_JSON")) {
+    FILE* f = fopen(json_path, "w");
+    GDB_CHECK(f != nullptr) << "cannot write " << json_path;
+    fprintf(f,
+            "{\n"
+            "  \"rtt_ms\": 50,\n"
+            "  \"neworder_multiget_off\": {\"neworder_per_min\": %.1f, "
+            "\"p50_ms\": %.2f, \"p99_ms\": %.2f},\n"
+            "  \"neworder_multiget_on\": {\"neworder_per_min\": %.1f, "
+            "\"p50_ms\": %.2f, \"p99_ms\": %.2f},\n"
+            "  \"neworder_p50_ratio\": %.3f,\n"
+            "  \"readonly_multiget_off\": {\"tps\": %.1f, \"p50_ms\": %.2f},\n"
+            "  \"readonly_multiget_on\": {\"tps\": %.1f, \"p50_ms\": %.2f},\n"
+            "  \"readonly_tps_ratio\": %.4f,\n"
+            "  \"reads_per_batch\": %.2f\n"
+            "}\n",
+            no_off.run.tpm, no_off.run.p50_ms, no_off.run.p99_ms,
+            no_on.run.tpm, no_on.run.p50_ms, no_on.run.p99_ms, p50_ratio,
+            ro_off.run.tps, ro_off.run.p50_ms, ro_on.run.tps, ro_on.run.p50_ms,
+            tps_ratio, ro_on.reads_per_batch);
+    fclose(f);
+  }
+  return 0;
+}

@@ -189,6 +189,53 @@ inline std::string FormatCommitPhaseStats(Cluster& cluster) {
   return out;
 }
 
+/// Aggregates the read-path batching stats from every CN (DESIGN.md §11
+/// observability): the MultiGet batch-size and per-target fan-out
+/// histograms, plus a counter line with the flush-barrier count and the
+/// replica-vs-primary split of the batch RPCs.
+inline std::string FormatReadPathStats(Cluster& cluster) {
+  const char* cn_hists[] = {"cn.read_batch_size", "cn.multiget_fanout"};
+  const char* cn_counters[] = {"cn.multigets", "cn.multiget_flush_barriers",
+                               "cn.read_batch_replica",
+                               "cn.read_batch_primary",
+                               "cn.replica_failovers"};
+  std::map<std::string, Histogram> merged;
+  std::map<std::string, int64_t> counters;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    for (const char* name : cn_hists) {
+      for (int64_t v : cluster.cn(i).metrics().Hist(name).values()) {
+        merged[name].Record(v);
+      }
+    }
+    for (const char* name : cn_counters) {
+      counters[name] += cluster.cn(i).metrics().Get(name);
+    }
+  }
+  std::string out =
+      "    read path stat       count     mean      p50      p95      p99\n";
+  char line[160];
+  for (auto& [name, hist] : merged) {
+    if (hist.count() == 0) continue;
+    snprintf(line, sizeof(line),
+             "    %-18s %8zu %8.1f %8lld %8lld %8lld\n", name.c_str(),
+             hist.count(), hist.mean(),
+             static_cast<long long>(hist.Percentile(50)),
+             static_cast<long long>(hist.Percentile(95)),
+             static_cast<long long>(hist.Percentile(99)));
+    out += line;
+  }
+  snprintf(line, sizeof(line),
+           "    multigets=%lld flush_barriers=%lld replica_batches=%lld "
+           "primary_batches=%lld failovers=%lld\n",
+           static_cast<long long>(counters["cn.multigets"]),
+           static_cast<long long>(counters["cn.multiget_flush_barriers"]),
+           static_cast<long long>(counters["cn.read_batch_replica"]),
+           static_cast<long long>(counters["cn.read_batch_primary"]),
+           static_cast<long long>(counters["cn.replica_failovers"]));
+  out += line;
+  return out;
+}
+
 /// Stands up a cluster, loads TPC-C, runs the mix, returns stats.
 inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
                          TpccConfig config, int clients,
@@ -235,8 +282,9 @@ inline RunResult RunTpcc(SystemKind kind, sim::Topology topology,
   }
   result.rpc_stats = FormatRpcStats(cluster);
   if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
-    printf("%s%s", result.rpc_stats.c_str(),
-           FormatCommitPhaseStats(cluster).c_str());
+    printf("%s%s%s", result.rpc_stats.c_str(),
+           FormatCommitPhaseStats(cluster).c_str(),
+           FormatReadPathStats(cluster).c_str());
   }
   result.tpm = result.stats.PerMinute();
   result.tps = result.stats.Throughput();
@@ -270,8 +318,9 @@ inline RunResult RunSysbenchPointSelectWith(ClusterOptions cluster_options,
   result.stats = driver.Run(sysbench.PointSelectFn());
   result.rpc_stats = FormatRpcStats(cluster);
   if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
-    printf("%s%s", result.rpc_stats.c_str(),
-           FormatCommitPhaseStats(cluster).c_str());
+    printf("%s%s%s", result.rpc_stats.c_str(),
+           FormatCommitPhaseStats(cluster).c_str(),
+           FormatReadPathStats(cluster).c_str());
   }
   result.tpm = result.stats.PerMinute();
   result.tps = result.stats.Throughput();

@@ -35,6 +35,10 @@ RunResult RunReadOnly(SystemKind kind, SimDuration delay_rtt,
   result.tps = result.stats.Throughput();
   result.p50_ms =
       static_cast<double>(result.stats.latency.Percentile(50)) / kMillisecond;
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s%s", FormatRpcStats(cluster).c_str(),
+           FormatReadPathStats(cluster).c_str());
+  }
   if (getenv("GDB_BENCH_DEBUG") != nullptr) {
     for (const auto& [reason, count] : result.stats.abort_reasons) {
       printf("    abort %8lld  %s\n", static_cast<long long>(count),

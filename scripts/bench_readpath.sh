@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Batched-read-path benchmark (DESIGN.md §11): TPC-C NewOrder with MultiGet
+# on vs off at 50 ms RTT (GTM mode, remote home warehouses, write batching
+# on in both), plus the fig6c read-only TPC-C configuration (ROR on) as a
+# throughput non-regression pair.
+# Emits BENCH_readpath.json (override with OUT=...) and fails unless
+#   - batching cuts NewOrder p50 latency by >= 2x (p50_off / p50_on), and
+#   - read-only throughput with batching on stays >= 0.9x the serial path.
+# Usage: scripts/bench_readpath.sh [build-dir]   (default: build)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${OUT:-BENCH_readpath.json}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target ablation_readpath
+
+GDB_READPATH_GATE_ONLY=1 GDB_READPATH_JSON="${OUT}" \
+GDB_BENCH_DURATION_MS="${GDB_BENCH_DURATION_MS:-1500}" \
+GDB_BENCH_CLIENTS="${GDB_BENCH_CLIENTS:-180}" \
+  "${BUILD_DIR}/bench/ablation_readpath"
+
+echo "== ${OUT} =="
+cat "${OUT}"
+
+json_field() {
+  sed -n "s/.*\"$1\": \([-0-9.]*\).*/\1/p" "${OUT}"
+}
+
+P50_RATIO="$(json_field neworder_p50_ratio)"
+TPS_RATIO="$(json_field readonly_tps_ratio)"
+
+awk -v r="${P50_RATIO}" 'BEGIN { exit !(r >= 2.0) }' || {
+  echo "FAIL: NewOrder p50 reduction ${P50_RATIO}x < 2x with read" \
+       "batching" >&2
+  exit 1
+}
+echo "OK: NewOrder p50 reduction ${P50_RATIO}x (>= 2x)"
+
+awk -v r="${TPS_RATIO}" 'BEGIN { exit !(r >= 0.9) }' || {
+  echo "FAIL: read-only throughput ratio ${TPS_RATIO} < 0.9 with read" \
+       "batching on" >&2
+  exit 1
+}
+echo "OK: read-only throughput ratio ${TPS_RATIO} (>= 0.9)"

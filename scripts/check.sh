@@ -28,6 +28,11 @@ scripts/bench_logship.sh "${BUILD_DIR}"
 echo "== txn path bench smoke =="
 scripts/bench_txnpath.sh "${BUILD_DIR}"
 
+# Read-path smoke: MultiGet must keep its >= 2x NewOrder p50 cut at 50 ms
+# RTT and must not cost read-only TPC-C throughput with ROR on.
+echo "== read path bench smoke =="
+scripts/bench_readpath.sh "${BUILD_DIR}"
+
 echo "== ASan+UBSan pass =="
 rm -rf "${SAN_DIR}"
 cmake -B "${SAN_DIR}" -S . \

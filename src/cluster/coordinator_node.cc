@@ -1,6 +1,7 @@
 #include "src/cluster/coordinator_node.h"
 
 #include <algorithm>
+#include <tuple>
 
 #include "src/common/logging.h"
 #include "src/sim/future.h"
@@ -457,7 +458,12 @@ sim::Task<Status> CoordinatorNode::Delete(TxnHandle* txn,
 NodeId CoordinatorNode::PickReadNode(const TxnHandle& txn,
                                      const TableSchema& schema,
                                      ShardId shard) {
-  if (txn.use_ror && RorDdlVisible(schema)) {
+  return PickReadTarget(txn, RorDdlVisible(schema), shard);
+}
+
+NodeId CoordinatorNode::PickReadTarget(const TxnHandle& txn, bool ddl_visible,
+                                       ShardId shard) {
+  if (txn.use_ror && ddl_visible) {
     auto replica = selector_.Pick(shard, txn.snapshot);
     if (replica.ok()) {
       // The primary is also a candidate: a shard mastered in this region is
@@ -527,6 +533,201 @@ sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::Get(
   Row row;
   GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(result->value), &row));
   co_return std::optional<Row>(std::move(row));
+}
+
+sim::Task<StatusOr<std::vector<std::optional<Row>>>> CoordinatorNode::MultiGet(
+    TxnHandle* txn, const std::string& table, const std::vector<Row>& keys) {
+  std::vector<MultiGetKey> multi;
+  multi.reserve(keys.size());
+  for (const Row& key : keys) multi.push_back({table, key, false});
+  co_return co_await MultiGet(txn, std::move(multi));
+}
+
+sim::Task<StatusOr<std::vector<std::optional<Row>>>> CoordinatorNode::MultiGet(
+    TxnHandle* txn, std::vector<MultiGetKey> keys) {
+  if (keys.empty()) co_return std::vector<std::optional<Row>>{};
+  if (!options_.enable_read_batching) {
+    co_return co_await MultiGetSerial(txn, std::move(keys));
+  }
+  // Same parse/plan/route CPU as the serial statements: the batch saves
+  // round trips, not planning work.
+  co_await cpu_.Consume(options_.statement_cost *
+                        static_cast<SimDuration>(keys.size()));
+
+  // Resolve every key to (table, encoded key, shard) and dedup exact
+  // repeats — each unique key is fetched once and fanned back to every
+  // requesting slot.
+  struct UniqueKey {
+    TableId table = 0;
+    RowKey key;
+    bool for_update = false;
+    ShardId shard = kInvalidShardId;
+    bool ddl_visible = false;
+  };
+  std::vector<UniqueKey> unique;
+  std::vector<size_t> slot_of(keys.size());  // keys[i] -> unique index
+  std::map<std::tuple<TableId, RowKey, bool>, size_t> dedup;
+  bool needs_flush = false;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const MultiGetKey& mk = keys[i];
+    const TableSchema* schema = catalog_.FindTable(mk.table);
+    if (schema == nullptr) co_return Status::NotFound("table " + mk.table);
+    if (mk.key_values.size() != schema->key_columns.size()) {
+      co_return Status::InvalidArgument("key arity mismatch");
+    }
+    if (mk.for_update &&
+        schema->distribution == DistributionKind::kReplicated) {
+      co_return Status::Unimplemented("FOR UPDATE on replicated table");
+    }
+    Row sparse(schema->columns.size());
+    for (size_t c = 0; c < schema->key_columns.size(); ++c) {
+      sparse[schema->key_columns[c]] = mk.key_values[c];
+    }
+    UniqueKey uk;
+    uk.table = schema->id;
+    uk.key = schema->PrimaryKeyOf(sparse);
+    uk.for_update = mk.for_update;
+    auto [it, inserted] =
+        dedup.try_emplace({uk.table, uk.key, uk.for_update}, unique.size());
+    slot_of[i] = it->second;
+    if (!inserted) continue;
+    if (mk.for_update) {
+      // Lock-reads pin their home shard (the lock lives on the primary);
+      // plain reads of replicated tables may rotate to any local copy.
+      uk.shard = RouteRowToShard(
+          *schema, sparse, static_cast<uint32_t>(shard_primaries_.size()));
+    } else {
+      auto shard = ShardOf(*schema, sparse);
+      if (!shard.ok()) co_return shard.status();
+      uk.shard = *shard;
+    }
+    uk.ddl_visible = RorDdlVisible(*schema);
+    needs_flush = needs_flush || NeedsFlushForKey(*txn, uk.table, uk.key);
+    unique.push_back(std::move(uk));
+  }
+  metrics_.Add("cn.multigets");
+  metrics_.Hist("cn.read_batch_size")
+      .Record(static_cast<int64_t>(unique.size()));
+
+  // Read-your-writes across the whole key set: at most ONE barrier no
+  // matter how many keys overlap the write buffer.
+  if (needs_flush) {
+    metrics_.Add("cn.multiget_flush_barriers");
+    GDB_CO_RETURN_IF_ERROR(co_await FlushWrites(txn));
+  }
+
+  // Group unique keys by shard; route each group independently.
+  std::map<ShardId, size_t> group_of;
+  std::vector<ReadGroup> groups;
+  for (size_t u = 0; u < unique.size(); ++u) {
+    auto [it, inserted] = group_of.try_emplace(unique[u].shard, groups.size());
+    if (inserted) {
+      ReadGroup group;
+      group.shard = unique[u].shard;
+      group.request.snapshot = txn->snapshot;
+      groups.push_back(std::move(group));
+    }
+    ReadGroup& group = groups[it->second];
+    ReadBatchRequest::Entry entry;
+    entry.table = unique[u].table;
+    entry.key = unique[u].key;
+    entry.for_update = unique[u].for_update;
+    group.request.entries.push_back(std::move(entry));
+    group.slots.push_back(u);
+  }
+  metrics_.Hist("cn.multiget_fanout")
+      .Record(static_cast<int64_t>(groups.size()));
+
+  for (ReadGroup& group : groups) {
+    bool has_lock = false;
+    bool ddl_visible = true;
+    for (size_t u : group.slots) {
+      has_lock = has_lock || unique[u].for_update;
+      ddl_visible = ddl_visible && unique[u].ddl_visible;
+    }
+    if (has_lock) {
+      // Locks live on the primary, and they must be released at
+      // commit/abort: the shard joins the write set before the RPC departs,
+      // so even a failed acquisition is covered by the abort broadcast.
+      group.target = shard_primaries_[group.shard];
+      group.is_replica = false;
+      group.request.txn = txn->id;
+      txn->write_shards.insert(group.shard);
+    } else {
+      group.target = PickReadTarget(*txn, ddl_visible, group.shard);
+      group.is_replica = group.target != shard_primaries_[group.shard];
+      group.request.txn = txn->use_ror ? kInvalidTxnId : txn->id;
+    }
+    metrics_.Add(group.is_replica ? "cn.read_batch_replica"
+                                  : "cn.read_batch_primary");
+  }
+
+  // Fan every group out in parallel: the WAN cost of the whole MultiGet is
+  // one round trip to the slowest group, not a sum over keys.
+  sim::WaitGroup wg(sim_);
+  for (ReadGroup& group : groups) {
+    wg.Add(1);
+    sim_->Spawn(CallReadGroup(&group, &wg));
+  }
+  co_await wg.Wait();
+
+  // First error wins: group envelope errors, then per-entry errors (same
+  // order the serial loop would surface them in).
+  std::vector<std::optional<Row>> unique_rows(unique.size());
+  for (ReadGroup& group : groups) {
+    if (!group.reply.ok()) co_return group.reply.status();
+    ReadBatchReply& reply = *group.reply;
+    if (reply.results.size() != group.request.entries.size()) {
+      co_return Status::Internal("read batch reply size mismatch");
+    }
+    for (size_t e = 0; e < reply.results.size(); ++e) {
+      ReadBatchReply::EntryResult& result = reply.results[e];
+      if (result.code != StatusCode::kOk) co_return result.ToStatus();
+      if (!result.found) continue;
+      Row row;
+      GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(result.value), &row));
+      unique_rows[group.slots[e]] = std::move(row);
+    }
+  }
+  std::vector<std::optional<Row>> rows(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) rows[i] = unique_rows[slot_of[i]];
+  co_return rows;
+}
+
+sim::Task<void> CoordinatorNode::CallReadGroup(ReadGroup* group,
+                                               sim::WaitGroup* wg) {
+  auto reply = co_await client_.Call(
+      group->target, group->is_replica ? kRorReadBatch : kDnReadBatch,
+      group->request);
+  if (!reply.ok() && group->is_replica &&
+      rpc::IsTransportError(reply.status())) {
+    // Failover exactly as the serial path, scoped to this group: exclude
+    // the unreachable replica and retry on the shard primary. The other
+    // groups' results are unaffected.
+    selector_.MarkFailed(group->target);
+    metrics_.Add("cn.replica_failovers");
+    reply = co_await client_.Call(shard_primaries_[group->shard],
+                                  kDnReadBatch, group->request);
+  }
+  group->reply = std::move(reply);
+  wg->Done();
+}
+
+sim::Task<StatusOr<std::vector<std::optional<Row>>>>
+CoordinatorNode::MultiGetSerial(TxnHandle* txn, std::vector<MultiGetKey> keys) {
+  std::vector<std::optional<Row>> rows(keys.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i].for_update) {
+      auto row = co_await GetForUpdate(txn, keys[i].table, keys[i].key_values);
+      if (!row.ok()) co_return row.status();
+      rows[i] = std::move(*row);
+    } else {
+      auto row = co_await Get(txn, keys[i].table, keys[i].key_values);
+      if (!row.ok()) co_return row.status();
+      rows[i] = std::move(*row);
+    }
+  }
+  co_return rows;
 }
 
 sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::GetForUpdate(

@@ -50,6 +50,12 @@ struct CoordinatorOptions {
   /// When true (default), concurrent GTM/DUAL timestamp requests on this CN
   /// coalesce into single ranged kGtmTimestamp RPCs.
   bool coalesce_gtm = true;
+  /// When true (default), MultiGet dedups its key set, groups keys by
+  /// shard, and fans the groups out as parallel kDnReadBatch/kRorReadBatch
+  /// RPCs — one WAN round trip for the whole set (DESIGN.md §11). When
+  /// false, MultiGet degrades to the equivalent sequence of serial
+  /// Get/GetForUpdate calls (the ablation baseline).
+  bool enable_read_batching = true;
 };
 
 /// Options for a single read-only request.
@@ -86,6 +92,16 @@ struct TxnWriteBuffer {
   sim::WaitGroup inflight;
   int inflight_count = 0;
   Status error;
+};
+
+/// One key of a MultiGet request: a point lookup of `key_values` (in
+/// schema.key_columns order) in `table`. A for_update key takes the row
+/// lock on the primary and reads the latest committed version, exactly
+/// like GetForUpdate.
+struct MultiGetKey {
+  std::string table;
+  Row key_values;
+  bool for_update = false;
 };
 
 /// An open transaction as tracked by its coordinating CN.
@@ -158,6 +174,20 @@ class CoordinatorNode {
   sim::Task<StatusOr<std::optional<Row>>> Get(TxnHandle* txn,
                                               const std::string& table,
                                               const Row& key_values);
+  /// Batched point lookups: dedups the key set, runs the read-your-writes
+  /// check across all keys with at most one flush barrier, groups keys by
+  /// shard, routes each group to a ROR replica or the primary, and fans
+  /// every group out in parallel — one WAN round trip for the whole set.
+  /// Results align with `keys` (nullopt = not found); rows are
+  /// byte-identical to an equivalent sequence of serial Get/GetForUpdate
+  /// calls under the same snapshot. A group whose replica fails mid-batch
+  /// fails over to its shard primary; only the first per-entry or
+  /// transport error is returned.
+  sim::Task<StatusOr<std::vector<std::optional<Row>>>> MultiGet(
+      TxnHandle* txn, std::vector<MultiGetKey> keys);
+  /// Single-table convenience wrapper (plain reads, no locks).
+  sim::Task<StatusOr<std::vector<std::optional<Row>>>> MultiGet(
+      TxnHandle* txn, const std::string& table, const std::vector<Row>& keys);
   /// SELECT ... FOR UPDATE: takes the row lock on the primary and returns
   /// the latest committed version. Subsequent Update/Delete of the same row
   /// in this transaction cannot hit a write-write conflict. The lock is
@@ -242,6 +272,29 @@ class CoordinatorNode {
   /// Chooses the node (replica or primary) for a ROR read of `shard`.
   NodeId PickReadNode(const TxnHandle& txn, const TableSchema& schema,
                       ShardId shard);
+  /// Same decision with the table's DDL-visibility verdict precomputed
+  /// (MultiGet groups may span tables; ROR needs every table visible).
+  NodeId PickReadTarget(const TxnHandle& txn, bool ddl_visible, ShardId shard);
+
+  /// One shard's slice of a MultiGet fan-out: the batch request, its
+  /// routing decision, and the reply slot filled by CallReadGroup.
+  struct ReadGroup {
+    ShardId shard = kInvalidShardId;
+    NodeId target = kInvalidNodeId;
+    bool is_replica = false;
+    ReadBatchRequest request;
+    /// Unique-key slot fed by each request entry, aligned with entries.
+    std::vector<size_t> slots;
+    StatusOr<ReadBatchReply> reply{Status::Unavailable("not attempted")};
+  };
+  /// Issues one group's batch RPC; on a transport error from a replica,
+  /// fails over only this group to its shard primary (cn.replica_failovers,
+  /// as in the serial path).
+  sim::Task<void> CallReadGroup(ReadGroup* group, sim::WaitGroup* wg);
+  /// Degraded MultiGet (read batching disabled): the equivalent sequence of
+  /// serial Get/GetForUpdate calls, results aligned with `keys`.
+  sim::Task<StatusOr<std::vector<std::optional<Row>>>> MultiGetSerial(
+      TxnHandle* txn, std::vector<MultiGetKey> keys);
   /// DDL visibility conditions for ROR (Section IV-A).
   bool RorDdlVisible(const TableSchema& schema) const;
 

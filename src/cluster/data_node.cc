@@ -42,6 +42,9 @@ void DataNode::BindService() {
   server_.Handle(kDnLockRead, [this](NodeId from, ReadRequest request) {
     return HandleLockRead(from, std::move(request));
   });
+  server_.Handle(kDnReadBatch, [this](NodeId from, ReadBatchRequest request) {
+    return HandleReadBatch(from, std::move(request));
+  });
   server_.Handle(kDnScan, [this](NodeId from, ScanRequest request) {
     return HandleScan(from, std::move(request));
   });
@@ -115,6 +118,45 @@ sim::Task<StatusOr<ReadReply>> DataNode::HandleLockRead(NodeId from,
   ReadResult result = table->Read(request.key, kTimestampMax - 1, request.txn);
   reply.found = result.found;
   reply.value = std::move(result.value);
+  co_return reply;
+}
+
+sim::Task<StatusOr<ReadBatchReply>> DataNode::HandleReadBatch(
+    NodeId from, ReadBatchRequest request) {
+  metrics_.Add("dn.read_batches");
+  metrics_.Hist("dn.read_batch_entries")
+      .Record(static_cast<int64_t>(request.entries.size()));
+  ReadBatchReply reply;
+  reply.results.resize(request.entries.size());
+  // One snapshot resolution for the whole batch; each entry is then an
+  // independent MVCC lookup (plus a row lock for for_update entries).
+  // Entry failures are per-entry: a lock timeout on one key must not
+  // invalidate the rows already fetched for the others.
+  for (size_t i = 0; i < request.entries.size(); ++i) {
+    co_await cpu_.Consume(options_.read_cost);
+    metrics_.Add("dn.batched_reads");
+    const ReadBatchRequest::Entry& entry = request.entries[i];
+    ReadBatchReply::EntryResult& result = reply.results[i];
+    Timestamp snapshot = request.snapshot;
+    if (entry.for_update) {
+      Status lock_status =
+          co_await locks_.Acquire(request.txn, entry.table, entry.key);
+      if (!lock_status.ok()) {
+        result.code = lock_status.code();
+        result.message = std::string(lock_status.message());
+        continue;
+      }
+      // FOR UPDATE reads the latest committed version under the held lock.
+      snapshot = kTimestampMax - 1;
+    }
+    MvccTable* table = store_.GetTable(entry.table);
+    if (table == nullptr) {
+      continue;  // catalog-known table, storage-empty shard: a miss
+    }
+    ReadResult read = table->Read(entry.key, snapshot, request.txn);
+    result.found = read.found;
+    result.value = std::move(read.value);
+  }
   co_return reply;
 }
 

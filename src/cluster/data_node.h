@@ -69,6 +69,8 @@ class DataNode {
   sim::Task<StatusOr<ReadReply>> HandleRead(NodeId from, ReadRequest request);
   sim::Task<StatusOr<ReadReply>> HandleLockRead(NodeId from,
                                                 ReadRequest request);
+  sim::Task<StatusOr<ReadBatchReply>> HandleReadBatch(
+      NodeId from, ReadBatchRequest request);
   sim::Task<StatusOr<ScanReply>> HandleScan(NodeId from, ScanRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleWrite(NodeId from,
                                                      WriteRequest request);

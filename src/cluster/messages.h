@@ -126,6 +126,110 @@ struct ScanReply {
   }
 };
 
+/// A batch of independent point reads for one shard, resolved under one
+/// snapshot (the CN's MultiGet fan-out, DESIGN.md §11). Entries marked
+/// `for_update` take the row lock and read the latest committed version
+/// (SELECT ... FOR UPDATE); they are only ever routed to the primary.
+struct ReadBatchRequest {
+  struct Entry {
+    TableId table = kInvalidTableId;
+    RowKey key;
+    bool for_update = false;
+  };
+  Timestamp snapshot = 0;
+  TxnId txn = kInvalidTxnId;
+  std::vector<Entry> entries;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, snapshot);
+    PutVarint64(&s, txn);
+    PutVarint32(&s, static_cast<uint32_t>(entries.size()));
+    for (const auto& e : entries) {
+      PutVarint32(&s, e.table);
+      PutLengthPrefixed(&s, e.key);
+      s.push_back(e.for_update ? 1 : 0);
+    }
+    return s;
+  }
+  static StatusOr<ReadBatchRequest> Decode(Slice in) {
+    ReadBatchRequest r;
+    uint32_t n = 0;
+    if (!GetVarint64(&in, &r.snapshot) || !GetVarint64(&in, &r.txn) ||
+        !GetVarint32(&in, &n)) {
+      return Status::Corruption("read batch req");
+    }
+    r.entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      Slice key;
+      if (!GetVarint32(&in, &e.table) || !GetLengthPrefixed(&in, &key) ||
+          in.empty()) {
+        return Status::Corruption("read batch entry");
+      }
+      e.key = key.ToString();
+      e.for_update = in[0] != 0;
+      in.RemovePrefix(1);
+      r.entries.push_back(std::move(e));
+    }
+    return r;
+  }
+};
+
+/// Per-entry read outcomes, aligned with the request's entries. The RPC
+/// envelope stays OK whenever the batch was processed; per-entry failures
+/// (e.g. a lock timeout on a for_update entry) travel here so one bad key
+/// does not discard the other entries' results.
+struct ReadBatchReply {
+  struct EntryResult {
+    StatusCode code = StatusCode::kOk;
+    std::string message;
+    bool found = false;
+    std::string value;
+    Status ToStatus() const {
+      return code == StatusCode::kOk ? Status::OK() : Status(code, message);
+    }
+  };
+  std::vector<EntryResult> results;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, static_cast<uint32_t>(results.size()));
+    for (const auto& res : results) {
+      PutVarint32(&s, static_cast<uint32_t>(res.code));
+      PutLengthPrefixed(&s, res.message);
+      s.push_back(res.found ? 1 : 0);
+      PutLengthPrefixed(&s, res.value);
+    }
+    return s;
+  }
+  static StatusOr<ReadBatchReply> Decode(Slice in) {
+    ReadBatchReply r;
+    uint32_t n = 0;
+    if (!GetVarint32(&in, &n)) return Status::Corruption("read batch reply");
+    r.results.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      EntryResult res;
+      uint32_t code = 0;
+      Slice message, value;
+      if (!GetVarint32(&in, &code) || !GetLengthPrefixed(&in, &message) ||
+          in.empty()) {
+        return Status::Corruption("read batch reply entry");
+      }
+      res.code = static_cast<StatusCode>(code);
+      res.message = message.ToString();
+      res.found = in[0] != 0;
+      in.RemovePrefix(1);
+      if (!GetLengthPrefixed(&in, &value)) {
+        return Status::Corruption("read batch reply value");
+      }
+      res.value = value.ToString();
+      r.results.push_back(std::move(res));
+    }
+    return r;
+  }
+};
+
 /// Write (insert / update / delete) executed on the primary under a lock.
 struct WriteRequest {
   enum class Op : uint8_t { kInsert = 1, kUpdate = 2, kDelete = 3 };
@@ -391,6 +495,8 @@ struct RcpUpdateMessage {
 inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kDnRead{"dn.read"};
 inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kDnLockRead{
     "dn.lock_read"};
+inline constexpr rpc::RpcMethod<ReadBatchRequest, ReadBatchReply>
+    kDnReadBatch{"dn.read_batch"};
 inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kDnScan{"dn.scan"};
 inline constexpr rpc::RpcMethod<WriteRequest, rpc::EmptyMessage> kDnWrite{
     "dn.write"};
@@ -409,6 +515,8 @@ inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
 
 // Served by replica data nodes (read-on-replica).
 inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kRorRead{"ror.read"};
+inline constexpr rpc::RpcMethod<ReadBatchRequest, ReadBatchReply>
+    kRorReadBatch{"ror.read_batch"};
 inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kRorScan{"ror.scan"};
 inline constexpr rpc::RpcMethod<rpc::EmptyMessage, RorStatusReply> kRorStatus{
     "ror.status"};

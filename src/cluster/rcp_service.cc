@@ -62,6 +62,10 @@ sim::Task<void> RcpService::PollOnce() {
     if (!results[i].ok()) {
       if (selector_ != nullptr) selector_->MarkFailed(desc.node);
       failed_.insert(desc.node);
+      // Drop the last successful poll's status: broadcasts must not keep
+      // republishing a dead replica's stale freshness (peers folding it
+      // into their skylines would chase a max_commit_ts nobody serves).
+      statuses_.erase(desc.node);
       metrics_.Add("rcp.poll_failures");
       continue;
     }
@@ -98,12 +102,20 @@ sim::Task<void> RcpService::PollOnce() {
 RcpUpdateMessage RcpService::MakeUpdate() const {
   RcpUpdateMessage update;
   update.rcp = rcp_;
-  update.statuses.reserve(statuses_.size());
-  for (const auto& [node, status] : statuses_) {
+  update.statuses.reserve(replicas_.size());
+  for (const auto& desc : replicas_) {
     RcpUpdateMessage::Entry entry;
-    entry.node = node;
-    entry.healthy = failed_.count(node) == 0;
-    entry.status = status;
+    entry.node = desc.node;
+    if (failed_.count(desc.node) > 0) {
+      // Explicit unhealthy marker with a default (empty) status: peers
+      // still MarkFailed, but no stale freshness rides along.
+      entry.healthy = false;
+    } else {
+      auto it = statuses_.find(desc.node);
+      if (it == statuses_.end()) continue;  // never successfully polled
+      entry.healthy = true;
+      entry.status = it->second;
+    }
     update.statuses.push_back(std::move(entry));
   }
   return update;

@@ -57,6 +57,13 @@ class RcpService {
   Metrics& metrics() { return metrics_; }
   /// RPC client used for polling and pushes (poll latency stats live here).
   rpc::RpcClient& rpc_client() { return client_; }
+  /// Collector-side view of the last successful poll per replica. A replica
+  /// whose last poll failed has no entry here (see PollOnce) — tests assert
+  /// on this to catch stale-status regressions.
+  const std::map<NodeId, RorStatusReply>& statuses() const {
+    return statuses_;
+  }
+  const std::set<NodeId>& failed() const { return failed_; }
 
  private:
   sim::Task<void> CollectorLoop();

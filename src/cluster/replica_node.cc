@@ -40,6 +40,9 @@ void ReplicaNode::BindService() {
   server_.Handle(kRorRead, [this](NodeId from, ReadRequest request) {
     return HandleRead(from, std::move(request));
   });
+  server_.Handle(kRorReadBatch, [this](NodeId from, ReadBatchRequest request) {
+    return HandleReadBatch(from, std::move(request));
+  });
   server_.Handle(kRorScan, [this](NodeId from, ScanRequest request) {
     return HandleScan(from, std::move(request));
   });
@@ -70,6 +73,47 @@ sim::Task<StatusOr<ReadReply>> ReplicaNode::HandleRead(NodeId from,
     reply.found = result.found;
     reply.value = std::move(result.value);
     break;
+  }
+  co_return reply;
+}
+
+sim::Task<StatusOr<ReadBatchReply>> ReplicaNode::HandleReadBatch(
+    NodeId from, ReadBatchRequest request) {
+  metrics_.Add("ror.read_batches");
+  metrics_.Hist("ror.read_batch_entries")
+      .Record(static_cast<int64_t>(request.entries.size()));
+  ReadBatchReply reply;
+  reply.results.resize(request.entries.size());
+  // One snapshot for the whole batch; pending-commit tuple locks are waited
+  // out per entry, so one blocked key only delays itself.
+  for (size_t i = 0; i < request.entries.size(); ++i) {
+    co_await cpu_.Consume(options_.read_cost);
+    metrics_.Add("ror.batched_reads");
+    const ReadBatchRequest::Entry& entry = request.entries[i];
+    ReadBatchReply::EntryResult& result = reply.results[i];
+    if (entry.for_update) {
+      // The CN routes lock-read groups to the primary; a for_update entry
+      // here means a routing bug, not a user error.
+      result.code = StatusCode::kInternal;
+      result.message = "for_update read routed to a replica";
+      continue;
+    }
+    MvccTable* table = store_.GetTable(entry.table);
+    if (table == nullptr) {
+      continue;  // no rows replayed into this shard yet: a miss
+    }
+    while (true) {
+      ReadResult read = table->Read(entry.key, request.snapshot);
+      if (read.provisional_txn != kInvalidTxnId &&
+          applier_->MustWait(read.provisional_txn, request.snapshot)) {
+        metrics_.Add("ror.pending_waits");
+        co_await applier_->WaitResolved(read.provisional_txn);
+        continue;
+      }
+      result.found = read.found;
+      result.value = std::move(read.value);
+      break;
+    }
   }
   co_return reply;
 }

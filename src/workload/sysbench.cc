@@ -152,11 +152,15 @@ sim::Task<TxnResult> SysbenchWorkload::ReadWrite(CoordinatorNode* cn,
   }
   TxnHandle txn = *txn_or;
 
+  // The point selects are independent of each other: one batched MultiGet
+  // fans them out per shard instead of point_selects_per_txn serial trips.
+  std::vector<Row> select_keys;
+  select_keys.reserve(config_.point_selects_per_txn);
   for (int i = 0; i < config_.point_selects_per_txn; ++i) {
-    Row key = {PickRowId(cn, rng)};
-    auto row = co_await cn->Get(&txn, table, key);
-    if (!row.ok()) GDB_TXN_FAIL(row.status());
+    select_keys.push_back({PickRowId(cn, rng)});
   }
+  auto selected = co_await cn->MultiGet(&txn, table, select_keys);
+  if (!selected.ok()) GDB_TXN_FAIL(selected.status());
   for (int i = 0; i < config_.updates_per_txn; ++i) {
     Row key = {PickRowId(cn, rng)};
     auto row = co_await cn->GetForUpdate(&txn, table, key);

@@ -1,6 +1,8 @@
 #include "src/workload/tpcc.h"
 
 #include <algorithm>
+#include <map>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -328,23 +330,19 @@ sim::Task<TxnResult> TpccWorkload::NewOrder(CoordinatorNode* cn, Rng* rng) {
   }
   TxnHandle txn = *txn_or;
 
-  // Warehouse + customer reads.
-  Row w_key = {w};
-  auto warehouse = co_await cn->Get(&txn, "warehouse", w_key);
-  if (!warehouse.ok()) GDB_TXN_FAIL(warehouse.status());
-  Row c_key = {w, d, c};
-  auto customer = co_await cn->Get(&txn, "customer", c_key);
-  if (!customer.ok() || !customer->has_value()) {
-    GDB_TXN_FAIL(Status::NotFound("customer"));
-  }
-
-  // Item reads + stock updates first: the hot district lock is taken as
-  // late as possible to keep its hold time short.
+  // All per-line parameters are drawn up front so the independent reads —
+  // warehouse, customer, every item, every stock row (locked) — fan out as
+  // ONE MultiGet: the read cost of the whole transaction is one WAN round
+  // trip to the slowest shard instead of 2 + 2*ol_cnt serial trips
+  // (DESIGN.md §11).
   struct LineInfo {
     int64_t i_id, supply_w, qty;
     double amount;
   };
   std::vector<LineInfo> lines;
+  std::vector<MultiGetKey> read_set;
+  read_set.push_back({"warehouse", {w}, false});
+  read_set.push_back({"customer", {w, d, c}, false});
   for (int64_t ol = 1; ol <= ol_cnt; ++ol) {
     const int64_t i_id = rng->NuRand(8191, 1, config_.items, 13);
     int64_t supply_w = w;
@@ -353,28 +351,37 @@ sim::Task<TxnResult> TpccWorkload::NewOrder(CoordinatorNode* cn, Rng* rng) {
     if (config_.num_warehouses > 1 && rng->Bernoulli(0.01)) {
       supply_w = PickOtherShardWarehouse(w, rng, /*same_region=*/true);
     }
-    Row i_key = {i_id};
-    auto item = co_await cn->Get(&txn, "item", i_key);
-    if (!item.ok() || !item->has_value()) {
-      GDB_TXN_FAIL(Status::NotFound("item"));
-    }
-    const double price = std::get<double>((**item)[2]);
-
-    Row s_key = {supply_w, i_id};
-    auto stock = co_await cn->GetForUpdate(&txn, "stock", s_key);
-    if (!stock.ok() || !stock->has_value()) {
-      GDB_TXN_FAIL(!stock.ok() ? stock.status()
-                               : Status::NotFound("stock"));
-    }
-    Row stock_row = **stock;
     const int64_t qty = rng->UniformRange(1, 10);
+    lines.push_back({i_id, supply_w, qty, 0.0});
+    read_set.push_back({"item", {i_id}, false});
+    read_set.push_back({"stock", {supply_w, i_id}, true});
+  }
+  auto rows = co_await cn->MultiGet(&txn, std::move(read_set));
+  if (!rows.ok()) GDB_TXN_FAIL(rows.status());
+  if (!(*rows)[1].has_value()) GDB_TXN_FAIL(Status::NotFound("customer"));
+
+  // Stock read-modify-writes first: the hot district lock is taken as late
+  // as possible to keep its hold time short. An order may name the same
+  // (warehouse, item) twice; the deltas accumulate on one row image, just
+  // as serial re-reads of the locked row would observe them.
+  std::map<std::pair<int64_t, int64_t>, Row> stock_rows;
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::optional<Row>& item = (*rows)[2 + 2 * i];
+    if (!item.has_value()) GDB_TXN_FAIL(Status::NotFound("item"));
+    lines[i].amount = std::get<double>((*item)[2]) * lines[i].qty;
+
+    const std::optional<Row>& stock = (*rows)[3 + 2 * i];
+    if (!stock.has_value()) GDB_TXN_FAIL(Status::NotFound("stock"));
+    auto [it, inserted] = stock_rows.try_emplace(
+        {lines[i].supply_w, lines[i].i_id}, *stock);
+    Row& stock_row = it->second;
+    const int64_t qty = lines[i].qty;
     int64_t& s_qty = std::get<int64_t>(stock_row[2]);
     s_qty = s_qty >= qty + 10 ? s_qty - qty : s_qty - qty + 91;
     std::get<double>(stock_row[3]) += qty;
     std::get<int64_t>(stock_row[4]) += 1;
     Status stock_update = co_await cn->Update(&txn, "stock", stock_row);
     if (!stock_update.ok()) GDB_TXN_FAIL(std::move(stock_update));
-    lines.push_back({i_id, supply_w, qty, price * qty});
   }
 
   // District read-modify-write allocates the order id (the classic
@@ -430,15 +437,20 @@ sim::Task<TxnResult> TpccWorkload::Payment(CoordinatorNode* cn, Rng* rng) {
   }
   TxnHandle txn = *txn_or;
 
-  // Possibly-remote customer work first; the hot warehouse and district
-  // rows are locked as late as possible.
-  Row c_key = {c_w, d, c};
-  auto customer = co_await cn->GetForUpdate(&txn, "customer", c_key);
-  if (!customer.ok() || !customer->has_value()) {
-    GDB_TXN_FAIL(!customer.ok() ? customer.status()
-                                : Status::NotFound("customer"));
-  }
-  Row customer_row = **customer;
+  // The customer, district, and warehouse lock-reads are mutually
+  // independent: one MultiGet locks all three in a single fan-out (the
+  // possibly-remote customer group travels in parallel with the home
+  // shard's district+warehouse group) instead of three serial round trips.
+  std::vector<MultiGetKey> read_set = {{"customer", {c_w, d, c}, true},
+                                       {"district", {w, d}, true},
+                                       {"warehouse", {w}, true}};
+  auto rows = co_await cn->MultiGet(&txn, std::move(read_set));
+  if (!rows.ok()) GDB_TXN_FAIL(rows.status());
+  if (!(*rows)[0].has_value()) GDB_TXN_FAIL(Status::NotFound("customer"));
+  if (!(*rows)[1].has_value()) GDB_TXN_FAIL(Status::NotFound("district"));
+  if (!(*rows)[2].has_value()) GDB_TXN_FAIL(Status::NotFound("warehouse"));
+
+  Row customer_row = *(*rows)[0];
   std::get<double>(customer_row[4]) -= amount;
   std::get<double>(customer_row[5]) += amount;
   std::get<int64_t>(customer_row[6]) += 1;
@@ -450,24 +462,12 @@ sim::Task<TxnResult> TpccWorkload::Payment(CoordinatorNode* cn, Rng* rng) {
   s = co_await cn->Insert(&txn, "history", history_row);
   if (!s.ok()) GDB_TXN_FAIL(std::move(s));
 
-  Row d_key = {w, d};
-  auto district = co_await cn->GetForUpdate(&txn, "district", d_key);
-  if (!district.ok() || !district->has_value()) {
-    GDB_TXN_FAIL(!district.ok() ? district.status()
-                                : Status::NotFound("district"));
-  }
-  Row district_row = **district;
+  Row district_row = *(*rows)[1];
   std::get<double>(district_row[3]) += amount;
   s = co_await cn->Update(&txn, "district", district_row);
   if (!s.ok()) GDB_TXN_FAIL(std::move(s));
 
-  Row w_key = {w};
-  auto warehouse = co_await cn->GetForUpdate(&txn, "warehouse", w_key);
-  if (!warehouse.ok() || !warehouse->has_value()) {
-    GDB_TXN_FAIL(!warehouse.ok() ? warehouse.status()
-                                 : Status::NotFound("warehouse"));
-  }
-  Row warehouse_row = **warehouse;
+  Row warehouse_row = *(*rows)[2];
   std::get<double>(warehouse_row[2]) += amount;
   s = co_await cn->Update(&txn, "warehouse", warehouse_row);
   if (!s.ok()) GDB_TXN_FAIL(std::move(s));
@@ -494,20 +494,27 @@ sim::Task<TxnResult> TpccWorkload::OrderStatus(CoordinatorNode* cn, Rng* rng) {
   }
   TxnHandle txn = *txn_or;
 
-  Row c_key = {w, d, c};
-  auto customer = co_await cn->Get(&txn, "customer", c_key);
-  if (!customer.ok()) {
-    result.status = customer.status();
+  // The customer row, the district row (for the latest order id), and —
+  // when multi-shard — a remote warehouse's customer are all independent:
+  // one MultiGet replaces two or three serial round trips. Only the
+  // order-line scan depends on a result (d_next_o_id) and stays serial.
+  std::vector<MultiGetKey> read_set = {{"customer", {w, d, c}, false},
+                                       {"district", {w, d}, false}};
+  if (multi_shard) {
+    // Touch a second shard: the same customer id in a remote warehouse.
+    const int64_t other = PickOtherShardWarehouse(w, rng);
+    read_set.push_back({"customer", {other, d, c}, false});
+  }
+  auto rows = co_await cn->MultiGet(&txn, std::move(read_set));
+  if (!rows.ok()) {
+    result.status = rows.status();
     co_return result;
   }
-  // Most recent order for the district, then its lines.
-  Row d_key = {w, d};
-  auto district = co_await cn->Get(&txn, "district", d_key);
-  if (!district.ok() || !district->has_value()) {
+  if (!(*rows)[1].has_value()) {
     result.status = Status::NotFound("district");
     co_return result;
   }
-  const int64_t last_o = std::get<int64_t>((**district)[4]) - 1;
+  const int64_t last_o = std::get<int64_t>((*(*rows)[1])[4]) - 1;
   auto [start, end] = PrefixRange({w, d, last_o});
   Value w_route = w;
   auto lines =
@@ -515,16 +522,6 @@ sim::Task<TxnResult> TpccWorkload::OrderStatus(CoordinatorNode* cn, Rng* rng) {
   if (!lines.ok()) {
     result.status = lines.status();
     co_return result;
-  }
-  if (multi_shard) {
-    // Touch a second shard: the same customer id in a remote warehouse.
-    const int64_t other = PickOtherShardWarehouse(w, rng);
-    Row other_key = {other, d, c};
-    auto remote = co_await cn->Get(&txn, "customer", other_key);
-    if (!remote.ok()) {
-      result.status = remote.status();
-      co_return result;
-    }
   }
   result.status = Status::OK();
   co_return result;
@@ -642,20 +639,26 @@ sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
   std::sort(items.begin(), items.end());
   items.erase(std::unique(items.begin(), items.end()), items.end());
   if (items.size() > 10) items.resize(10);
-  int64_t low = 0;
+  // One batched fan-out over every distinct item's stock row (spanning
+  // shards when multi_shard picks remote supply warehouses) instead of up
+  // to 10 serial point reads.
+  std::vector<MultiGetKey> stock_keys;
+  stock_keys.reserve(items.size());
   for (int64_t i_id : items) {
     int64_t stock_w = w;
     if (multi_shard && rng->Bernoulli(0.5)) {
       stock_w = PickOtherShardWarehouse(w, rng);
     }
-    Row s_key = {stock_w, i_id};
-    auto stock = co_await cn->Get(&txn, "stock", s_key);
-    if (!stock.ok()) {
-      result.status = stock.status();
-      co_return result;
-    }
-    if (stock->has_value() &&
-        std::get<int64_t>((**stock)[2]) < threshold) {
+    stock_keys.push_back({"stock", {stock_w, i_id}, false});
+  }
+  auto stocks = co_await cn->MultiGet(&txn, std::move(stock_keys));
+  if (!stocks.ok()) {
+    result.status = stocks.status();
+    co_return result;
+  }
+  int64_t low = 0;
+  for (const std::optional<Row>& stock : *stocks) {
+    if (stock.has_value() && std::get<int64_t>((*stock)[2]) < threshold) {
       ++low;
     }
   }

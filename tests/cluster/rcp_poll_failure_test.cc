@@ -1,0 +1,95 @@
+// RCP collector behavior when a replica stops answering status polls: the
+// stale status from the last successful poll must be dropped — not kept
+// and republished in every broadcast — while peers still learn the replica
+// is unhealthy, and a recovered replica re-enters the update stream.
+
+#include "src/cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace globaldb {
+namespace {
+
+class RcpPollFailureTest : public ::testing::Test {
+ public:
+  RcpPollFailureTest() : sim_(91) {}
+
+  void Build() {
+    ClusterOptions options;
+    options.topology = sim::Topology::ThreeCity();
+    options.network.nagle_enabled = false;
+    // Polls into the dead replica fail in 200 ms, not the 5 s default.
+    options.network.rpc_timeout = 200 * kMillisecond;
+    options.num_shards = 6;
+    options.replicas_per_shard = 2;
+    options.initial_mode = TimestampMode::kGclock;
+    cluster_ = std::make_unique<Cluster>(&sim_, options);
+    cluster_->Start();
+  }
+
+  CoordinatorNode* Collector() {
+    for (size_t c = 0; c < cluster_->num_cns(); ++c) {
+      if (cluster_->cn(c).rcp_service().active()) return &cluster_->cn(c);
+    }
+    return nullptr;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(RcpPollFailureTest, FailedReplicaStatusIsDroppedNotRepublished) {
+  Build();
+  cluster_->WaitForRcp();
+  sim_.RunFor(300 * kMillisecond);
+
+  CoordinatorNode* collector = Collector();
+  ASSERT_NE(collector, nullptr);
+  RcpService& rcp = collector->rcp_service();
+  // Steady state: every replica has a polled status and none is failed.
+  EXPECT_EQ(rcp.statuses().size(),
+            cluster_->num_shards() * 2 /* replicas_per_shard */);
+  EXPECT_TRUE(rcp.failed().empty());
+
+  // Crash one replica and let the poller time out on it.
+  ReplicaNode* victim = cluster_->replicas_of(0)[0];
+  const NodeId victim_node = victim->node_id();
+  cluster_->network().SetNodeUp(victim_node, false);
+  sim_.RunFor(800 * kMillisecond);
+
+  // The stale status is gone from the collector — broadcasts carry an
+  // explicit unhealthy marker instead of last week's freshness.
+  EXPECT_EQ(rcp.statuses().count(victim_node), 0u);
+  EXPECT_EQ(rcp.failed().count(victim_node), 1u);
+  EXPECT_GE(rcp.metrics().Get("rcp.poll_failures"), 1);
+
+  // Every peer CN still learned the replica is unhealthy.
+  for (size_t c = 0; c < cluster_->num_cns(); ++c) {
+    EXPECT_FALSE(cluster_->cn(c).selector().IsHealthy(victim_node))
+        << "cn=" << c;
+  }
+
+  // The RCP keeps advancing: the shard's other replica still feeds the
+  // per-shard maximum.
+  const Timestamp frozen = rcp.rcp();
+  sim_.RunFor(500 * kMillisecond);
+  EXPECT_GT(rcp.rcp(), frozen);
+
+  // Recovery: the replica answers polls again, its status returns to the
+  // update stream, and peers see it healthy.
+  cluster_->network().SetNodeUp(victim_node, true);
+  victim->Restart();
+  sim_.RunFor(800 * kMillisecond);
+  EXPECT_EQ(rcp.statuses().count(victim_node), 1u);
+  EXPECT_EQ(rcp.failed().count(victim_node), 0u);
+  EXPECT_GE(rcp.metrics().Get("rcp.replica_recovered"), 1);
+  for (size_t c = 0; c < cluster_->num_cns(); ++c) {
+    EXPECT_TRUE(cluster_->cn(c).selector().IsHealthy(victim_node))
+        << "cn=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace globaldb

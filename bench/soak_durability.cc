@@ -1,0 +1,253 @@
+// Durability-lifecycle soak (DESIGN.md §12): TPC-C on the Three-City
+// cluster (~50 ms RTT) for 10 simulated minutes with checkpoints every 5 s,
+// sampling the retained redo-log bytes and the reclaimable MVCC garbage
+// (versions minus distinct rows) the whole way. A correct checkpointer /
+// truncation / vacuum pipeline flat-lines both; a leak grows them linearly.
+//
+// Midway through, three shard primaries are crashed (one at a time) with
+// failover enabled: the bench measures crash-to-promotion latency and
+// reports its median, which the acceptance gate bounds at 10x the RTT.
+//
+// Environment: GDB_SOAK_DURATION_MS (default 600000 = 10 sim minutes),
+// GDB_SOAK_CLIENTS (default 12), GDB_SOAK_JSON=<path> to write the JSON
+// summary (BENCH_durability.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace globaldb;
+using namespace globaldb::bench;
+
+namespace {
+
+struct Sample {
+  double at_s = 0;
+  int64_t log_bytes = 0;        // retained redo across primary streams
+  int64_t dead_versions = 0;    // versions - rows, primaries + replicas
+  int64_t live_versions = 0;
+};
+
+int64_t RetainedLogBytes(Cluster& cluster) {
+  int64_t total = 0;
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    total += static_cast<int64_t>(cluster.data_node(s).log().retained_bytes());
+  }
+  return total;
+}
+
+int64_t DeadVersions(Cluster& cluster) {
+  // A fully-vacuumed (deleted) row keeps its empty chain, so versions can
+  // undershoot keys; clamp per store to keep the garbage gauge >= 0.
+  auto dead = [](const ShardStore& store) {
+    const int64_t d = static_cast<int64_t>(store.VersionCount()) -
+                      static_cast<int64_t>(store.KeyCount());
+    return std::max<int64_t>(d, 0);
+  };
+  int64_t total = 0;
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    total += dead(cluster.data_node(s).store());
+    for (uint32_t r = 0; r < cluster.options().replicas_per_shard; ++r) {
+      total += dead(cluster.replica(s, r).store());
+    }
+  }
+  return total;
+}
+
+int64_t LiveVersions(Cluster& cluster) {
+  int64_t total = 0;
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    total += static_cast<int64_t>(cluster.data_node(s).store().VersionCount());
+  }
+  return total;
+}
+
+/// Open-loop TPC-C terminal: runs the mix back-to-back until stopped.
+sim::Task<void> ClientLoop(CoordinatorNode* cn, TxnFn fn, Rng* rng,
+                           int64_t* committed, const bool* stop) {
+  while (!*stop) {
+    TxnResult result = co_await fn(cn, rng);
+    if (result.status.ok()) ++*committed;
+  }
+}
+
+/// Max of a gauge over the samples with at_s in [from_s, to_s).
+int64_t WindowMax(const std::vector<Sample>& samples, double from_s,
+                  double to_s, int64_t Sample::*field) {
+  int64_t best = 0;
+  for (const Sample& s : samples) {
+    if (s.at_s >= from_s && s.at_s < to_s) best = std::max(best, s.*field);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const char* env_ms = getenv("GDB_SOAK_DURATION_MS");
+  const SimDuration soak =
+      (env_ms != nullptr ? atoll(env_ms) : 600000) * kMillisecond;
+  const char* env_clients = getenv("GDB_SOAK_CLIENTS");
+  const int clients = env_clients != nullptr ? atoi(env_clients) : 12;
+
+  sim::Simulator sim(41);
+  ClusterOptions options =
+      MakeClusterOptions(SystemKind::kGlobalDb, sim::Topology::ThreeCity());
+  options.data_node.checkpoint_interval = 5 * kSecond;
+  options.health.primary_failover = true;
+  options.health.probe_interval = 40 * kMillisecond;
+  options.health.probe_timeout = 120 * kMillisecond;
+  options.health.primary_miss_threshold = 2;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  // Small TPC-C scale: the soak watches steady-state garbage, not peak
+  // throughput, and 10 simulated minutes at figure scale would take hours.
+  TpccConfig config;
+  config.num_warehouses = clients;
+  config.districts_per_warehouse = 4;
+  config.customers_per_district = 20;
+  config.items = 200;
+  config.initial_orders_per_district = 4;
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(500 * kMillisecond);
+
+  bool stop = false;
+  int64_t committed = 0;
+  std::vector<std::unique_ptr<Rng>> rngs;
+  const TxnFn mix = tpcc.MixFn();
+  for (int c = 0; c < clients; ++c) {
+    rngs.push_back(std::make_unique<Rng>(1000 + c));
+    sim.Spawn(ClientLoop(&cluster.cn(c % cluster.num_cns()), mix,
+                         rngs.back().get(), &committed, &stop));
+  }
+
+  // Crash a primary at 50% / 65% / 80% of the soak (shards 0, 1, 2) and
+  // time each crash-to-promotion interval.
+  const double fractions[] = {0.50, 0.65, 0.80};
+  const double soak_s = static_cast<double>(soak) / kSecond;
+  std::vector<double> recovery_ms;
+  std::vector<Sample> samples;
+  const SimTime start = sim.now();
+  size_t next_crash = 0;
+  // 3-second sampling: each sample walks every version chain in the cluster
+  // (VersionCount), so 1 s granularity makes the 10-minute run needlessly
+  // slow — but the cadence must stay coprime with the 5 s checkpoint/vacuum
+  // period. A 5 s cadence locks onto one phase of the vacuum cycle, and a
+  // promotion restarts the checkpointer at an arbitrary phase: the window
+  // maxima then compare just-after-vacuum floors against just-before-vacuum
+  // peaks and report 30x "growth" on a perfectly flat run.
+  while (sim.now() - start < soak) {
+    sim.RunFor(3 * kSecond);
+    const double at_s = static_cast<double>(sim.now() - start) / kSecond;
+    samples.push_back({at_s, RetainedLogBytes(cluster), DeadVersions(cluster),
+                       LiveVersions(cluster)});
+    if (next_crash < 3 && at_s >= fractions[next_crash] * soak_s) {
+      const ShardId shard = static_cast<ShardId>(next_crash);
+      const NodeId old_primary = cluster.primary_node_id(shard);
+      cluster.network().SetNodeUp(old_primary, false);
+      const SimTime crashed_at = sim.now();
+      while (cluster.primary_node_id(shard) == old_primary &&
+             sim.now() - crashed_at < 10 * kSecond) {
+        sim.RunFor(1 * kMillisecond);
+      }
+      GDB_CHECK(cluster.primary_node_id(shard) != old_primary)
+          << "shard " << shard << " never promoted";
+      recovery_ms.push_back(static_cast<double>(sim.now() - crashed_at) /
+                            kMillisecond);
+      ++next_crash;
+    }
+  }
+  stop = true;
+  sim.RunFor(500 * kMillisecond);
+
+  GDB_CHECK(committed > 0) << "workload never committed";
+  GDB_CHECK(recovery_ms.size() == 3) << "soak too short for crash schedule";
+  std::vector<double> sorted = recovery_ms;
+  std::sort(sorted.begin(), sorted.end());
+  const double recovery_p50_ms = sorted[1];
+
+  // Flat-line ratios: the steady-state window before the crashes against
+  // the tail of the run. Growth shows up as ratio >> 1.
+  const int64_t log_a =
+      WindowMax(samples, 0.15 * soak_s, 0.45 * soak_s, &Sample::log_bytes);
+  const int64_t log_b =
+      WindowMax(samples, 0.55 * soak_s, soak_s + 1, &Sample::log_bytes);
+  const int64_t dead_a =
+      WindowMax(samples, 0.15 * soak_s, 0.45 * soak_s, &Sample::dead_versions);
+  const int64_t dead_b =
+      WindowMax(samples, 0.55 * soak_s, soak_s + 1, &Sample::dead_versions);
+  const double log_ratio =
+      log_a > 0 ? static_cast<double>(log_b) / static_cast<double>(log_a) : 0;
+  const double dead_ratio =
+      dead_a > 0 ? static_cast<double>(dead_b) / static_cast<double>(dead_a)
+                 : 0;
+
+  int64_t gced = 0, checkpoint_skips = 0;
+  for (ShardId sh = 0; sh < cluster.num_shards(); ++sh) {
+    gced += cluster.data_node(sh).metrics().Get("storage.versions_gced");
+    checkpoint_skips +=
+        cluster.data_node(sh).metrics().Get("durability.checkpoint_skips");
+  }
+  const int64_t promotions =
+      cluster.health().metrics().Get("health.promotions");
+  const Sample& last = samples.back();
+
+  printf("=== Durability soak: %.0f sim-seconds TPC-C, checkpoint every 5 s, "
+         "3 primary crashes ===\n",
+         soak_s);
+  printf("committed_txns        %lld\n", static_cast<long long>(committed));
+  printf("retained_log_bytes    window_a=%lld window_b=%lld ratio=%.2f "
+         "(final %lld)\n",
+         static_cast<long long>(log_a), static_cast<long long>(log_b),
+         log_ratio, static_cast<long long>(last.log_bytes));
+  printf("dead_versions         window_a=%lld window_b=%lld ratio=%.2f "
+         "(final %lld, live %lld)\n",
+         static_cast<long long>(dead_a), static_cast<long long>(dead_b),
+         dead_ratio, static_cast<long long>(last.dead_versions),
+         static_cast<long long>(last.live_versions));
+  printf("versions_gced         %lld (checkpoint_skips %lld)\n",
+         static_cast<long long>(gced),
+         static_cast<long long>(checkpoint_skips));
+  printf("promotions            %lld\n", static_cast<long long>(promotions));
+  printf("recovery_ms           %.1f %.1f %.1f  (p50 %.1f)\n", recovery_ms[0],
+         recovery_ms[1], recovery_ms[2], recovery_p50_ms);
+
+  if (const char* json_path = getenv("GDB_SOAK_JSON")) {
+    FILE* f = fopen(json_path, "w");
+    GDB_CHECK(f != nullptr) << "cannot write " << json_path;
+    fprintf(f,
+            "{\n"
+            "  \"sim_seconds\": %.0f,\n"
+            "  \"clients\": %d,\n"
+            "  \"checkpoint_interval_s\": 5,\n"
+            "  \"rtt_ms\": 50,\n"
+            "  \"committed_txns\": %lld,\n"
+            "  \"retained_log_bytes\": {\"window_a\": %lld, \"window_b\": "
+            "%lld, \"ratio\": %.3f, \"final\": %lld},\n"
+            "  \"dead_versions\": {\"window_a\": %lld, \"window_b\": %lld, "
+            "\"ratio\": %.3f, \"final\": %lld},\n"
+            "  \"live_versions_final\": %lld,\n"
+            "  \"versions_gced\": %lld,\n"
+            "  \"promotions\": %lld,\n"
+            "  \"recovery_ms\": [%.1f, %.1f, %.1f],\n"
+            "  \"recovery_p50_ms\": %.1f\n"
+            "}\n",
+            soak_s, clients, static_cast<long long>(committed),
+            static_cast<long long>(log_a), static_cast<long long>(log_b),
+            log_ratio, static_cast<long long>(last.log_bytes),
+            static_cast<long long>(dead_a), static_cast<long long>(dead_b),
+            dead_ratio, static_cast<long long>(last.dead_versions),
+            static_cast<long long>(last.live_versions),
+            static_cast<long long>(gced), static_cast<long long>(promotions),
+            recovery_ms[0], recovery_ms[1], recovery_ms[2], recovery_p50_ms);
+    fclose(f);
+  }
+  return 0;
+}

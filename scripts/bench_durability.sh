@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# Durability-lifecycle soak: 10 simulated minutes of TPC-C on the Three-City
+# cluster with checkpoints every 5 s and three mid-run primary crashes.
+# Emits BENCH_durability.json (override with OUT=...) and fails unless
+#   - retained redo bytes and reclaimable MVCC garbage flat-line (late-run
+#     peak <= 2x the steady-state peak before the crashes),
+#   - vacuum actually reclaimed versions,
+#   - all three crashed shards promoted a replica,
+#   - median crash-to-promotion recovery < 500 ms (10x the 50 ms RTT).
+# Usage: scripts/bench_durability.sh [build-dir]   (default: build)
+# Env: GDB_SOAK_DURATION_MS / GDB_SOAK_CLIENTS forwarded to the bench.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+OUT="${OUT:-BENCH_durability.json}"
+
+if [[ ! -d "${BUILD_DIR}" ]]; then
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+fi
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target soak_durability
+
+GDB_SOAK_JSON="${OUT}" "${BUILD_DIR}/bench/soak_durability"
+
+echo "== ${OUT} =="
+cat "${OUT}"
+
+field() {
+  local v
+  v="$(sed -n "s/.*\"$1\": \([0-9.-]*\).*/\1/p" "${OUT}" | head -1)"
+  if [[ -z "${v}" ]]; then
+    echo "FAIL: field $1 missing from ${OUT}" >&2
+    exit 1
+  fi
+  echo "${v}"
+}
+
+LOG_RATIO="$(sed -n 's/.*"retained_log_bytes".*"ratio": \([0-9.]*\).*/\1/p' "${OUT}")"
+DEAD_RATIO="$(sed -n 's/.*"dead_versions".*"ratio": \([0-9.]*\).*/\1/p' "${OUT}")"
+GCED="$(field versions_gced)"
+PROMOTIONS="$(field promotions)"
+RECOVERY_P50="$(field recovery_p50_ms)"
+
+awk -v r="${LOG_RATIO}" 'BEGIN { exit !(r <= 2.0) }' || {
+  echo "FAIL: retained log bytes grew (late/steady ratio ${LOG_RATIO} > 2.0)" >&2
+  exit 1
+}
+awk -v r="${DEAD_RATIO}" 'BEGIN { exit !(r <= 2.0) }' || {
+  echo "FAIL: MVCC garbage grew (late/steady ratio ${DEAD_RATIO} > 2.0)" >&2
+  exit 1
+}
+awk -v g="${GCED}" 'BEGIN { exit !(g > 0) }' || {
+  echo "FAIL: vacuum reclaimed nothing (versions_gced=${GCED})" >&2
+  exit 1
+}
+awk -v p="${PROMOTIONS}" 'BEGIN { exit !(p == 3) }' || {
+  echo "FAIL: expected 3 promotions, got ${PROMOTIONS}" >&2
+  exit 1
+}
+awk -v r="${RECOVERY_P50}" 'BEGIN { exit !(r < 500.0) }' || {
+  echo "FAIL: recovery p50 ${RECOVERY_P50} ms >= 500 ms (10x RTT)" >&2
+  exit 1
+}
+echo "OK: log ratio ${LOG_RATIO}, garbage ratio ${DEAD_RATIO}," \
+     "gced ${GCED}, promotions ${PROMOTIONS}, recovery p50 ${RECOVERY_P50} ms"

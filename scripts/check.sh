@@ -33,6 +33,13 @@ scripts/bench_txnpath.sh "${BUILD_DIR}"
 echo "== read path bench smoke =="
 scripts/bench_readpath.sh "${BUILD_DIR}"
 
+# Durability soak: 10 simulated minutes of TPC-C with checkpoints every 5 s
+# and three primary crashes. Retained log bytes and MVCC garbage must
+# flat-line, vacuum must reclaim, and median crash-to-promotion recovery
+# must stay under 10x the 50 ms RTT. Emits BENCH_durability.json.
+echo "== durability soak =="
+scripts/bench_durability.sh "${BUILD_DIR}"
+
 echo "== ASan+UBSan pass =="
 rm -rf "${SAN_DIR}"
 cmake -B "${SAN_DIR}" -S . \
@@ -45,7 +52,8 @@ export UBSAN_OPTIONS="print_stacktrace=1"
 ctest --test-dir "${SAN_DIR}" --output-on-failure -j "$(nproc)"
 
 # Chaos smoke: the seeded random fault schedule (TPC-C under crashes,
-# partitions, and clock outages) on its three fixed seeds, under sanitizers.
-echo "== chaos smoke (seeds 101/202/303) =="
+# partitions, and clock outages) and the primary-failover acceptance run
+# (three seeds each), under sanitizers.
+echo "== chaos smoke (random faults + primary failover) =="
 ctest --test-dir "${SAN_DIR}" --output-on-failure \
-  -R 'RandomFaultTest|ClockFallbackTest|PartitionHealTest'
+  -R 'RandomFaultTest|ClockFallbackTest|PartitionHealTest|PrimaryFailoverTest'

@@ -27,6 +27,8 @@ const char* FaultKindName(FaultKind kind) {
       return "clock_sync_restore";
     case FaultKind::kClockStep:
       return "clock_step";
+    case FaultKind::kPrimaryCrash:
+      return "primary_crash";
   }
   return "unknown";
 }
@@ -65,6 +67,21 @@ void FaultScheduler::AddRandomSchedule(Rng* rng,
     fault.kind = FaultKind::kNodeCrash;
     fault.node = cluster.ReplicaNodeId(shard, index);
     pair(fault, FaultKind::kNodeRestart);
+  }
+
+  // Unhealed primary kills; strided from a random base so each targets a
+  // distinct shard — two promotions never compete over the same dwindling
+  // replica set in one run.
+  if (options.primary_crashes > 0 && shards > 0 && replicas > 0) {
+    const uint32_t base = static_cast<uint32_t>(rng->Uniform(shards));
+    for (int i = 0; i < options.primary_crashes; ++i) {
+      FaultEvent fault;
+      fault.at = fault_time();
+      fault.kind = FaultKind::kPrimaryCrash;
+      fault.shard =
+          static_cast<ShardId>((base + static_cast<uint32_t>(i)) % shards);
+      events_.push_back(fault);
+    }
   }
 
   // Partition a replica from its primary: the shipper must back off, then
@@ -202,6 +219,15 @@ void FaultScheduler::Apply(const FaultEvent& event) {
                       },
                       event.clock_step);
       break;
+    case FaultKind::kPrimaryCrash: {
+      // Resolve the shard's *current* primary now, not at schedule time: an
+      // earlier promotion may have moved it.
+      const NodeId primary = cluster_->primary_node_id(event.shard);
+      GDB_LOG(Info) << "chaos: killing shard " << event.shard << " primary "
+                    << primary;
+      cluster_->network().SetNodeUp(primary, false);
+      break;
+    }
   }
 }
 

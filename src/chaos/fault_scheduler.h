@@ -20,6 +20,9 @@ enum class FaultKind {
   kClockSyncOutage,   // a CN's clock stops syncing (error bound grows)
   kClockSyncRestore,  // syncing resumes (bound re-anchors on next reading)
   kClockStep,         // one-time clock step on a CN (operator error model)
+  kPrimaryCrash,      // crash shard `shard`'s *current* primary (resolved at
+                      // fire time, so it follows earlier promotions); no
+                      // paired heal — recovery is the HealthMonitor's job
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -35,6 +38,7 @@ struct FaultEvent {
   RegionId region_a = 0;              // region partitions
   RegionId region_b = 0;
   SimDuration clock_step = 0;         // kClockStep
+  ShardId shard = 0;                  // kPrimaryCrash
 };
 
 /// Knobs for AddRandomSchedule: how many of each fault class to generate
@@ -44,6 +48,10 @@ struct RandomScheduleOptions {
   SimTime start = 1 * kSecond;
   SimTime end = 5 * kSecond;
   int replica_crashes = 2;
+  /// Kills a shard's current primary (no heal). Only schedule these against
+  /// a cluster running with health.primary_failover — without promotion the
+  /// shard simply halts.
+  int primary_crashes = 0;
   int link_partitions = 1;
   int region_partitions = 1;
   int clock_outages = 1;
@@ -61,9 +69,10 @@ struct RandomScheduleOptions {
 /// Each injected event is counted in metrics() (`chaos.<kind>`) and kept in
 /// injected() for post-run assertions.
 ///
-/// Only replica data nodes are crashed by the random generator: primaries
-/// have no failover path in this model, so crashing one would just halt its
-/// shard. Scripted schedules may still crash any node explicitly.
+/// Random primary crashes (primary_crashes > 0) are only meaningful against
+/// a cluster running with health.primary_failover: without promotion a dead
+/// primary simply halts its shard. They carry no paired heal — the
+/// HealthMonitor promotes a replica instead.
 class FaultScheduler {
  public:
   explicit FaultScheduler(Cluster* cluster) : cluster_(cluster) {}

@@ -1,6 +1,10 @@
 #include "src/cluster/cluster.h"
 
+#include <string>
+#include <utility>
+
 #include "src/common/logging.h"
+#include "src/storage/snapshot.h"
 
 namespace globaldb {
 
@@ -48,6 +52,7 @@ Cluster::Cluster(sim::Simulator* sim, ClusterOptions options)
     }
     data_nodes_.back()->ConfigureReplication(replica_ids, options_.shipper);
   }
+  primary_ids_ = primaries;
 
   // Wire CNs: shard map, replicas, peers, initial mode.
   for (auto& cn : cns_) {
@@ -75,7 +80,81 @@ void Cluster::Start() {
   for (size_t i = 0; i < cns_.size(); ++i) {
     cns_[i]->StartServices(/*rcp_collector=*/i == 0);
   }
+  health_->ConfigureFailover(
+      primary_ids_, [this](ShardId shard) { return PromoteShard(shard); });
   if (options_.health.enabled) health_->Start();
+}
+
+NodeId Cluster::PromoteShard(ShardId shard) {
+  // Candidate = live, never-promoted replica with the highest applied LSN.
+  // With kSyncQuorum every quorum-acked commit is applied on at least a
+  // quorum of replicas, and the max applied LSN is at or above any quorum
+  // ack point — so the winner contains every acknowledged commit.
+  ReplicaNode* best = nullptr;
+  for (uint32_t r = 0; r < options_.replicas_per_shard; ++r) {
+    ReplicaNode* candidate =
+        replica_nodes_[shard * options_.replicas_per_shard + r].get();
+    if (!network_->IsNodeUp(candidate->node_id())) continue;
+    if (promoted_.count(candidate->node_id()) > 0) continue;
+    if (best == nullptr ||
+        candidate->applier().applied_lsn() > best->applier().applied_lsn()) {
+      best = candidate;
+    }
+  }
+  if (best == nullptr) {
+    GDB_LOG(Warn) << "promotion: shard " << shard
+                  << " has no live un-promoted replica";
+    return kInvalidNodeId;
+  }
+
+  const NodeId new_id = best->node_id();
+  const NodeId old_id = primary_ids_[shard];
+
+  // Freeze the donor first: everything below runs without a co_await, so
+  // once the applier is stalled the encoded images are the replica's final
+  // replayed state — no batch can sneak in between imaging and install.
+  best->applier().set_stalled(true);
+  const Lsn applied = best->applier().applied_lsn();
+  const Timestamp max_ts = best->applier().max_commit_ts();
+  const std::string catalog_image = EncodeCatalog(best->catalog());
+  const std::string store_image = EncodeShardStore(best->store());
+
+  // Retire the old primary object but keep it alive: its suspended
+  // coroutines (ship loops, in-flight handlers) still reference it.
+  data_nodes_[shard]->Stop();
+  retired_nodes_.push_back(std::move(data_nodes_[shard]));
+
+  // The new primary is co-located with the zombie ReplicaNode on the same
+  // node id — their RPC method sets are disjoint (dn.* + repl.hello vs
+  // ror.*), and stalling above made the zombie inert.
+  auto node = std::make_unique<DataNode>(sim_, network_.get(), new_id, shard,
+                                         options_.data_node);
+  node->InstallForPromotion(applied, max_ts, catalog_image, store_image);
+
+  // Surviving replicas follow the new primary and must re-base onto its
+  // timeline via a reset snapshot: a survivor may have applied past the
+  // promotion point from the dead primary's unreplicated tail.
+  std::vector<NodeId> survivors;
+  for (uint32_t r = 0; r < options_.replicas_per_shard; ++r) {
+    ReplicaNode* peer =
+        replica_nodes_[shard * options_.replicas_per_shard + r].get();
+    if (peer->node_id() == new_id) continue;
+    if (promoted_.count(peer->node_id()) > 0) continue;
+    peer->SetPrimary(new_id);
+    survivors.push_back(peer->node_id());
+  }
+  node->ConfigureReplication(survivors, options_.shipper);
+  node->shipper()->RequireSnapshotAll();
+  node->Start();
+
+  data_nodes_[shard] = std::move(node);
+  primary_ids_[shard] = new_id;
+  promoted_.insert(new_id);
+  for (auto& cn : cns_) cn->UpdateShardPrimary(shard, new_id);
+  health_->NotePrimaryPromoted(shard, new_id);
+  GDB_LOG(Info) << "promotion: shard " << shard << " primary " << old_id
+                << " -> " << new_id << " at lsn " << applied;
+  return new_id;
 }
 
 CoordinatorNode& Cluster::cn_in_region(RegionId region) {

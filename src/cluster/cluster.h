@@ -2,6 +2,7 @@
 #define GLOBALDB_SRC_CLUSTER_CLUSTER_H_
 
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "src/cluster/coordinator_node.h"
@@ -73,9 +74,25 @@ class Cluster {
   TransitionCoordinator& transition() { return *transition_; }
   HealthMonitor& health() { return *health_; }
 
+  /// Promotes the most-caught-up live replica of `shard` to primary
+  /// (DESIGN.md §12): images the replica's replayed state into a fresh
+  /// DataNode at the replica's node id, continues the shard's LSN sequence
+  /// from its applied position, aborts in-doubt transactions, re-bases the
+  /// surviving replicas via reset snapshots, and re-routes every CN. The
+  /// old primary object is retired (its suspended coroutines stay valid)
+  /// and the promoted ReplicaNode becomes a zombie that no selector ever
+  /// picks again. Returns the new primary's node id, or kInvalidNodeId when
+  /// no live un-promoted replica exists. Also invoked by the HealthMonitor
+  /// when options.health.primary_failover is on.
+  NodeId PromoteShard(ShardId shard);
+
   static NodeId GtmNodeId() { return 0; }
   static NodeId CnNodeId(uint32_t index) { return 1 + index; }
+  /// Initial-layout primary id. After a promotion the live primary moves:
+  /// use primary_node_id() for the current one.
   static NodeId PrimaryNodeId(ShardId shard) { return 100 + shard; }
+  /// Current primary of `shard` (tracks promotions).
+  NodeId primary_node_id(ShardId shard) const { return primary_ids_[shard]; }
   NodeId ReplicaNodeId(ShardId shard, uint32_t index) const {
     return 1000 + shard * 100 + index;
   }
@@ -102,6 +119,16 @@ class Cluster {
   std::vector<std::unique_ptr<CoordinatorNode>> cns_;
   std::vector<std::unique_ptr<DataNode>> data_nodes_;
   std::vector<std::unique_ptr<ReplicaNode>> replica_nodes_;
+  /// Current primary per shard (diverges from PrimaryNodeId after
+  /// promotions).
+  std::vector<NodeId> primary_ids_;
+  /// Replaced primaries, kept alive: their suspended coroutines (ship
+  /// loops, stopped checkpointers, in-flight handlers) still reference
+  /// them.
+  std::vector<std::unique_ptr<DataNode>> retired_nodes_;
+  /// Replicas already promoted (now zombie ReplicaNodes hosting a primary
+  /// DataNode on the same node id) — never promotion candidates again.
+  std::set<NodeId> promoted_;
   std::unique_ptr<TransitionCoordinator> transition_;
   std::unique_ptr<HealthMonitor> health_;
 };

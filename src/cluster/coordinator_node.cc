@@ -72,6 +72,45 @@ void CoordinatorNode::SetPrimaryDdlTargets(std::vector<NodeId> primaries) {
   ddl_targets_ = std::move(primaries);
 }
 
+void CoordinatorNode::UpdateShardPrimary(ShardId shard, NodeId node) {
+  if (shard >= static_cast<ShardId>(shard_primaries_.size())) return;
+  const NodeId old_primary = shard_primaries_[shard];
+  shard_primaries_[shard] = node;
+  for (NodeId& target : ddl_targets_) {
+    if (target == old_primary) target = node;
+  }
+  // Recompute the local-region rotation set with the new primary location.
+  local_replicated_shards_.clear();
+  for (ShardId s = 0; s < static_cast<ShardId>(shard_primaries_.size());
+       ++s) {
+    if (network_->RegionOf(shard_primaries_[s]) == region_) {
+      local_replicated_shards_.push_back(s);
+    }
+  }
+  selector_.RemoveReplica(node);
+  if (rcp_ != nullptr) rcp_->RemoveReplica(node);
+  metrics_.Add("cn.primary_updates");
+}
+
+Timestamp CoordinatorNode::TxnHorizon() const {
+  // last_committed is the floor every future begin is at or above: GClock's
+  // single-shard-read bypass hands out exactly this value, and everything
+  // else (GTM counter grants, GClock clock reads after commit-wait) sits
+  // above it. Vacuuming *at* a snapshot is safe — visibility requires
+  // end_ts > snapshot, vacuum only removes end_ts <= horizon.
+  Timestamp horizon = ts_source_->last_committed();
+  if (options_.enable_ror && rcp_ != nullptr && rcp_->rcp() > 0) {
+    // A future ROR transaction reads at the RCP, which may trail
+    // last_committed; it only moves forward, so min-ing it keeps the
+    // horizon monotone.
+    horizon = std::min(horizon, rcp_->rcp());
+  }
+  for (const auto& [txn, snapshot] : active_snapshots_) {
+    horizon = std::min(horizon, snapshot);
+  }
+  return horizon;
+}
+
 void CoordinatorNode::StartServices(bool rcp_collector) {
   services_running_ = true;
   std::vector<RcpService::ReplicaDesc> descs;
@@ -84,6 +123,7 @@ void CoordinatorNode::StartServices(bool rcp_collector) {
   if (rcp_collector) {
     rcp_->Activate();
     sim_->Spawn(HeartbeatLoop());
+    sim_->Spawn(HorizonLoop());
   }
 }
 
@@ -94,6 +134,45 @@ void CoordinatorNode::BindService() {
   server_.Handle(kCnDdlApply, [this](NodeId from, DdlRequest request) {
     return HandleDdlApply(from, std::move(request));
   });
+  server_.Handle(kCnTxnHorizon, [this](NodeId from, rpc::EmptyMessage request) {
+    return HandleTxnHorizon(from, std::move(request));
+  });
+}
+
+sim::Task<StatusOr<TxnHorizonReply>> CoordinatorNode::HandleTxnHorizon(
+    NodeId from, rpc::EmptyMessage request) {
+  TxnHorizonReply reply;
+  reply.horizon = TxnHorizon();
+  co_return reply;
+}
+
+sim::Task<void> CoordinatorNode::HorizonLoop() {
+  while (services_running_) {
+    co_await sim_->Sleep(options_.horizon_interval);
+    Timestamp horizon = TxnHorizon();
+    if (!peer_cns_.empty()) {
+      std::vector<NodeId> peers;
+      for (NodeId peer : peer_cns_) {
+        if (peer != self_) peers.push_back(peer);
+      }
+      auto results = co_await client_.CallAll(peers, kCnTxnHorizon,
+                                              rpc::EmptyMessage{});
+      for (size_t i = 0; i < peers.size(); ++i) {
+        Timestamp& known = peer_horizons_[peers[i]];
+        // On failure keep the last reported value: per-CN horizons are
+        // monotone, so an old report is a valid (conservative) lower bound.
+        if (results[i].ok()) known = std::max(known, (*results[i]).horizon);
+        horizon = std::min(horizon, known);
+      }
+    }
+    if (horizon == 0) continue;  // nothing learned yet
+    ReadHorizonRequest push;
+    push.horizon = horizon;
+    for (NodeId primary : shard_primaries_) {
+      client_.Send(primary, kDnReadHorizon, push);
+    }
+    metrics_.Add("cn.horizon_rounds");
+  }
 }
 
 sim::Task<StatusOr<rpc::EmptyMessage>> CoordinatorNode::HandleRcpUpdate(
@@ -199,6 +278,7 @@ sim::Task<StatusOr<TxnHandle>> CoordinatorNode::Begin(
       txn.use_ror = true;
       txn.snapshot = rcp_ts;
       txn.mode = ts_source_->mode();
+      active_snapshots_[txn.id] = txn.snapshot;
       metrics_.Add("cn.ror_txns");
       co_return txn;
     }
@@ -209,6 +289,7 @@ sim::Task<StatusOr<TxnHandle>> CoordinatorNode::Begin(
   if (!grant.ok()) co_return grant.status();
   txn.snapshot = grant->ts;
   txn.mode = grant->mode;
+  active_snapshots_[txn.id] = txn.snapshot;
   metrics_.Add("cn.txns");
   co_return txn;
 }
@@ -944,11 +1025,17 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
 }
 
 sim::Task<Status> CoordinatorNode::Commit(TxnHandle* txn) {
-  return EndTxn(txn, /*commit=*/true);
+  Status status = co_await EndTxn(txn, /*commit=*/true);
+  // Deregister only after the protocol fully resolved: the snapshot must
+  // hold the GC horizon down for as long as any read of it might still run.
+  active_snapshots_.erase(txn->id);
+  co_return status;
 }
 
 sim::Task<Status> CoordinatorNode::Abort(TxnHandle* txn) {
-  return EndTxn(txn, /*commit=*/false);
+  Status status = co_await EndTxn(txn, /*commit=*/false);
+  active_snapshots_.erase(txn->id);
+  co_return status;
 }
 
 }  // namespace globaldb

@@ -36,6 +36,11 @@ struct CoordinatorOptions {
   SimDuration heartbeat_interval = 10 * kMillisecond;
   /// RCP collection period.
   SimDuration rcp_interval = 5 * kMillisecond;
+  /// Read-horizon collection period (collector CN only): how often the
+  /// cluster low-watermark read timestamp — min over CNs of their oldest
+  /// in-flight snapshot — is folded and pushed to the DN primaries, where
+  /// it gates checkpoint-time MVCC vacuum (DESIGN.md §12).
+  SimDuration horizon_interval = 50 * kMillisecond;
   /// When true, read-only transactions are served from replicas at the RCP
   /// snapshot (the paper's ROR feature). When false (baseline), all reads
   /// go to primaries with regular timestamps.
@@ -141,6 +146,12 @@ class CoordinatorNode {
   void SetPeerCns(std::vector<NodeId> peers);
   void SetPrimaryDdlTargets(std::vector<NodeId> primaries);
 
+  /// Failover re-route: `node` (a just-promoted replica) is shard's new
+  /// primary. Updates the shard map, DDL targets, and the local-region
+  /// shard rotation, and removes the node from the replica selector and the
+  /// RCP poll set — a primary is not a replica-read target.
+  void UpdateShardPrimary(ShardId shard, NodeId node);
+
   /// Starts heartbeats and (if `rcp_collector`) the RCP collector loop.
   void StartServices(bool rcp_collector);
   void StopServices() { services_running_ = false; }
@@ -213,6 +224,13 @@ class CoordinatorNode {
   NodeSelector& selector() { return selector_; }
   RcpService& rcp_service() { return *rcp_; }
   Timestamp rcp() const { return rcp_ == nullptr ? 0 : rcp_->rcp(); }
+  /// This CN's contribution to the cluster low-watermark read timestamp:
+  /// min(oldest in-flight snapshot, last committed, local RCP when ROR can
+  /// hand that snapshot to a future read-only transaction). Monotone: every
+  /// input only advances and future begins never run below it, so the
+  /// collector may safely reuse a peer's last reported value when a poll
+  /// fails.
+  Timestamp TxnHorizon() const;
   Metrics& metrics() { return metrics_; }
   /// RPC client carrying all DN/peer traffic issued by this CN (per-method
   /// latency histograms and the call trace live here).
@@ -299,11 +317,18 @@ class CoordinatorNode {
   bool RorDdlVisible(const TableSchema& schema) const;
 
   sim::Task<void> HeartbeatLoop();
+  /// Collector-CN loop: folds min(TxnHorizon) across all CNs (reusing a
+  /// peer's last value when its poll fails — safe, horizons are monotone
+  /// per CN) and pushes the result to every shard primary via
+  /// kDnReadHorizon.
+  sim::Task<void> HorizonLoop();
   void BindService();
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleRcpUpdate(
       NodeId from, RcpUpdateMessage update);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleDdlApply(NodeId from,
                                                         DdlRequest request);
+  sim::Task<StatusOr<TxnHorizonReply>> HandleTxnHorizon(
+      NodeId from, rpc::EmptyMessage request);
   TxnId NextTxnId() { return (static_cast<TxnId>(self_) << 40) | ++txn_seq_; }
 
   sim::Simulator* sim_;
@@ -331,6 +356,12 @@ class CoordinatorNode {
   uint64_t txn_seq_ = 0;
   mutable uint64_t replicated_rotation_ = 0;
   bool services_running_ = false;
+  /// Snapshots of transactions opened on this CN and not yet ended — the
+  /// oldest is the floor of TxnHorizon().
+  std::map<TxnId, Timestamp> active_snapshots_;
+  /// Collector-CN state: last reported horizon per peer (0 = never heard;
+  /// reused when a poll fails).
+  std::map<NodeId, Timestamp> peer_horizons_;
   Metrics metrics_;
 };
 

@@ -1,8 +1,10 @@
 #include "src/cluster/data_node.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/storage/snapshot.h"
 
 namespace globaldb {
 
@@ -16,7 +18,8 @@ DataNode::DataNode(sim::Simulator* sim, sim::Network* network, NodeId self,
       options_(options),
       store_(shard),
       locks_(sim, options.lock_timeout),
-      cpu_(sim, options.cores) {
+      cpu_(sim, options.cores),
+      durability_(&log_, &metrics_) {
   BindService();
 }
 
@@ -24,15 +27,69 @@ void DataNode::ConfigureReplication(std::vector<NodeId> replicas,
                                     ShipperOptions options) {
   shipper_ = std::make_unique<LogShipper>(sim_, network_, self_, shard_,
                                           &log_, std::move(replicas), options);
+  // The shipper's quorum ack now bounds log truncation, and the durability
+  // manager's checkpoint backs the shipper's truncated-cursor fallback.
+  durability_.set_shipper(shipper_.get());
+  shipper_->SetDurability(&durability_);
 }
 
 void DataNode::Start() {
   if (shipper_ != nullptr) shipper_->Start();
+  if (options_.enable_checkpoints && checkpointer_ == nullptr) {
+    Checkpointer::Options copts;
+    copts.interval = options_.checkpoint_interval;
+    checkpointer_ = std::make_unique<Checkpointer>(
+        sim_, &store_, &catalog_, &durability_,
+        [this](RedoRecord record) {
+          return AppendAndNotify(std::move(record));
+        },
+        [this] { return max_commit_ts_; }, &metrics_, copts);
+    checkpointer_->Start();
+  }
 }
 
-void DataNode::AppendAndNotify(RedoRecord record) {
-  log_.Append(std::move(record));
+void DataNode::Stop() {
+  if (checkpointer_ != nullptr) checkpointer_->Stop();
+  if (shipper_ != nullptr) shipper_->Stop();
+}
+
+void DataNode::InstallForPromotion(Lsn applied_lsn, Timestamp max_commit_ts,
+                                   const std::string& catalog_image,
+                                   const std::string& store_image) {
+  GDB_CHECK(shipper_ == nullptr && checkpointer_ == nullptr)
+      << "InstallForPromotion must precede ConfigureReplication/Start";
+  Status status = InstallCatalog(Slice(catalog_image), &catalog_);
+  if (status.ok()) status = InstallShardStore(Slice(store_image), &store_);
+  GDB_CHECK(status.ok()) << "promotion install failed: " << status.ToString();
+  // Continue the shard's LSN sequence where the promoted replica's replay
+  // stopped: peers at or below `applied_lsn` re-base via snapshot, peers
+  // cannot be above it (it was the most caught-up member).
+  log_.ResetBase(applied_lsn + 1);
+  max_commit_ts_ = std::max(max_commit_ts_, max_commit_ts);
+  // In-doubt transactions captured mid-2PC in the image: the old primary
+  // died before their commit/abort replicated this far, so no quorum-acked
+  // commit is among them (the ack requires the commit record to be durable
+  // here). Presumed abort — coordinators that still race a commit to this
+  // shard find the transaction already rolled back.
+  for (TxnId txn : store_.ProvisionalTxns()) {
+    store_.AbortTxn(txn);
+    AppendAndNotify(RedoRecord::Abort(txn));
+    metrics_.Add("dn.promotion_aborts");
+  }
+  ShardSnapshot seed;
+  seed.checkpoint_lsn = log_.next_lsn() - 1;
+  seed.checkpoint_ts = 0;
+  seed.max_commit_ts = max_commit_ts_;
+  seed.catalog_image = EncodeCatalog(catalog_);
+  seed.store_image = EncodeShardStore(store_);
+  durability_.SeedCheckpoint(std::move(seed));
+  metrics_.Add("dn.promotions");
+}
+
+Lsn DataNode::AppendAndNotify(RedoRecord record) {
+  const Lsn lsn = log_.Append(std::move(record));
   if (shipper_ != nullptr) shipper_->NotifyAppend();
+  return lsn;
 }
 
 void DataNode::BindService() {
@@ -72,6 +129,32 @@ void DataNode::BindService() {
   server_.Handle(kReplHello, [this](NodeId from, ReplHelloRequest request) {
     return HandleReplHello(from, std::move(request));
   });
+  server_.Handle(kDnStatus, [this](NodeId from, rpc::EmptyMessage request) {
+    return HandleStatus(from, std::move(request));
+  });
+  server_.Handle(kDnReadHorizon,
+                 [this](NodeId from, ReadHorizonRequest request) {
+                   return HandleReadHorizon(from, std::move(request));
+                 });
+}
+
+sim::Task<StatusOr<DnStatusReply>> DataNode::HandleStatus(
+    NodeId from, rpc::EmptyMessage request) {
+  // Health probes must stay cheap: no CPU charge, so a saturated node still
+  // answers and is not mistaken for a dead one.
+  metrics_.Add("dn.status_probes");
+  DnStatusReply reply;
+  reply.durable_lsn = log_.next_lsn() - 1;
+  reply.max_commit_ts = max_commit_ts_;
+  co_return reply;
+}
+
+sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleReadHorizon(
+    NodeId from, ReadHorizonRequest request) {
+  // The RCP collector's cluster-wide oldest in-flight read timestamp: the
+  // vacuum horizon for checkpoint-time GC (monotone clamp inside).
+  durability_.AdvanceReadHorizon(request.horizon);
+  co_return rpc::EmptyMessage{};
 }
 
 sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleReplHello(
@@ -308,6 +391,7 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleCommit(
   metrics_.Add("dn.commits");
   self_aborted_txns_.erase(request.txn);
   store_.CommitTxn(request.txn, request.ts);
+  max_commit_ts_ = std::max(max_commit_ts_, request.ts);
   AppendAndNotify(request.two_phase
                       ? RedoRecord::CommitPrepared(request.txn, request.ts)
                       : RedoRecord::Commit(request.txn, request.ts));
@@ -342,6 +426,7 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleDdl(
   metrics_.Add("dn.ddls");
   Status status = catalog_.ApplyDdl(request.payload, request.ts);
   if (!status.ok()) co_return status;
+  max_commit_ts_ = std::max(max_commit_ts_, request.ts);
   AppendAndNotify(RedoRecord::Ddl(request.ts, request.payload));
   co_return rpc::EmptyMessage{};
 }
@@ -350,6 +435,7 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleHeartbeat(
     NodeId from, TxnControlRequest request) {
   // Heartbeats are cheap; no CPU charge so they cannot be crowded out.
   metrics_.Add("dn.heartbeats");
+  max_commit_ts_ = std::max(max_commit_ts_, request.ts);
   AppendAndNotify(RedoRecord::Heartbeat(request.ts));
   co_return rpc::EmptyMessage{};
 }

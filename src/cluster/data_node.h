@@ -10,6 +10,8 @@
 #include "src/common/metrics.h"
 #include "src/common/types.h"
 #include "src/log/log_stream.h"
+#include "src/replication/checkpointer.h"
+#include "src/replication/durability_manager.h"
 #include "src/replication/log_shipper.h"
 #include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
@@ -27,6 +29,11 @@ struct DataNodeOptions {
   SimDuration commit_cost = 6 * kMicrosecond;
   SimDuration scan_row_cost = 1 * kMicrosecond;
   SimDuration lock_timeout = 500 * kMillisecond;
+  /// Durability lifecycle (DESIGN.md §12): periodic checkpoint + vacuum +
+  /// log truncation. On by default — truncation is part of normal
+  /// operation, not an optional mode.
+  bool enable_checkpoints = true;
+  SimDuration checkpoint_interval = 1 * kSecond;
 };
 
 /// A primary data node hosting one shard: MVCC storage, row locks, the
@@ -53,13 +60,34 @@ class DataNode {
   /// Attaches the replica set; must be called before Start().
   void ConfigureReplication(std::vector<NodeId> replicas,
                             ShipperOptions options);
-  /// Starts the log shipper loops.
+  /// Starts the log shipper loops and (if enabled) the checkpointer.
   void Start();
+  /// Stops the checkpointer and the shipper loops (failover: this node is
+  /// being replaced, or the simulation is quiescing).
+  void Stop();
+
+  /// Failover install: seeds this node from a promoted replica's state.
+  /// Must be called after construction and before ConfigureReplication /
+  /// Start. Installs the catalog + store images, re-bases the (empty) redo
+  /// stream so the next LSN continues from `applied_lsn + 1`, aborts every
+  /// in-doubt provisional transaction captured in the image (their
+  /// coordinators will learn the outcome on retry; quorum-acked commits are
+  /// never provisional on the most-caught-up replica), and seeds the
+  /// durability manager's checkpoint so lagging peers can full-state
+  /// install.
+  void InstallForPromotion(Lsn applied_lsn, Timestamp max_commit_ts,
+                           const std::string& catalog_image,
+                           const std::string& store_image);
 
   ShardStore& store() { return store_; }
   LogStream& log() { return log_; }
   Catalog& catalog() { return catalog_; }
   LogShipper* shipper() { return shipper_.get(); }
+  DurabilityManager& durability() { return durability_; }
+  Checkpointer* checkpointer() { return checkpointer_.get(); }
+  /// Highest commit timestamp stamped on this shard (advanced by commits,
+  /// DDLs, and CN heartbeats).
+  Timestamp max_commit_ts() const { return max_commit_ts_; }
   sim::CpuScheduler& cpu() { return cpu_; }
   LockManager& locks() { return locks_; }
   Metrics& metrics() { return metrics_; }
@@ -93,8 +121,14 @@ class DataNode {
       NodeId from, TxnControlRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleReplHello(
       NodeId from, ReplHelloRequest request);
+  sim::Task<StatusOr<DnStatusReply>> HandleStatus(NodeId from,
+                                                  rpc::EmptyMessage request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleReadHorizon(
+      NodeId from, ReadHorizonRequest request);
 
-  void AppendAndNotify(RedoRecord record);
+  /// Appends to the redo stream, wakes the shipper, and returns the
+  /// assigned LSN.
+  Lsn AppendAndNotify(RedoRecord record);
   /// Records a transaction this shard rolled back on its own (failing batch
   /// entry). Bounded FIFO: the CN normally resolves with an abort broadcast
   /// shortly after, but a crashed CN must not grow the set forever.
@@ -113,6 +147,9 @@ class DataNode {
   LockManager locks_;
   sim::CpuScheduler cpu_;
   std::unique_ptr<LogShipper> shipper_;
+  DurabilityManager durability_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+  Timestamp max_commit_ts_ = 0;
   /// Transactions this shard aborted itself after a failing batch entry.
   /// Even though the CN serializes batches per shard, a write batch that
   /// arrives for one of these (e.g. from a buggy or restarted coordinator)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/cluster/messages.h"
 #include "src/common/logging.h"
 #include "src/txn/messages.h"
 
@@ -45,8 +46,48 @@ void HealthMonitor::Start() {
 
 sim::Task<void> HealthMonitor::MonitorLoop() {
   while (running_) {
+    if (options_.primary_failover && !primaries_.empty()) {
+      co_await ProbePrimaries();
+    }
     co_await ProbeOnce();
     co_await sim_->Sleep(options_.probe_interval);
+  }
+}
+
+sim::Task<void> HealthMonitor::ProbePrimaries() {
+  metrics_.Add("health.primary_probes");
+  auto results =
+      co_await client_.CallAll(primaries_, kDnStatus, rpc::EmptyMessage{});
+  if (!running_) co_return;
+  for (ShardId shard = 0; shard < static_cast<ShardId>(primaries_.size());
+       ++shard) {
+    if (results[shard].ok()) {
+      if (primary_misses_[shard] >= options_.primary_miss_threshold) {
+        metrics_.Add("health.primary_recovered");
+      }
+      primary_misses_[shard] = 0;
+      continue;
+    }
+    metrics_.Add("health.primary_probe_misses");
+    if (++primary_misses_[shard] < options_.primary_miss_threshold) continue;
+    if (promote_ == nullptr || promotion_inflight_) continue;
+    metrics_.Add("health.primary_down");
+    GDB_LOG(Warn) << "health: primary " << primaries_[shard] << " (shard "
+                  << shard << ") declared down, promoting a replica";
+    // Promotion is synchronous in-process object surgery; the guard only
+    // protects against a re-entrant probe loop (not expected, but cheap).
+    promotion_inflight_ = true;
+    const NodeId promoted = promote_(shard);
+    promotion_inflight_ = false;
+    if (promoted != kInvalidNodeId) {
+      primaries_[shard] = promoted;
+      primary_misses_[shard] = 0;
+      metrics_.Add("health.promotions");
+      GDB_LOG(Info) << "health: shard " << shard << " promoted replica "
+                    << promoted << " to primary";
+    } else {
+      metrics_.Add("health.promotion_failures");
+    }
   }
 }
 

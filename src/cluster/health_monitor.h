@@ -1,6 +1,7 @@
 #ifndef GLOBALDB_SRC_CLUSTER_HEALTH_MONITOR_H_
 #define GLOBALDB_SRC_CLUSTER_HEALTH_MONITOR_H_
 
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -35,6 +36,15 @@ struct HealthMonitorOptions {
   /// How long every CN must be alive and under recover_error_bound before
   /// the monitor switches back to GClock (debounces flapping clocks).
   SimDuration recover_dwell = 500 * kMillisecond;
+  /// When true the monitor also probes every DN primary (kDnStatus) and,
+  /// after primary_miss_threshold consecutive misses, promotes that shard's
+  /// most-caught-up replica (DESIGN.md §12). Off by default: a network
+  /// partition is indistinguishable from a crash to a probe, and a cluster
+  /// not deployed for failover (most tests) must not split-brain a
+  /// partitioned-but-alive primary.
+  bool primary_failover = false;
+  /// Consecutive missed primary probes before promotion fires.
+  int primary_miss_threshold = 3;
 };
 
 /// Control-plane failure detector and self-healing driver (runs on the
@@ -71,6 +81,29 @@ class HealthMonitor {
   void Stop() { running_ = false; }
   bool running() const { return running_; }
 
+  /// Wires primary-failover probing: `primaries[s]` is shard s's current
+  /// primary; `promote` runs the promotion (in-process, synchronous) and
+  /// returns the new primary's node id — or kInvalidNodeId when no live
+  /// replica could be promoted (the monitor keeps probing the old primary
+  /// and retries on the next miss streak).
+  void ConfigureFailover(std::vector<NodeId> primaries,
+                         std::function<NodeId(ShardId)> promote) {
+    primaries_ = std::move(primaries);
+    promote_ = std::move(promote);
+    primary_misses_.assign(primaries_.size(), 0);
+  }
+  /// Follows a promotion driven outside the monitor (tests, operators).
+  void NotePrimaryPromoted(ShardId shard, NodeId node) {
+    if (shard < static_cast<ShardId>(primaries_.size())) {
+      primaries_[shard] = node;
+      primary_misses_[shard] = 0;
+    }
+  }
+  bool IsPrimaryAlive(ShardId shard) const {
+    return shard < static_cast<ShardId>(primary_misses_.size()) &&
+           primary_misses_[shard] < options_.primary_miss_threshold;
+  }
+
   /// The cluster timestamp mode as this monitor believes it to be. Call
   /// NoteMode after driving a transition manually (tests, operators) so the
   /// monitor's state machine follows.
@@ -101,6 +134,7 @@ class HealthMonitor {
 
   sim::Task<void> MonitorLoop();
   sim::Task<void> ProbeOnce();
+  sim::Task<void> ProbePrimaries();
 
   sim::Simulator* sim_;
   NodeId self_;
@@ -120,6 +154,11 @@ class HealthMonitor {
   SimTime healthy_since_ = 0;
   SimDuration last_max_error_bound_ = 0;
   std::map<NodeId, CnState> cns_;
+  /// Primary-failover state (empty unless ConfigureFailover was called).
+  std::vector<NodeId> primaries_;
+  std::vector<int> primary_misses_;
+  std::function<NodeId(ShardId)> promote_;
+  bool promotion_inflight_ = false;
   Metrics metrics_;
 };
 

@@ -489,6 +489,68 @@ struct RcpUpdateMessage {
   }
 };
 
+/// Primary liveness + durability status, probed by the health monitor (the
+/// DN-side analogue of kCnMaxIssued probing).
+struct DnStatusReply {
+  Lsn durable_lsn = 0;
+  Timestamp max_commit_ts = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, durable_lsn);
+    PutVarint64(&s, max_commit_ts);
+    return s;
+  }
+  static StatusOr<DnStatusReply> Decode(Slice in) {
+    DnStatusReply r;
+    if (!GetVarint64(&in, &r.durable_lsn) ||
+        !GetVarint64(&in, &r.max_commit_ts)) {
+      return Status::Corruption("dn status");
+    }
+    return r;
+  }
+};
+
+/// A CN's contribution to the cluster low-watermark read timestamp: no
+/// in-flight transaction on the CN runs below it, and no *future* snapshot
+/// it hands out (GClock single-shard bypass, ROR at the local RCP) can fall
+/// below it either. Monotone per CN.
+struct TxnHorizonReply {
+  Timestamp horizon = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, horizon);
+    return s;
+  }
+  static StatusOr<TxnHorizonReply> Decode(Slice in) {
+    TxnHorizonReply r;
+    if (!GetVarint64(&in, &r.horizon)) {
+      return Status::Corruption("txn horizon");
+    }
+    return r;
+  }
+};
+
+/// Collector push of the folded cluster read horizon to a DN primary (rides
+/// alongside the heartbeat): the primary's vacuum/GC low watermark.
+struct ReadHorizonRequest {
+  Timestamp horizon = 0;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, horizon);
+    return s;
+  }
+  static StatusOr<ReadHorizonRequest> Decode(Slice in) {
+    ReadHorizonRequest r;
+    if (!GetVarint64(&in, &r.horizon)) {
+      return Status::Corruption("read horizon");
+    }
+    return r;
+  }
+};
+
 // --- Method descriptors ------------------------------------------------------
 
 // Served by primary data nodes.
@@ -512,6 +574,10 @@ inline constexpr rpc::RpcMethod<DdlRequest, rpc::EmptyMessage> kDnDdl{
     "dn.ddl"};
 inline constexpr rpc::RpcMethod<TxnControlRequest, rpc::EmptyMessage>
     kDnHeartbeat{"dn.heartbeat"};
+inline constexpr rpc::RpcMethod<rpc::EmptyMessage, DnStatusReply> kDnStatus{
+    "dn.status"};
+inline constexpr rpc::RpcMethod<ReadHorizonRequest, rpc::EmptyMessage>
+    kDnReadHorizon{"dn.read_horizon"};
 
 // Served by replica data nodes (read-on-replica).
 inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kRorRead{"ror.read"};
@@ -526,6 +592,8 @@ inline constexpr rpc::RpcMethod<RcpUpdateMessage, rpc::EmptyMessage>
     kCnRcpUpdate{"cn.rcp_update"};
 inline constexpr rpc::RpcMethod<DdlRequest, rpc::EmptyMessage> kCnDdlApply{
     "cn.ddl_apply"};
+inline constexpr rpc::RpcMethod<rpc::EmptyMessage, TxnHorizonReply>
+    kCnTxnHorizon{"cn.txn_horizon"};
 
 }  // namespace globaldb
 

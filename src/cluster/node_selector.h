@@ -67,6 +67,20 @@ class NodeSelector {
     if (it != replicas_.end()) it->second.healthy = false;
   }
 
+  /// Removes a replica entirely (it was promoted to primary: it no longer
+  /// serves replica reads and must stop feeding the skyline).
+  void RemoveReplica(NodeId node) {
+    auto it = replicas_.find(node);
+    if (it == replicas_.end()) return;
+    auto shard_it = by_shard_.find(it->second.shard);
+    if (shard_it != by_shard_.end()) {
+      auto& nodes = shard_it->second;
+      nodes.erase(std::remove(nodes.begin(), nodes.end(), node), nodes.end());
+      if (nodes.empty()) by_shard_.erase(shard_it);
+    }
+    replicas_.erase(it);
+  }
+
   bool IsHealthy(NodeId node) const {
     auto it = replicas_.find(node);
     return it != replicas_.end() && it->second.healthy;

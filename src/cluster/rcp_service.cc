@@ -121,6 +121,16 @@ RcpUpdateMessage RcpService::MakeUpdate() const {
   return update;
 }
 
+void RcpService::RemoveReplica(NodeId node) {
+  replicas_.erase(std::remove_if(replicas_.begin(), replicas_.end(),
+                                 [node](const ReplicaDesc& desc) {
+                                   return desc.node == node;
+                                 }),
+                  replicas_.end());
+  statuses_.erase(node);
+  failed_.erase(node);
+}
+
 void RcpService::ApplyUpdate(const RcpUpdateMessage& update) {
   ObserveRcp(update.rcp);
   for (const auto& entry : update.statuses) {

@@ -51,6 +51,11 @@ class RcpService {
   /// Raises the local RCP (applied from collector broadcasts).
   void ObserveRcp(Timestamp rcp) { rcp_ = std::max(rcp_, rcp); }
 
+  /// Drops a replica from the poll set (it was promoted to primary). Safe
+  /// for the RCP: reads of a shard left without replicas fall back to its
+  /// primary, which is never stale.
+  void RemoveReplica(NodeId node);
+
   /// Handler body for kCnRcpUpdate (registered by the CN).
   void ApplyUpdate(const RcpUpdateMessage& update);
 

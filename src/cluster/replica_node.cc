@@ -56,13 +56,16 @@ sim::Task<StatusOr<ReadReply>> ReplicaNode::HandleRead(NodeId from,
   co_await cpu_.Consume(options_.read_cost);
   metrics_.Add("ror.reads");
   ReadReply reply;
-  MvccTable* table = store_.GetTable(request.table);
-  if (table == nullptr) {
-    // The table may simply have no rows replayed into this shard yet.
-    co_return reply;
-  }
-  // Pending-commit tuple lock: retry after the blocking txn resolves.
+  // Pending-commit tuple lock: retry after the blocking txn resolves. The
+  // table pointer must be re-fetched on every attempt — a snapshot install
+  // while parked on WaitResolved rebuilds the whole store and frees the old
+  // MvccTable out from under this coroutine.
   while (true) {
+    MvccTable* table = store_.GetTable(request.table);
+    if (table == nullptr) {
+      // The table may simply have no rows replayed into this shard yet.
+      co_return reply;
+    }
     ReadResult result = table->Read(request.key, request.snapshot);
     if (result.provisional_txn != kInvalidTxnId &&
         applier_->MustWait(result.provisional_txn, request.snapshot)) {
@@ -98,11 +101,13 @@ sim::Task<StatusOr<ReadBatchReply>> ReplicaNode::HandleReadBatch(
       result.message = "for_update read routed to a replica";
       continue;
     }
-    MvccTable* table = store_.GetTable(entry.table);
-    if (table == nullptr) {
-      continue;  // no rows replayed into this shard yet: a miss
-    }
     while (true) {
+      // Re-fetched per attempt: a snapshot install during WaitResolved frees
+      // the previous MvccTable.
+      MvccTable* table = store_.GetTable(entry.table);
+      if (table == nullptr) {
+        break;  // no rows replayed into this shard yet: a miss
+      }
       ReadResult read = table->Read(entry.key, request.snapshot);
       if (read.provisional_txn != kInvalidTxnId &&
           applier_->MustWait(read.provisional_txn, request.snapshot)) {
@@ -122,12 +127,14 @@ sim::Task<StatusOr<ScanReply>> ReplicaNode::HandleScan(NodeId from,
                                                        ScanRequest request) {
   metrics_.Add("ror.scans");
   ScanReply reply;
-  MvccTable* table = store_.GetTable(request.table);
-  if (table == nullptr) {
-    co_await cpu_.Consume(options_.read_cost);
-    co_return reply;
-  }
   while (true) {
+    // Re-fetched per attempt: a snapshot install during WaitResolved frees
+    // the previous MvccTable.
+    MvccTable* table = store_.GetTable(request.table);
+    if (table == nullptr) {
+      co_await cpu_.Consume(options_.read_cost);
+      co_return reply;
+    }
     std::vector<TxnId> pending;
     auto rows = table->Scan(request.start, request.end, request.snapshot,
                             kInvalidTxnId, request.limit, &pending);

@@ -6,7 +6,9 @@ namespace globaldb {
 
 Lsn LogStream::Append(RedoRecord record) {
   record.lsn = next_lsn();
-  total_bytes_ += record.EncodedSize();
+  const size_t sz = record.EncodedSize();
+  total_bytes_ += sz;
+  retained_bytes_ += sz;
   records_.push_back(std::move(record));
   return records_.back().lsn;
 }
@@ -55,9 +57,15 @@ StatusOr<RedoRecord> LogStream::At(Lsn lsn) const {
 
 void LogStream::TruncateUntil(Lsn until) {
   while (begin_lsn_ < until && !records_.empty()) {
+    retained_bytes_ -= records_.front().EncodedSize();
     records_.pop_front();
     ++begin_lsn_;
   }
+}
+
+void LogStream::ResetBase(Lsn first) {
+  GDB_CHECK(records_.empty()) << "ResetBase on non-empty stream";
+  begin_lsn_ = first;
 }
 
 std::string LogStream::EncodeBatch(const std::vector<RedoRecord>& records,

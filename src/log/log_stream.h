@@ -33,6 +33,9 @@ class LogStream {
   size_t size() const { return records_.size(); }
   /// Total encoded bytes appended over the stream's lifetime.
   uint64_t total_bytes() const { return total_bytes_; }
+  /// Encoded bytes of the currently retained records (lifetime bytes minus
+  /// what truncation reclaimed) — the soak bench asserts this flat-lines.
+  uint64_t retained_bytes() const { return retained_bytes_; }
 
   /// Returns up to max_records records starting at `from` (inclusive),
   /// stopping early once max_bytes of encoded size is reached (at least one
@@ -59,6 +62,12 @@ class LogStream {
   /// Drops records with lsn < until (replicas all caught up past them).
   void TruncateUntil(Lsn until);
 
+  /// Re-bases an *empty* stream so the next Append gets LSN `first`. Used
+  /// when a promoted replica adopts the primary role: its new log continues
+  /// the shard's LSN sequence from its applied position instead of
+  /// restarting at 1. Must not be called on a non-empty stream.
+  void ResetBase(Lsn first);
+
   /// Serializes records for the wire, optionally compressed. The batch is
   /// self-describing: [u8 compression][payload], payload = concatenated
   /// record encodings (LSNs travel inside the records).
@@ -70,6 +79,7 @@ class LogStream {
   std::deque<RedoRecord> records_;
   Lsn begin_lsn_ = 1;
   uint64_t total_bytes_ = 0;
+  uint64_t retained_bytes_ = 0;
 };
 
 }  // namespace globaldb

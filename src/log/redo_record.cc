@@ -158,6 +158,13 @@ RedoRecord RedoRecord::Ddl(Timestamp ts, std::string payload) {
   return r;
 }
 
+RedoRecord RedoRecord::Checkpoint(Timestamp ts) {
+  RedoRecord r;
+  r.type = RedoType::kCheckpoint;
+  r.timestamp = ts;
+  return r;
+}
+
 bool operator==(const RedoRecord& a, const RedoRecord& b) {
   return a.type == b.type && a.txn_id == b.txn_id &&
          a.timestamp == b.timestamp && a.table_id == b.table_id &&

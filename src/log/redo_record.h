@@ -77,6 +77,10 @@ struct RedoRecord {
   static RedoRecord AbortPrepared(TxnId txn);
   static RedoRecord Heartbeat(Timestamp ts);
   static RedoRecord Ddl(Timestamp ts, std::string payload);
+  /// Marks a checkpoint: everything below this record's LSN is captured in a
+  /// snapshot; `ts` is the vacuum horizon the checkpoint was taken at
+  /// (replicas vacuum their version chains at the same horizon on replay).
+  static RedoRecord Checkpoint(Timestamp ts);
 };
 
 bool operator==(const RedoRecord& a, const RedoRecord& b);

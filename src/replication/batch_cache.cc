@@ -27,4 +27,18 @@ void EncodedBatchCache::Put(const BatchCacheKey& key,
   }
 }
 
+size_t EncodedBatchCache::EvictBelow(Lsn watermark) {
+  size_t evicted = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.start_lsn < watermark) {
+      lru_.erase(it->second);
+      it = entries_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
 }  // namespace globaldb

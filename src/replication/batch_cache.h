@@ -46,6 +46,12 @@ class EncodedBatchCache {
   void Put(const BatchCacheKey& key,
            std::shared_ptr<const std::string> payload);
 
+  /// Drops entries whose range starts below `watermark` — called after log
+  /// truncation so the cache is keyed off the retained log, not LSN 0.
+  /// Entries at or above the watermark stay valid (LSNs are immutable).
+  /// Returns the number of entries evicted.
+  size_t EvictBelow(Lsn watermark);
+
   size_t size() const { return entries_.size(); }
   size_t capacity() const { return capacity_; }
 

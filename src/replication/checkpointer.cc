@@ -1,0 +1,51 @@
+#include "src/replication/checkpointer.h"
+
+#include <utility>
+
+#include "src/storage/snapshot.h"
+
+namespace globaldb {
+
+void Checkpointer::Start() {
+  stopped_ = false;
+  RunOnce();
+  sim_->Spawn(Loop());
+}
+
+sim::Task<void> Checkpointer::Loop() {
+  while (!stopped_) {
+    co_await sim_->Sleep(options_.interval);
+    if (stopped_) break;
+    RunOnce();
+  }
+}
+
+void Checkpointer::RunOnce() {
+  const Timestamp horizon = durability_->VacuumHorizon();
+  const size_t reclaimed = store_->Vacuum(horizon);
+  const int64_t live = static_cast<int64_t>(store_->VersionCount());
+  metrics_->Add("storage.versions_gced", static_cast<int64_t>(reclaimed));
+  // versions_live is a gauge: adjust the counter to the current value.
+  metrics_->Add("storage.versions_live",
+                live - metrics_->Get("storage.versions_live"));
+
+  // Quiet shard: the retained checkpoint already covers the whole log.
+  // Appending another kCheckpoint would keep the tail moving forever (and
+  // with it every replica's convergence target).
+  if (durability_->CheckpointCurrent()) {
+    metrics_->Add("durability.checkpoint_skips");
+    return;
+  }
+
+  ShardSnapshot snapshot;
+  snapshot.checkpoint_lsn = append_(RedoRecord::Checkpoint(horizon));
+  snapshot.checkpoint_ts = horizon;
+  snapshot.max_commit_ts = max_commit_ts_();
+  snapshot.catalog_image = EncodeCatalog(*catalog_);
+  snapshot.store_image = EncodeShardStore(*store_);
+  metrics_->Hist("durability.snapshot_bytes")
+      .Record(static_cast<int64_t>(snapshot.store_image.size()));
+  durability_->PublishCheckpoint(std::move(snapshot));
+}
+
+}  // namespace globaldb

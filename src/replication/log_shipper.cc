@@ -6,6 +6,7 @@
 
 #include "src/common/codec.h"
 #include "src/common/logging.h"
+#include "src/replication/durability_manager.h"
 #include "src/rpc/wire.h"
 
 namespace globaldb {
@@ -114,7 +115,34 @@ void LogShipper::Rewind(PeerState* peer, Lsn to) {
   // no longer touch failure / backoff / window state).
   ++peer->epoch;
   peer->inflight = 0;
-  peer->cursor = std::max(to, stream_->begin_lsn());
+  if (to < stream_->begin_lsn()) {
+    // The resume position was truncated away: clamping the cursor forward
+    // would silently skip records. Redo replay cannot catch this replica up
+    // — it needs the latest checkpoint snapshot first.
+    peer->needs_snapshot = true;
+    peer->cursor = stream_->begin_lsn();
+    return;
+  }
+  peer->cursor = to;
+}
+
+void LogShipper::RequireSnapshotAll() {
+  for (auto& [replica, peer] : peers_) {
+    ++peer.epoch;
+    peer.inflight = 0;
+    peer.needs_snapshot = true;
+    peer.snapshot_reset = true;
+    peer.resume_hint = kInvalidLsn;
+    peer.consecutive_failures = 0;
+    peer.backoff = 0;
+    peer.next_send_at = 0;
+  }
+  WakeLoops();
+}
+
+void LogShipper::OnTruncate(Lsn new_begin) {
+  metrics_.Add("ship.cache_evictions",
+               static_cast<int64_t>(cache_.EvictBelow(new_begin)));
 }
 
 std::shared_ptr<const std::string> LogShipper::EncodedRequest(
@@ -148,7 +176,10 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
     if (peer.resume_hint != kInvalidLsn) {
       // Restart announcement: resume from the replica's durable tail (this
       // may rewind past acks if the replica lost state, or skip ahead past
-      // records it already holds).
+      // records it already holds). A pending history reset (promotion)
+      // outranks the announcement; otherwise Rewind re-derives whether the
+      // announced tail is still replayable from the retained log.
+      if (!peer.snapshot_reset) peer.needs_snapshot = false;
       Rewind(&peer, peer.resume_hint + 1);
       peer.resume_hint = kInvalidLsn;
     }
@@ -156,6 +187,23 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
       // Backoff gate after a failure burst. An announcement clears the gate
       // and wakes us early.
       co_await InterruptibleSleep(peer.next_send_at - sim_->now());
+      continue;
+    }
+    if (peer.needs_snapshot) {
+      if (durability_ != nullptr && durability_->HasSnapshot()) {
+        // Stop-and-wait full-state transfer, then resume redo shipping
+        // from the installed checkpoint.
+        co_await SendSnapshot(replica);
+      } else if (durability_ != nullptr) {
+        // Checkpoint not yet published (promotion startup window): the
+        // checkpointer runs shortly; park until it does.
+        co_await InterruptibleSleep(options_.idle_wait);
+      } else {
+        // No durability manager (standalone shipper, nothing ever
+        // truncates): the legacy resync from the stream start is lossless.
+        peer.needs_snapshot = false;
+        peer.cursor = stream_->begin_lsn();
+      }
       continue;
     }
     if (peer.inflight >= window) {
@@ -168,9 +216,12 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
     auto extent_or = stream_->Extent(peer.cursor, options_.max_batch_records,
                                      options_.max_batch_bytes);
     if (!extent_or.ok()) {
-      // Our cursor was truncated away (should not happen: truncation waits
-      // for acks). Resync from the stream start.
-      peer.cursor = stream_->begin_lsn();
+      // Our cursor was truncated away: a checkpoint outran this replica
+      // (its acks lagged the quorum). Redo replay cannot catch it up any
+      // more — route it through the snapshot fallback instead of silently
+      // resyncing past the dropped records.
+      metrics_.Add("ship.cursor_truncated");
+      Rewind(&peer, AckedLsn(replica) + 1);
       continue;
     }
     if (extent_or->records == 0) {
@@ -183,7 +234,10 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
     std::shared_ptr<const std::string> payload =
         EncodedRequest(peer.cursor, *extent_or);
     if (payload == nullptr) {
-      peer.cursor = stream_->begin_lsn();
+      // Read failed after a successful Extent: truncation raced us between
+      // the two calls. Same remedy as the Extent failure above.
+      metrics_.Add("ship.cursor_truncated");
+      Rewind(&peer, AckedLsn(replica) + 1);
       continue;
     }
     metrics_.Add("ship.batches");
@@ -196,6 +250,57 @@ sim::Task<void> LogShipper::ShipLoop(NodeId replica) {
     // No await: keep filling the window until it is full or the stream is
     // drained.
   }
+}
+
+sim::Task<void> LogShipper::SendSnapshot(NodeId replica) {
+  PeerState& peer = peers_[replica];
+  if (peer.next_send_at > sim_->now()) {
+    co_await InterruptibleSleep(peer.next_send_at - sim_->now());
+    co_return;
+  }
+  const ShardSnapshot& snap = durability_->snapshot();
+  ReplSnapshotRequest request;
+  request.shard = shard_;
+  request.checkpoint_lsn = snap.checkpoint_lsn;
+  request.checkpoint_ts = snap.checkpoint_ts;
+  request.max_commit_ts = snap.max_commit_ts;
+  request.reset = peer.snapshot_reset;
+  request.catalog_image = snap.catalog_image;
+  request.store_image = snap.store_image;
+  const uint64_t epoch = peer.epoch;
+  metrics_.Add("ship.snapshots");
+  metrics_.Add("ship.snapshot_bytes",
+               static_cast<int64_t>(request.store_image.size() +
+                                    request.catalog_image.size()));
+  rpc::CallOptions call;
+  call.attempt_timeout = options_.snapshot_timeout;
+  auto reply =
+      co_await client_.Call(replica, kReplSnapshot, request, call);
+  if (stopped_ || epoch != peer.epoch) co_return;
+  if (!reply.ok()) {
+    OnShipFailure(&peer, replica);
+    peer.next_send_at = sim_->now() + peer.backoff;
+    co_return;
+  }
+  if (!reply->accepted) {
+    // The replica refused (e.g. it is stalled): retry after a backoff —
+    // redo shipping cannot proceed until the install lands.
+    metrics_.Add("ship.snapshot_refused");
+    peer.next_send_at = sim_->now() + options_.retry_backoff;
+    co_return;
+  }
+  if (!peer.healthy) {
+    peer.healthy = true;
+    metrics_.Add("ship.replica_recovered");
+  }
+  peer.consecutive_failures = 0;
+  peer.backoff = 0;
+  peer.next_send_at = 0;
+  peer.needs_snapshot = false;
+  peer.snapshot_reset = false;
+  OnAck(replica, reply->applied_lsn);
+  Rewind(&peer, reply->applied_lsn + 1);
+  metrics_.Add("ship.snapshot_installs");
 }
 
 sim::Task<void> LogShipper::SendBatch(

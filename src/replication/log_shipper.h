@@ -19,6 +19,8 @@
 
 namespace globaldb {
 
+class DurabilityManager;
+
 struct ShipperOptions {
   ReplicationMode mode = ReplicationMode::kAsync;
   /// The paper's GlobalDB deployment compresses shipped redo with LZ4.
@@ -45,6 +47,12 @@ struct ShipperOptions {
   /// For kSyncQuorum: how many replicas (not counting the primary) must
   /// have persisted a commit before it is acknowledged.
   int quorum_replicas = 1;
+  /// Per-attempt timeout for kReplSnapshot (full-state images are much
+  /// larger than a redo batch, so the regular RPC timeout is too tight).
+  /// Kept moderate: while a replica is black-holed (partition) the shipper
+  /// blocks a full attempt on this, and an over-long wait delays resumption
+  /// well past the heal.
+  SimDuration snapshot_timeout = 2 * kSecond;
 };
 
 /// Primary-side redo log shipper: one streaming loop per replica, each a
@@ -87,6 +95,21 @@ class LogShipper {
   /// replica's cursor to `durable_lsn + 1`, clears its failure/backoff
   /// state, and wakes its loop so catch-up starts immediately.
   void AnnounceReplica(NodeId replica, Lsn durable_lsn);
+
+  /// Wires the durability manager whose checkpoint snapshot backs the
+  /// truncated-cursor fallback (kReplSnapshot full-state transfer).
+  void SetDurability(DurabilityManager* durability) {
+    durability_ = durability;
+  }
+
+  /// Marks every replica as needing a full-state install (with history
+  /// reset) before any further shipping — a promoted primary calls this:
+  /// its fresh log starts at its applied LSN, so every peer must re-base.
+  void RequireSnapshotAll();
+
+  /// Called by the durability manager after it truncated the stream up to
+  /// `new_begin`: re-bases the encoded-batch cache on the new watermark.
+  void OnTruncate(Lsn new_begin);
 
   /// Per-replica health as tracked by the ship loop (false after
   /// `unhealthy_after_failures` consecutive failures, true again on the
@@ -143,9 +166,20 @@ class LogShipper {
     int consecutive_failures = 0;
     SimDuration backoff = 0;
     bool healthy = true;
+    /// The replica's resume position fell below the log's first retained
+    /// LSN (truncation outran it): redo replay cannot catch it up, the loop
+    /// must install the latest checkpoint snapshot first.
+    bool needs_snapshot = false;
+    /// Send the snapshot with the reset flag (post-promotion: the peer's
+    /// history diverged, so "already ahead" must not skip the install).
+    bool snapshot_reset = false;
   };
 
   sim::Task<void> ShipLoop(NodeId replica);
+  /// Stop-and-wait full-state transfer: ships the durability manager's
+  /// latest checkpoint snapshot and, on acceptance, resumes redo shipping
+  /// from the replica's post-install applied LSN.
+  sim::Task<void> SendSnapshot(NodeId replica);
   /// One in-flight window slot: ships a pre-encoded batch and feeds the
   /// reply back into the peer's window / health / ack state.
   sim::Task<void> SendBatch(NodeId replica, uint64_t epoch,
@@ -174,6 +208,7 @@ class LogShipper {
   ShipperOptions options_;
   rpc::RpcClient client_;
   EncodedBatchCache cache_;
+  DurabilityManager* durability_ = nullptr;
 
   std::map<NodeId, Lsn> acked_;
   /// acked_ values in descending order, updated in place per ack, so the

@@ -88,6 +88,77 @@ struct ReplHelloRequest {
   }
 };
 
+/// Full-state transfer: sent by the shipper when a replica's resume LSN
+/// falls below the log's truncation point (or after a primary promotion
+/// re-bases the shard's log). The replica installs the catalog + store
+/// images, adopts `checkpoint_lsn` as its applied LSN, and replays the log
+/// tail from checkpoint_lsn + 1.
+struct ReplSnapshotRequest {
+  uint32_t shard = 0;
+  Lsn checkpoint_lsn = kInvalidLsn;
+  /// Vacuum horizon the image was cut at.
+  Timestamp checkpoint_ts = 0;
+  /// Largest commit timestamp contained in the image (seeds the replica's
+  /// max-commit-timestamp so RCP stays monotone across the install).
+  Timestamp max_commit_ts = 0;
+  /// Force installation even if the replica's applied LSN is not behind —
+  /// set after a promotion, when the shard's history diverged.
+  bool reset = false;
+  std::string catalog_image;
+  std::string store_image;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint32(&s, shard);
+    PutVarint64(&s, checkpoint_lsn);
+    PutVarint64(&s, checkpoint_ts);
+    PutVarint64(&s, max_commit_ts);
+    PutVarint32(&s, reset ? 1 : 0);
+    PutLengthPrefixed(&s, catalog_image);
+    PutLengthPrefixed(&s, store_image);
+    return s;
+  }
+  static StatusOr<ReplSnapshotRequest> Decode(Slice in) {
+    ReplSnapshotRequest r;
+    uint32_t reset = 0;
+    Slice catalog_image, store_image;
+    if (!GetVarint32(&in, &r.shard) || !GetVarint64(&in, &r.checkpoint_lsn) ||
+        !GetVarint64(&in, &r.checkpoint_ts) ||
+        !GetVarint64(&in, &r.max_commit_ts) || !GetVarint32(&in, &reset) ||
+        !GetLengthPrefixed(&in, &catalog_image) ||
+        !GetLengthPrefixed(&in, &store_image)) {
+      return Status::Corruption("repl snapshot req");
+    }
+    r.reset = reset != 0;
+    r.catalog_image = catalog_image.ToString();
+    r.store_image = store_image.ToString();
+    return r;
+  }
+};
+
+struct ReplSnapshotReply {
+  /// The replica's applied LSN after the install (== checkpoint_lsn, or its
+  /// own higher LSN if it was already ahead and the install was skipped).
+  Lsn applied_lsn = 0;
+  bool accepted = true;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, applied_lsn);
+    PutVarint32(&s, accepted ? 1 : 0);
+    return s;
+  }
+  static StatusOr<ReplSnapshotReply> Decode(Slice in) {
+    ReplSnapshotReply r;
+    uint32_t accepted = 0;
+    if (!GetVarint64(&in, &r.applied_lsn) || !GetVarint32(&in, &accepted)) {
+      return Status::Corruption("repl snapshot reply");
+    }
+    r.accepted = accepted != 0;
+    return r;
+  }
+};
+
 // --- Method descriptors ------------------------------------------------------
 
 // Served by replica appliers.
@@ -97,6 +168,10 @@ inline constexpr rpc::RpcMethod<ReplAppendRequest, ReplAppendReply>
 // Served by the primary data node (forwarded to its log shipper).
 inline constexpr rpc::RpcMethod<ReplHelloRequest, rpc::EmptyMessage>
     kReplHello{"repl.hello"};
+
+// Served by replica appliers (full-state install).
+inline constexpr rpc::RpcMethod<ReplSnapshotRequest, ReplSnapshotReply>
+    kReplSnapshot{"repl.snapshot"};
 
 }  // namespace globaldb
 

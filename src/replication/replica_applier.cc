@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "src/common/logging.h"
+#include "src/storage/snapshot.h"
 
 namespace globaldb {
 
@@ -23,6 +24,85 @@ ReplicaApplier::ReplicaApplier(sim::Simulator* sim, sim::Network* network,
   server_.Handle(kReplAppend, [this](NodeId from, ReplAppendRequest request) {
     return HandleAppend(from, std::move(request));
   });
+  server_.Handle(kReplSnapshot,
+                 [this](NodeId from, ReplSnapshotRequest request) {
+                   return HandleSnapshot(from, std::move(request));
+                 });
+}
+
+sim::Task<StatusOr<ReplSnapshotReply>> ReplicaApplier::HandleSnapshot(
+    NodeId from, ReplSnapshotRequest request) {
+  ReplSnapshotReply ack;
+  // A reset install is always allowed (a newer promotion may change the
+  // primary again); a plain catch-up snapshot must come from the current
+  // primary once a reset pinned one.
+  if (request.shard != shard_ || stalled_ ||
+      (!request.reset && primary_filter_ != kInvalidNodeId &&
+       from != primary_filter_)) {
+    ack.applied_lsn = applied_lsn_;
+    ack.accepted = false;
+    co_return ack;
+  }
+  if (!request.reset && request.checkpoint_lsn <= applied_lsn_) {
+    // Already at or past the checkpoint (a redo batch beat the snapshot):
+    // nothing to install, report where we are.
+    ack.applied_lsn = applied_lsn_;
+    ack.accepted = true;
+    co_return ack;
+  }
+
+  // Charge the install like a replay of the image (rough: one record per
+  // live version).
+  co_await cpu_->Consume(options_.apply_cost_per_record *
+                         std::max<size_t>(1, request.store_image.size() /
+                                                 128));
+
+  // Hold the apply gate across the install: in-flight HandleAppend replays
+  // must not interleave with the wholesale state swap. Re-check staleness
+  // under the gate — a batch that drained while we waited may have advanced
+  // the applied LSN past the checkpoint.
+  co_await AcquireApply();
+  if (!request.reset && request.checkpoint_lsn <= applied_lsn_) {
+    ReleaseApply();
+    ack.applied_lsn = applied_lsn_;
+    ack.accepted = true;
+    co_return ack;
+  }
+  Status s = InstallCatalog(Slice(request.catalog_image), catalog_);
+  if (s.ok()) s = InstallShardStore(Slice(request.store_image), store_);
+  if (!s.ok()) {
+    GDB_LOG(Error) << "replica " << self_
+                   << ": snapshot install failed: " << s.ToString();
+    metrics_.Add("apply.bad_snapshots");
+    ReleaseApply();
+    ack.applied_lsn = applied_lsn_;
+    ack.accepted = false;
+    co_return ack;
+  }
+  applied_lsn_ = request.checkpoint_lsn;
+  max_commit_ts_ = std::max(max_commit_ts_, request.max_commit_ts);
+  if (request.reset) {
+    // History reset: from here on, only the new primary's stream is valid.
+    primary_filter_ = from;
+    ++install_epoch_;
+  }
+  // Drop every buffered out-of-order batch: anything parked below the new
+  // applied LSN is stale (pre-checkpoint history — with `reset`, possibly
+  // from a dead primary) and must never replay on top of the fresh image;
+  // anything above it the shipper resends from checkpoint_lsn + 1 anyway.
+  reorder_.clear();
+  reorder_bytes_ = 0;
+  // Rebuild the pending-commit set from the image's provisional state: the
+  // in-flight transactions captured mid-2PC. Lower bound 0 (unknown) —
+  // replica readers wait until the replayed COMMIT/ABORT resolves them.
+  pending_.clear();
+  for (TxnId txn : store_->ProvisionalTxns()) pending_[txn] = 0;
+  resolved_signal_.NotifyAll();
+  ReleaseApply();
+  metrics_.Add("apply.snapshot_installs");
+  ack.applied_lsn = applied_lsn_;
+  ack.accepted = true;
+  co_return ack;
 }
 
 sim::Task<StatusOr<ReplAppendReply>> ReplicaApplier::HandleAppend(
@@ -33,7 +113,8 @@ sim::Task<StatusOr<ReplAppendReply>> ReplicaApplier::HandleAppend(
   // replica dropped (stall, decode failure, refused gap): those make the
   // shipper rewind immediately instead of waiting out the window.
   ReplAppendReply ack;
-  if (request.shard != shard_) {
+  if (request.shard != shard_ ||
+      (primary_filter_ != kInvalidNodeId && from != primary_filter_)) {
     metrics_.Add("apply.bad_batches");
     ack.applied_lsn = applied_lsn_;
     ack.accepted = false;
@@ -78,7 +159,17 @@ sim::Task<StatusOr<ReplAppendReply>> ReplicaApplier::HandleAppend(
   // In-order (or duplicate) batch: replay it, then drain whatever buffered
   // batches it made contiguous. Pipelined shipping makes this handler
   // reentrant, so the replay region is serialized behind a FIFO gate.
+  const uint64_t epoch = install_epoch_;
   co_await AcquireApply();
+  if (epoch != install_epoch_) {
+    // A reset install landed while this batch waited at the gate: its
+    // records belong to the dead primary's timeline. Drop them.
+    ReleaseApply();
+    metrics_.Add("apply.bad_batches");
+    ack.applied_lsn = applied_lsn_;
+    ack.accepted = false;
+    co_return ack;
+  }
   size_t applied = co_await ApplyRecords(records);
   applied += co_await DrainReorder();
   ReleaseApply();
@@ -210,6 +301,10 @@ void ReplicaApplier::ApplyRecord(const RedoRecord& record) {
       break;
     }
     case RedoType::kCheckpoint:
+      // The primary checkpointed at this vacuum horizon; prune our version
+      // chains at the same horizon so replica memory tracks the primary's.
+      metrics_.Add("storage.versions_gced",
+                   static_cast<int64_t>(store_->Vacuum(record.timestamp)));
       break;
   }
 }

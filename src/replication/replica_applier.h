@@ -106,6 +106,14 @@ class ReplicaApplier {
 
   sim::Task<StatusOr<ReplAppendReply>> HandleAppend(NodeId from,
                                                     ReplAppendRequest request);
+  /// Full-state install (kReplSnapshot): replaces the store + catalog with
+  /// the checkpoint image, adopts its LSN, clears the reorder buffer (stale
+  /// pre-checkpoint batches must not double-apply), and rebuilds the
+  /// pending-commit set from the image's provisional transactions. Skipped
+  /// (but acked) when the replica is already at or past the checkpoint,
+  /// unless the request carries the post-promotion `reset` flag.
+  sim::Task<StatusOr<ReplSnapshotReply>> HandleSnapshot(
+      NodeId from, ReplSnapshotRequest request);
   /// FIFO mutual exclusion around record replay: pipelined batches make
   /// HandleAppend reentrant, and the replay loop suspends on the CPU model,
   /// so without a gate two overlapping handlers could interleave (and
@@ -136,6 +144,14 @@ class ReplicaApplier {
 
   Lsn applied_lsn_ = 0;
   Timestamp max_commit_ts_ = 0;
+  /// After a reset (post-promotion) install, only the installing primary's
+  /// batches are accepted: the dead primary's unreplicated tail must never
+  /// replay on top of the new timeline (its LSNs collide with the promoted
+  /// primary's fresh appends).
+  NodeId primary_filter_ = kInvalidNodeId;
+  /// Bumped by every reset install; in-flight appends that pre-date the
+  /// bump re-check it after the apply gate and drop themselves.
+  uint64_t install_epoch_ = 0;
   std::map<TxnId, Timestamp> pending_;
   sim::CondVar resolved_signal_;
   /// Out-of-order batches keyed by start LSN, waiting for their gap to fill.

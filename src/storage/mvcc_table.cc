@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/codec.h"
 #include "src/common/logging.h"
 
 namespace globaldb {
@@ -265,6 +266,74 @@ std::vector<MvccTable::ScanEntry> MvccTable::Scan(
       provisional->push_back(pending);
     }
   }
+  return out;
+}
+
+size_t MvccTable::VersionCount() const {
+  size_t total = 0;
+  for (auto it = chains_.Begin(); it.Valid(); it.Next()) {
+    total += it.value().versions.size();
+  }
+  return total;
+}
+
+void MvccTable::EncodeTo(std::string* dst) const {
+  PutVarint64(dst, chains_.size());
+  for (auto it = chains_.Begin(); it.Valid(); it.Next()) {
+    PutLengthPrefixed(dst, it.key());
+    const auto& versions = it.value().versions;
+    PutVarint64(dst, versions.size());
+    for (const TupleVersion& v : versions) {
+      PutVarint64(dst, v.begin_ts);
+      PutVarint64(dst, v.end_ts);
+      PutVarint64(dst, v.created_by);
+      PutVarint64(dst, v.ended_by);
+      PutLengthPrefixed(dst, v.value);
+    }
+  }
+}
+
+Status MvccTable::DecodeFrom(Slice* input) {
+  uint64_t num_chains = 0;
+  if (!GetVarint64(input, &num_chains)) {
+    return Status::Corruption("table image: chain count");
+  }
+  for (uint64_t c = 0; c < num_chains; ++c) {
+    Slice key;
+    uint64_t num_versions = 0;
+    if (!GetLengthPrefixed(input, &key) ||
+        !GetVarint64(input, &num_versions)) {
+      return Status::Corruption("table image: chain header");
+    }
+    const RowKey row_key = key.ToString();
+    VersionChain& chain = chains_[row_key];
+    chain.versions.reserve(num_versions);
+    for (uint64_t i = 0; i < num_versions; ++i) {
+      TupleVersion v;
+      Slice value;
+      if (!GetVarint64(input, &v.begin_ts) || !GetVarint64(input, &v.end_ts) ||
+          !GetVarint64(input, &v.created_by) ||
+          !GetVarint64(input, &v.ended_by) ||
+          !GetLengthPrefixed(input, &value)) {
+        return Status::Corruption("table image: version");
+      }
+      v.value = value.ToString();
+      // Rebuild provisional bookkeeping so replayed COMMIT/ABORT records
+      // (and promotion-time in-doubt aborts) resolve installed versions.
+      if (v.begin_ts == 0) Touch(v.created_by, row_key);
+      if (v.ended_by != kInvalidTxnId && v.ended_by != v.created_by) {
+        Touch(v.ended_by, row_key);
+      }
+      chain.versions.push_back(std::move(v));
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<TxnId> MvccTable::ProvisionalTxns() const {
+  std::vector<TxnId> out;
+  out.reserve(touched_.size());
+  for (const auto& [txn, keys] : touched_) out.push_back(txn);
   return out;
 }
 

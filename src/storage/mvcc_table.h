@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/slice.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/storage/btree.h"
@@ -98,9 +99,28 @@ class MvccTable {
   /// Number of distinct keys ever written (including dead ones).
   size_t KeyCount() const { return chains_.size(); }
 
+  /// Total versions across all chains (the `storage.versions_live` gauge).
+  size_t VersionCount() const;
+
   /// Drops versions that ended at or before `horizon` (no snapshot at or
   /// below the horizon is active). Returns versions reclaimed.
   size_t Vacuum(Timestamp horizon);
+
+  // --- Checkpoint snapshot -------------------------------------------------
+
+  /// Appends a binary image of every version chain (including provisional
+  /// versions of in-flight transactions) to *dst.
+  void EncodeTo(std::string* dst) const;
+
+  /// Rebuilds a freshly constructed table from an EncodeTo image, restoring
+  /// chains and the provisional-transaction bookkeeping (touched_) so
+  /// commit/abort replay works after install. Call only on an empty table.
+  Status DecodeFrom(Slice* input);
+
+  /// Transactions with unresolved provisional state in this table. A
+  /// snapshot installer uses this to rebuild the replica's pending-commit
+  /// set; a promoted primary uses it to abort in-doubt transactions.
+  std::vector<TxnId> ProvisionalTxns() const;
 
  private:
   struct VersionChain {

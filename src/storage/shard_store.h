@@ -1,8 +1,10 @@
 #ifndef GLOBALDB_SRC_STORAGE_SHARD_STORE_H_
 #define GLOBALDB_SRC_STORAGE_SHARD_STORE_H_
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "src/common/types.h"
 #include "src/storage/mvcc_table.h"
@@ -53,6 +55,41 @@ class ShardStore {
     size_t reclaimed = 0;
     for (auto& [id, table] : tables_) reclaimed += table->Vacuum(horizon);
     return reclaimed;
+  }
+
+  /// Total live versions across all tables (the `storage.versions_live`
+  /// gauge the soak bench asserts stays bounded).
+  size_t VersionCount() const {
+    size_t total = 0;
+    for (const auto& [id, table] : tables_) total += table->VersionCount();
+    return total;
+  }
+
+  /// Total distinct row chains across all tables. VersionCount() minus this
+  /// is the reclaimable-garbage gauge (superseded versions + provisional
+  /// writes) the durability soak bench asserts stays bounded.
+  size_t KeyCount() const {
+    size_t total = 0;
+    for (const auto& [id, table] : tables_) total += table->KeyCount();
+    return total;
+  }
+
+  /// Transactions with unresolved provisional state anywhere in the shard.
+  std::vector<TxnId> ProvisionalTxns() const {
+    std::vector<TxnId> out;
+    for (const auto& [id, table] : tables_) {
+      for (TxnId txn : table->ProvisionalTxns()) out.push_back(txn);
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+
+  /// Drops every table; snapshot install rebuilds from the image.
+  void Clear() { tables_.clear(); }
+
+  const std::map<TableId, std::unique_ptr<MvccTable>>& tables() const {
+    return tables_;
   }
 
  private:

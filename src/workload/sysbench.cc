@@ -135,6 +135,8 @@ sim::Task<TxnResult> SysbenchWorkload::PointSelect(CoordinatorNode* cn,
   Row key = {id};
   auto row = co_await cn->Get(&txn, table, key);
   result.status = row.ok() ? Status::OK() : row.status();
+  // Read-only close: releases the snapshot's pin on the GC horizon.
+  (void)co_await cn->Abort(&txn);
   co_return result;
 }
 

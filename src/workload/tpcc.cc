@@ -508,10 +508,12 @@ sim::Task<TxnResult> TpccWorkload::OrderStatus(CoordinatorNode* cn, Rng* rng) {
   auto rows = co_await cn->MultiGet(&txn, std::move(read_set));
   if (!rows.ok()) {
     result.status = rows.status();
+    (void)co_await cn->Abort(&txn);
     co_return result;
   }
   if (!(*rows)[1].has_value()) {
     result.status = Status::NotFound("district");
+    (void)co_await cn->Abort(&txn);
     co_return result;
   }
   const int64_t last_o = std::get<int64_t>((*(*rows)[1])[4]) - 1;
@@ -521,9 +523,13 @@ sim::Task<TxnResult> TpccWorkload::OrderStatus(CoordinatorNode* cn, Rng* rng) {
       co_await cn->ScanRange(&txn, "order_line", start, end, 100, &w_route);
   if (!lines.ok()) {
     result.status = lines.status();
+    (void)co_await cn->Abort(&txn);
     co_return result;
   }
   result.status = Status::OK();
+  // Read-only: Abort is just the close that releases the snapshot's pin on
+  // the GC horizon (an unclosed handle blocks vacuum cluster-wide forever).
+  (void)co_await cn->Abort(&txn);
   co_return result;
 }
 
@@ -611,6 +617,7 @@ sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
   auto district = co_await cn->Get(&txn, "district", d_key);
   if (!district.ok() || !district->has_value()) {
     result.status = Status::NotFound("district");
+    (void)co_await cn->Abort(&txn);
     co_return result;
   }
   const int64_t next_o = std::get<int64_t>((**district)[4]);
@@ -628,6 +635,7 @@ sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
       co_await cn->ScanRange(&txn, "order_line", start, end, 400, &w_route);
   if (!lines.ok()) {
     result.status = lines.status();
+    (void)co_await cn->Abort(&txn);
     co_return result;
   }
   // Distinct items with low stock. When multi_shard, look up the stock in
@@ -654,6 +662,7 @@ sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
   auto stocks = co_await cn->MultiGet(&txn, std::move(stock_keys));
   if (!stocks.ok()) {
     result.status = stocks.status();
+    (void)co_await cn->Abort(&txn);
     co_return result;
   }
   int64_t low = 0;
@@ -664,6 +673,8 @@ sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
   }
   (void)low;
   result.status = Status::OK();
+  // Read-only close: releases the snapshot's pin on the GC horizon.
+  (void)co_await cn->Abort(&txn);
   co_return result;
 }
 

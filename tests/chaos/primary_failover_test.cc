@@ -1,0 +1,192 @@
+// Primary failover acceptance (DESIGN.md §12): under a seeded random
+// schedule of DN-primary crashes (sync-quorum replication, failover
+// enabled), the HealthMonitor promotes the most-caught-up replica, every CN
+// re-routes to it, and ZERO writes whose Commit() returned OK are lost —
+// each one is readable through the cluster after recovery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/chaos/fault_scheduler.h"
+#include "src/cluster/cluster.h"
+
+namespace globaldb {
+namespace {
+
+/// Writes distinct ledger ids; records an id only when Commit returned OK.
+/// A commit that failed (the primary died mid-call) is *ambiguous* — it may
+/// or may not have landed — so it is never asserted either way.
+sim::Task<void> LedgerWriter(Cluster* cluster, int cn_index, int64_t id_base,
+                             std::vector<int64_t>* committed,
+                             const bool* stop) {
+  CoordinatorNode* cn = &cluster->cn(cn_index);
+  sim::Simulator* sim = cluster->simulator();
+  int64_t next_id = id_base;
+  while (!*stop) {
+    co_await sim->Sleep(2 * kMillisecond);
+    auto txn = co_await cn->Begin();
+    if (!txn.ok()) continue;
+    Row row = {next_id, next_id * 10};
+    Status s = co_await cn->Insert(&*txn, "ledger", row);
+    if (!s.ok()) {
+      (void)co_await cn->Abort(&*txn);
+      ++next_id;
+      continue;
+    }
+    s = co_await cn->Commit(&*txn);
+    if (s.ok()) committed->push_back(next_id);
+    ++next_id;  // id burned either way; uniqueness is what matters
+  }
+}
+
+class PrimaryFailoverTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrimaryFailoverTest, NoAcknowledgedWriteLostAcrossPromotions) {
+  const uint64_t seed = GetParam();
+  sim::Simulator sim(seed);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  // Fast transport failure so calls into the dead primary churn quickly.
+  options.network.rpc_timeout = 250 * kMillisecond;
+  options.initial_mode = TimestampMode::kGtm;
+  // Sync-quorum: an OK commit is on at least one replica, and the
+  // most-caught-up replica's applied LSN is >= every quorum ack — the
+  // basis of the zero-loss promotion guarantee.
+  options.shipper.mode = ReplicationMode::kSyncQuorum;
+  options.shipper.quorum_replicas = 1;
+  options.shipper.max_retry_backoff = 500 * kMillisecond;
+  options.health.primary_failover = true;
+  options.health.probe_interval = 50 * kMillisecond;
+  options.health.probe_timeout = 120 * kMillisecond;
+  options.health.primary_miss_threshold = 2;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool ready = false;
+  auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    TableSchema schema;
+    schema.name = "ledger";
+    schema.columns = {{"id", ColumnType::kInt64},
+                      {"balance", ColumnType::kInt64}};
+    schema.key_columns = {0};
+    schema.distribution_column = 0;
+    EXPECT_TRUE((co_await cn.CreateTable(schema)).ok());
+    *ready = true;
+  };
+  sim.Spawn(setup(&cluster, &ready));
+  while (!ready) sim.RunFor(10 * kMillisecond);
+  cluster.WaitForRcp();
+
+  // Two primary kills on distinct shards, at seed-random times. No heals:
+  // recovery is promotion, not resurrection.
+  chaos::RandomScheduleOptions fopts;
+  fopts.start = sim.now() + 900 * kMillisecond;
+  fopts.end = sim.now() + 2200 * kMillisecond;
+  fopts.primary_crashes = 2;
+  fopts.replica_crashes = 0;
+  fopts.link_partitions = 0;
+  fopts.region_partitions = 0;
+  fopts.clock_outages = 0;
+  Rng fault_rng(seed * 13 + 5);
+  chaos::FaultScheduler faults(&cluster);
+  faults.AddRandomSchedule(&fault_rng, fopts);
+  faults.Start();
+
+  bool stop = false;
+  std::vector<int64_t> committed;
+  for (int w = 0; w < 9; ++w) {
+    sim.Spawn(LedgerWriter(&cluster, w % 3, 1 + w * 1000000, &committed,
+                           &stop));
+  }
+
+  // Fault window + enough slack for detection (2 * 50ms probes + timeout)
+  // and post-promotion catch-up, with the workload still running.
+  sim.RunFor(3200 * kMillisecond);
+  stop = true;
+  sim.RunFor(200 * kMillisecond);
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    cluster.cn(i).StopServices();
+  }
+  sim.RunFor(2 * kSecond);
+
+  // The workload survived both kills and the monitor promoted a replacement
+  // for each.
+  EXPECT_GT(committed.size(), 50u) << "seed " << seed;
+  EXPECT_EQ(faults.metrics().Get("chaos.primary_crash"), 2) << "seed "
+                                                            << seed;
+  EXPECT_EQ(cluster.health().metrics().Get("health.promotions"), 2)
+      << "seed " << seed;
+  int moved = 0;
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    if (cluster.primary_node_id(s) != Cluster::PrimaryNodeId(s)) {
+      ++moved;
+      // The replacement is a real primary: it recorded its promotion and
+      // is reachable at the old replica's node id.
+      EXPECT_EQ(cluster.data_node(s).metrics().Get("dn.promotions"), 1);
+      EXPECT_EQ(cluster.data_node(s).node_id(), cluster.primary_node_id(s));
+    }
+  }
+  EXPECT_EQ(moved, 2) << "seed " << seed;
+
+  // Surviving replicas re-based onto the new primaries' timelines and
+  // converged to their exact log tails (the promoted zombie is excluded —
+  // it no longer replicates).
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    const Lsn tail = cluster.data_node(s).log().next_lsn() - 1;
+    LogShipper* shipper = cluster.data_node(s).shipper();
+    ASSERT_NE(shipper, nullptr);
+    for (uint32_t r = 0; r < cluster.options().replicas_per_shard; ++r) {
+      const NodeId replica = cluster.ReplicaNodeId(s, r);
+      if (replica == cluster.primary_node_id(s)) continue;
+      EXPECT_EQ(cluster.replica(s, r).applier().applied_lsn(), tail)
+          << "seed " << seed << " shard " << s << " replica " << r;
+      EXPECT_EQ(shipper->AckedLsn(replica), tail)
+          << "seed " << seed << " shard " << s << " replica " << r;
+    }
+  }
+
+  // Zero lost acknowledged writes: every OK-committed id is readable
+  // through a CN (which routes to the promoted primaries).
+  bool verified = false;
+  auto verify = [](Cluster* cluster, const std::vector<int64_t>* committed,
+                   bool* verified) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    size_t found = 0;
+    for (size_t base = 0; base < committed->size(); base += 64) {
+      auto txn = co_await cn.Begin();
+      EXPECT_TRUE(txn.ok());
+      if (!txn.ok()) co_return;
+      std::vector<Row> keys;
+      for (size_t i = base; i < std::min(base + 64, committed->size()); ++i) {
+        keys.push_back({(*committed)[i]});
+      }
+      auto rows = co_await cn.MultiGet(&*txn, "ledger", keys);
+      EXPECT_TRUE(rows.ok());
+      if (!rows.ok()) co_return;
+      for (size_t i = 0; i < rows->size(); ++i) {
+        if ((*rows)[i].has_value()) {
+          ++found;
+        } else {
+          ADD_FAILURE() << "committed id " << (*committed)[base + i]
+                        << " lost after failover";
+        }
+      }
+      (void)co_await cn.Abort(&*txn);
+    }
+    EXPECT_EQ(found, committed->size());
+    *verified = true;
+  };
+  sim.Spawn(verify(&cluster, &committed, &verified));
+  sim.RunFor(30 * kSecond);
+  EXPECT_TRUE(verified) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrimaryFailoverTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+}  // namespace
+}  // namespace globaldb

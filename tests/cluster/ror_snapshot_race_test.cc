@@ -1,0 +1,114 @@
+// Regression: a ROR read that parks on a pending-commit transaction
+// (WaitResolved) while a snapshot install rebuilds the replica's store must
+// re-fetch the table on resume. The install frees every MvccTable, and the
+// resolved-signal broadcast fires right after it — a reader that cached the
+// table pointer across the wait dereferenced freed memory (seen as a
+// BTree::Find segfault in the durability soak after a promotion forced the
+// survivors onto reset snapshots).
+
+#include <gtest/gtest.h>
+
+#include "src/cluster/messages.h"
+#include "src/cluster/replica_node.h"
+#include "src/replication/messages.h"
+#include "src/rpc/rpc_client.h"
+#include "src/sim/network.h"
+#include "src/sim/simulator.h"
+#include "src/storage/snapshot.h"
+
+namespace globaldb {
+namespace {
+
+constexpr NodeId kClient = 1;
+constexpr NodeId kReplica = 2;
+
+sim::NetworkOptions NetOptions() {
+  sim::NetworkOptions o;
+  o.nagle_enabled = false;
+  o.jitter_fraction = 0;
+  o.rpc_timeout = 500 * kMillisecond;
+  return o;
+}
+
+ReplSnapshotRequest MakeSnapshot(const ShardStore& store, Lsn checkpoint_lsn,
+                                 Timestamp max_commit_ts, bool reset) {
+  Catalog catalog;
+  ReplSnapshotRequest snap;
+  snap.shard = 0;
+  snap.checkpoint_lsn = checkpoint_lsn;
+  snap.max_commit_ts = max_commit_ts;
+  snap.reset = reset;
+  snap.catalog_image = EncodeCatalog(catalog);
+  snap.store_image = EncodeShardStore(store);
+  return snap;
+}
+
+TEST(RorSnapshotRaceTest, ParkedReadSurvivesSnapshotInstall) {
+  sim::Simulator sim(23);
+  sim::Network net(&sim, sim::Topology::Uniform(2, 10 * kMillisecond),
+                   NetOptions());
+  net.RegisterNode(kClient, 0);
+  net.RegisterNode(kReplica, 0);
+  ReplicaNode replica(&sim, &net, kReplica, /*shard=*/0);
+  rpc::RpcClient client(&net, kClient);
+
+  // Image #1: key "k" written by txn 5, still provisional (captured
+  // mid-2PC). A reader at any snapshot must wait for its resolution.
+  bool installed_first = false;
+  auto install_pending = [&]() -> sim::Task<void> {
+    ShardStore source(0);
+    MvccTable* t = source.GetOrCreateTable(1);
+    t->ApplyInsert("k", "v-pending", 5);
+    auto reply = co_await client.Call(
+        kReplica, kReplSnapshot, MakeSnapshot(source, 3, 0, /*reset=*/false));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    EXPECT_TRUE(reply->accepted);
+    installed_first = true;
+  };
+  sim.Spawn(install_pending());
+  sim.RunFor(100 * kMillisecond);
+  ASSERT_TRUE(installed_first);
+
+  // The read parks on WaitResolved(5).
+  bool read_done = false;
+  auto reader = [&]() -> sim::Task<void> {
+    ReadRequest request;
+    request.table = 1;
+    request.key = "k";
+    request.snapshot = 100;
+    auto reply = co_await client.Call(kReplica, kRorRead, request);
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    // Resumed by the install's resolved-signal broadcast: the answer must
+    // come from the freshly installed image, through a re-fetched table.
+    EXPECT_TRUE(reply->found);
+    EXPECT_EQ(reply->value, "v-final");
+    read_done = true;
+  };
+  sim.Spawn(reader());
+  sim.RunFor(100 * kMillisecond);
+  ASSERT_FALSE(read_done);
+  ASSERT_EQ(replica.metrics().Get("ror.pending_waits"), 1);
+
+  // Image #2 (reset, as after a promotion): the whole store is rebuilt —
+  // every MvccTable from image #1 is freed — with txn 5 committed at ts 10.
+  // Installing it resolves the parked reader.
+  auto install_final = [&]() -> sim::Task<void> {
+    ShardStore source(0);
+    MvccTable* t = source.GetOrCreateTable(1);
+    t->ApplyInsert("k", "v-final", 5);
+    t->CommitTxn(5, 10);
+    auto reply = co_await client.Call(
+        kReplica, kReplSnapshot, MakeSnapshot(source, 9, 10, /*reset=*/true));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    EXPECT_TRUE(reply->accepted);
+  };
+  sim.Spawn(install_final());
+  sim.RunFor(500 * kMillisecond);
+  EXPECT_TRUE(read_done);
+}
+
+}  // namespace
+}  // namespace globaldb

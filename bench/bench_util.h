@@ -154,7 +154,11 @@ inline std::string FormatRpcStats(Cluster& cluster) {
 /// Aggregates the commit-phase and write-batching histograms from every CN
 /// (DESIGN.md §10 observability): per-phase commit latency (precommit /
 /// commit-ts / phase-2), flushed batch sizes, and the GTM coalescing batch
-/// sizes from the timestamp sources. One line per non-empty histogram.
+/// sizes from the timestamp sources. One line per non-empty histogram, plus
+/// a counter line for the 2PC outcome-recovery path (DESIGN.md §13):
+/// coordinator phase-2 re-drives, promoted-primary outcome queries,
+/// decision-memo duplicate hits, and promotion aborts split into
+/// resolved-by-query vs presumed.
 inline std::string FormatCommitPhaseStats(Cluster& cluster) {
   const char* cn_hists[] = {"cn.precommit_us", "cn.commit_ts_us",
                             "cn.commit_phase2_us", "cn.write_batch_size"};
@@ -186,6 +190,31 @@ inline std::string FormatCommitPhaseStats(Cluster& cluster) {
              static_cast<long long>(hist.Percentile(99)));
     out += line;
   }
+  int64_t commit_retries = 0;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    commit_retries += cluster.cn(i).metrics().Get("cn.commit_retries");
+  }
+  int64_t outcome_queries = 0;
+  int64_t dedup_hits = 0;
+  int64_t aborts_resolved = 0;
+  int64_t aborts_presumed = 0;
+  for (ShardId shard = 0; shard < cluster.num_shards(); ++shard) {
+    Metrics& dn = cluster.data_node(shard).metrics();
+    outcome_queries += dn.Get("dn.outcome_queries");
+    dedup_hits += dn.Get("dn.decision_dedup_hits");
+    aborts_resolved += dn.Get("dn.promotion_aborts_resolved");
+    aborts_presumed += dn.Get("dn.promotion_aborts_presumed");
+  }
+  snprintf(line, sizeof(line),
+           "    commit_retries=%lld outcome_queries=%lld "
+           "decision_dedup_hits=%lld promotion_aborts_resolved=%lld "
+           "promotion_aborts_presumed=%lld\n",
+           static_cast<long long>(commit_retries),
+           static_cast<long long>(outcome_queries),
+           static_cast<long long>(dedup_hits),
+           static_cast<long long>(aborts_resolved),
+           static_cast<long long>(aborts_presumed));
+  out += line;
   return out;
 }
 

@@ -197,6 +197,28 @@ int main() {
   }
   const int64_t promotions =
       cluster.health().metrics().Get("health.promotions");
+  // 2PC outcome recovery across the three promotions (DESIGN.md §13):
+  // coordinator phase-2 re-drives plus the promoted primaries' in-doubt
+  // resolution work. Every inherited in-doubt transaction must be settled
+  // by the end of the soak.
+  int64_t commit_retries = 0;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    commit_retries += cluster.cn(i).metrics().Get("cn.commit_retries");
+  }
+  int64_t in_doubt_inherited = 0, outcome_queries = 0, in_doubt_commits = 0;
+  int64_t aborts_resolved = 0, aborts_presumed = 0, in_doubt_open = 0;
+  for (ShardId sh = 0; sh < cluster.num_shards(); ++sh) {
+    Metrics& dn = cluster.data_node(sh).metrics();
+    in_doubt_inherited += dn.Get("dn.promotion_in_doubt");
+    outcome_queries += dn.Get("dn.outcome_queries");
+    in_doubt_commits += dn.Get("dn.promotion_commits");
+    aborts_resolved += dn.Get("dn.promotion_aborts_resolved");
+    aborts_presumed += dn.Get("dn.promotion_aborts_presumed");
+    in_doubt_open +=
+        static_cast<int64_t>(cluster.data_node(sh).in_doubt_count());
+  }
+  GDB_CHECK(in_doubt_open == 0)
+      << in_doubt_open << " transactions still in doubt after the soak";
   const Sample& last = samples.back();
 
   printf("=== Durability soak: %.0f sim-seconds TPC-C, checkpoint every 5 s, "
@@ -216,6 +238,15 @@ int main() {
          static_cast<long long>(gced),
          static_cast<long long>(checkpoint_skips));
   printf("promotions            %lld\n", static_cast<long long>(promotions));
+  printf("commit_retries        %lld\n",
+         static_cast<long long>(commit_retries));
+  printf("in_doubt              inherited=%lld queries=%lld commits=%lld "
+         "aborts_resolved=%lld aborts_presumed=%lld\n",
+         static_cast<long long>(in_doubt_inherited),
+         static_cast<long long>(outcome_queries),
+         static_cast<long long>(in_doubt_commits),
+         static_cast<long long>(aborts_resolved),
+         static_cast<long long>(aborts_presumed));
   printf("recovery_ms           %.1f %.1f %.1f  (p50 %.1f)\n", recovery_ms[0],
          recovery_ms[1], recovery_ms[2], recovery_p50_ms);
 
@@ -236,6 +267,10 @@ int main() {
             "  \"live_versions_final\": %lld,\n"
             "  \"versions_gced\": %lld,\n"
             "  \"promotions\": %lld,\n"
+            "  \"commit_retries\": %lld,\n"
+            "  \"in_doubt\": {\"inherited\": %lld, \"outcome_queries\": %lld, "
+            "\"commits\": %lld, \"aborts_resolved\": %lld, "
+            "\"aborts_presumed\": %lld, \"open\": %lld},\n"
             "  \"recovery_ms\": [%.1f, %.1f, %.1f],\n"
             "  \"recovery_p50_ms\": %.1f\n"
             "}\n",
@@ -246,6 +281,13 @@ int main() {
             dead_ratio, static_cast<long long>(last.dead_versions),
             static_cast<long long>(last.live_versions),
             static_cast<long long>(gced), static_cast<long long>(promotions),
+            static_cast<long long>(commit_retries),
+            static_cast<long long>(in_doubt_inherited),
+            static_cast<long long>(outcome_queries),
+            static_cast<long long>(in_doubt_commits),
+            static_cast<long long>(aborts_resolved),
+            static_cast<long long>(aborts_presumed),
+            static_cast<long long>(in_doubt_open),
             recovery_ms[0], recovery_ms[1], recovery_ms[2], recovery_p50_ms);
     fclose(f);
   }

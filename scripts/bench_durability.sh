@@ -6,7 +6,9 @@
 #     peak <= 2x the steady-state peak before the crashes),
 #   - vacuum actually reclaimed versions,
 #   - all three crashed shards promoted a replica,
-#   - median crash-to-promotion recovery < 500 ms (10x the 50 ms RTT).
+#   - median crash-to-promotion recovery < 500 ms (10x the 50 ms RTT),
+#   - no transaction is left in doubt (the JSON also reports coordinator
+#     commit re-drives and the in-doubt resolution breakdown).
 # Usage: scripts/bench_durability.sh [build-dir]   (default: build)
 # Env: GDB_SOAK_DURATION_MS / GDB_SOAK_CLIENTS forwarded to the bench.
 set -euo pipefail
@@ -40,6 +42,9 @@ DEAD_RATIO="$(sed -n 's/.*"dead_versions".*"ratio": \([0-9.]*\).*/\1/p' "${OUT}"
 GCED="$(field versions_gced)"
 PROMOTIONS="$(field promotions)"
 RECOVERY_P50="$(field recovery_p50_ms)"
+COMMIT_RETRIES="$(field commit_retries)"
+IN_DOUBT_INHERITED="$(sed -n 's/.*"in_doubt".*"inherited": \([0-9]*\).*/\1/p' "${OUT}")"
+IN_DOUBT_OPEN="$(sed -n 's/.*"in_doubt".*"open": \([0-9]*\).*/\1/p' "${OUT}")"
 
 awk -v r="${LOG_RATIO}" 'BEGIN { exit !(r <= 2.0) }' || {
   echo "FAIL: retained log bytes grew (late/steady ratio ${LOG_RATIO} > 2.0)" >&2
@@ -61,5 +66,11 @@ awk -v r="${RECOVERY_P50}" 'BEGIN { exit !(r < 500.0) }' || {
   echo "FAIL: recovery p50 ${RECOVERY_P50} ms >= 500 ms (10x RTT)" >&2
   exit 1
 }
+awk -v o="${IN_DOUBT_OPEN:-1}" 'BEGIN { exit !(o == 0) }' || {
+  echo "FAIL: ${IN_DOUBT_OPEN:-?} transactions still in doubt after the soak" >&2
+  exit 1
+}
 echo "OK: log ratio ${LOG_RATIO}, garbage ratio ${DEAD_RATIO}," \
-     "gced ${GCED}, promotions ${PROMOTIONS}, recovery p50 ${RECOVERY_P50} ms"
+     "gced ${GCED}, promotions ${PROMOTIONS}, recovery p50 ${RECOVERY_P50} ms," \
+     "commit retries ${COMMIT_RETRIES}, in-doubt inherited" \
+     "${IN_DOUBT_INHERITED:-0} (open ${IN_DOUBT_OPEN:-0})"

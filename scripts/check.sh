@@ -57,3 +57,12 @@ ctest --test-dir "${SAN_DIR}" --output-on-failure -j "$(nproc)"
 echo "== chaos smoke (random faults + primary failover) =="
 ctest --test-dir "${SAN_DIR}" --output-on-failure \
   -R 'RandomFaultTest|ClockFallbackTest|PartitionHealTest|PrimaryFailoverTest'
+
+# 2PC outcome recovery: primaries killed at targeted protocol points
+# (after prepare-append, on commit arrival, mid phase-2) across three seeds
+# must leave zero cross-shard atomicity violations and zero lost acked
+# commits; the deterministic resolution-path and message-duplication tests
+# ride along, all under sanitizers.
+echo "== staged-crash atomicity (2PC outcome recovery) =="
+ctest --test-dir "${SAN_DIR}" --output-on-failure \
+  -R 'StagedCrashAtomicityTest|InDoubtResolutionTest|MessageChaosTest'

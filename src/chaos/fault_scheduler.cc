@@ -29,6 +29,12 @@ const char* FaultKindName(FaultKind kind) {
       return "clock_step";
     case FaultKind::kPrimaryCrash:
       return "primary_crash";
+    case FaultKind::kPrimaryRevive:
+      return "primary_revive";
+    case FaultKind::kMessageChaos:
+      return "message_chaos";
+    case FaultKind::kMessageChaosOff:
+      return "message_chaos_off";
   }
   return "unknown";
 }
@@ -223,11 +229,29 @@ void FaultScheduler::Apply(const FaultEvent& event) {
       // Resolve the shard's *current* primary now, not at schedule time: an
       // earlier promotion may have moved it.
       const NodeId primary = cluster_->primary_node_id(event.shard);
+      if (event.stage != CrashStage::kNone) {
+        // Stage-targeted: arm the one-shot crash and let the next 2PC
+        // transaction passing that protocol point pull the trigger.
+        GDB_LOG(Info) << "chaos: arming shard " << event.shard << " primary "
+                      << primary << " crash at stage "
+                      << static_cast<int>(event.stage);
+        cluster_->data_node(event.shard).ArmCrash(event.stage);
+        break;
+      }
       GDB_LOG(Info) << "chaos: killing shard " << event.shard << " primary "
                     << primary;
       cluster_->network().SetNodeUp(primary, false);
       break;
     }
+    case FaultKind::kPrimaryRevive:
+      cluster_->ReviveRetiredPrimary(event.shard);
+      break;
+    case FaultKind::kMessageChaos:
+      cluster_->network().SetMessageChaos(true, event.duplicate_fraction);
+      break;
+    case FaultKind::kMessageChaosOff:
+      cluster_->network().SetMessageChaos(false, 0.0);
+      break;
   }
 }
 

@@ -22,7 +22,17 @@ enum class FaultKind {
   kClockStep,         // one-time clock step on a CN (operator error model)
   kPrimaryCrash,      // crash shard `shard`'s *current* primary (resolved at
                       // fire time, so it follows earlier promotions); no
-                      // paired heal — recovery is the HealthMonitor's job
+                      // paired heal — recovery is the HealthMonitor's job.
+                      // With `stage` set, the crash is *armed* on the
+                      // primary instead: it fires when the next 2PC
+                      // transaction reaches that protocol point.
+  kPrimaryRevive,     // re-integrate shard `shard`'s most recently retired
+                      // primary as a replica of the current one
+                      // (Cluster::ReviveRetiredPrimary)
+  kMessageChaos,      // network-level message duplication + reordering on:
+                      // every call/send may be delivered twice with an extra
+                      // random delay on the duplicate
+  kMessageChaosOff,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -38,7 +48,13 @@ struct FaultEvent {
   RegionId region_a = 0;              // region partitions
   RegionId region_b = 0;
   SimDuration clock_step = 0;         // kClockStep
-  ShardId shard = 0;                  // kPrimaryCrash
+  ShardId shard = 0;                  // kPrimaryCrash / kPrimaryRevive
+  /// kPrimaryCrash stage targeting: kNone crashes immediately at fire time;
+  /// any other value arms the primary's one-shot protocol-point crash.
+  CrashStage stage = CrashStage::kNone;
+  /// kMessageChaos: fraction of deliveries duplicated (0 keeps the
+  /// network's current setting).
+  double duplicate_fraction = 0.0;
 };
 
 /// Knobs for AddRandomSchedule: how many of each fault class to generate

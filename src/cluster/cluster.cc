@@ -51,8 +51,11 @@ Cluster::Cluster(sim::Simulator* sim, ClusterOptions options)
       replica_ids.push_back(rid);
     }
     data_nodes_.back()->ConfigureReplication(replica_ids, options_.shipper);
+    data_nodes_.back()->ConfigureOutcomeResolution(
+        [this](ShardId s) { return primary_ids_[s]; }, options_.num_shards);
   }
   primary_ids_ = primaries;
+  promotion_epochs_.assign(options_.num_shards, 0);
 
   // Wire CNs: shard map, replicas, peers, initial mode.
   for (auto& cn : cns_) {
@@ -118,18 +121,35 @@ NodeId Cluster::PromoteShard(ShardId shard) {
   const Timestamp max_ts = best->applier().max_commit_ts();
   const std::string catalog_image = EncodeCatalog(best->catalog());
   const std::string store_image = EncodeShardStore(best->store());
+  // Promotion transfer (DESIGN.md §13): the replayed PREPARE/PENDING set
+  // with participant lists becomes the new primary's in-doubt set, and the
+  // replayed COMMIT/ABORT memo seeds its decision memo.
+  std::map<TxnId, InDoubtTxn> in_doubt;
+  for (const auto& [txn, ts_lower] : best->applier().pending()) {
+    InDoubtTxn info;
+    info.ts_lower = ts_lower;
+    const auto& participants = best->applier().pending_participants();
+    auto it = participants.find(txn);
+    if (it != participants.end()) info.participants = it->second;
+    in_doubt[txn] = info;
+  }
 
   // Retire the old primary object but keep it alive: its suspended
   // coroutines (ship loops, in-flight handlers) still reference it.
   data_nodes_[shard]->Stop();
   retired_nodes_.push_back(std::move(data_nodes_[shard]));
 
+  const uint64_t epoch = ++promotion_epochs_[shard];
+
   // The new primary is co-located with the zombie ReplicaNode on the same
   // node id — their RPC method sets are disjoint (dn.* + repl.hello vs
   // ror.*), and stalling above made the zombie inert.
   auto node = std::make_unique<DataNode>(sim_, network_.get(), new_id, shard,
                                          options_.data_node);
-  node->InstallForPromotion(applied, max_ts, catalog_image, store_image);
+  node->InstallForPromotion(applied, max_ts, catalog_image, store_image,
+                            in_doubt, &best->applier().decisions(), epoch);
+  node->ConfigureOutcomeResolution(
+      [this](ShardId s) { return primary_ids_[s]; }, options_.num_shards);
 
   // Surviving replicas follow the new primary and must re-base onto its
   // timeline via a reset snapshot: a survivor may have applied past the
@@ -141,7 +161,17 @@ NodeId Cluster::PromoteShard(ShardId shard) {
     if (peer->node_id() == new_id) continue;
     if (promoted_.count(peer->node_id()) > 0) continue;
     peer->SetPrimary(new_id);
+    peer->set_promotion_epoch(epoch);
     survivors.push_back(peer->node_id());
+  }
+  // Previously revived ex-primaries of this shard follow along too (they are
+  // regular replicas now).
+  for (auto& revived : revived_replicas_) {
+    if (revived->shard() != shard) continue;
+    if (!network_->IsNodeUp(revived->node_id())) continue;
+    revived->SetPrimary(new_id);
+    revived->set_promotion_epoch(epoch);
+    survivors.push_back(revived->node_id());
   }
   node->ConfigureReplication(survivors, options_.shipper);
   node->shipper()->RequireSnapshotAll();
@@ -155,6 +185,42 @@ NodeId Cluster::PromoteShard(ShardId shard) {
   GDB_LOG(Info) << "promotion: shard " << shard << " primary " << old_id
                 << " -> " << new_id << " at lsn " << applied;
   return new_id;
+}
+
+NodeId Cluster::ReviveRetiredPrimary(ShardId shard) {
+  // Most recently retired primary of this shard. The retired DataNode object
+  // itself stays a zombie (its handlers answer Unavailable via the stopped
+  // shipper); the node id gets a fresh ReplicaNode.
+  DataNode* retired = nullptr;
+  for (auto& node : retired_nodes_) {
+    if (node->shard() == shard) retired = node.get();
+  }
+  if (retired == nullptr) return kInvalidNodeId;
+  const NodeId id = retired->node_id();
+  for (auto& existing : revived_replicas_) {
+    if (existing->node_id() == id) return kInvalidNodeId;  // already revived
+  }
+  if (!network_->IsNodeUp(id)) network_->SetNodeUp(id, true);
+  auto replica = std::make_unique<ReplicaNode>(sim_, network_.get(), id,
+                                               shard, options_.replica_node);
+  replica->SetPrimary(primary_ids_[shard]);
+  // The revived process only knows the epoch it crashed at. The current
+  // primary's stale-epoch check is what detects the supersession and forces
+  // the reset snapshot that discards the divergent tail (DESIGN.md §13).
+  replica->set_promotion_epoch(retired->promotion_epoch());
+  replica->AnnounceToPrimary();
+  revived_replicas_.push_back(std::move(replica));
+  GDB_LOG(Info) << "revive: shard " << shard << " ex-primary " << id
+                << " rejoining as replica of " << primary_ids_[shard];
+  return id;
+}
+
+std::vector<ReplicaNode*> Cluster::revived_replicas_of(ShardId shard) {
+  std::vector<ReplicaNode*> out;
+  for (auto& replica : revived_replicas_) {
+    if (replica->shard() == shard) out.push_back(replica.get());
+  }
+  return out;
 }
 
 CoordinatorNode& Cluster::cn_in_region(RegionId region) {

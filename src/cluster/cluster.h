@@ -86,6 +86,23 @@ class Cluster {
   /// when options.health.primary_failover is on.
   NodeId PromoteShard(ShardId shard);
 
+  /// Re-integrates the most recently retired (crashed, superseded) primary
+  /// of `shard` as a replica (DESIGN.md §13): brings the node id back on the
+  /// network, hosts a fresh ReplicaNode there carrying the dead primary's
+  /// *pre-crash* promotion epoch, and announces it to the current primary —
+  /// whose stale-epoch check discards the divergent history by forcing a
+  /// reset snapshot. Returns the revived node id, or kInvalidNodeId when the
+  /// shard has no retired primary to revive.
+  NodeId ReviveRetiredPrimary(ShardId shard);
+
+  /// Promotion epoch of `shard` (0 until its first failover).
+  uint64_t promotion_epoch(ShardId shard) const {
+    return promotion_epochs_[shard];
+  }
+  /// Replicas created by ReviveRetiredPrimary (ex-primaries re-integrated
+  /// into their shard's replication set).
+  std::vector<ReplicaNode*> revived_replicas_of(ShardId shard);
+
   static NodeId GtmNodeId() { return 0; }
   static NodeId CnNodeId(uint32_t index) { return 1 + index; }
   /// Initial-layout primary id. After a promotion the live primary moves:
@@ -129,6 +146,13 @@ class Cluster {
   /// Replicas already promoted (now zombie ReplicaNodes hosting a primary
   /// DataNode on the same node id) — never promotion candidates again.
   std::set<NodeId> promoted_;
+  /// Per-shard promotion epoch, bumped on every PromoteShard; carried in
+  /// kReplHello so a stale announcer gets a reset snapshot (DESIGN.md §13).
+  std::vector<uint64_t> promotion_epochs_;
+  /// Fresh ReplicaNodes hosted on revived ex-primary node ids
+  /// (ReviveRetiredPrimary); they follow the current primary but are not
+  /// ROR read targets.
+  std::vector<std::unique_ptr<ReplicaNode>> revived_replicas_;
   std::unique_ptr<TransitionCoordinator> transition_;
   std::unique_ptr<HealthMonitor> health_;
 };

@@ -34,7 +34,8 @@ CoordinatorNode::CoordinatorNode(sim::Simulator* sim, sim::Network* network,
       options_(options),
       client_(network, self, BuildPolicy()),
       server_(network, self),
-      cpu_(sim, options.cores) {
+      cpu_(sim, options.cores),
+      decided_(options.decision_cache_capacity) {
   clock_ = std::make_unique<sim::HardwareClock>(sim, sim->rng().Fork(),
                                                 clock_options);
   ts_source_ = std::make_unique<TimestampSource>(sim, network, self, gtm_node,
@@ -137,6 +138,26 @@ void CoordinatorNode::BindService() {
   server_.Handle(kCnTxnHorizon, [this](NodeId from, rpc::EmptyMessage request) {
     return HandleTxnHorizon(from, std::move(request));
   });
+  server_.Handle(kCnTxnOutcome, [this](NodeId from, TxnOutcomeRequest request) {
+    return HandleTxnOutcome(from, std::move(request));
+  });
+}
+
+sim::Task<StatusOr<TxnOutcomeReply>> CoordinatorNode::HandleTxnOutcome(
+    NodeId from, TxnOutcomeRequest request) {
+  metrics_.Add("cn.outcome_queries_served");
+  TxnOutcomeReply reply;
+  if (const TxnDecision* decision = decided_.Lookup(request.txn)) {
+    reply.outcome = decision->committed ? TxnOutcome::kCommitted
+                                        : TxnOutcome::kAborted;
+    reply.ts = decision->ts;
+  } else if (active_snapshots_.count(request.txn) > 0) {
+    // The transaction is still open here: the decision may be seconds away
+    // (e.g. a slow CommitTs). "Unknown" would license presumed abort, so
+    // answer pending and make the asker retry.
+    reply.outcome = TxnOutcome::kPending;
+  }
+  co_return reply;
 }
 
 sim::Task<StatusOr<TxnHorizonReply>> CoordinatorNode::HandleTxnHorizon(
@@ -965,15 +986,22 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   TxnControlRequest control;
   control.txn = txn->id;
   control.two_phase = two_phase;
+  // The participant list rides on every control message; the PREPARE record
+  // persists it so a promoted replica knows which peers can resolve the
+  // transaction if this CN is gone (DESIGN.md §13).
+  control.participants.assign(txn->write_shards.begin(),
+                              txn->write_shards.end());
 
   if (!commit) {
     metrics_.Add("cn.aborts");
-    co_return co_await Broadcast(shards, kDnAbort, control);
+    decided_.Record(txn->id, false, 0);
+    co_return co_await DriveDecision(txn, /*commit=*/false, control);
   }
   if (!flushed.ok()) {
     // A buffered write failed: the failing shard already rolled itself
     // back; tell the rest.
     metrics_.Add("cn.batch_flush_aborts");
+    decided_.Record(txn->id, false, 0);
     (void)co_await Broadcast(shards, kDnAbort, control);
     co_return flushed;
   }
@@ -995,6 +1023,9 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
       .Record((sim_->now() - precommit_start) / kMicrosecond);
   control.ts = 0;
   if (!precommit.ok()) {
+    // The decision is abort; record it before telling anyone, so an
+    // in-doubt resolver that beats the broadcast already finds it.
+    decided_.Record(txn->id, false, 0);
     (void)co_await Broadcast(shards, kDnAbort, control);
     metrics_.Add("cn.precommit_aborts");
     co_return precommit;
@@ -1006,15 +1037,20 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   metrics_.Hist("cn.commit_ts_us").Record((sim_->now() - ts_start) /
                                           kMicrosecond);
   if (!ts.ok()) {
+    decided_.Record(txn->id, false, 0);
     (void)co_await Broadcast(shards, kDnAbort, control);
     metrics_.Add("cn.ts_aborts");
     co_return ts.status();
   }
 
-  // Phase 2: commit everywhere (synchronous replication waits inside).
+  // Phase 2: commit everywhere (synchronous replication waits inside). The
+  // decision is recorded *before* the first delivery attempt: from here the
+  // transaction is committed no matter which sends die, and the cache entry
+  // is what a promoted primary's in-doubt resolver reads.
   control.ts = *ts;
+  decided_.Record(txn->id, true, *ts);
   const SimTime phase2_start = sim_->now();
-  Status committed = co_await Broadcast(shards, kDnCommit, control);
+  Status committed = co_await DriveDecision(txn, /*commit=*/true, control);
   metrics_.Hist("cn.commit_phase2_us")
       .Record((sim_->now() - phase2_start) / kMicrosecond);
   if (!committed.ok()) co_return committed;
@@ -1022,6 +1058,32 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   metrics_.Add("cn.commits");
   metrics_.Add(two_phase ? "cn.2pc_commits" : "cn.1pc_commits");
   co_return Status::OK();
+}
+
+sim::Task<Status> CoordinatorNode::DriveDecision(TxnHandle* txn, bool commit,
+                                                 TxnControlRequest control) {
+  const auto method = commit ? kDnCommit : kDnAbort;
+  // Aborts re-drive only briefly: they are lock cleanup, and a promoted
+  // primary's in-doubt resolver reads the abort from the decision cache
+  // anyway. Commits re-drive until the limit — the decision must land.
+  const int retry_limit = commit ? options_.commit_retry_limit : 2;
+  int attempts = 0;
+  for (;;) {
+    // Recompute targets per attempt: UpdateShardPrimary re-points a shard at
+    // its promoted replica between attempts, which is exactly the node the
+    // re-drive must reach.
+    std::vector<NodeId> nodes;
+    nodes.reserve(txn->write_shards.size());
+    for (ShardId s : txn->write_shards) nodes.push_back(shard_primaries_[s]);
+    Status status = co_await Broadcast(nodes, method, control);
+    if (status.ok() || !rpc::IsTransportError(status) ||
+        attempts >= retry_limit) {
+      co_return status;
+    }
+    ++attempts;
+    metrics_.Add("cn.commit_retries");
+    co_await sim_->Sleep(options_.commit_retry_backoff);
+  }
 }
 
 sim::Task<Status> CoordinatorNode::Commit(TxnHandle* txn) {

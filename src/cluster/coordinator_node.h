@@ -24,6 +24,7 @@
 #include "src/storage/catalog.h"
 #include "src/storage/schema.h"
 #include "src/txn/timestamp_source.h"
+#include "src/txn/txn_decisions.h"
 
 namespace globaldb {
 
@@ -61,6 +62,16 @@ struct CoordinatorOptions {
   /// false, MultiGet degrades to the equivalent sequence of serial
   /// Get/GetForUpdate calls (the ablation baseline).
   bool enable_read_batching = true;
+  /// Phase-2 re-drive (DESIGN.md §13): when a commit/abort broadcast dies
+  /// with a primary (transport error), the CN re-sends the recorded decision
+  /// against the shard's *current* primary — re-routed after failover —
+  /// every `commit_retry_backoff`, up to the limit. DN-side decision
+  /// memoization makes redelivery idempotent.
+  int commit_retry_limit = 20;
+  SimDuration commit_retry_backoff = 100 * kMillisecond;
+  /// Capacity of the CN's decision cache (first resolution source for a
+  /// promoted primary's in-doubt transactions).
+  size_t decision_cache_capacity = 2 * DecisionMemo::kDefaultCapacity;
 };
 
 /// Options for a single read-only request.
@@ -250,6 +261,12 @@ class CoordinatorNode {
   }
 
   sim::Task<Status> EndTxn(TxnHandle* txn, bool commit);
+  /// Drives a recorded decision to every write shard, re-routing through
+  /// `shard_primaries_` per attempt (it tracks promotions) and retrying
+  /// transport failures with backoff. Non-transport errors and retry
+  /// exhaustion return the last status.
+  sim::Task<Status> DriveDecision(TxnHandle* txn, bool commit,
+                                  TxnControlRequest control);
 
   /// Resolves the shard to *read* for a row/key (replicated tables prefer
   /// the local region's shard).
@@ -329,6 +346,12 @@ class CoordinatorNode {
                                                         DdlRequest request);
   sim::Task<StatusOr<TxnHorizonReply>> HandleTxnHorizon(
       NodeId from, rpc::EmptyMessage request);
+  /// In-doubt resolution lookup from a promoted primary (kCnTxnOutcome):
+  /// answers from the decision cache; kPending while the transaction is
+  /// still active here (the decision is in flight — the asker must retry);
+  /// kUnknown otherwise.
+  sim::Task<StatusOr<TxnOutcomeReply>> HandleTxnOutcome(
+      NodeId from, TxnOutcomeRequest request);
   TxnId NextTxnId() { return (static_cast<TxnId>(self_) << 40) | ++txn_seq_; }
 
   sim::Simulator* sim_;
@@ -362,6 +385,10 @@ class CoordinatorNode {
   /// Collector-CN state: last reported horizon per peer (0 = never heard;
   /// reused when a poll fails).
   std::map<NodeId, Timestamp> peer_horizons_;
+  /// Commit/abort decisions this CN has made, recorded *before* the phase-2
+  /// broadcast: the first resolution source for a promoted primary's
+  /// in-doubt transactions, and the source of truth for phase-2 re-drives.
+  DecisionMemo decided_;
   Metrics metrics_;
 };
 

@@ -8,6 +8,19 @@
 
 namespace globaldb {
 
+namespace {
+
+// Outcome-resolution RPCs retry at the protocol level (the resolver loop
+// owns backoff and re-routing across promotions), so the client itself
+// never retries.
+rpc::RpcPolicy ResolutionRpcPolicy() {
+  rpc::RpcPolicy policy;
+  policy.max_attempts = 1;
+  return policy;
+}
+
+}  // namespace
+
 DataNode::DataNode(sim::Simulator* sim, sim::Network* network, NodeId self,
                    ShardId shard, DataNodeOptions options)
     : sim_(sim),
@@ -19,7 +32,9 @@ DataNode::DataNode(sim::Simulator* sim, sim::Network* network, NodeId self,
       store_(shard),
       locks_(sim, options.lock_timeout),
       cpu_(sim, options.cores),
-      durability_(&log_, &metrics_) {
+      durability_(&log_, &metrics_),
+      decided_(options.decision_memo_capacity),
+      client_(network, self, ResolutionRpcPolicy()) {
   BindService();
 }
 
@@ -35,6 +50,11 @@ void DataNode::ConfigureReplication(std::vector<NodeId> replicas,
 
 void DataNode::Start() {
   if (shipper_ != nullptr) shipper_->Start();
+  // A promoted primary resolves its inherited in-doubt transactions before
+  // their rows unblock for new writers (the locks were pinned at install).
+  for (const auto& [txn, info] : in_doubt_) {
+    sim_->Spawn(ResolveOutcome(txn, info));
+  }
   if (options_.enable_checkpoints && checkpointer_ == nullptr) {
     Checkpointer::Options copts;
     copts.interval = options_.checkpoint_interval;
@@ -49,13 +69,23 @@ void DataNode::Start() {
 }
 
 void DataNode::Stop() {
+  stopped_ = true;
   if (checkpointer_ != nullptr) checkpointer_->Stop();
   if (shipper_ != nullptr) shipper_->Stop();
 }
 
+void DataNode::ConfigureOutcomeResolution(
+    std::function<NodeId(ShardId)> shard_primary, uint32_t num_shards) {
+  shard_primary_ = std::move(shard_primary);
+  num_shards_ = num_shards;
+}
+
 void DataNode::InstallForPromotion(Lsn applied_lsn, Timestamp max_commit_ts,
                                    const std::string& catalog_image,
-                                   const std::string& store_image) {
+                                   const std::string& store_image,
+                                   const std::map<TxnId, InDoubtTxn>& in_doubt,
+                                   const DecisionMemo* replayed_decisions,
+                                   uint64_t promotion_epoch) {
   GDB_CHECK(shipper_ == nullptr && checkpointer_ == nullptr)
       << "InstallForPromotion must precede ConfigureReplication/Start";
   Status status = InstallCatalog(Slice(catalog_image), &catalog_);
@@ -66,15 +96,38 @@ void DataNode::InstallForPromotion(Lsn applied_lsn, Timestamp max_commit_ts,
   // cannot be above it (it was the most caught-up member).
   log_.ResetBase(applied_lsn + 1);
   max_commit_ts_ = std::max(max_commit_ts_, max_commit_ts);
-  // In-doubt transactions captured mid-2PC in the image: the old primary
-  // died before their commit/abort replicated this far, so no quorum-acked
-  // commit is among them (the ack requires the commit record to be durable
-  // here). Presumed abort — coordinators that still race a commit to this
-  // shard find the transaction already rolled back.
+  promotion_epoch_ = promotion_epoch;
+  // Adopt the replica's replayed COMMIT/ABORT memo: a coordinator re-driving
+  // phase-2 against this promoted primary must get an idempotent answer even
+  // for outcomes the old primary applied.
+  if (replayed_decisions != nullptr) decided_.Adopt(*replayed_decisions);
+  // Provisional transactions captured in the image fall in two classes
+  // (DESIGN.md §13):
+  //   - prepared (in `in_doubt`): the coordinator may have decided commit.
+  //     Keep them provisional, pin their row locks so new writers queue
+  //     behind the outcome, and let Start() spawn a resolver per txn.
+  //   - never prepared: the prepare durability wait guarantees the
+  //     coordinator never decided commit without the PREPARE being durable
+  //     on this (most-caught-up) replica — presumed abort is safe.
   for (TxnId txn : store_.ProvisionalTxns()) {
+    auto doubt = in_doubt.find(txn);
+    if (doubt != in_doubt.end()) {
+      in_doubt_[txn] = doubt->second;
+      for (const auto& [table_id, table] : store_.tables()) {
+        const std::vector<RowKey>* keys = table->TouchedKeys(txn);
+        if (keys == nullptr) continue;
+        for (const RowKey& key : *keys) {
+          locks_.TryAcquire(txn, table_id, key);
+        }
+      }
+      metrics_.Add("dn.promotion_in_doubt");
+      continue;
+    }
     store_.AbortTxn(txn);
-    AppendAndNotify(RedoRecord::Abort(txn));
+    AppendAndNotify(RedoRecord::AbortPrepared(txn));
+    decided_.Record(txn, false, 0);
     metrics_.Add("dn.promotion_aborts");
+    metrics_.Add("dn.promotion_aborts_presumed");
   }
   ShardSnapshot seed;
   seed.checkpoint_lsn = log_.next_lsn() - 1;
@@ -90,6 +143,131 @@ Lsn DataNode::AppendAndNotify(RedoRecord record) {
   const Lsn lsn = log_.Append(std::move(record));
   if (shipper_ != nullptr) shipper_->NotifyAppend();
   return lsn;
+}
+
+bool DataNode::MaybeCrash(CrashStage stage) {
+  if (armed_crash_ != stage || stage == CrashStage::kNone) return false;
+  armed_crash_ = CrashStage::kNone;
+  metrics_.Add("dn.staged_crashes");
+  network_->SetNodeUp(self_, false);
+  return true;
+}
+
+void DataNode::ResolveInDoubtTxn(TxnId txn, bool committed, Timestamp ts,
+                                 const char* source_counter) {
+  auto it = in_doubt_.find(txn);
+  if (it == in_doubt_.end()) return;  // a coordinator re-drive won the race
+  in_doubt_.erase(it);
+  if (committed) {
+    store_.CommitTxn(txn, ts);
+    max_commit_ts_ = std::max(max_commit_ts_, ts);
+    AppendAndNotify(RedoRecord::CommitPrepared(txn, ts));
+    decided_.Record(txn, true, ts);
+    metrics_.Add("dn.promotion_commits");
+  } else {
+    store_.AbortTxn(txn);
+    AppendAndNotify(RedoRecord::AbortPrepared(txn));
+    decided_.Record(txn, false, 0);
+    metrics_.Add("dn.promotion_aborts");
+  }
+  metrics_.Add(source_counter);
+  locks_.ReleaseAll(txn);
+}
+
+sim::Task<void> DataNode::ResolveOutcome(TxnId txn, InDoubtTxn info) {
+  // The owning coordinator is encoded in the transaction id (CN node id in
+  // the high bits); an empty participant list (the PREPARE pre-dated the
+  // participant payload, e.g. rebuilt from a snapshot install) degrades to
+  // querying every shard.
+  const NodeId owner_cn = static_cast<NodeId>(txn >> 40);
+  std::vector<ShardId> peers = info.participants;
+  if (peers.empty()) {
+    for (ShardId s = 0; s < num_shards_; ++s) peers.push_back(s);
+  }
+  int cn_transport_failures = 0;
+  while (!stopped_ && in_doubt_.count(txn) > 0) {
+    // 1. Own memo: a re-driven phase-2 delivery may already have landed.
+    if (const TxnDecision* own = decided_.Lookup(txn)) {
+      ResolveInDoubtTxn(txn, own->committed, own->ts,
+                        own->committed ? "dn.outcome_resolved_by_cn"
+                                       : "dn.promotion_aborts_resolved");
+      co_return;
+    }
+    // 2. The owning CN's decision cache.
+    TxnOutcomeRequest query;
+    query.txn = txn;
+    metrics_.Add("dn.outcome_queries");
+    auto cn_reply = co_await client_.Call(owner_cn, kCnTxnOutcome, query);
+    if (stopped_ || in_doubt_.count(txn) == 0) co_return;
+    bool cn_definitive = false;
+    if (cn_reply.ok()) {
+      cn_transport_failures = 0;
+      if (cn_reply->outcome == TxnOutcome::kCommitted) {
+        ResolveInDoubtTxn(txn, true, cn_reply->ts,
+                          "dn.outcome_resolved_by_cn");
+        co_return;
+      }
+      if (cn_reply->outcome == TxnOutcome::kAborted) {
+        ResolveInDoubtTxn(txn, false, 0, "dn.promotion_aborts_resolved");
+        metrics_.Add("dn.outcome_resolved_by_cn");
+        co_return;
+      }
+      // kUnknown from a reachable CN is definitive ("no decision was ever
+      // made"); kPending means the CN is still deciding — retry.
+      cn_definitive = cn_reply->outcome == TxnOutcome::kUnknown;
+    } else {
+      ++cn_transport_failures;
+    }
+    // 3. Peer participant primaries: any shard that applied the decision
+    // (or its promoted successor, which adopted the memo) answers for it.
+    bool peers_definitive = true;
+    bool resolved = false;
+    for (ShardId peer_shard : peers) {
+      if (peer_shard == shard_) continue;
+      const NodeId peer = shard_primary_ ? shard_primary_(peer_shard)
+                                         : kInvalidNodeId;
+      if (peer == kInvalidNodeId) {
+        peers_definitive = false;
+        continue;
+      }
+      metrics_.Add("dn.outcome_queries");
+      auto peer_reply = co_await client_.Call(peer, kDnTxnState, query);
+      if (stopped_ || in_doubt_.count(txn) == 0) co_return;
+      if (!peer_reply.ok()) {
+        peers_definitive = false;
+        continue;
+      }
+      if (peer_reply->outcome == TxnOutcome::kCommitted) {
+        ResolveInDoubtTxn(txn, true, peer_reply->ts,
+                          "dn.outcome_resolved_by_peer");
+        resolved = true;
+        break;
+      }
+      if (peer_reply->outcome == TxnOutcome::kAborted) {
+        ResolveInDoubtTxn(txn, false, 0, "dn.promotion_aborts_resolved");
+        metrics_.Add("dn.outcome_resolved_by_peer");
+        resolved = true;
+        break;
+      }
+      if (peer_reply->outcome != TxnOutcome::kUnknown) {
+        peers_definitive = false;  // kPending: ask again later
+      }
+    }
+    if (resolved) co_return;
+    // 4. Presumed abort — only once every source is definitive: the CN
+    // answered "unknown" (or is considered permanently gone after repeated
+    // transport failures) and every peer answered "unknown". A CN that
+    // decided commit records the decision before phase-2, and a commit it
+    // acked is durable at some participant's quorum, so universal "unknown"
+    // means the commit was never decided or never acknowledged.
+    if ((cn_definitive ||
+         cn_transport_failures >= options_.outcome_cn_give_up) &&
+        peers_definitive) {
+      ResolveInDoubtTxn(txn, false, 0, "dn.promotion_aborts_presumed");
+      co_return;
+    }
+    co_await sim_->Sleep(options_.outcome_retry_backoff);
+  }
 }
 
 void DataNode::BindService() {
@@ -136,6 +314,24 @@ void DataNode::BindService() {
                  [this](NodeId from, ReadHorizonRequest request) {
                    return HandleReadHorizon(from, std::move(request));
                  });
+  server_.Handle(kDnTxnState, [this](NodeId from, TxnOutcomeRequest request) {
+    return HandleTxnState(from, std::move(request));
+  });
+}
+
+sim::Task<StatusOr<TxnOutcomeReply>> DataNode::HandleTxnState(
+    NodeId from, TxnOutcomeRequest request) {
+  // Peer in-doubt resolution stays cheap (no CPU charge): it runs while the
+  // asking shard holds row locks.
+  metrics_.Add("dn.txn_state_queries");
+  TxnOutcomeReply reply;
+  if (const TxnDecision* decision = decided_.Lookup(request.txn)) {
+    reply.outcome = decision->committed ? TxnOutcome::kCommitted
+                                        : TxnOutcome::kAborted;
+    reply.ts = decision->ts;
+  }
+  // No decision (including: the txn is in doubt here too) → kUnknown.
+  co_return reply;
 }
 
 sim::Task<StatusOr<DnStatusReply>> DataNode::HandleStatus(
@@ -161,7 +357,18 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleReplHello(
     NodeId from, ReplHelloRequest request) {
   metrics_.Add("dn.repl_hellos");
   if (request.shard == shard_ && shipper_ != nullptr) {
-    shipper_->AnnounceReplica(from, request.durable_lsn);
+    if (request.epoch < promotion_epoch_) {
+      // The sender missed at least one promotion: its history may contain a
+      // dead primary's unreplicated tail, so its announced durable LSN is
+      // not trustworthy. Adopt it into the replica set if it is new (a
+      // revived ex-primary re-integrating) and force a reset snapshot
+      // instead of resuming redo shipping (DESIGN.md §13).
+      metrics_.Add("dn.stale_epoch_hellos");
+      shipper_->AddReplica(from);
+      shipper_->RequireSnapshot(from);
+    } else {
+      shipper_->AnnounceReplica(from, request.durable_lsn);
+    }
   }
   co_return rpc::EmptyMessage{};
 }
@@ -305,6 +512,12 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleWrite(
     NodeId from, WriteRequest request) {
   co_await cpu_.Consume(options_.write_cost);
   metrics_.Add("dn.writes");
+  if (decided_.Lookup(request.txn) != nullptr) {
+    // Duplicated/reordered delivery after the transaction's outcome: do not
+    // create provisional versions nothing will ever resolve.
+    metrics_.Add("dn.decision_dedup_hits");
+    co_return Status::FailedPrecondition("transaction already decided");
+  }
   Status status = co_await ApplyWrite(request.txn, request.snapshot,
                                       request.op, request.table,
                                       std::move(request.key),
@@ -321,10 +534,15 @@ sim::Task<StatusOr<WriteBatchReply>> DataNode::HandleWriteBatch(
   WriteBatchReply reply;
   reply.results.resize(request.entries.size());
   // This shard already rolled the transaction back after a failing entry in
-  // an earlier batch. Applying anything now would re-acquire locks behind
-  // the rollback and leave the shard dirty if the coordinator never sends
-  // its abort; reject the whole batch instead.
+  // an earlier batch (or the transaction's outcome is already decided and
+  // this is a duplicated/reordered late delivery). Applying anything now
+  // would re-acquire locks behind the resolution and leave orphaned
+  // provisional versions; reject the whole batch instead.
   bool failed = self_aborted_txns_.count(request.txn) > 0;
+  if (!failed && decided_.Lookup(request.txn) != nullptr) {
+    metrics_.Add("dn.decision_dedup_hits");
+    failed = true;
+  }
   if (failed) metrics_.Add("dn.write_batch_rejects");
   for (size_t i = 0; i < request.entries.size(); ++i) {
     if (failed) {
@@ -355,6 +573,11 @@ sim::Task<StatusOr<WriteBatchReply>> DataNode::HandleWriteBatch(
       AppendAndNotify(RedoRecord::Abort(request.txn));
       locks_.ReleaseAll(request.txn);
       RememberSelfAborted(request.txn);
+      // The self-rollback is this shard's final word on the transaction:
+      // memoize it so a late commit (which the coordinator cannot validly
+      // send after seeing the entry failure) is rejected, and the
+      // coordinator's abort broadcast dedups into a no-op.
+      decided_.Record(request.txn, false, 0);
     }
   }
   co_return reply;
@@ -374,28 +597,83 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandlePrecommit(
     NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
   metrics_.Add("dn.precommits");
+  if (const TxnDecision* prior = decided_.Lookup(request.txn)) {
+    // A duplicated (or reordered-past-the-decision) precommit delivery must
+    // not re-append PREPARE: a replica replaying it after the commit/abort
+    // record would consider the transaction pending forever.
+    metrics_.Add("dn.decision_dedup_hits");
+    if (!prior->committed) {
+      co_return Status::FailedPrecondition(
+          "transaction already aborted on this shard");
+    }
+    co_return rpc::EmptyMessage{};
+  }
   // PENDING_COMMIT / PREPARE is written *before* the commit timestamp is
   // assigned (Section IV-A): replicas lock the transaction's tuples from
   // this point until the final commit/abort record. The timestamp field
-  // carries the CN's lower bound on the eventual commit timestamp.
-  RedoRecord record = request.two_phase ? RedoRecord::Prepare(request.txn)
-                                        : RedoRecord::PendingCommit(request.txn);
+  // carries the CN's lower bound on the eventual commit timestamp; a 2PC
+  // PREPARE also carries the participant shard list, so a promoted replica
+  // knows which peers to ask when resolving the transaction in doubt.
+  RedoRecord record =
+      request.two_phase
+          ? RedoRecord::Prepare(request.txn, request.participants)
+          : RedoRecord::PendingCommit(request.txn);
   record.timestamp = request.ts;
-  AppendAndNotify(std::move(record));
+  const Lsn prepare_lsn = AppendAndNotify(std::move(record));
+  if (request.two_phase && shipper_ != nullptr) {
+    // The prepare must reach the replication mode's durability point before
+    // the coordinator may decide commit: that is what entitles a promoted
+    // (most-caught-up) replica to presume abort for any transaction whose
+    // PREPARE it never replayed. No-op under async replication.
+    Status durability = co_await shipper_->WaitDurable(prepare_lsn);
+    if (!durability.ok()) co_return durability;
+  }
+  if (request.two_phase && MaybeCrash(CrashStage::kAfterPrepareAppend)) {
+    co_return Status::Unavailable("staged crash after prepare append");
+  }
   co_return rpc::EmptyMessage{};
 }
 
 sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleCommit(
     NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
+  if (request.two_phase && MaybeCrash(CrashStage::kOnCommitArrival)) {
+    // The decision arrived but nothing of it applied: the coordinator must
+    // re-drive it against this shard's promoted successor.
+    co_return Status::Unavailable("staged crash on commit arrival");
+  }
+  if (const TxnDecision* prior = decided_.Lookup(request.txn)) {
+    // Duplicated or re-driven phase-2 delivery: answer from the memo
+    // (idempotent) instead of re-applying. A conflicting decision is a
+    // protocol violation, surfaced loudly rather than absorbed.
+    metrics_.Add("dn.decision_dedup_hits");
+    if (!prior->committed) {
+      co_return Status::FailedPrecondition(
+          "transaction already aborted on this shard");
+    }
+    if (shipper_ != nullptr) {
+      // Re-confirm durability so the retried ack carries the same guarantee
+      // as the one that was lost.
+      Status durability = co_await shipper_->WaitDurable(log_.next_lsn() - 1);
+      if (!durability.ok()) co_return durability;
+    }
+    co_return rpc::EmptyMessage{};
+  }
   metrics_.Add("dn.commits");
   self_aborted_txns_.erase(request.txn);
+  in_doubt_.erase(request.txn);  // the coordinator's re-drive beat the resolver
   store_.CommitTxn(request.txn, request.ts);
   max_commit_ts_ = std::max(max_commit_ts_, request.ts);
   AppendAndNotify(request.two_phase
                       ? RedoRecord::CommitPrepared(request.txn, request.ts)
                       : RedoRecord::Commit(request.txn, request.ts));
+  decided_.Record(request.txn, true, request.ts);
   const Lsn commit_lsn = log_.next_lsn() - 1;
+  if (request.two_phase) {
+    // Commit applied and appended; the ack (and possibly the shipped
+    // record) is what gets lost.
+    MaybeCrash(CrashStage::kMidPhase2);
+  }
   // Synchronous replication waits here; async returns immediately.
   Status durability;
   if (shipper_ != nullptr) {
@@ -409,13 +687,24 @@ sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleCommit(
 sim::Task<StatusOr<rpc::EmptyMessage>> DataNode::HandleAbort(
     NodeId from, TxnControlRequest request) {
   co_await cpu_.Consume(options_.commit_cost);
+  if (const TxnDecision* prior = decided_.Lookup(request.txn)) {
+    metrics_.Add("dn.decision_dedup_hits");
+    self_aborted_txns_.erase(request.txn);
+    if (prior->committed) {
+      co_return Status::FailedPrecondition(
+          "transaction already committed on this shard");
+    }
+    co_return rpc::EmptyMessage{};  // duplicate abort: a no-op
+  }
   metrics_.Add("dn.aborts");
   // The coordinator's resolution arrived; no further batches can follow it
   // for this transaction, so the self-abort marker can go.
   self_aborted_txns_.erase(request.txn);
+  in_doubt_.erase(request.txn);
   store_.AbortTxn(request.txn);
   AppendAndNotify(request.two_phase ? RedoRecord::AbortPrepared(request.txn)
                                     : RedoRecord::Abort(request.txn));
+  decided_.Record(request.txn, false, 0);
   locks_.ReleaseAll(request.txn);
   co_return rpc::EmptyMessage{};
 }

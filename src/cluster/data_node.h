@@ -2,6 +2,8 @@
 #define GLOBALDB_SRC_CLUSTER_DATA_NODE_H_
 
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <set>
 #include <vector>
@@ -13,12 +15,14 @@
 #include "src/replication/checkpointer.h"
 #include "src/replication/durability_manager.h"
 #include "src/replication/log_shipper.h"
+#include "src/rpc/rpc_client.h"
 #include "src/rpc/rpc_server.h"
 #include "src/sim/cpu.h"
 #include "src/sim/network.h"
 #include "src/storage/catalog.h"
 #include "src/storage/shard_store.h"
 #include "src/txn/lock_manager.h"
+#include "src/txn/txn_decisions.h"
 
 namespace globaldb {
 
@@ -34,6 +38,44 @@ struct DataNodeOptions {
   /// operation, not an optional mode.
   bool enable_checkpoints = true;
   SimDuration checkpoint_interval = 1 * kSecond;
+  /// Capacity of the per-txn decision memo (DESIGN.md §13): how many
+  /// commit/abort outcomes the primary remembers so a duplicated or
+  /// re-driven phase-2 delivery is answered idempotently. Raise it in long
+  /// soaks whose checkers read old decisions back.
+  size_t decision_memo_capacity = DecisionMemo::kDefaultCapacity;
+  /// Backoff between in-doubt resolution rounds after a transport failure
+  /// (the owner CN or a peer primary is still unreachable, DESIGN.md §13).
+  SimDuration outcome_retry_backoff = 100 * kMillisecond;
+  /// Consecutive transport failures against the owning CN before the
+  /// resolver treats it as permanently gone and lets the peer-shard verdict
+  /// (or presumed abort) stand without a CN answer.
+  int outcome_cn_give_up = 10;
+};
+
+/// Protocol points a chaos schedule can arm a one-shot crash at
+/// (FaultKind::kPrimaryCrash stage targeting): the node drops off the
+/// network exactly when the next two-phase transaction reaches the stage.
+enum class CrashStage : uint8_t {
+  kNone = 0,
+  /// After the PREPARE record is appended and its durability wait returned:
+  /// the prepare is replicated but the coordinator never sees the ack.
+  kAfterPrepareAppend = 1,
+  /// When the phase-2 commit arrives, before any of it applies: the
+  /// coordinator decided, this shard never learned the outcome.
+  kOnCommitArrival = 2,
+  /// After the commit applied and its record was appended, before the ack:
+  /// the outcome is (racily) in the redo stream but the coordinator must
+  /// retry to learn it.
+  kMidPhase2 = 3,
+};
+
+/// A prepared-but-undecided transaction handed to a promoted primary
+/// (DESIGN.md §13): the commit-timestamp lower bound from the PREPARE
+/// record and the participant shards to query (empty = unknown — query
+/// every shard).
+struct InDoubtTxn {
+  Timestamp ts_lower = 0;
+  std::vector<ShardId> participants;
 };
 
 /// A primary data node hosting one shard: MVCC storage, row locks, the
@@ -69,15 +111,44 @@ class DataNode {
   /// Failover install: seeds this node from a promoted replica's state.
   /// Must be called after construction and before ConfigureReplication /
   /// Start. Installs the catalog + store images, re-bases the (empty) redo
-  /// stream so the next LSN continues from `applied_lsn + 1`, aborts every
-  /// in-doubt provisional transaction captured in the image (their
-  /// coordinators will learn the outcome on retry; quorum-acked commits are
-  /// never provisional on the most-caught-up replica), and seeds the
-  /// durability manager's checkpoint so lagging peers can full-state
-  /// install.
+  /// stream so the next LSN continues from `applied_lsn + 1`, adopts the
+  /// replica's replayed-decision memo, and sorts provisional transactions
+  /// into two classes (DESIGN.md §13):
+  ///   - not in `in_doubt`: their PREPARE never reached this (most-caught-up)
+  ///     replica, so thanks to the prepare durability wait the coordinator
+  ///     never decided commit — aborted immediately (presumed abort).
+  ///   - in `in_doubt`: prepared but undecided. Their touched rows stay
+  ///     locked and Start() spawns a resolver per transaction: own memo →
+  ///     owning CN's decision cache → peer participant primaries → presumed
+  ///     abort only once every source answers a definitive "unknown".
+  /// Also seeds the durability manager's checkpoint so lagging peers can
+  /// full-state install, and records `promotion_epoch` so stale kReplHello
+  /// announcements (a revived ex-primary) are routed through a reset
+  /// snapshot instead of redo resume.
   void InstallForPromotion(Lsn applied_lsn, Timestamp max_commit_ts,
                            const std::string& catalog_image,
-                           const std::string& store_image);
+                           const std::string& store_image,
+                           const std::map<TxnId, InDoubtTxn>& in_doubt = {},
+                           const DecisionMemo* replayed_decisions = nullptr,
+                           uint64_t promotion_epoch = 0);
+
+  /// Wires the cluster topology the in-doubt resolver needs: the current
+  /// primary node of each shard (followed across later promotions) and the
+  /// shard count (the query-every-shard fallback when a PREPARE carried no
+  /// participant list). Must be called before Start() on a promoted node.
+  void ConfigureOutcomeResolution(std::function<NodeId(ShardId)> shard_primary,
+                                  uint32_t num_shards);
+
+  /// Arms a one-shot staged crash: the next two-phase transaction reaching
+  /// `stage` takes this node off the network (chaos stage targeting).
+  void ArmCrash(CrashStage stage) { armed_crash_ = stage; }
+  CrashStage armed_crash() const { return armed_crash_; }
+
+  /// Per-txn decision memo (phase-2 idempotency, DESIGN.md §13).
+  const DecisionMemo& decisions() const { return decided_; }
+  /// Prepared transactions still awaiting outcome resolution.
+  size_t in_doubt_count() const { return in_doubt_.size(); }
+  uint64_t promotion_epoch() const { return promotion_epoch_; }
 
   ShardStore& store() { return store_; }
   LogStream& log() { return log_; }
@@ -125,6 +196,11 @@ class DataNode {
                                                   rpc::EmptyMessage request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleReadHorizon(
       NodeId from, ReadHorizonRequest request);
+  /// Peer-shard outcome query (kDnTxnState): answers from the decision memo;
+  /// kUnknown when this shard holds no decision (including when the txn is
+  /// still prepared here too).
+  sim::Task<StatusOr<TxnOutcomeReply>> HandleTxnState(
+      NodeId from, TxnOutcomeRequest request);
 
   /// Appends to the redo stream, wakes the shipper, and returns the
   /// assigned LSN.
@@ -133,6 +209,18 @@ class DataNode {
   /// entry). Bounded FIFO: the CN normally resolves with an abort broadcast
   /// shortly after, but a crashed CN must not grow the set forever.
   void RememberSelfAborted(TxnId txn);
+  /// Fires the armed staged crash if it matches `stage` (one-shot): takes
+  /// this node off the network and returns true.
+  bool MaybeCrash(CrashStage stage);
+  /// Applies a resolved outcome to an in-doubt transaction: commit/abort the
+  /// provisional state, append COMMIT_PREPARED / ABORT_PREPARED, memoize the
+  /// decision, release its pinned row locks. No-op if something else (a
+  /// coordinator re-drive) resolved it first.
+  void ResolveInDoubtTxn(TxnId txn, bool committed, Timestamp ts,
+                         const char* source_counter);
+  /// Outcome resolver coroutine, one per in-doubt transaction (spawned by
+  /// Start()).
+  sim::Task<void> ResolveOutcome(TxnId txn, InDoubtTxn info);
 
   sim::Simulator* sim_;
   sim::Network* network_;
@@ -157,6 +245,20 @@ class DataNode {
   /// rejected until the coordinator's commit/abort resolution arrives.
   std::set<TxnId> self_aborted_txns_;
   std::deque<TxnId> self_aborted_order_;
+  /// Commit/abort outcomes this shard has applied (first decision wins):
+  /// duplicated or re-driven phase-2 deliveries are answered from here, and
+  /// kDnTxnState serves peer in-doubt resolvers from it.
+  DecisionMemo decided_;
+  /// Prepared transactions inherited at promotion, still awaiting outcome
+  /// resolution; their touched rows stay locked until resolved.
+  std::map<TxnId, InDoubtTxn> in_doubt_;
+  /// RPC client for outbound outcome-resolution queries (owner CN + peers).
+  rpc::RpcClient client_;
+  std::function<NodeId(ShardId)> shard_primary_;
+  uint32_t num_shards_ = 0;
+  uint64_t promotion_epoch_ = 0;
+  CrashStage armed_crash_ = CrashStage::kNone;
+  bool stopped_ = false;
   Metrics metrics_;
 };
 

@@ -367,17 +367,23 @@ struct WriteBatchReply {
 };
 
 /// Pre-commit (PENDING_COMMIT for one-shard commits, PREPARE for 2PC),
-/// commit (COMMIT / COMMIT_PREPARED at `ts`), and abort.
+/// commit (COMMIT / COMMIT_PREPARED at `ts`), and abort. A 2PC precommit
+/// carries the full participant shard list so a promoted primary that finds
+/// the prepare in-doubt knows which peer shards may hold the durable
+/// decision (DESIGN.md §13).
 struct TxnControlRequest {
   TxnId txn = kInvalidTxnId;
   Timestamp ts = 0;
   bool two_phase = false;
+  std::vector<ShardId> participants;
 
   std::string Encode() const {
     std::string s;
     PutVarint64(&s, txn);
     PutVarint64(&s, ts);
     s.push_back(two_phase ? 1 : 0);
+    PutVarint32(&s, static_cast<uint32_t>(participants.size()));
+    for (ShardId shard : participants) PutVarint32(&s, shard);
     return s;
   }
   static StatusOr<TxnControlRequest> Decode(Slice in) {
@@ -386,6 +392,84 @@ struct TxnControlRequest {
       return Status::Corruption("txn control req");
     }
     r.two_phase = in[0] != 0;
+    in.RemovePrefix(1);
+    uint32_t n = 0;
+    if (!GetVarint32(&in, &n)) return Status::Corruption("txn control parts");
+    r.participants.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      ShardId shard = kInvalidShardId;
+      if (!GetVarint32(&in, &shard)) {
+        return Status::Corruption("txn control part");
+      }
+      r.participants.push_back(shard);
+    }
+    return r;
+  }
+};
+
+/// Transaction-outcome lookup (DESIGN.md §13). Served by the owning CN
+/// (kCnTxnOutcome, answered from its decision cache) and by peer participant
+/// primaries (kDnTxnState, answered from the per-txn decision memo /
+/// provisional state). `kUnknown` means the responder has no record either
+/// way — the asker falls through to the next resolution source.
+struct TxnOutcomeRequest {
+  TxnId txn = kInvalidTxnId;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, txn);
+    return s;
+  }
+  static StatusOr<TxnOutcomeRequest> Decode(Slice in) {
+    TxnOutcomeRequest r;
+    if (!GetVarint64(&in, &r.txn)) return Status::Corruption("txn outcome");
+    return r;
+  }
+};
+
+/// `kPending` is distinct from `kUnknown`: the owning CN is still deciding
+/// (the transaction is active), so the asker must retry instead of treating
+/// the answer as a definitive "no decision was ever made".
+enum class TxnOutcome : uint8_t {
+  kUnknown = 0,
+  kCommitted = 1,
+  kAborted = 2,
+  kPending = 3,
+};
+
+inline const char* TxnOutcomeName(TxnOutcome outcome) {
+  switch (outcome) {
+    case TxnOutcome::kUnknown:
+      return "UNKNOWN";
+    case TxnOutcome::kCommitted:
+      return "COMMITTED";
+    case TxnOutcome::kAborted:
+      return "ABORTED";
+    case TxnOutcome::kPending:
+      return "PENDING";
+  }
+  return "?";
+}
+
+struct TxnOutcomeReply {
+  TxnOutcome outcome = TxnOutcome::kUnknown;
+  /// Commit timestamp when outcome == kCommitted, else 0.
+  Timestamp ts = 0;
+
+  std::string Encode() const {
+    std::string s;
+    s.push_back(static_cast<char>(outcome));
+    PutVarint64(&s, ts);
+    return s;
+  }
+  static StatusOr<TxnOutcomeReply> Decode(Slice in) {
+    TxnOutcomeReply r;
+    if (in.empty()) return Status::Corruption("txn outcome reply");
+    r.outcome = static_cast<TxnOutcome>(in[0]);
+    in.RemovePrefix(1);
+    if (!GetVarint64(&in, &r.ts)) {
+      return Status::Corruption("txn outcome reply ts");
+    }
     return r;
   }
 };
@@ -578,6 +662,8 @@ inline constexpr rpc::RpcMethod<rpc::EmptyMessage, DnStatusReply> kDnStatus{
     "dn.status"};
 inline constexpr rpc::RpcMethod<ReadHorizonRequest, rpc::EmptyMessage>
     kDnReadHorizon{"dn.read_horizon"};
+inline constexpr rpc::RpcMethod<TxnOutcomeRequest, TxnOutcomeReply>
+    kDnTxnState{"dn.txn_state"};
 
 // Served by replica data nodes (read-on-replica).
 inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kRorRead{"ror.read"};
@@ -594,6 +680,8 @@ inline constexpr rpc::RpcMethod<DdlRequest, rpc::EmptyMessage> kCnDdlApply{
     "cn.ddl_apply"};
 inline constexpr rpc::RpcMethod<rpc::EmptyMessage, TxnHorizonReply>
     kCnTxnHorizon{"cn.txn_horizon"};
+inline constexpr rpc::RpcMethod<TxnOutcomeRequest, TxnOutcomeReply>
+    kCnTxnOutcome{"cn.txn_outcome"};
 
 }  // namespace globaldb
 

@@ -24,6 +24,10 @@ ReplicaNode::ReplicaNode(sim::Simulator* sim, sim::Network* network,
 void ReplicaNode::Restart() {
   metrics_.Add("replica.restarts");
   applier_->OnRestart();
+  AnnounceToPrimary();
+}
+
+void ReplicaNode::AnnounceToPrimary() {
   if (primary_ != kInvalidNodeId) sim_->Spawn(SendHello());
 }
 
@@ -31,6 +35,7 @@ sim::Task<void> ReplicaNode::SendHello() {
   ReplHelloRequest request;
   request.shard = shard_;
   request.durable_lsn = applier_->applied_lsn();
+  request.epoch = promotion_epoch_;
   // Best effort: if the hello is lost the shipper still recovers via its
   // normal retry path, just slower.
   (void)co_await client_.Call(primary_, kReplHello, request);

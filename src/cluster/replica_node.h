@@ -42,6 +42,19 @@ class ReplicaNode {
   /// announcement). Wired by the Cluster.
   void SetPrimary(NodeId primary) { primary_ = primary; }
 
+  /// Shard promotion epoch this replica knows about, carried in kReplHello:
+  /// a primary seeing a stale epoch forces a reset snapshot instead of
+  /// resuming redo shipping (DESIGN.md §13). Updated by the Cluster on each
+  /// promotion it tells this replica about; a revived ex-primary keeps its
+  /// pre-crash epoch, which is exactly what makes its hello stale.
+  void set_promotion_epoch(uint64_t epoch) { promotion_epoch_ = epoch; }
+  uint64_t promotion_epoch() const { return promotion_epoch_; }
+
+  /// Announces this replica to its primary now (kReplHello). Restart() does
+  /// this automatically; the Cluster also calls it when re-integrating a
+  /// revived ex-primary as a fresh replica.
+  void AnnounceToPrimary();
+
   /// Simulated process restart after a crash. Durable state survives — the
   /// store, applied LSN, and pending-transaction map are all recovered from
   /// the replica's redo log — and the node re-announces its durable LSN to
@@ -71,6 +84,7 @@ class ReplicaNode {
   rpc::RpcClient client_;
   ShardId shard_;
   NodeId primary_ = kInvalidNodeId;
+  uint64_t promotion_epoch_ = 0;
   ReplicaNodeOptions options_;
 
   ShardStore store_;

@@ -128,6 +128,12 @@ RedoRecord RedoRecord::Prepare(TxnId txn) {
   return r;
 }
 
+RedoRecord RedoRecord::Prepare(TxnId txn, const std::vector<ShardId>& shards) {
+  RedoRecord r = Prepare(txn);
+  r.value = EncodeParticipants(shards);
+  return r;
+}
+
 RedoRecord RedoRecord::CommitPrepared(TxnId txn, Timestamp ts) {
   RedoRecord r;
   r.type = RedoType::kCommitPrepared;
@@ -163,6 +169,26 @@ RedoRecord RedoRecord::Checkpoint(Timestamp ts) {
   r.type = RedoType::kCheckpoint;
   r.timestamp = ts;
   return r;
+}
+
+std::string EncodeParticipants(const std::vector<ShardId>& shards) {
+  std::string s;
+  PutVarint32(&s, static_cast<uint32_t>(shards.size()));
+  for (ShardId shard : shards) PutVarint32(&s, shard);
+  return s;
+}
+
+std::vector<ShardId> DecodeParticipants(Slice in) {
+  std::vector<ShardId> shards;
+  uint32_t n = 0;
+  if (!GetVarint32(&in, &n)) return shards;
+  shards.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    ShardId shard = kInvalidShardId;
+    if (!GetVarint32(&in, &shard)) return {};
+    shards.push_back(shard);
+  }
+  return shards;
 }
 
 bool operator==(const RedoRecord& a, const RedoRecord& b) {

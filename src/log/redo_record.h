@@ -73,6 +73,11 @@ struct RedoRecord {
   static RedoRecord Commit(TxnId txn, Timestamp ts);
   static RedoRecord Abort(TxnId txn);
   static RedoRecord Prepare(TxnId txn);
+  /// PREPARE carrying the transaction's participant shard list in `value`
+  /// (see EncodeParticipants). A promoted primary that finds the prepare
+  /// in-doubt decodes it to know which peer shards to query for the durable
+  /// decision (DESIGN.md §13).
+  static RedoRecord Prepare(TxnId txn, const std::vector<ShardId>& shards);
   static RedoRecord CommitPrepared(TxnId txn, Timestamp ts);
   static RedoRecord AbortPrepared(TxnId txn);
   static RedoRecord Heartbeat(Timestamp ts);
@@ -84,6 +89,12 @@ struct RedoRecord {
 };
 
 bool operator==(const RedoRecord& a, const RedoRecord& b);
+
+/// Participant-list payload of a 2PC PREPARE record (varint count + varint
+/// shard ids). An empty / undecodable payload yields an empty list — the
+/// reader falls back to querying every shard.
+std::string EncodeParticipants(const std::vector<ShardId>& shards);
+std::vector<ShardId> DecodeParticipants(Slice in);
 
 }  // namespace globaldb
 

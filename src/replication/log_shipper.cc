@@ -42,6 +42,7 @@ LogShipper::LogShipper(sim::Simulator* sim, sim::Network* network, NodeId self,
 }
 
 void LogShipper::Start() {
+  started_ = true;
   for (NodeId replica : replicas_) {
     sim_->Spawn(ShipLoop(replica));
   }
@@ -138,6 +139,41 @@ void LogShipper::RequireSnapshotAll() {
     peer.next_send_at = 0;
   }
   WakeLoops();
+}
+
+void LogShipper::RequireSnapshot(NodeId replica) {
+  auto it = peers_.find(replica);
+  if (it == peers_.end()) return;
+  PeerState& peer = it->second;
+  ++peer.epoch;
+  peer.inflight = 0;
+  peer.needs_snapshot = true;
+  peer.snapshot_reset = true;
+  peer.resume_hint = kInvalidLsn;
+  peer.consecutive_failures = 0;
+  peer.backoff = 0;
+  peer.next_send_at = 0;
+  WakeLoops();
+}
+
+void LogShipper::AddReplica(NodeId replica) {
+  if (peers_.count(replica) > 0) return;
+  replicas_.push_back(replica);
+  acked_[replica] = 0;
+  // A zero ack is the vector's minimum, so appending keeps it descending.
+  sorted_acks_.push_back(0);
+  const size_t k = std::min<size_t>(std::max(options_.quorum_replicas, 1),
+                                    sorted_acks_.size());
+  quorum_acked_ = sorted_acks_[k - 1];
+  all_acked_ = sorted_acks_.back();
+  PeerState& peer = peers_[replica];
+  peer.cursor = stream_->begin_lsn();
+  // The newcomer's history may have diverged (a revived ex-primary): force
+  // a reset install before any redo shipping.
+  peer.needs_snapshot = true;
+  peer.snapshot_reset = true;
+  metrics_.Add("ship.replicas_added");
+  if (started_ && !stopped_) sim_->Spawn(ShipLoop(replica));
 }
 
 void LogShipper::OnTruncate(Lsn new_begin) {

@@ -107,6 +107,18 @@ class LogShipper {
   /// its fresh log starts at its applied LSN, so every peer must re-base.
   void RequireSnapshotAll();
 
+  /// Single-peer variant: forces a reset snapshot for one replica (a hello
+  /// with a stale promotion epoch — typically a revived ex-primary whose
+  /// history diverged, DESIGN.md §13).
+  void RequireSnapshot(NodeId replica);
+
+  /// Adds `replica` to the replication set after construction (a revived
+  /// ex-primary re-integrating as a replica). The peer starts with a forced
+  /// reset snapshot — its history may have diverged — and, if the shipper is
+  /// already running, gets its ship loop spawned immediately. No-op if the
+  /// peer is already tracked.
+  void AddReplica(NodeId replica);
+
   /// Called by the durability manager after it truncated the stream up to
   /// `new_begin`: re-bases the encoded-batch cache on the new watermark.
   void OnTruncate(Lsn new_begin);
@@ -220,6 +232,7 @@ class LogShipper {
   std::map<NodeId, PeerState> peers_;
   std::vector<DurabilityWaiter> waiters_;
   std::vector<sim::Promise<bool>> sleepers_;
+  bool started_ = false;
   bool stopped_ = false;
   Metrics metrics_;
 };

@@ -69,19 +69,28 @@ struct ReplAppendReply {
 /// LSN the replica holds durably so the shipper can rewind its cursor and
 /// resume immediately instead of waiting out its retry backoff (and without
 /// risking a silent gap if the replica lost its applied tail).
+///
+/// `epoch` is the shard's promotion epoch as the sender last knew it. A
+/// hello carrying a stale epoch comes from a node that missed one or more
+/// promotions (typically a revived ex-primary): its history may have
+/// diverged, so the current primary answers by forcing a reset snapshot
+/// instead of resuming redo shipping from the announced LSN (DESIGN.md §13).
 struct ReplHelloRequest {
   uint32_t shard = 0;
   Lsn durable_lsn = 0;
+  uint64_t epoch = 0;
 
   std::string Encode() const {
     std::string s;
     PutVarint32(&s, shard);
     PutVarint64(&s, durable_lsn);
+    PutVarint64(&s, epoch);
     return s;
   }
   static StatusOr<ReplHelloRequest> Decode(Slice in) {
     ReplHelloRequest r;
-    if (!GetVarint32(&in, &r.shard) || !GetVarint64(&in, &r.durable_lsn)) {
+    if (!GetVarint32(&in, &r.shard) || !GetVarint64(&in, &r.durable_lsn) ||
+        !GetVarint64(&in, &r.epoch)) {
       return Status::Corruption("repl hello req");
     }
     return r;

@@ -20,6 +20,7 @@ ReplicaApplier::ReplicaApplier(sim::Simulator* sim, sim::Network* network,
       catalog_(catalog),
       cpu_(cpu),
       options_(options),
+      decisions_(options.decision_memo_capacity),
       resolved_signal_(sim) {
   server_.Handle(kReplAppend, [this](NodeId from, ReplAppendRequest request) {
     return HandleAppend(from, std::move(request));
@@ -95,7 +96,12 @@ sim::Task<StatusOr<ReplSnapshotReply>> ReplicaApplier::HandleSnapshot(
   // Rebuild the pending-commit set from the image's provisional state: the
   // in-flight transactions captured mid-2PC. Lower bound 0 (unknown) —
   // replica readers wait until the replayed COMMIT/ABORT resolves them.
+  // Participant lists do not survive the install (the image carries only
+  // provisional tuples, not PREPARE payloads): if this replica is later
+  // promoted with one of these still pending, resolution queries every
+  // shard.
   pending_.clear();
+  pending_participants_.clear();
   for (TxnId txn : store_->ProvisionalTxns()) pending_[txn] = 0;
   resolved_signal_.NotifyAll();
   ReleaseApply();
@@ -272,18 +278,24 @@ void ReplicaApplier::ApplyRecord(const RedoRecord& record) {
       break;
     case RedoType::kPendingCommit:
     case RedoType::kPrepare:
-      // Value = lower bound on the eventual commit timestamp.
+      // Timestamp = lower bound on the eventual commit timestamp.
       pending_[record.txn_id] = record.timestamp;
+      if (record.type == RedoType::kPrepare && !record.value.empty()) {
+        pending_participants_[record.txn_id] =
+            DecodeParticipants(Slice(record.value));
+      }
       break;
     case RedoType::kCommit:
     case RedoType::kCommitPrepared:
       store_->CommitTxn(record.txn_id, record.timestamp);
       max_commit_ts_ = std::max(max_commit_ts_, record.timestamp);
+      decisions_.Record(record.txn_id, /*committed=*/true, record.timestamp);
       ResolveTxn(record.txn_id);
       break;
     case RedoType::kAbort:
     case RedoType::kAbortPrepared:
       store_->AbortTxn(record.txn_id);
+      decisions_.Record(record.txn_id, /*committed=*/false, 0);
       ResolveTxn(record.txn_id);
       break;
     case RedoType::kHeartbeat:
@@ -310,6 +322,7 @@ void ReplicaApplier::ApplyRecord(const RedoRecord& record) {
 }
 
 void ReplicaApplier::ResolveTxn(TxnId txn) {
+  pending_participants_.erase(txn);
   if (pending_.erase(txn) > 0) {
     resolved_signal_.NotifyAll();
   }

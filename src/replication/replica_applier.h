@@ -17,6 +17,7 @@
 #include "src/sim/network.h"
 #include "src/storage/catalog.h"
 #include "src/storage/shard_store.h"
+#include "src/txn/txn_decisions.h"
 
 namespace globaldb {
 
@@ -29,6 +30,10 @@ struct ApplierOptions {
   /// an earlier one) wait here and drain in LSN order once the gap fills.
   /// 0 restores the strict refuse-any-gap policy.
   size_t reorder_buffer_bytes = 4 * 1024 * 1024;
+  /// Capacity of the replayed-decision memo (DESIGN.md §13): how many
+  /// COMMIT/ABORT outcomes the replica remembers so a post-promotion
+  /// duplicate phase-2 delivery is rejected instead of re-applied.
+  size_t decision_memo_capacity = DecisionMemo::kDefaultCapacity;
 };
 
 /// Replica-side redo replay (Section IV-A).
@@ -69,6 +74,17 @@ class ReplicaApplier {
   }
   /// Suspends until `txn` is no longer pending.
   sim::Task<void> WaitResolved(TxnId txn);
+
+  /// Promotion transfer (Cluster::PromoteShard reads these synchronously
+  /// while the applier is stalled): the unresolved prepared/pending set with
+  /// commit-ts lower bounds, the participant shard lists decoded from
+  /// replayed PREPARE records (empty vector = unknown — query every shard),
+  /// and the replayed-decision memo the new primary adopts.
+  const std::map<TxnId, Timestamp>& pending() const { return pending_; }
+  const std::map<TxnId, std::vector<ShardId>>& pending_participants() const {
+    return pending_participants_;
+  }
+  const DecisionMemo& decisions() const { return decisions_; }
 
   /// Called when the hosting replica node restarts. Batch application is
   /// write-ahead durable (an ack implies the batch is persisted), so the
@@ -153,6 +169,11 @@ class ReplicaApplier {
   /// bump re-check it after the apply gate and drop themselves.
   uint64_t install_epoch_ = 0;
   std::map<TxnId, Timestamp> pending_;
+  /// Participant shard lists of pending 2PC transactions (from the PREPARE
+  /// record payload); entries without one fall back to an empty list.
+  std::map<TxnId, std::vector<ShardId>> pending_participants_;
+  /// Replayed COMMIT/ABORT outcomes (idempotency across promotion).
+  DecisionMemo decisions_;
   sim::CondVar resolved_signal_;
   /// Out-of-order batches keyed by start LSN, waiting for their gap to fill.
   std::map<Lsn, BufferedBatch> reorder_;

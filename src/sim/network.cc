@@ -75,6 +75,16 @@ void Network::SetRegionPartitioned(RegionId a, RegionId b, bool blocked) {
   }
 }
 
+void Network::SetMessageChaos(bool enabled, double duplicate_fraction) {
+  chaos_enabled_ = enabled;
+  if (!enabled) return;
+  if (duplicate_fraction > 0) {
+    chaos_duplicate_fraction_ = duplicate_fraction;
+  } else if (chaos_duplicate_fraction_ <= 0) {
+    chaos_duplicate_fraction_ = 0.25;
+  }
+}
+
 bool Network::CanReach(NodeId from, NodeId to) const {
   if (!IsNodeUp(from) || !IsNodeUp(to)) return false;
   if (node_partitions_.count({std::min(from, to), std::max(from, to)})) {
@@ -195,7 +205,30 @@ Task<StatusOr<std::string>> Network::Call(NodeId from, NodeId to,
                                   }),
                    inflight.end());
     inflight.emplace_back(from, reply);
+    const bool duplicate =
+        chaos_enabled_ && options_.chaos_exempt_methods.count(method) == 0 &&
+        rng_.NextDouble() < chaos_duplicate_fraction_;
+    std::string dup_payload;
+    if (duplicate) dup_payload = payload;
     sim_->Spawn(DeliverCall(from, to, method, std::move(payload), reply));
+    if (duplicate) {
+      // Retransmitted copy: leaves later by a random lag so it can land
+      // after messages sent after the original (duplication + reordering in
+      // one fault). It re-executes the server handler but its reply goes to
+      // a discarded promise — the client only ever sees the first answer.
+      metrics_.Add("rpc.chaos_duplicates");
+      const SimDuration lag =
+          1 + static_cast<SimDuration>(
+                  rng_.NextDouble() * 4.0 *
+                  static_cast<double>(topology_.OneWayLatency(rf, rt)));
+      Promise<StatusOr<std::string>> discard(sim_);
+      sim_->Schedule(lag, [this, from, to, method,
+                           payload = std::move(dup_payload),
+                           discard]() mutable {
+        sim_->Spawn(DeliverCall(from, to, std::move(method),
+                                std::move(payload), discard));
+      });
+    }
     Promise<StatusOr<std::string>> p = reply;
     sim_->Schedule(timeout,
                    [p]() mutable { p.TrySet(Status::TimedOut("rpc")); });
@@ -214,15 +247,31 @@ void Network::Send(NodeId from, NodeId to, std::string method,
   }
   if (!CanReach(from, to)) return;
   const SimDuration delay = TransferDelay(from, to, payload.size());
-  sim_->Schedule(delay, [this, from, to, method = std::move(method),
-                         payload = std::move(payload)]() mutable {
+  auto deliver = [this, from, to](std::string m, std::string p) {
     if (!CanReach(from, to)) return;
     auto& info = nodes_[to];
-    auto it = info.handlers.find(method);
+    auto it = info.handlers.find(m);
     if (it == info.handlers.end()) return;
-    sim_->Spawn([](RpcHandler h, NodeId f, std::string p) -> Task<void> {
-      (void)co_await h(f, std::move(p));
-    }(it->second, from, std::move(payload)));
+    sim_->Spawn([](RpcHandler h, NodeId f, std::string pl) -> Task<void> {
+      (void)co_await h(f, std::move(pl));
+    }(it->second, from, std::move(p)));
+  };
+  if (chaos_enabled_ && options_.chaos_exempt_methods.count(method) == 0 &&
+      rng_.NextDouble() < chaos_duplicate_fraction_) {
+    // Duplicated copy, lagged so it may arrive after later sends.
+    metrics_.Add("send.chaos_duplicates");
+    const SimDuration lag =
+        1 + static_cast<SimDuration>(
+                rng_.NextDouble() * 4.0 *
+                static_cast<double>(topology_.OneWayLatency(
+                    RegionOf(from), RegionOf(to))));
+    sim_->Schedule(delay + lag, [deliver, method, payload]() mutable {
+      deliver(std::move(method), std::move(payload));
+    });
+  }
+  sim_->Schedule(delay, [deliver, method = std::move(method),
+                         payload = std::move(payload)]() mutable {
+    deliver(std::move(method), std::move(payload));
   });
 }
 

@@ -41,6 +41,14 @@ struct NetworkOptions {
   double jitter_fraction = 0.05;
   /// Default RPC timeout.
   SimDuration rpc_timeout = 5 * kSecond;
+  /// Methods message chaos never duplicates: statement writes and snapshot
+  /// installs ride an ordered, exactly-once byte stream in the modeled
+  /// deployment (TCP dedups transport retransmissions), so duplicating them
+  /// would inject failures no real network produces. Chaos duplication
+  /// targets control messages, whose receivers must absorb application-level
+  /// re-sends idempotently.
+  std::set<std::string> chaos_exempt_methods = {"dn.write", "dn.write_batch",
+                                                "repl.snapshot"};
 };
 
 /// Handler invoked when an RPC arrives at a node. The returned payload is
@@ -101,6 +109,16 @@ class Network {
   /// Blocks all traffic between two regions.
   void SetRegionPartitioned(RegionId a, RegionId b, bool blocked);
   bool CanReach(NodeId from, NodeId to) const;
+  /// Message chaos: while enabled, each RPC request or one-way send is
+  /// delivered a *second* time with probability `duplicate_fraction`, the
+  /// copy carrying an extra random delay — so duplicates also arrive out of
+  /// order relative to later traffic. The duplicate of a call executes the
+  /// server handler again but its reply is discarded (a retransmission whose
+  /// answer the client ignores); receivers must be idempotent to survive it.
+  /// Passing duplicate_fraction <= 0 while enabling keeps (or defaults) the
+  /// current fraction.
+  void SetMessageChaos(bool enabled, double duplicate_fraction);
+  bool message_chaos_enabled() const { return chaos_enabled_; }
 
   /// Total payload bytes accepted for transmission between each region pair
   /// (for the log-shipping volume ablation).
@@ -128,6 +146,8 @@ class Network {
   std::map<NodeId, NodeInfo> nodes_;
   std::set<std::pair<NodeId, NodeId>> node_partitions_;
   std::set<std::pair<RegionId, RegionId>> region_partitions_;
+  bool chaos_enabled_ = false;
+  double chaos_duplicate_fraction_ = 0.0;
   Rng rng_;
   Metrics metrics_;
 };

@@ -122,6 +122,15 @@ class MvccTable {
   /// set; a promoted primary uses it to abort in-doubt transactions.
   std::vector<TxnId> ProvisionalTxns() const;
 
+  /// Keys `txn` has provisionally written in this table (nullptr when none).
+  /// A promoted primary pins these with row locks while the transaction's
+  /// outcome is in doubt, so new writers queue instead of racing the
+  /// resolution (DESIGN.md §13).
+  const std::vector<RowKey>* TouchedKeys(TxnId txn) const {
+    auto it = touched_.find(txn);
+    return it == touched_.end() ? nullptr : &it->second;
+  }
+
  private:
   struct VersionChain {
     // Oldest first; newest at the back.

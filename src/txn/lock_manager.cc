@@ -39,6 +39,17 @@ sim::Task<Status> LockManager::Acquire(TxnId txn, TableId table,
   co_return Status::OK();
 }
 
+bool LockManager::TryAcquire(TxnId txn, TableId table, const RowKey& key) {
+  const std::string lock_key = LockKey(table, key);
+  LockState& state = locks_[lock_key];
+  if (state.holder == txn) return true;  // re-entrant
+  if (state.holder != kInvalidTxnId || !state.waiters.empty()) return false;
+  state.holder = txn;
+  held_[txn].push_back(lock_key);
+  metrics_.Add("lock.immediate_grants");
+  return true;
+}
+
 void LockManager::ReleaseAll(TxnId txn) {
   auto it = held_.find(txn);
   if (it == held_.end()) return;

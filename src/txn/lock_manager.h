@@ -41,6 +41,14 @@ class LockManager {
   /// Releases every lock held by `txn` and grants queued waiters.
   void ReleaseAll(TxnId txn);
 
+  /// Synchronous, non-blocking acquire: grants the (table, key) lock to
+  /// `txn` iff it is free (or already held by `txn`); never queues. Used at
+  /// promotion install time to pin the keys of in-doubt prepared
+  /// transactions before the shard re-opens for writes (DESIGN.md §13) —
+  /// install runs in an atomic no-co_await section, so waiting is not an
+  /// option and the lock table is empty anyway on a fresh primary.
+  bool TryAcquire(TxnId txn, TableId table, const RowKey& key);
+
   /// True if `txn` currently holds the (table, key) lock.
   bool IsHeldBy(TxnId txn, TableId table, const RowKey& key) const {
     auto it = locks_.find(LockKey(table, key));

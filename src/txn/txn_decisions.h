@@ -1,0 +1,73 @@
+#ifndef GLOBALDB_SRC_TXN_TXN_DECISIONS_H_
+#define GLOBALDB_SRC_TXN_TXN_DECISIONS_H_
+
+#include <deque>
+#include <map>
+
+#include "src/common/types.h"
+
+namespace globaldb {
+
+/// A remembered 2PC outcome: committed-at-ts or aborted.
+struct TxnDecision {
+  bool committed = false;
+  Timestamp ts = 0;  // commit timestamp; 0 for aborts
+};
+
+/// Bounded per-transaction decision memo (DESIGN.md §13). Primaries record
+/// every commit/abort they decide so duplicated or reordered phase-2
+/// deliveries (a CN re-driving its decision after a promotion, a network
+/// duplicate) are answered idempotently instead of re-applied; replica
+/// appliers maintain the same memo from replayed COMMIT/ABORT records so a
+/// promoted replica inherits the history. The first recorded decision wins —
+/// a conflicting later delivery is a protocol violation the caller rejects.
+///
+/// Bounded FIFO, same policy as the self-aborted-txn dedup map: memory stays
+/// O(capacity) and eviction only re-opens the (benign) window for a
+/// duplicate older than `capacity` decisions — far beyond any RPC lifetime.
+class DecisionMemo {
+ public:
+  explicit DecisionMemo(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  void Record(TxnId txn, bool committed, Timestamp ts) {
+    auto [it, inserted] = decided_.emplace(txn, TxnDecision{committed, ts});
+    if (!inserted) return;  // first decision wins
+    order_.push_back(txn);
+    Trim();
+  }
+
+  const TxnDecision* Lookup(TxnId txn) const {
+    auto it = decided_.find(txn);
+    return it == decided_.end() ? nullptr : &it->second;
+  }
+
+  /// Merges another memo's entries (promotion install: the new primary
+  /// adopts the replica applier's replayed decisions).
+  void Adopt(const DecisionMemo& other) {
+    for (const auto& [txn, decision] : other.decided_) {
+      Record(txn, decision.committed, decision.ts);
+    }
+  }
+
+  size_t size() const { return decided_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void Trim() {
+    while (order_.size() > capacity_) {
+      decided_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  size_t capacity_;
+  std::map<TxnId, TxnDecision> decided_;
+  std::deque<TxnId> order_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_TXN_TXN_DECISIONS_H_

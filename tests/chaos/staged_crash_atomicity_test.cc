@@ -1,0 +1,243 @@
+// Staged-crash 2PC atomicity acceptance (DESIGN.md §13): shard primaries
+// are killed at targeted 2PC protocol points — after the PREPARE is
+// appended and replicated, on phase-2 commit arrival, and mid phase-2 after
+// the commit append — while a cross-shard insert workload runs. The
+// promoted successors must resolve every inherited in-doubt transaction,
+// coordinators must re-drive decisions that died with a primary, and a
+// revived ex-primary must rejoin as a replica. Through all of it:
+//   - no transaction commits on one participant and aborts on another, and
+//   - no write whose Commit() returned OK is lost.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/chaos/fault_scheduler.h"
+#include "src/cluster/cluster.h"
+#include "src/storage/schema.h"
+
+namespace globaldb {
+namespace {
+
+/// One cross-shard insert attempt: two rows routed to different shards,
+/// written in a single transaction. `acked` records whether Commit()
+/// returned OK — an errored commit is ambiguous (it may still land via
+/// outcome recovery), so those attempts are only checked for atomicity,
+/// never for presence.
+struct PairAttempt {
+  int64_t a = 0;
+  int64_t b = 0;
+  bool acked = false;
+};
+
+TableSchema PairSchema() {
+  TableSchema schema;
+  schema.name = "pairs";
+  schema.columns = {{"id", ColumnType::kInt64}, {"val", ColumnType::kInt64}};
+  schema.key_columns = {0};
+  schema.distribution_column = 0;
+  return schema;
+}
+
+/// Advances `*next` until it yields a key routed to a different shard
+/// than `a`.
+int64_t NextKeyOnDifferentShard(const TableSchema& schema, uint32_t shards,
+                                int64_t a, int64_t* next) {
+  const ShardId shard_a = RouteRowToShard(schema, {a, 0}, shards);
+  while (true) {
+    const int64_t b = (*next)++;
+    if (RouteRowToShard(schema, {b, 0}, shards) != shard_a) return b;
+  }
+}
+
+sim::Task<void> PairWriter(Cluster* cluster, int cn_index, int64_t id_base,
+                           std::vector<PairAttempt>* attempts,
+                           const bool* stop) {
+  CoordinatorNode* cn = &cluster->cn(cn_index);
+  sim::Simulator* sim = cluster->simulator();
+  TableSchema schema = PairSchema();
+  const uint32_t shards = static_cast<uint32_t>(cluster->num_shards());
+  int64_t next = id_base;
+  while (!*stop) {
+    co_await sim->Sleep(2 * kMillisecond);
+    const int64_t a = next++;
+    const int64_t b = NextKeyOnDifferentShard(schema, shards, a, &next);
+    auto txn = co_await cn->Begin();
+    if (!txn.ok()) continue;
+    Row row_a = {a, a};
+    Row row_b = {b, b};
+    Status s = co_await cn->Insert(&*txn, "pairs", row_a);
+    if (s.ok()) s = co_await cn->Insert(&*txn, "pairs", row_b);
+    if (!s.ok()) {
+      (void)co_await cn->Abort(&*txn);
+      attempts->push_back({a, b, false});
+      continue;
+    }
+    s = co_await cn->Commit(&*txn);
+    attempts->push_back({a, b, s.ok()});
+  }
+}
+
+class StagedCrashAtomicityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(StagedCrashAtomicityTest, NoCrossShardAtomicityViolation) {
+  const uint64_t seed = GetParam();
+  sim::Simulator sim(seed);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  options.network.rpc_timeout = 250 * kMillisecond;
+  options.initial_mode = TimestampMode::kGtm;
+  options.num_shards = 3;
+  options.cns_per_region = 1;
+  // Sync-quorum: every PREPARE a coordinator acted on is durable on the
+  // most-caught-up replica before the decision, so promotion transfers it
+  // as in-doubt instead of losing it.
+  options.shipper.mode = ReplicationMode::kSyncQuorum;
+  options.shipper.quorum_replicas = 1;
+  options.shipper.max_retry_backoff = 500 * kMillisecond;
+  options.health.primary_failover = true;
+  options.health.probe_interval = 50 * kMillisecond;
+  options.health.probe_timeout = 120 * kMillisecond;
+  options.health.primary_miss_threshold = 2;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool ready = false;
+  auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+    TableSchema schema = PairSchema();
+    EXPECT_TRUE((co_await cluster->cn(0).CreateTable(schema)).ok());
+    *ready = true;
+  };
+  sim.Spawn(setup(&cluster, &ready));
+  while (!ready) sim.RunFor(10 * kMillisecond);
+  cluster.WaitForRcp();
+
+  // One staged kill per shard, each at a different 2PC protocol point, then
+  // the first casualty is revived into the promoted timeline.
+  chaos::FaultScheduler faults(&cluster);
+  const SimTime t0 = sim.now() + 600 * kMillisecond;
+  auto stage_kill = [&faults](SimTime at, ShardId shard, CrashStage stage) {
+    chaos::FaultEvent event;
+    event.at = at;
+    event.kind = chaos::FaultKind::kPrimaryCrash;
+    event.shard = shard;
+    event.stage = stage;
+    faults.AddEvent(event);
+  };
+  stage_kill(t0, 0, CrashStage::kAfterPrepareAppend);
+  stage_kill(t0 + 800 * kMillisecond, 1, CrashStage::kOnCommitArrival);
+  stage_kill(t0 + 1600 * kMillisecond, 2, CrashStage::kMidPhase2);
+  chaos::FaultEvent revive;
+  revive.at = t0 + 2600 * kMillisecond;
+  revive.kind = chaos::FaultKind::kPrimaryRevive;
+  revive.shard = 0;
+  faults.AddEvent(revive);
+  faults.Start();
+
+  bool stop = false;
+  std::vector<PairAttempt> attempts;
+  for (int w = 0; w < 9; ++w) {
+    sim.Spawn(PairWriter(&cluster, w % 3, 1 + w * 1000000, &attempts, &stop));
+  }
+
+  sim.RunFor(4 * kSecond);
+  stop = true;
+  sim.RunFor(300 * kMillisecond);
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    cluster.cn(i).StopServices();
+  }
+  sim.RunFor(2 * kSecond);
+
+  // Every staged crash fired and was recovered by promotion.
+  EXPECT_EQ(faults.metrics().Get("chaos.primary_crash"), 3) << "seed "
+                                                            << seed;
+  EXPECT_EQ(faults.metrics().Get("chaos.primary_revive"), 1) << "seed "
+                                                             << seed;
+  EXPECT_EQ(cluster.health().metrics().Get("health.promotions"), 3)
+      << "seed " << seed;
+  EXPECT_GT(attempts.size(), 100u) << "seed " << seed;
+
+  // Phase-2 deliveries died with the primaries; at least one coordinator
+  // re-drove its decision against a promoted successor.
+  int64_t commit_retries = 0;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    commit_retries += cluster.cn(i).metrics().Get("cn.commit_retries");
+  }
+  EXPECT_GE(commit_retries, 1) << "seed " << seed;
+
+  // The prepare-point kill on shard 0 left prepared transactions only the
+  // promoted successor can resolve: it inherited them in doubt and settled
+  // them by querying the owning CN's decision cache (the CN's own abort
+  // re-drive gave up while the shard was down). Nothing stays in doubt.
+  DataNode& promoted0 = cluster.data_node(0);
+  EXPECT_GE(promoted0.metrics().Get("dn.promotion_in_doubt"), 1)
+      << "seed " << seed;
+  EXPECT_GE(promoted0.metrics().Get("dn.outcome_resolved_by_cn"), 1)
+      << "seed " << seed;
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.data_node(s).in_doubt_count(), 0u)
+        << "seed " << seed << " shard " << s;
+    EXPECT_NE(cluster.primary_node_id(s), Cluster::PrimaryNodeId(s))
+        << "seed " << seed << " shard " << s;
+  }
+
+  // The revived ex-primary detected it was superseded (stale promotion
+  // epoch in its hello), was re-seeded with a reset snapshot, and converged
+  // to the promoted primary's log tail.
+  ASSERT_EQ(cluster.revived_replicas_of(0).size(), 1u) << "seed " << seed;
+  EXPECT_GE(promoted0.metrics().Get("dn.stale_epoch_hellos"), 1)
+      << "seed " << seed;
+  const Lsn tail0 = promoted0.log().next_lsn() - 1;
+  EXPECT_EQ(cluster.revived_replicas_of(0)[0]->applier().applied_lsn(),
+            tail0)
+      << "seed " << seed;
+
+  // Cross-shard atomicity + zero acked loss: every acked pair is fully
+  // present; every other pair is all-or-nothing.
+  bool verified = false;
+  auto verify = [](Cluster* cluster, const std::vector<PairAttempt>* attempts,
+                   bool* verified) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    for (size_t base = 0; base < attempts->size(); base += 64) {
+      auto txn = co_await cn.Begin();
+      EXPECT_TRUE(txn.ok());
+      if (!txn.ok()) co_return;
+      const size_t end = std::min(base + 64, attempts->size());
+      std::vector<Row> keys;
+      for (size_t i = base; i < end; ++i) {
+        keys.push_back({(*attempts)[i].a});
+        keys.push_back({(*attempts)[i].b});
+      }
+      auto rows = co_await cn.MultiGet(&*txn, "pairs", keys);
+      EXPECT_TRUE(rows.ok());
+      if (!rows.ok()) co_return;
+      for (size_t i = base; i < end; ++i) {
+        const bool has_a = (*rows)[(i - base) * 2].has_value();
+        const bool has_b = (*rows)[(i - base) * 2 + 1].has_value();
+        const PairAttempt& attempt = (*attempts)[i];
+        if (attempt.acked) {
+          EXPECT_TRUE(has_a && has_b)
+              << "acked pair (" << attempt.a << ", " << attempt.b
+              << ") lost: a=" << has_a << " b=" << has_b;
+        } else {
+          EXPECT_EQ(has_a, has_b)
+              << "atomicity violation on pair (" << attempt.a << ", "
+              << attempt.b << "): a=" << has_a << " b=" << has_b;
+        }
+      }
+      (void)co_await cn.Abort(&*txn);
+    }
+    *verified = true;
+  };
+  sim.Spawn(verify(&cluster, &attempts, &verified));
+  sim.RunFor(30 * kSecond);
+  EXPECT_TRUE(verified) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StagedCrashAtomicityTest,
+                         ::testing::Values(11u, 42u, 4242u));
+
+}  // namespace
+}  // namespace globaldb

@@ -120,6 +120,61 @@ ReadPathResult RunNewOrder(bool multiget, SimDuration rtt, TpccConfig config,
   return result;
 }
 
+/// Scan-path ablation (DESIGN.md §14): one scan-heavy TPC-C profile —
+/// Delivery (10 per-district oldest-new-order scans + order-line scans) or
+/// Stock-level (last-20-orders order-line scan + stock lookup join) —
+/// driven alone, with the batched scan path on or off. ROR picks whether
+/// read-only scans land on replicas or primaries.
+ReadPathResult RunScanProfile(bool delivery, bool scan_batch, bool ror,
+                              SimDuration rtt, TpccConfig config, int clients,
+                              SimDuration duration) {
+  sim::Simulator sim(59);
+  ClusterOptions options =
+      MakeClusterOptions(SystemKind::kGlobalDb, sim::Topology::Uniform(3, rtt));
+  options.coordinator.enable_scan_batching = scan_batch;
+  options.coordinator.enable_ror = ror;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+  TpccWorkload tpcc(&cluster, config);
+  Status s = tpcc.Setup();
+  GDB_CHECK(s.ok()) << s.ToString();
+  cluster.WaitForRcp();
+  sim.RunFor(300 * kMillisecond);
+
+  WorkloadDriver::Options driver_options;
+  driver_options.clients = clients;
+  driver_options.warmup = std::max<SimDuration>(400 * kMillisecond, 8 * rtt);
+  driver_options.duration = std::max<SimDuration>(duration, 50 * rtt);
+  WorkloadDriver driver(&cluster, driver_options);
+  ReadPathResult result;
+  result.run.stats = driver.Run(
+      [&tpcc, delivery](CoordinatorNode* cn, Rng* rng) -> sim::Task<TxnResult> {
+        if (delivery) return tpcc.Delivery(cn, rng);
+        return tpcc.StockLevel(cn, rng);
+      });
+  result.run.tpm = result.run.stats.PerMinute();
+  result.run.tps = result.run.stats.Throughput();
+  result.run.p50_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(50)) /
+      kMillisecond;
+  result.run.p99_ms =
+      static_cast<double>(result.run.stats.latency.Percentile(99)) /
+      kMillisecond;
+  Histogram batch_sizes;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    for (int64_t v :
+         cluster.cn(i).metrics().Hist("cn.scan_batch_size").values()) {
+      batch_sizes.Record(v);
+    }
+  }
+  result.reads_per_batch = batch_sizes.mean();
+  if (getenv("GDB_BENCH_RPC_STATS") != nullptr) {
+    printf("%s%s", FormatRpcStats(cluster).c_str(),
+           FormatReadPathStats(cluster).c_str());
+  }
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -147,6 +202,30 @@ int main() {
                  multiget ? "on" : "off", r.run.tps, r.run.p50_ms,
                  r.run.p99_ms, r.reads_per_batch);
           fflush(stdout);
+        }
+      }
+    }
+
+    PrintHeader("Ablation: batched scan path (TPC-C Delivery / Stock-level, "
+                "3-region uniform RTT)",
+                "profile     ror   rtt_ms  scanbatch      txn/s   p50_ms  "
+                " p99_ms  specs/batch");
+    const SimDuration scan_rtts[] = {10 * kMillisecond, 50 * kMillisecond,
+                                     100 * kMillisecond};
+    for (bool delivery : {true, false}) {
+      for (bool ror : {false, true}) {
+        for (SimDuration rtt : scan_rtts) {
+          for (bool scan_batch : {false, true}) {
+            ReadPathResult r =
+                RunScanProfile(delivery, scan_batch, ror, rtt,
+                               MakeTpccConfig(), clients, duration);
+            printf("%-10s %-5s %6lld  %-8s %11.0f %8.1f %8.1f %12.1f\n",
+                   delivery ? "delivery" : "stocklevel", ror ? "on" : "off",
+                   static_cast<long long>(rtt / kMillisecond),
+                   scan_batch ? "on" : "off", r.run.tps, r.run.p50_ms,
+                   r.run.p99_ms, r.reads_per_batch);
+            fflush(stdout);
+          }
         }
       }
     }
@@ -186,6 +265,53 @@ int main() {
   printf("throughput ratio (on/off): %.3f   reads/batch: %.1f\n", tps_ratio,
          ro_on.reads_per_batch);
 
+  // Acceptance pairs 3 and 4: the scan-heavy TPC-C profiles at 50 ms RTT,
+  // batched scan path off vs on. Delivery's 10 serial per-district
+  // oldest-new-order scans (plus per-order order-line scans) collapse into
+  // per-phase fan-outs; Stock-level's district-read -> order-line-scan ->
+  // stock-read chain collapses into one pushed-down scan+join.
+  PrintHeader("Scan batching latency gate (Delivery, remote warehouses, "
+              "50 ms RTT)",
+              "scanbatch   Delivery/min   p50_ms   p99_ms");
+  // Home warehouses behind a WAN link and primary routing: the gate
+  // measures serial scan round trips collapsing into fan-outs, not local
+  // CPU cost.
+  TpccConfig scan_config = MakeTpccConfig();
+  scan_config.remote_warehouse_fraction = 1.0;
+  ReadPathResult dl_off = RunScanProfile(/*delivery=*/true, false, false,
+                                         50 * kMillisecond, scan_config,
+                                         clients, duration);
+  printf("%-8s %14.0f %8.1f %8.1f\n", "off", dl_off.run.tpm, dl_off.run.p50_ms,
+         dl_off.run.p99_ms);
+  fflush(stdout);
+  ReadPathResult dl_on = RunScanProfile(/*delivery=*/true, true, false,
+                                        50 * kMillisecond, scan_config,
+                                        clients, duration);
+  printf("%-8s %14.0f %8.1f %8.1f\n", "on", dl_on.run.tpm, dl_on.run.p50_ms,
+         dl_on.run.p99_ms);
+  const double delivery_ratio =
+      dl_on.run.p50_ms > 0 ? dl_off.run.p50_ms / dl_on.run.p50_ms : 0;
+  printf("p50 reduction (off/on): %.2fx\n", delivery_ratio);
+
+  PrintHeader("Scan batching latency gate (Stock-level, remote warehouses, "
+              "50 ms RTT)",
+              "scanbatch   StockLevel/min   p50_ms   p99_ms");
+  ReadPathResult sl_off = RunScanProfile(/*delivery=*/false, false, false,
+                                         50 * kMillisecond, scan_config,
+                                         clients, duration);
+  printf("%-8s %16.0f %8.1f %8.1f\n", "off", sl_off.run.tpm, sl_off.run.p50_ms,
+         sl_off.run.p99_ms);
+  fflush(stdout);
+  ReadPathResult sl_on = RunScanProfile(/*delivery=*/false, true, false,
+                                        50 * kMillisecond, scan_config,
+                                        clients, duration);
+  printf("%-8s %16.0f %8.1f %8.1f\n", "on", sl_on.run.tpm, sl_on.run.p50_ms,
+         sl_on.run.p99_ms);
+  const double stocklevel_ratio =
+      sl_on.run.p50_ms > 0 ? sl_off.run.p50_ms / sl_on.run.p50_ms : 0;
+  printf("p50 reduction (off/on): %.2fx   specs/batch: %.1f\n",
+         stocklevel_ratio, sl_on.reads_per_batch);
+
   if (const char* json_path = getenv("GDB_READPATH_JSON")) {
     FILE* f = fopen(json_path, "w");
     GDB_CHECK(f != nullptr) << "cannot write " << json_path;
@@ -200,12 +326,28 @@ int main() {
             "  \"readonly_multiget_off\": {\"tps\": %.1f, \"p50_ms\": %.2f},\n"
             "  \"readonly_multiget_on\": {\"tps\": %.1f, \"p50_ms\": %.2f},\n"
             "  \"readonly_tps_ratio\": %.4f,\n"
-            "  \"reads_per_batch\": %.2f\n"
+            "  \"reads_per_batch\": %.2f,\n"
+            "  \"delivery_scan_off\": {\"per_min\": %.1f, \"p50_ms\": %.2f, "
+            "\"p99_ms\": %.2f},\n"
+            "  \"delivery_scan_on\": {\"per_min\": %.1f, \"p50_ms\": %.2f, "
+            "\"p99_ms\": %.2f},\n"
+            "  \"delivery_scan_p50_ratio\": %.3f,\n"
+            "  \"stocklevel_scan_off\": {\"per_min\": %.1f, \"p50_ms\": %.2f, "
+            "\"p99_ms\": %.2f},\n"
+            "  \"stocklevel_scan_on\": {\"per_min\": %.1f, \"p50_ms\": %.2f, "
+            "\"p99_ms\": %.2f},\n"
+            "  \"stocklevel_scan_p50_ratio\": %.3f,\n"
+            "  \"specs_per_scan_batch\": %.2f\n"
             "}\n",
             no_off.run.tpm, no_off.run.p50_ms, no_off.run.p99_ms,
             no_on.run.tpm, no_on.run.p50_ms, no_on.run.p99_ms, p50_ratio,
             ro_off.run.tps, ro_off.run.p50_ms, ro_on.run.tps, ro_on.run.p50_ms,
-            tps_ratio, ro_on.reads_per_batch);
+            tps_ratio, ro_on.reads_per_batch, dl_off.run.tpm,
+            dl_off.run.p50_ms, dl_off.run.p99_ms, dl_on.run.tpm,
+            dl_on.run.p50_ms, dl_on.run.p99_ms, delivery_ratio,
+            sl_off.run.tpm, sl_off.run.p50_ms, sl_off.run.p99_ms,
+            sl_on.run.tpm, sl_on.run.p50_ms, sl_on.run.p99_ms,
+            stocklevel_ratio, sl_on.reads_per_batch);
     fclose(f);
   }
   return 0;

@@ -218,16 +218,25 @@ inline std::string FormatCommitPhaseStats(Cluster& cluster) {
   return out;
 }
 
-/// Aggregates the read-path batching stats from every CN (DESIGN.md §11
-/// observability): the MultiGet batch-size and per-target fan-out
-/// histograms, plus a counter line with the flush-barrier count and the
-/// replica-vs-primary split of the batch RPCs.
+/// Aggregates the read-path batching stats from every CN (DESIGN.md §11 and
+/// §14 observability): the MultiGet batch-size and per-target fan-out
+/// histograms, the ScanBatch size / fan-out / merged-row histograms, a
+/// counter line with the flush-barrier count and the replica-vs-primary
+/// split of the batch RPCs, and a scan line with the chunk count, the
+/// server-side rows filtered out by predicate pushdown (summed across
+/// primaries and replicas), and the pushdown-limit hit rate (ranges whose
+/// scan stopped early at the pushed-down limit / ranges served).
 inline std::string FormatReadPathStats(Cluster& cluster) {
-  const char* cn_hists[] = {"cn.read_batch_size", "cn.multiget_fanout"};
+  const char* cn_hists[] = {"cn.read_batch_size", "cn.multiget_fanout",
+                            "cn.scan_batch_size", "cn.scan_fanout",
+                            "cn.scan_merge_rows"};
   const char* cn_counters[] = {"cn.multigets", "cn.multiget_flush_barriers",
                                "cn.read_batch_replica",
                                "cn.read_batch_primary",
-                               "cn.replica_failovers"};
+                               "cn.replica_failovers",
+                               "cn.scan_batches",
+                               "cn.scan_flush_barriers",
+                               "cn.scan_chunks"};
   std::map<std::string, Histogram> merged;
   std::map<std::string, int64_t> counters;
   for (size_t i = 0; i < cluster.num_cns(); ++i) {
@@ -261,6 +270,35 @@ inline std::string FormatReadPathStats(Cluster& cluster) {
            static_cast<long long>(counters["cn.read_batch_replica"]),
            static_cast<long long>(counters["cn.read_batch_primary"]),
            static_cast<long long>(counters["cn.replica_failovers"]));
+  out += line;
+  int64_t scan_ranges = 0, scan_rows_filtered = 0, scan_limit_hits = 0;
+  int64_t scan_join_lookups = 0;
+  for (ShardId shard = 0; shard < cluster.num_shards(); ++shard) {
+    Metrics& dn = cluster.data_node(shard).metrics();
+    scan_ranges += dn.Get("dn.scan_ranges");
+    scan_rows_filtered += dn.Get("dn.scan_rows_filtered");
+    scan_limit_hits += dn.Get("dn.scan_limit_hits");
+    scan_join_lookups += dn.Get("dn.scan_join_lookups");
+    for (ReplicaNode* rep : cluster.replicas_of(shard)) {
+      scan_ranges += rep->metrics().Get("ror.scan_ranges");
+      scan_rows_filtered += rep->metrics().Get("ror.scan_rows_filtered");
+      scan_limit_hits += rep->metrics().Get("ror.scan_limit_hits");
+      scan_join_lookups += rep->metrics().Get("ror.scan_join_lookups");
+    }
+  }
+  const double limit_hit_rate =
+      scan_ranges > 0 ? static_cast<double>(scan_limit_hits) /
+                            static_cast<double>(scan_ranges)
+                      : 0.0;
+  snprintf(line, sizeof(line),
+           "    scan_batches=%lld scan_chunks=%lld scan_flush_barriers=%lld "
+           "scan_rows_filtered=%lld scan_join_lookups=%lld "
+           "limit_hit_rate=%.2f\n",
+           static_cast<long long>(counters["cn.scan_batches"]),
+           static_cast<long long>(counters["cn.scan_chunks"]),
+           static_cast<long long>(counters["cn.scan_flush_barriers"]),
+           static_cast<long long>(scan_rows_filtered),
+           static_cast<long long>(scan_join_lookups), limit_hit_rate);
   out += line;
   return out;
 }

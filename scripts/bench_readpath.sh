@@ -3,9 +3,14 @@
 # on vs off at 50 ms RTT (GTM mode, remote home warehouses, write batching
 # on in both), plus the fig6c read-only TPC-C configuration (ROR on) as a
 # throughput non-regression pair.
+# A third section gates the batched scan path (DESIGN.md §14): TPC-C
+# Delivery and Stock-level driven alone with remote home warehouses at
+# 50 ms RTT, scan batching off vs on.
 # Emits BENCH_readpath.json (override with OUT=...) and fails unless
 #   - batching cuts NewOrder p50 latency by >= 2x (p50_off / p50_on), and
-#   - read-only throughput with batching on stays >= 0.9x the serial path.
+#   - read-only throughput with batching on stays >= 0.9x the serial path,
+#   - scan batching cuts Delivery p50 by >= 2x, and
+#   - scan batching cuts Stock-level p50 by >= 2x.
 # Usage: scripts/bench_readpath.sh [build-dir]   (default: build)
 set -euo pipefail
 
@@ -46,3 +51,20 @@ awk -v r="${TPS_RATIO}" 'BEGIN { exit !(r >= 0.9) }' || {
   exit 1
 }
 echo "OK: read-only throughput ratio ${TPS_RATIO} (>= 0.9)"
+
+DELIVERY_RATIO="$(json_field delivery_scan_p50_ratio)"
+STOCKLEVEL_RATIO="$(json_field stocklevel_scan_p50_ratio)"
+
+awk -v r="${DELIVERY_RATIO}" 'BEGIN { exit !(r >= 2.0) }' || {
+  echo "FAIL: Delivery p50 reduction ${DELIVERY_RATIO}x < 2x with scan" \
+       "batching" >&2
+  exit 1
+}
+echo "OK: Delivery p50 reduction ${DELIVERY_RATIO}x (>= 2x)"
+
+awk -v r="${STOCKLEVEL_RATIO}" 'BEGIN { exit !(r >= 2.0) }' || {
+  echo "FAIL: Stock-level p50 reduction ${STOCKLEVEL_RATIO}x < 2x with scan" \
+       "batching" >&2
+  exit 1
+}
+echo "OK: Stock-level p50 reduction ${STOCKLEVEL_RATIO}x (>= 2x)"

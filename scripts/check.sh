@@ -29,7 +29,9 @@ echo "== txn path bench smoke =="
 scripts/bench_txnpath.sh "${BUILD_DIR}"
 
 # Read-path smoke: MultiGet must keep its >= 2x NewOrder p50 cut at 50 ms
-# RTT and must not cost read-only TPC-C throughput with ROR on.
+# RTT and must not cost read-only TPC-C throughput with ROR on, and the
+# batched scan path must keep its >= 2x Delivery and Stock-level p50 cuts
+# at 50 ms RTT over the serial-scan baseline.
 echo "== read path bench smoke =="
 scripts/bench_readpath.sh "${BUILD_DIR}"
 
@@ -66,3 +68,11 @@ ctest --test-dir "${SAN_DIR}" --output-on-failure \
 echo "== staged-crash atomicity (2PC outcome recovery) =="
 ctest --test-dir "${SAN_DIR}" --output-on-failure \
   -R 'StagedCrashAtomicityTest|InDoubtResolutionTest|MessageChaosTest'
+
+# Batched scan path: pushdown/merge/chunking/failover correctness, the
+# three-seed batched-vs-serial equivalence oracle, and the ROR snapshot
+# install races (a parked point read and a parked scan chunk must not
+# dangle across a store rebuild), under sanitizers.
+echo "== scan path smoke (batched scans + equivalence + ROR races) =="
+ctest --test-dir "${SAN_DIR}" --output-on-failure \
+  -R 'ScanBatchTest|ScanEquivalenceTest|RorSnapshotRaceTest'

@@ -1,6 +1,8 @@
 #include "src/cluster/coordinator_node.h"
 
 #include <algorithm>
+#include <map>
+#include <set>
 #include <tuple>
 
 #include "src/common/logging.h"
@@ -952,6 +954,368 @@ sim::Task<StatusOr<std::vector<Row>>> CoordinatorNode::ScanRange(
     rows.push_back(std::move(row));
   }
   co_return rows;
+}
+
+sim::Task<StatusOr<std::vector<ScanResult>>> CoordinatorNode::ScanBatch(
+    TxnHandle* txn, std::vector<ScanSpec> specs) {
+  if (specs.empty()) co_return std::vector<ScanResult>{};
+  if (!options_.enable_scan_batching) {
+    co_return co_await ScanBatchSerial(txn, std::move(specs));
+  }
+  co_await cpu_.Consume(options_.statement_cost *
+                        static_cast<SimDuration>(specs.size()));
+  metrics_.Add("cn.scan_batches");
+  metrics_.Hist("cn.scan_batch_size")
+      .Record(static_cast<int64_t>(specs.size()));
+
+  // Resolve every spec's table, shard set, and ROR DDL visibility up front;
+  // the read-your-writes check runs across ALL ranges (and join tables, for
+  // which buffered writes anywhere in the table count) so the whole batch
+  // needs at most one flush barrier.
+  struct SpecPlan {
+    TableId table = kInvalidTableId;
+    TableId join_table = kInvalidTableId;
+    std::vector<ShardId> shards;
+    bool ddl_visible = true;
+  };
+  std::vector<SpecPlan> plans(specs.size());
+  const uint32_t total_shards =
+      static_cast<uint32_t>(shard_primaries_.size());
+  bool needs_flush = false;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScanSpec& spec = specs[i];
+    const TableSchema* schema = catalog_.FindTable(spec.table);
+    if (schema == nullptr) co_return Status::NotFound("table " + spec.table);
+    SpecPlan& plan = plans[i];
+    plan.table = schema->id;
+    plan.ddl_visible = RorDdlVisible(*schema);
+    if (!spec.join_table.empty()) {
+      const TableSchema* join_schema = catalog_.FindTable(spec.join_table);
+      if (join_schema == nullptr) {
+        co_return Status::NotFound("table " + spec.join_table);
+      }
+      plan.join_table = join_schema->id;
+      plan.ddl_visible = plan.ddl_visible && RorDdlVisible(*join_schema);
+      // Join keys derive from scanned rows, so the overlap with this txn's
+      // buffered writes can't be computed range-wise: check the whole table.
+      needs_flush =
+          needs_flush || NeedsFlushForScan(*txn, join_schema->id, "", "");
+    }
+    if (schema->distribution == DistributionKind::kReplicated) {
+      auto shard = ShardOf(*schema, {});
+      if (!shard.ok()) co_return shard.status();
+      plan.shards.push_back(*shard);
+    } else if (spec.route.has_value()) {
+      plan.shards.push_back(RouteToShard(*schema, *spec.route, total_shards));
+    } else {
+      for (ShardId s = 0; s < total_shards; ++s) plan.shards.push_back(s);
+    }
+    needs_flush = needs_flush ||
+                  NeedsFlushForScan(*txn, plan.table, spec.start, spec.end);
+  }
+  if (needs_flush) {
+    metrics_.Add("cn.scan_flush_barriers");
+    GDB_CO_RETURN_IF_ERROR(co_await FlushWrites(txn));
+  }
+
+  // Group ranges by shard: each group becomes ONE streaming RPC carrying
+  // every range that shard serves, in spec order.
+  std::vector<ScanGroup> groups;
+  std::map<ShardId, size_t> group_of;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScanSpec& spec = specs[i];
+    const SpecPlan& plan = plans[i];
+    ScanBatchRequest::Range range;
+    range.table = plan.table;
+    range.start = spec.start;
+    range.end = spec.end;
+    range.limit = spec.limit;
+    range.reverse = spec.reverse;
+    range.filter_col = spec.filter_col;
+    range.filter_eq = spec.filter_eq;
+    if (plan.join_table != kInvalidTableId) {
+      range.join_table = plan.join_table;
+      range.join_key_prefix = spec.join_key_prefix;
+      range.join_key_cols = spec.join_key_cols;
+      range.join_prefix = spec.join_prefix;
+      range.join_limit = spec.join_limit;
+    }
+    for (ShardId s : plan.shards) {
+      auto [it, inserted] = group_of.try_emplace(s, groups.size());
+      if (inserted) {
+        groups.emplace_back();
+        groups.back().shard = s;
+      }
+      ScanGroup& group = groups[it->second];
+      group.base.ranges.push_back(range);
+      group.spec_of.push_back(i);
+      group.ddl_visible = group.ddl_visible && plan.ddl_visible;
+    }
+  }
+
+  for (ScanGroup& group : groups) {
+    group.target = PickReadTarget(*txn, group.ddl_visible, group.shard);
+    group.is_replica = group.target != shard_primaries_[group.shard];
+    group.base.snapshot = txn->snapshot;
+    group.base.txn = txn->use_ror ? kInvalidTxnId : txn->id;
+    group.base.max_bytes = options_.scan_chunk_bytes;
+    metrics_.Add(group.is_replica ? "cn.scan_batch_replica"
+                                  : "cn.scan_batch_primary");
+  }
+  metrics_.Hist("cn.scan_fanout").Record(static_cast<int64_t>(groups.size()));
+
+  sim::WaitGroup wg(sim_);
+  for (ScanGroup& group : groups) {
+    wg.Add(1);
+    sim_->Spawn(CallScanGroup(&group, &wg));
+  }
+  co_await wg.Wait();
+  for (const ScanGroup& group : groups) {
+    if (!group.error.ok()) co_return group.error;
+  }
+
+  // Per spec: ordered k-way merge of the shard cursors. Each cursor is
+  // key-sorted the way the server emitted it (ascending; descending for
+  // reverse ranges), so a streaming merge yields the global order without a
+  // full re-sort, capped at the spec's limit.
+  std::vector<ScanResult> out(specs.size());
+  int64_t total_merged = 0;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    std::vector<const std::vector<std::pair<RowKey, std::string>>*> parts;
+    std::vector<std::pair<RowKey, std::string>> joined;
+    for (const ScanGroup& group : groups) {
+      for (size_t r = 0; r < group.spec_of.size(); ++r) {
+        if (group.spec_of[r] != i) continue;
+        if (!group.rows[r].empty()) parts.push_back(&group.rows[r]);
+        for (const auto& row : group.joined[r]) joined.push_back(row);
+      }
+    }
+    const bool reverse = specs[i].reverse;
+    std::vector<size_t> cursor(parts.size(), 0);
+    std::vector<const std::pair<RowKey, std::string>*> merged;
+    while (merged.size() < specs[i].limit) {
+      int best = -1;
+      for (size_t p = 0; p < parts.size(); ++p) {
+        if (cursor[p] >= parts[p]->size()) continue;
+        if (best < 0) {
+          best = static_cast<int>(p);
+          continue;
+        }
+        const RowKey& a = (*parts[p])[cursor[p]].first;
+        const RowKey& b = (*parts[best])[cursor[best]].first;
+        if (reverse ? (a > b) : (a < b)) best = static_cast<int>(p);
+      }
+      if (best < 0) break;
+      merged.push_back(&(*parts[best])[cursor[best]++]);
+    }
+    total_merged += static_cast<int64_t>(merged.size());
+    out[i].rows.reserve(merged.size());
+    for (const auto* row : merged) {
+      Row decoded;
+      GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(row->second), &decoded));
+      out[i].rows.push_back(std::move(decoded));
+    }
+    // Joined rows are deduped by key across shards AND chunks — the
+    // executor's dedup set is per-chunk, so a join key revisited after a
+    // continuation comes back twice.
+    std::sort(joined.begin(), joined.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    joined.erase(std::unique(joined.begin(), joined.end(),
+                             [](const auto& a, const auto& b) {
+                               return a.first == b.first;
+                             }),
+                 joined.end());
+    // A shard joins every row it returns, but the global limit can drop
+    // some of those rows in the merge — their lookups must not leak into
+    // the result (the serial baseline only joins surviving rows). Keep
+    // exactly the entries whose key derives from a merged row: an exact
+    // match for point joins, a prefix match for prefix joins (join keys
+    // encode the same column sequence, so they are mutually prefix-free
+    // and the sorted predecessor is the only candidate prefix).
+    if (!specs[i].join_table.empty()) {
+      std::set<RowKey> keep;
+      for (const Row& row : out[i].rows) {
+        RowKey key = specs[i].join_key_prefix;
+        bool key_ok = true;
+        for (uint32_t col : specs[i].join_key_cols) {
+          if (col >= row.size()) {
+            key_ok = false;
+            break;
+          }
+          EncodeKeyPart(row[col], &key);
+        }
+        if (key_ok) keep.insert(std::move(key));
+      }
+      auto survives = [&](const RowKey& k) {
+        if (!specs[i].join_prefix) return keep.count(k) > 0;
+        auto it = keep.upper_bound(k);
+        if (it == keep.begin()) return false;
+        --it;
+        return k.compare(0, it->size(), *it) == 0;
+      };
+      joined.erase(
+          std::remove_if(joined.begin(), joined.end(),
+                         [&](const auto& p) { return !survives(p.first); }),
+          joined.end());
+    }
+    out[i].joined.reserve(joined.size());
+    for (const auto& [key, value] : joined) {
+      Row decoded;
+      GDB_CO_RETURN_IF_ERROR(DecodeRow(Slice(value), &decoded));
+      out[i].joined.push_back(std::move(decoded));
+    }
+  }
+  metrics_.Hist("cn.scan_merge_rows").Record(total_merged);
+  co_return out;
+}
+
+sim::Task<void> CoordinatorNode::CallScanGroup(ScanGroup* group,
+                                               sim::WaitGroup* wg) {
+  const size_t num_ranges = group->base.ranges.size();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const bool on_replica = group->is_replica && attempt == 0;
+    const NodeId target =
+        on_replica ? group->target : shard_primaries_[group->shard];
+    group->rows.assign(num_ranges, {});
+    group->joined.assign(num_ranges, {});
+    group->error = Status::OK();
+    group->chunks = 0;
+    ScanBatchRequest request = group->base;
+    bool failover = false;
+    while (true) {
+      // Two awaits, not one ternary: GCC 12 double-destroys the Task
+      // temporary a ternary operand materializes inside a co_await.
+      StatusOr<ScanBatchReply> reply{Status::Unavailable("not attempted")};
+      if (on_replica) {
+        reply = co_await client_.Call(target, kRorScanBatch, request);
+      } else {
+        reply = co_await client_.Call(target, kDnScanBatch, request);
+      }
+      if (!reply.ok()) {
+        if (on_replica && rpc::IsTransportError(reply.status())) {
+          // Restart the WHOLE group on the primary: splicing chunks from
+          // two nodes would interleave rows from different store states.
+          selector_.MarkFailed(target);
+          metrics_.Add("cn.replica_failovers");
+          failover = true;
+          break;
+        }
+        group->error = reply.status();
+        break;
+      }
+      ++group->chunks;
+      metrics_.Add("cn.scan_chunks");
+      if (reply->results.size() != num_ranges) {
+        group->error =
+            Status::Internal("scan batch reply/request range mismatch");
+        break;
+      }
+      for (size_t r = request.resume_range; r < num_ranges; ++r) {
+        ScanBatchReply::RangeResult& result = reply->results[r];
+        for (auto& row : result.rows) {
+          group->rows[r].push_back(std::move(row));
+        }
+        for (auto& row : result.joined) {
+          group->joined[r].push_back(std::move(row));
+        }
+      }
+      if (!reply->truncated) break;
+      const uint32_t rr = reply->resume_range;
+      if (rr >= num_ranges || rr < request.resume_range) {
+        group->error = Status::Internal("scan batch resume cursor invalid");
+        break;
+      }
+      // Client-driven continuation: the server kept no cursor, so the next
+      // chunk re-describes the remaining work — the resumed range restarts
+      // at the resume key with its limit shrunk by the rows already in
+      // hand. An empty resume key means the range never started.
+      request.resume_range = rr;
+      if (!reply->resume_key.empty()) {
+        request.ranges[rr].start = reply->resume_key;
+        const uint32_t orig = group->base.ranges[rr].limit;
+        const uint32_t got =
+            static_cast<uint32_t>(std::min<size_t>(group->rows[rr].size(),
+                                                   orig));
+        request.ranges[rr].limit = orig - got;
+      }
+    }
+    if (!failover) break;
+  }
+  wg->Done();
+}
+
+sim::Task<StatusOr<std::vector<ScanResult>>> CoordinatorNode::ScanBatchSerial(
+    TxnHandle* txn, std::vector<ScanSpec> specs) {
+  std::vector<ScanResult> out(specs.size());
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ScanSpec& spec = specs[i];
+    const Value* route = spec.route.has_value() ? &*spec.route : nullptr;
+    // Filter and reverse are applied client-side here, so the limit cannot
+    // ride down with the scan — it would keep the wrong rows.
+    const bool postprocess = spec.filter_col >= 0 || spec.reverse;
+    const uint32_t fetch_limit = postprocess ? 0xffffffffu : spec.limit;
+    auto scanned = co_await ScanRange(txn, spec.table, spec.start, spec.end,
+                                      fetch_limit, route);
+    if (!scanned.ok()) co_return scanned.status();
+    std::vector<Row> rows = std::move(*scanned);
+    if (spec.filter_col >= 0) {
+      rows.erase(std::remove_if(
+                     rows.begin(), rows.end(),
+                     [&spec](const Row& row) {
+                       if (spec.filter_col >=
+                           static_cast<int32_t>(row.size())) {
+                         return true;
+                       }
+                       const int64_t* v =
+                           std::get_if<int64_t>(&row[spec.filter_col]);
+                       return v == nullptr || *v != spec.filter_eq;
+                     }),
+                 rows.end());
+    }
+    if (spec.reverse) {
+      if (rows.size() > spec.limit) {
+        rows.erase(rows.begin(), rows.end() - spec.limit);
+      }
+      std::reverse(rows.begin(), rows.end());
+    } else if (rows.size() > spec.limit) {
+      rows.resize(spec.limit);
+    }
+    if (!spec.join_table.empty()) {
+      // One serial lookup per distinct join key — the transaction shape the
+      // batched path collapses into its single round trip. Lookup keys are
+      // prefix-free, so sorting lookups by key yields the same global
+      // joined-row order the batched merge produces.
+      std::set<RowKey> seen;
+      std::vector<std::pair<RowKey, std::vector<Row>>> lookups;
+      for (const Row& row : rows) {
+        RowKey key = spec.join_key_prefix;
+        bool valid = true;
+        for (uint32_t col : spec.join_key_cols) {
+          if (col >= row.size()) {
+            valid = false;
+            break;
+          }
+          EncodeKeyPart(row[col], &key);
+        }
+        if (!valid || !seen.insert(key).second) continue;
+        const uint32_t join_limit = spec.join_prefix ? spec.join_limit : 1;
+        auto looked = co_await ScanRange(txn, spec.join_table, key,
+                                         PrefixSuccessor(key), join_limit,
+                                         route);
+        if (!looked.ok()) co_return looked.status();
+        if (!looked->empty()) {
+          lookups.emplace_back(std::move(key), std::move(*looked));
+        }
+      }
+      std::sort(lookups.begin(), lookups.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (auto& [key, found] : lookups) {
+        for (Row& row : found) out[i].joined.push_back(std::move(row));
+      }
+    }
+    out[i].rows = std::move(rows);
+  }
+  co_return out;
 }
 
 sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {

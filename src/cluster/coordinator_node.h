@@ -62,6 +62,18 @@ struct CoordinatorOptions {
   /// false, MultiGet degrades to the equivalent sequence of serial
   /// Get/GetForUpdate calls (the ablation baseline).
   bool enable_read_batching = true;
+  /// When true (default), ScanBatch groups its ranges by shard and fans
+  /// them out as kDnScanBatch/kRorScanBatch streaming RPCs with server-side
+  /// filter/limit pushdown, byte-capped chunks, and an ordered cross-shard
+  /// merge (DESIGN.md §14). When false, ScanBatch degrades to the
+  /// equivalent sequence of serial ScanRange calls with client-side
+  /// filtering (the ablation baseline); workloads also keep their legacy
+  /// serial-scan transaction shapes in this mode.
+  bool enable_scan_batching = true;
+  /// Per-chunk reply byte budget requested from scan servers (0 = accept
+  /// the server default). Tests shrink it to force truncation +
+  /// continuation.
+  uint64_t scan_chunk_bytes = 0;
   /// Phase-2 re-drive (DESIGN.md §13): when a commit/abort broadcast dies
   /// with a primary (transport error), the CN re-sends the recorded decision
   /// against the shard's *current* primary — re-routed after failover —
@@ -118,6 +130,40 @@ struct MultiGetKey {
   std::string table;
   Row key_values;
   bool for_update = false;
+};
+
+/// One range of a batched scan (DESIGN.md §14): encoded-key bounds
+/// [start, end) over `table` (empty end = unbounded), with optional
+/// pushed-down int64 equality filtering, a post-filter limit, reverse
+/// order (last-N-by-key, e.g. an index-backed "latest order" lookup), and
+/// a co-located server-side lookup join.
+struct ScanSpec {
+  std::string table;
+  RowKey start, end;
+  uint32_t limit = 0xffffffff;
+  bool reverse = false;
+  int32_t filter_col = -1;  // -1 = no filter
+  int64_t filter_eq = 0;
+  /// Distribution-column value: when set, the range touches only that
+  /// shard (prefix scans); otherwise every shard is scanned and merged.
+  std::optional<Value> route;
+  /// Lookup join: for each emitted row, the server reads `join_table` at
+  /// join_key_prefix + encoded values of join_key_cols — a point read, or
+  /// a prefix scan of up to join_limit rows when join_prefix is set. Only
+  /// valid for co-located joins (the joined rows live on the base range's
+  /// shard).
+  std::string join_table;
+  RowKey join_key_prefix;
+  std::vector<uint32_t> join_key_cols;
+  bool join_prefix = false;
+  uint32_t join_limit = 0xffffffff;
+};
+
+/// One spec's outcome, globally key-ordered across shards (descending for
+/// reverse specs). `joined` is deduped by key and ascending-key-ordered.
+struct ScanResult {
+  std::vector<Row> rows;
+  std::vector<Row> joined;
 };
 
 /// An open transaction as tracked by its coordinating CN.
@@ -222,6 +268,18 @@ class CoordinatorNode {
   sim::Task<StatusOr<std::vector<Row>>> ScanRange(
       TxnHandle* txn, const std::string& table, const RowKey& start,
       const RowKey& end, uint32_t limit, const Value* route_value = nullptr);
+  /// Batched ranged reads (DESIGN.md §14): resolves every spec's shard set,
+  /// runs the read-your-writes check across all ranges (and join tables)
+  /// with at most one flush barrier, groups ranges by shard, routes each
+  /// group to a ROR replica or the primary, streams byte-capped chunks with
+  /// client-driven continuation, and k-way-merges each spec's per-shard
+  /// cursors into one globally key-ordered result — one WAN round trip (per
+  /// chunk) for the whole batch. Results align with `specs` and are
+  /// row-for-row identical to the serial ScanRange baseline under the same
+  /// snapshot. A group whose replica fails mid-stream restarts on its shard
+  /// primary.
+  sim::Task<StatusOr<std::vector<ScanResult>>> ScanBatch(
+      TxnHandle* txn, std::vector<ScanSpec> specs);
 
   /// Commits (one-shard fast path or 2PC). On success the handle is done.
   sim::Task<Status> Commit(TxnHandle* txn);
@@ -247,6 +305,7 @@ class CoordinatorNode {
   /// latency histograms and the call trace live here).
   rpc::RpcClient& rpc_client() { return client_; }
   CoordinatorOptions* mutable_options() { return &options_; }
+  const CoordinatorOptions& options() const { return options_; }
 
  private:
   /// One request fanned out to every node; first error wins. The CN client
@@ -330,6 +389,34 @@ class CoordinatorNode {
   /// serial Get/GetForUpdate calls, results aligned with `keys`.
   sim::Task<StatusOr<std::vector<std::optional<Row>>>> MultiGetSerial(
       TxnHandle* txn, std::vector<MultiGetKey> keys);
+  /// One shard's slice of a ScanBatch fan-out: the base request (kept
+  /// pristine for failover restarts), the spec index each range feeds, and
+  /// per-range raw row accumulators filled across chunks by CallScanGroup.
+  struct ScanGroup {
+    ShardId shard = kInvalidShardId;
+    NodeId target = kInvalidNodeId;
+    bool is_replica = false;
+    bool ddl_visible = true;
+    ScanBatchRequest base;
+    std::vector<size_t> spec_of;
+    std::vector<std::vector<std::pair<RowKey, std::string>>> rows;
+    std::vector<std::vector<std::pair<RowKey, std::string>>> joined;
+    Status error = Status::OK();
+    int chunks = 0;
+  };
+  /// Streams one group's chunks: each continuation rewrites the resumed
+  /// range's start key and remaining limit and re-sends (the server keeps
+  /// no cursor). A transport error from a replica restarts the WHOLE group
+  /// from the base request on the shard primary — partial accumulation is
+  /// discarded, so a mid-stream failover can't splice rows from two nodes'
+  /// snapshots of the store.
+  sim::Task<void> CallScanGroup(ScanGroup* group, sim::WaitGroup* wg);
+  /// Degraded ScanBatch (scan batching disabled): the equivalent sequence
+  /// of serial ScanRange calls with client-side filter/reverse/limit and
+  /// per-row join lookups, results aligned with `specs`. Also the
+  /// byte-for-byte equivalence oracle for the batched path.
+  sim::Task<StatusOr<std::vector<ScanResult>>> ScanBatchSerial(
+      TxnHandle* txn, std::vector<ScanSpec> specs);
   /// DDL visibility conditions for ROR (Section IV-A).
   bool RorDdlVisible(const TableSchema& schema) const;
 

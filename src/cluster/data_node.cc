@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/cluster/scan_batch_exec.h"
 #include "src/common/logging.h"
 #include "src/storage/snapshot.h"
 
@@ -283,6 +284,9 @@ void DataNode::BindService() {
   server_.Handle(kDnScan, [this](NodeId from, ScanRequest request) {
     return HandleScan(from, std::move(request));
   });
+  server_.Handle(kDnScanBatch, [this](NodeId from, ScanBatchRequest request) {
+    return HandleScanBatch(from, std::move(request));
+  });
   server_.Handle(kDnWrite, [this](NodeId from, WriteRequest request) {
     return HandleWrite(from, std::move(request));
   });
@@ -470,6 +474,27 @@ sim::Task<StatusOr<ScanReply>> DataNode::HandleScan(NodeId from,
     reply.rows.emplace_back(std::move(row.key), std::move(row.value));
   }
   co_return reply;
+}
+
+sim::Task<StatusOr<ScanBatchReply>> DataNode::HandleScanBatch(
+    NodeId from, ScanBatchRequest request) {
+  metrics_.Add("dn.scan_batches");
+  metrics_.Hist("dn.scan_batch_ranges")
+      .Record(static_cast<int64_t>(request.ranges.size()));
+  // On the primary the requesting transaction reads its own flushed
+  // provisional writes; other transactions' provisional versions are simply
+  // invisible, so no pending-wait predicate is needed.
+  ScanBatchExecResult exec = ExecuteScanBatch(
+      store_, request, request.txn, options_.scan_chunk_bytes,
+      options_.read_cost, options_.scan_row_cost, nullptr);
+  co_await cpu_.Consume(exec.cpu_cost);
+  metrics_.Add("dn.scan_ranges", exec.ranges_served);
+  metrics_.Add("dn.scan_rows_returned", exec.rows_returned);
+  metrics_.Add("dn.scan_rows_filtered", exec.rows_filtered);
+  metrics_.Add("dn.scan_limit_hits", exec.limit_hits);
+  metrics_.Add("dn.scan_join_lookups", exec.join_lookups);
+  if (exec.reply.truncated) metrics_.Add("dn.scan_chunks_truncated");
+  co_return std::move(exec.reply);
 }
 
 sim::Task<Status> DataNode::ApplyWrite(TxnId txn, Timestamp snapshot,

@@ -32,6 +32,10 @@ struct DataNodeOptions {
   SimDuration write_cost = 12 * kMicrosecond;
   SimDuration commit_cost = 6 * kMicrosecond;
   SimDuration scan_row_cost = 1 * kMicrosecond;
+  /// Default reply byte budget for one kDnScanBatch chunk (DESIGN.md §14);
+  /// a request's max_bytes overrides it. Tests shrink it to force
+  /// truncation + continuation.
+  size_t scan_chunk_bytes = 64 * 1024;
   SimDuration lock_timeout = 500 * kMillisecond;
   /// Durability lifecycle (DESIGN.md §12): periodic checkpoint + vacuum +
   /// log truncation. On by default — truncation is part of normal
@@ -171,6 +175,8 @@ class DataNode {
   sim::Task<StatusOr<ReadBatchReply>> HandleReadBatch(
       NodeId from, ReadBatchRequest request);
   sim::Task<StatusOr<ScanReply>> HandleScan(NodeId from, ScanRequest request);
+  sim::Task<StatusOr<ScanBatchReply>> HandleScanBatch(NodeId from,
+                                                      ScanBatchRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleWrite(NodeId from,
                                                      WriteRequest request);
   sim::Task<StatusOr<WriteBatchReply>> HandleWriteBatch(

@@ -230,6 +230,217 @@ struct ReadBatchReply {
   }
 };
 
+/// A batch of ordered range scans for one shard, resolved under one
+/// snapshot (the CN's ScanBatch fan-out, DESIGN.md §14). Each range may
+/// carry a pushed-down int64 equality filter, a post-filter row limit, a
+/// reverse flag (last-N-by-key), and an optional co-located lookup join
+/// that resolves dependent rows server-side. Replies are byte-capped: a
+/// truncated reply names the range and key to resume from, and the CN
+/// re-issues the request with `resume_range` set (stateless server — the
+/// whole cursor lives in the request/reply pair).
+struct ScanBatchRequest {
+  struct Range {
+    TableId table = kInvalidTableId;
+    RowKey start, end;  // [start, end); empty end = unbounded
+    uint32_t limit = 0xffffffff;
+    bool reverse = false;       // return the LAST `limit` rows, descending
+    int32_t filter_col = -1;    // -1 = no filter; else int64 equality on col
+    int64_t filter_eq = 0;
+    /// Co-located lookup join: for every emitted row, build a key from
+    /// `join_key_prefix` + the encoded values of `join_key_cols`, then point
+    /// read (join_prefix=false) or prefix scan (join_prefix=true, up to
+    /// `join_limit` rows) `join_table` under the same snapshot.
+    TableId join_table = kInvalidTableId;  // kInvalidTableId = no join
+    RowKey join_key_prefix;
+    std::vector<uint32_t> join_key_cols;
+    bool join_prefix = false;
+    uint32_t join_limit = 0xffffffff;
+  };
+  Timestamp snapshot = 0;
+  TxnId txn = kInvalidTxnId;
+  /// Reply byte budget; 0 = server default. At least one row per range is
+  /// always emitted so continuation makes progress.
+  uint64_t max_bytes = 0;
+  /// Ranges with index < resume_range were fully answered by earlier chunks
+  /// and are skipped (their results arrive empty). The CN rewrites the
+  /// resumed range's `start` (forward scans) and remaining `limit` itself.
+  uint32_t resume_range = 0;
+  std::vector<Range> ranges;
+
+  std::string Encode() const {
+    std::string s;
+    PutVarint64(&s, snapshot);
+    PutVarint64(&s, txn);
+    PutVarint64(&s, max_bytes);
+    PutVarint32(&s, resume_range);
+    PutVarint32(&s, static_cast<uint32_t>(ranges.size()));
+    for (const auto& range : ranges) {
+      PutVarint32(&s, range.table);
+      PutLengthPrefixed(&s, range.start);
+      PutLengthPrefixed(&s, range.end);
+      PutVarint32(&s, range.limit);
+      uint8_t flags = 0;
+      if (range.reverse) flags |= 1;
+      if (range.filter_col >= 0) flags |= 2;
+      if (range.join_table != kInvalidTableId) flags |= 4;
+      if (range.join_prefix) flags |= 8;
+      s.push_back(static_cast<char>(flags));
+      if (range.filter_col >= 0) {
+        PutVarint32(&s, static_cast<uint32_t>(range.filter_col));
+        PutVarsint64(&s, range.filter_eq);
+      }
+      if (range.join_table != kInvalidTableId) {
+        PutVarint32(&s, range.join_table);
+        PutLengthPrefixed(&s, range.join_key_prefix);
+        PutVarint32(&s, static_cast<uint32_t>(range.join_key_cols.size()));
+        for (uint32_t col : range.join_key_cols) PutVarint32(&s, col);
+        PutVarint32(&s, range.join_limit);
+      }
+    }
+    return s;
+  }
+  static StatusOr<ScanBatchRequest> Decode(Slice in) {
+    ScanBatchRequest r;
+    uint32_t n = 0;
+    if (!GetVarint64(&in, &r.snapshot) || !GetVarint64(&in, &r.txn) ||
+        !GetVarint64(&in, &r.max_bytes) || !GetVarint32(&in, &r.resume_range) ||
+        !GetVarint32(&in, &n)) {
+      return Status::Corruption("scan batch req");
+    }
+    r.ranges.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Range range;
+      Slice start, end;
+      if (!GetVarint32(&in, &range.table) || !GetLengthPrefixed(&in, &start) ||
+          !GetLengthPrefixed(&in, &end) || !GetVarint32(&in, &range.limit) ||
+          in.empty()) {
+        return Status::Corruption("scan batch range");
+      }
+      range.start = start.ToString();
+      range.end = end.ToString();
+      const uint8_t flags = static_cast<uint8_t>(in[0]);
+      in.RemovePrefix(1);
+      range.reverse = (flags & 1) != 0;
+      range.join_prefix = (flags & 8) != 0;
+      if ((flags & 2) != 0) {
+        uint32_t col = 0;
+        if (!GetVarint32(&in, &col) || !GetVarsint64(&in, &range.filter_eq)) {
+          return Status::Corruption("scan batch filter");
+        }
+        range.filter_col = static_cast<int32_t>(col);
+      }
+      if ((flags & 4) != 0) {
+        Slice prefix;
+        uint32_t cols = 0;
+        if (!GetVarint32(&in, &range.join_table) ||
+            !GetLengthPrefixed(&in, &prefix) || !GetVarint32(&in, &cols)) {
+          return Status::Corruption("scan batch join");
+        }
+        range.join_key_prefix = prefix.ToString();
+        range.join_key_cols.reserve(cols);
+        for (uint32_t c = 0; c < cols; ++c) {
+          uint32_t col = 0;
+          if (!GetVarint32(&in, &col)) {
+            return Status::Corruption("scan batch join col");
+          }
+          range.join_key_cols.push_back(col);
+        }
+        if (!GetVarint32(&in, &range.join_limit)) {
+          return Status::Corruption("scan batch join limit");
+        }
+      }
+      r.ranges.push_back(std::move(range));
+    }
+    return r;
+  }
+};
+
+/// One byte-capped chunk of a scan batch. `results` aligns with the
+/// request's ranges (entries below resume_range stay empty). When
+/// `truncated`, the scan stopped mid-way through `resume_range`:
+/// `resume_key` is the next primary key a forward scan would have examined
+/// (empty = the range was not started — keep the original start bound).
+struct ScanBatchReply {
+  struct RangeResult {
+    bool limit_hit = false;  // pushed-down limit satisfied server-side
+    std::vector<std::pair<RowKey, std::string>> rows;
+    /// Rows pulled in by the lookup join, deduped per chunk by key.
+    std::vector<std::pair<RowKey, std::string>> joined;
+  };
+  bool truncated = false;
+  uint32_t resume_range = 0;
+  RowKey resume_key;
+  std::vector<RangeResult> results;
+
+  std::string Encode() const {
+    std::string s;
+    s.push_back(truncated ? 1 : 0);
+    PutVarint32(&s, resume_range);
+    PutLengthPrefixed(&s, resume_key);
+    PutVarint32(&s, static_cast<uint32_t>(results.size()));
+    for (const auto& res : results) {
+      s.push_back(res.limit_hit ? 1 : 0);
+      PutVarint32(&s, static_cast<uint32_t>(res.rows.size()));
+      for (const auto& [key, value] : res.rows) {
+        PutLengthPrefixed(&s, key);
+        PutLengthPrefixed(&s, value);
+      }
+      PutVarint32(&s, static_cast<uint32_t>(res.joined.size()));
+      for (const auto& [key, value] : res.joined) {
+        PutLengthPrefixed(&s, key);
+        PutLengthPrefixed(&s, value);
+      }
+    }
+    return s;
+  }
+  static StatusOr<ScanBatchReply> Decode(Slice in) {
+    ScanBatchReply r;
+    if (in.empty()) return Status::Corruption("scan batch reply");
+    r.truncated = in[0] != 0;
+    in.RemovePrefix(1);
+    Slice resume_key;
+    uint32_t n = 0;
+    if (!GetVarint32(&in, &r.resume_range) ||
+        !GetLengthPrefixed(&in, &resume_key) || !GetVarint32(&in, &n)) {
+      return Status::Corruption("scan batch reply header");
+    }
+    r.resume_key = resume_key.ToString();
+    r.results.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      RangeResult res;
+      uint32_t rows = 0;
+      if (in.empty()) return Status::Corruption("scan batch reply range");
+      res.limit_hit = in[0] != 0;
+      in.RemovePrefix(1);
+      if (!GetVarint32(&in, &rows)) {
+        return Status::Corruption("scan batch reply rows");
+      }
+      res.rows.reserve(rows);
+      for (uint32_t j = 0; j < rows; ++j) {
+        Slice key, value;
+        if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value)) {
+          return Status::Corruption("scan batch reply row");
+        }
+        res.rows.emplace_back(key.ToString(), value.ToString());
+      }
+      uint32_t joined = 0;
+      if (!GetVarint32(&in, &joined)) {
+        return Status::Corruption("scan batch reply joined");
+      }
+      res.joined.reserve(joined);
+      for (uint32_t j = 0; j < joined; ++j) {
+        Slice key, value;
+        if (!GetLengthPrefixed(&in, &key) || !GetLengthPrefixed(&in, &value)) {
+          return Status::Corruption("scan batch reply joined row");
+        }
+        res.joined.emplace_back(key.ToString(), value.ToString());
+      }
+      r.results.push_back(std::move(res));
+    }
+    return r;
+  }
+};
+
 /// Write (insert / update / delete) executed on the primary under a lock.
 struct WriteRequest {
   enum class Op : uint8_t { kInsert = 1, kUpdate = 2, kDelete = 3 };
@@ -644,6 +855,8 @@ inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kDnLockRead{
 inline constexpr rpc::RpcMethod<ReadBatchRequest, ReadBatchReply>
     kDnReadBatch{"dn.read_batch"};
 inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kDnScan{"dn.scan"};
+inline constexpr rpc::RpcMethod<ScanBatchRequest, ScanBatchReply>
+    kDnScanBatch{"dn.scan_batch"};
 inline constexpr rpc::RpcMethod<WriteRequest, rpc::EmptyMessage> kDnWrite{
     "dn.write"};
 inline constexpr rpc::RpcMethod<WriteBatchRequest, WriteBatchReply>
@@ -670,6 +883,8 @@ inline constexpr rpc::RpcMethod<ReadRequest, ReadReply> kRorRead{"ror.read"};
 inline constexpr rpc::RpcMethod<ReadBatchRequest, ReadBatchReply>
     kRorReadBatch{"ror.read_batch"};
 inline constexpr rpc::RpcMethod<ScanRequest, ScanReply> kRorScan{"ror.scan"};
+inline constexpr rpc::RpcMethod<ScanBatchRequest, ScanBatchReply>
+    kRorScanBatch{"ror.scan_batch"};
 inline constexpr rpc::RpcMethod<rpc::EmptyMessage, RorStatusReply> kRorStatus{
     "ror.status"};
 

@@ -1,6 +1,9 @@
 #include "src/cluster/replica_node.h"
 
+#include <functional>
 #include <utility>
+
+#include "src/cluster/scan_batch_exec.h"
 
 namespace globaldb {
 
@@ -50,6 +53,9 @@ void ReplicaNode::BindService() {
   });
   server_.Handle(kRorScan, [this](NodeId from, ScanRequest request) {
     return HandleScan(from, std::move(request));
+  });
+  server_.Handle(kRorScanBatch, [this](NodeId from, ScanBatchRequest request) {
+    return HandleScanBatch(from, std::move(request));
   });
   server_.Handle(kRorStatus, [this](NodeId from, rpc::EmptyMessage request) {
     return HandleStatus(from, request);
@@ -165,6 +171,39 @@ sim::Task<StatusOr<ScanReply>> ReplicaNode::HandleScan(NodeId from,
     break;
   }
   co_return reply;
+}
+
+sim::Task<StatusOr<ScanBatchReply>> ReplicaNode::HandleScanBatch(
+    NodeId from, ScanBatchRequest request) {
+  metrics_.Add("ror.scan_batches");
+  metrics_.Hist("ror.scan_batch_ranges")
+      .Record(static_cast<int64_t>(request.ranges.size()));
+  // Pending-commit tuple locks abort the whole pass: ExecuteScanBatch keeps
+  // no server-side cursor, so after WaitResolved the chunk is rebuilt from
+  // the request alone, with every MvccTable* re-fetched — a snapshot install
+  // while parked frees the previous store (the satellite-3 safety property).
+  const std::function<bool(TxnId)> must_wait = [this,
+                                                &request](TxnId txn) {
+    return applier_->MustWait(txn, request.snapshot);
+  };
+  while (true) {
+    ScanBatchExecResult exec = ExecuteScanBatch(
+        store_, request, kInvalidTxnId, options_.scan_chunk_bytes,
+        options_.read_cost, options_.scan_row_cost, &must_wait);
+    if (exec.blocker != kInvalidTxnId) {
+      metrics_.Add("ror.pending_waits");
+      co_await applier_->WaitResolved(exec.blocker);
+      continue;
+    }
+    co_await cpu_.Consume(exec.cpu_cost);
+    metrics_.Add("ror.scan_ranges", exec.ranges_served);
+    metrics_.Add("ror.scan_rows_returned", exec.rows_returned);
+    metrics_.Add("ror.scan_rows_filtered", exec.rows_filtered);
+    metrics_.Add("ror.scan_limit_hits", exec.limit_hits);
+    metrics_.Add("ror.scan_join_lookups", exec.join_lookups);
+    if (exec.reply.truncated) metrics_.Add("ror.scan_chunks_truncated");
+    co_return std::move(exec.reply);
+  }
 }
 
 sim::Task<StatusOr<RorStatusReply>> ReplicaNode::HandleStatus(

@@ -20,6 +20,9 @@ struct ReplicaNodeOptions {
   int cores = 8;
   SimDuration read_cost = 8 * kMicrosecond;
   SimDuration scan_row_cost = 1 * kMicrosecond;
+  /// Default reply byte budget for one kRorScanBatch chunk (DESIGN.md §14);
+  /// a request's max_bytes overrides it.
+  size_t scan_chunk_bytes = 64 * 1024;
   ApplierOptions applier;
 };
 
@@ -75,6 +78,8 @@ class ReplicaNode {
   sim::Task<StatusOr<ReadBatchReply>> HandleReadBatch(
       NodeId from, ReadBatchRequest request);
   sim::Task<StatusOr<ScanReply>> HandleScan(NodeId from, ScanRequest request);
+  sim::Task<StatusOr<ScanBatchReply>> HandleScanBatch(NodeId from,
+                                                      ScanBatchRequest request);
   sim::Task<StatusOr<RorStatusReply>> HandleStatus(NodeId from,
                                                    rpc::EmptyMessage request);
 

@@ -1,0 +1,169 @@
+#ifndef GLOBALDB_SRC_CLUSTER_SCAN_BATCH_EXEC_H_
+#define GLOBALDB_SRC_CLUSTER_SCAN_BATCH_EXEC_H_
+
+#include <functional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/cluster/messages.h"
+#include "src/storage/shard_store.h"
+#include "src/storage/value.h"
+
+namespace globaldb {
+
+/// One synchronous pass over a ScanBatchRequest against a shard store: the
+/// chunk-building core shared by the primary (kDnScanBatch) and replica
+/// (kRorScanBatch) handlers (DESIGN.md §14). The pass itself never
+/// suspends — CPU cost is accumulated into `cpu_cost` for the caller to
+/// charge, and a replica pass that hits a pending-commit tuple lock aborts
+/// with `blocker` set so the caller can WaitResolved and re-execute from
+/// the request (the server keeps no cursor state between passes: a snapshot
+/// install while parked frees every MvccTable*, so everything is re-fetched
+/// on re-entry).
+struct ScanBatchExecResult {
+  ScanBatchReply reply;
+  SimDuration cpu_cost = 0;
+  /// Replica only: the pass stopped on an unresolved provisional txn that
+  /// blocks this snapshot. The reply is invalid; wait and re-execute.
+  TxnId blocker = kInvalidTxnId;
+  int64_t ranges_served = 0;
+  int64_t rows_returned = 0;
+  int64_t rows_filtered = 0;
+  int64_t limit_hits = 0;
+  int64_t join_lookups = 0;
+};
+
+/// `must_wait` is null on primaries (provisional versions of other txns are
+/// simply invisible to snapshot readers); on replicas it is the
+/// applier-backed pending-commit predicate.
+inline ScanBatchExecResult ExecuteScanBatch(
+    const ShardStore& store, const ScanBatchRequest& request, TxnId reader,
+    size_t default_chunk_bytes, SimDuration read_cost,
+    SimDuration scan_row_cost, const std::function<bool(TxnId)>* must_wait) {
+  ScanBatchExecResult out;
+  out.reply.results.resize(request.ranges.size());
+  const size_t budget =
+      request.max_bytes != 0 ? request.max_bytes : default_chunk_bytes;
+  size_t bytes = 0;
+  for (size_t i = request.resume_range; i < request.ranges.size(); ++i) {
+    if (bytes >= budget) {
+      // The previous ranges filled the chunk; this one was never started
+      // (empty resume_key tells the CN to keep its original bounds).
+      out.reply.truncated = true;
+      out.reply.resume_range = static_cast<uint32_t>(i);
+      break;
+    }
+    const ScanBatchRequest::Range& range = request.ranges[i];
+    ScanBatchReply::RangeResult& res = out.reply.results[i];
+    ++out.ranges_served;
+    out.cpu_cost += read_cost;
+    const MvccTable* table = store.GetTable(range.table);
+    if (table == nullptr) {
+      continue;  // catalog-known table, storage-empty shard: no rows
+    }
+    MvccTable::PagedScanOptions opts;
+    opts.snapshot = request.snapshot;
+    opts.reader = reader;
+    opts.limit = range.limit;
+    opts.reverse = range.reverse;
+    opts.filter_col = range.filter_col;
+    opts.filter_eq = range.filter_eq;
+    if (!range.reverse) {
+      opts.max_bytes = budget > bytes ? budget - bytes : 1;
+    }
+    std::vector<TxnId> pending;
+    MvccTable::PagedScanResult paged = table->ScanPaged(
+        range.start, range.end, opts,
+        must_wait != nullptr ? &pending : nullptr);
+    out.cpu_cost +=
+        scan_row_cost * static_cast<SimDuration>(paged.rows_examined);
+    if (must_wait != nullptr) {
+      for (TxnId txn : pending) {
+        if ((*must_wait)(txn)) {
+          out.blocker = txn;
+          return out;
+        }
+      }
+    }
+    out.rows_filtered += static_cast<int64_t>(paged.rows_filtered);
+    if (paged.limit_hit) ++out.limit_hits;
+    res.limit_hit = paged.limit_hit;
+    for (const auto& row : paged.rows) {
+      bytes += row.key.size() + row.value.size() + 8;
+    }
+    if (range.join_table != kInvalidTableId) {
+      // Co-located lookup join: resolve dependent rows under the same
+      // snapshot, deduped by join key within this chunk. A base row and its
+      // joins are atomic with respect to the byte cap (joined bytes count,
+      // but never split a row from its lookups).
+      const MvccTable* join_table = store.GetTable(range.join_table);
+      std::set<RowKey> seen;
+      for (const auto& row_entry : paged.rows) {
+        Row row;
+        if (!DecodeRow(Slice(row_entry.value), &row).ok()) continue;
+        RowKey key = range.join_key_prefix;
+        bool key_ok = true;
+        for (uint32_t col : range.join_key_cols) {
+          if (col >= row.size()) {
+            key_ok = false;
+            break;
+          }
+          EncodeKeyPart(row[col], &key);
+        }
+        if (!key_ok || !seen.insert(key).second) continue;
+        ++out.join_lookups;
+        out.cpu_cost += read_cost;
+        if (join_table == nullptr) continue;
+        if (range.join_prefix) {
+          std::vector<TxnId> join_pending;
+          auto joined = join_table->Scan(
+              key, PrefixSuccessor(key), request.snapshot, reader,
+              range.join_limit,
+              must_wait != nullptr ? &join_pending : nullptr);
+          out.cpu_cost +=
+              scan_row_cost * static_cast<SimDuration>(joined.size());
+          if (must_wait != nullptr) {
+            for (TxnId txn : join_pending) {
+              if ((*must_wait)(txn)) {
+                out.blocker = txn;
+                return out;
+              }
+            }
+          }
+          for (auto& j : joined) {
+            bytes += j.key.size() + j.value.size() + 8;
+            res.joined.emplace_back(std::move(j.key), std::move(j.value));
+          }
+        } else {
+          ReadResult rr = join_table->Read(key, request.snapshot, reader);
+          if (must_wait != nullptr && rr.provisional_txn != kInvalidTxnId &&
+              (*must_wait)(rr.provisional_txn)) {
+            out.blocker = rr.provisional_txn;
+            return out;
+          }
+          if (rr.found) {
+            bytes += key.size() + rr.value.size() + 8;
+            res.joined.emplace_back(std::move(key), std::move(rr.value));
+          }
+        }
+      }
+    }
+    out.rows_returned += static_cast<int64_t>(paged.rows.size());
+    res.rows.reserve(paged.rows.size());
+    for (auto& row : paged.rows) {
+      res.rows.emplace_back(std::move(row.key), std::move(row.value));
+    }
+    if (paged.truncated) {
+      out.reply.truncated = true;
+      out.reply.resume_range = static_cast<uint32_t>(i);
+      out.reply.resume_key = paged.resume_key;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_CLUSTER_SCAN_BATCH_EXEC_H_

@@ -4,6 +4,7 @@
 
 #include "src/common/codec.h"
 #include "src/common/logging.h"
+#include "src/storage/value.h"
 
 namespace globaldb {
 
@@ -265,6 +266,69 @@ std::vector<MvccTable::ScanEntry> MvccTable::Scan(
     if (pending != kInvalidTxnId && provisional != nullptr) {
       provisional->push_back(pending);
     }
+  }
+  return out;
+}
+
+MvccTable::PagedScanResult MvccTable::ScanPaged(
+    const RowKey& start, const RowKey& end, const PagedScanOptions& opts,
+    std::vector<TxnId>* provisional) const {
+  PagedScanResult out;
+  size_t bytes = 0;
+  for (auto it = chains_.LowerBound(start); it.Valid(); it.Next()) {
+    if (!end.empty() && !(it.key() < end)) break;
+    if (!opts.reverse && out.rows.size() >= opts.limit) {
+      out.limit_hit = true;
+      break;
+    }
+    ++out.rows_examined;
+    TxnId pending = kInvalidTxnId;
+    std::string value;
+    const bool visible =
+        VisibleValue(it.value(), opts.snapshot, opts.reader, &value, &pending);
+    if (pending != kInvalidTxnId && provisional != nullptr) {
+      provisional->push_back(pending);
+    }
+    if (!visible) continue;
+    if (opts.filter_col >= 0) {
+      Row row;
+      bool match = false;
+      if (DecodeRow(Slice(value), &row).ok() &&
+          static_cast<size_t>(opts.filter_col) < row.size()) {
+        const int64_t* v = std::get_if<int64_t>(&row[opts.filter_col]);
+        match = v != nullptr && *v == opts.filter_eq;
+      }
+      if (!match) {
+        ++out.rows_filtered;
+        continue;
+      }
+    }
+    if (opts.reverse) {
+      // Forward-only leaves: keep a sliding window of the last `limit`
+      // matches, reversed on return.
+      out.rows.push_back({it.key(), std::move(value)});
+      if (out.rows.size() > opts.limit) {
+        out.rows.erase(out.rows.begin());
+        out.limit_hit = true;
+      }
+      continue;
+    }
+    const size_t row_bytes = it.key().size() + value.size() + 8;
+    if (bytes + row_bytes > opts.max_bytes && !out.rows.empty()) {
+      out.truncated = true;
+      out.resume_key = it.key();
+      break;
+    }
+    bytes += row_bytes;
+    out.rows.push_back({it.key(), std::move(value)});
+    if (out.rows.size() >= opts.limit) {
+      out.limit_hit = true;
+      break;
+    }
+  }
+  if (opts.reverse) {
+    std::reverse(out.rows.begin(), out.rows.end());
+    if (out.rows.size() >= opts.limit) out.limit_hit = true;
   }
   return out;
 }

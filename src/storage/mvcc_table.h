@@ -1,6 +1,7 @@
 #ifndef GLOBALDB_SRC_STORAGE_MVCC_TABLE_H_
 #define GLOBALDB_SRC_STORAGE_MVCC_TABLE_H_
 
+#include <cstdint>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +96,38 @@ class MvccTable {
   std::vector<ScanEntry> Scan(const RowKey& start, const RowKey& end,
                               Timestamp snapshot, TxnId reader, size_t limit,
                               std::vector<TxnId>* provisional) const;
+
+  /// Pushed-down scan options for the batched scan path (DESIGN.md §14).
+  struct PagedScanOptions {
+    Timestamp snapshot = 0;
+    TxnId reader = kInvalidTxnId;
+    size_t limit = SIZE_MAX;  // post-filter row cap
+    /// Return the LAST `limit` matching rows of the range, descending by
+    /// key. Requires a finite limit; reverse scans are never byte-capped
+    /// (the last rows aren't known until the walk finishes).
+    bool reverse = false;
+    int32_t filter_col = -1;  // -1 = none; else int64 equality on column
+    int64_t filter_eq = 0;
+    /// Approximate reply byte budget (forward scans). The scan stops with
+    /// `truncated` once emitting the next row would exceed it — but always
+    /// emits at least one row so continuation makes progress.
+    size_t max_bytes = SIZE_MAX;
+  };
+  struct PagedScanResult {
+    std::vector<ScanEntry> rows;
+    bool truncated = false;   // stopped on max_bytes; resume_key valid
+    RowKey resume_key;        // next key a resumed scan should start from
+    bool limit_hit = false;   // the pushed-down limit was satisfied
+    size_t rows_examined = 0; // version chains visited (CPU accounting)
+    size_t rows_filtered = 0; // visible rows dropped by the filter
+  };
+  /// Scan with server-side filtering, limit pushdown, reverse emulation
+  /// (forward walk keeping the last `limit` matches — the B+-tree links
+  /// leaves forward only), and byte-capped pagination. Collects unresolved
+  /// provisional txns for every examined chain, filtered or not.
+  PagedScanResult ScanPaged(const RowKey& start, const RowKey& end,
+                            const PagedScanOptions& opts,
+                            std::vector<TxnId>* provisional) const;
 
   /// Number of distinct keys ever written (including dead ones).
   size_t KeyCount() const { return chains_.size(); }

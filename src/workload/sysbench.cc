@@ -1,5 +1,7 @@
 #include "src/workload/sysbench.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace globaldb {
@@ -116,6 +118,41 @@ TxnFn SysbenchWorkload::ReadWriteFn() {
   return [this](CoordinatorNode* cn, Rng* rng) -> sim::Task<TxnResult> {
     return ReadWrite(cn, rng);
   };
+}
+
+TxnFn SysbenchWorkload::RangeSelectFn() {
+  return [this](CoordinatorNode* cn, Rng* rng) -> sim::Task<TxnResult> {
+    return RangeSelect(cn, rng);
+  };
+}
+
+sim::Task<TxnResult> SysbenchWorkload::RangeSelect(CoordinatorNode* cn,
+                                                   Rng* rng) {
+  TxnResult result;
+  result.kind = "range_select";
+  auto txn_or = co_await cn->Begin(/*read_only=*/true,
+                                   /*single_shard=*/false);
+  if (!txn_or.ok()) {
+    result.status = txn_or.status();
+    co_return result;
+  }
+  TxnHandle txn = *txn_or;
+  std::vector<ScanSpec> specs(config_.ranges_per_txn);
+  for (int i = 0; i < config_.ranges_per_txn; ++i) {
+    const int64_t max_start =
+        std::max<int64_t>(1, config_.rows_per_table - config_.range_size);
+    const int64_t start_id = rng->UniformRange(1, max_start);
+    ScanSpec& spec = specs[i];
+    spec.table = TableName(static_cast<int>(rng->Uniform(config_.num_tables)));
+    EncodeKeyPart(Value(start_id), &spec.start);
+    EncodeKeyPart(Value(start_id + config_.range_size), &spec.end);
+    spec.limit = static_cast<uint32_t>(config_.range_size);
+  }
+  auto batch = co_await cn->ScanBatch(&txn, std::move(specs));
+  result.status = batch.ok() ? Status::OK() : batch.status();
+  // Read-only close: releases the snapshot's pin on the GC horizon.
+  (void)co_await cn->Abort(&txn);
+  co_return result;
 }
 
 sim::Task<TxnResult> SysbenchWorkload::PointSelect(CoordinatorNode* cn,

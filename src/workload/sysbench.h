@@ -19,6 +19,10 @@ struct SysbenchConfig {
   /// For the read-write mix: selects and updates per transaction.
   int point_selects_per_txn = 10;
   int updates_per_txn = 4;
+  /// For the range-select transaction: ranges per transaction and rows per
+  /// range (sysbench oltp simple ranges).
+  int ranges_per_txn = 4;
+  int range_size = 100;
 };
 
 class SysbenchWorkload {
@@ -33,9 +37,16 @@ class SysbenchWorkload {
   TxnFn PointSelectFn();
   /// Classic oltp_read_write transaction.
   TxnFn ReadWriteFn();
+  /// Read-only range queries: ranges_per_txn scans of range_size rows each.
+  /// The sbtest tables are hash-distributed by id, so every range spans all
+  /// shards — with scan batching the CN fans the whole set out in one round
+  /// trip and k-way-merges the per-shard cursors; the ablation baseline
+  /// (enable_scan_batching=false) runs one broadcast scan per range.
+  TxnFn RangeSelectFn();
 
   sim::Task<TxnResult> PointSelect(CoordinatorNode* cn, Rng* rng);
   sim::Task<TxnResult> ReadWrite(CoordinatorNode* cn, Rng* rng);
+  sim::Task<TxnResult> RangeSelect(CoordinatorNode* cn, Rng* rng);
 
  private:
   std::string TableName(int i) const {

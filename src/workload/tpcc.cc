@@ -90,6 +90,24 @@ TableSchema OrdersSchema() {
   return s;
 }
 
+/// App-maintained secondary index: (w, d, c) -> order ids, ascending. A
+/// reverse limit-1 prefix scan over (w, d, c) is the customer's latest
+/// order — the lookup OrderStatus needs — without scanning the orders
+/// table. NewOrder appends to it in the same buffered write batch as the
+/// order header (same shard: distributed by warehouse), so maintenance
+/// costs no extra round trip (DESIGN.md §14).
+TableSchema OrdersCustIdxSchema() {
+  TableSchema s;
+  s.name = "orders_cust_idx";
+  s.columns = {{"oi_w_id", ColumnType::kInt64},
+               {"oi_d_id", ColumnType::kInt64},
+               {"oi_c_id", ColumnType::kInt64},
+               {"oi_o_id", ColumnType::kInt64}};
+  s.key_columns = {0, 1, 2, 3};
+  s.distribution_column = 0;
+  return s;
+}
+
 TableSchema NewOrderSchema() {
   TableSchema s;
   s.name = "new_order";
@@ -200,9 +218,9 @@ Status TpccWorkload::Setup() {
 
   // 1. Register schemas through the CN so DDL reaches peers and replicas.
   const std::vector<TableSchema> schemas = {
-      WarehouseSchema(), DistrictSchema(), CustomerSchema(), HistorySchema(),
-      OrdersSchema(),    NewOrderSchema(), OrderLineSchema(), ItemSchema(),
-      StockSchema()};
+      WarehouseSchema(), DistrictSchema(),  CustomerSchema(), HistorySchema(),
+      OrdersSchema(),    NewOrderSchema(),  OrderLineSchema(), ItemSchema(),
+      StockSchema(),     OrdersCustIdxSchema()};
   Status ddl_status = Status::OK();
   bool ddl_done = false;
   auto create_all = [](CoordinatorNode* cn,
@@ -274,6 +292,7 @@ Status TpccWorkload::Setup() {
             rng_.UniformRange(1, config_.customers_per_district);
         const int64_t ol_cnt = rng_.UniformRange(5, 15);
         load_row(OrdersSchema(), {w, d, o, c_id, ol_cnt, int64_t{0}});
+        load_row(OrdersCustIdxSchema(), {w, d, c_id, o});
         if (o > config_.initial_orders_per_district - 3) {
           load_row(NewOrderSchema(), {w, d, o});
         }
@@ -405,6 +424,11 @@ sim::Task<TxnResult> TpccWorkload::NewOrder(CoordinatorNode* cn, Rng* rng) {
   Row neworder_row = {w, d, o_id};
   s = co_await cn->Insert(&txn, "new_order", neworder_row);
   if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+  // Secondary-index maintenance rides in the same buffered batch as the
+  // order header (same shard), so it adds no round trip.
+  Row idx_row = {w, d, c, o_id};
+  s = co_await cn->Insert(&txn, "orders_cust_idx", idx_row);
+  if (!s.ok()) GDB_TXN_FAIL(std::move(s));
   for (size_t i = 0; i < lines.size(); ++i) {
     Row line = {w, d, o_id, static_cast<int64_t>(i + 1), lines[i].i_id,
                 lines[i].supply_w, lines[i].qty, lines[i].amount};
@@ -494,10 +518,63 @@ sim::Task<TxnResult> TpccWorkload::OrderStatus(CoordinatorNode* cn, Rng* rng) {
   }
   TxnHandle txn = *txn_or;
 
-  // The customer row, the district row (for the latest order id), and —
-  // when multi-shard — a remote warehouse's customer are all independent:
-  // one MultiGet replaces two or three serial round trips. Only the
-  // order-line scan depends on a result (d_next_o_id) and stays serial.
+  if (cn->options().enable_scan_batching) {
+    // ONE round trip for the whole profile: the customer row, the
+    // customer's latest order (a reverse limit-1 scan of orders_cust_idx
+    // with a server-side prefix join pulling that order's lines), and —
+    // when multi-shard — a remote warehouse's customer all travel in one
+    // ScanBatch. The serial shape below needs two dependent trips because
+    // the order-line scan waits on the district read.
+    std::vector<ScanSpec> specs(multi_shard ? 3 : 2);
+    auto [c_start, c_end] = PrefixRange({w, d, c});
+    specs[0].table = "customer";
+    specs[0].start = c_start;
+    specs[0].end = c_end;
+    specs[0].limit = 1;
+    specs[0].route = Value(w);
+    auto [i_start, i_end] = PrefixRange({w, d, c});
+    specs[1].table = "orders_cust_idx";
+    specs[1].start = i_start;
+    specs[1].end = i_end;
+    specs[1].limit = 1;
+    specs[1].reverse = true;
+    specs[1].route = Value(w);
+    specs[1].join_table = "order_line";
+    specs[1].join_key_cols = {0, 1, 3};  // (w, d, o_id) prefix
+    specs[1].join_prefix = true;
+    specs[1].join_limit = 100;
+    if (multi_shard) {
+      const int64_t other = PickOtherShardWarehouse(w, rng);
+      auto [r_start, r_end] = PrefixRange({other, d, c});
+      specs[2].table = "customer";
+      specs[2].start = r_start;
+      specs[2].end = r_end;
+      specs[2].limit = 1;
+      specs[2].route = Value(other);
+    }
+    auto batch = co_await cn->ScanBatch(&txn, std::move(specs));
+    if (!batch.ok()) {
+      result.status = batch.status();
+      (void)co_await cn->Abort(&txn);
+      co_return result;
+    }
+    if ((*batch)[0].rows.empty()) {
+      result.status = Status::NotFound("customer");
+      (void)co_await cn->Abort(&txn);
+      co_return result;
+    }
+    // (*batch)[1].joined holds the latest order's lines (possibly empty
+    // for a customer who never ordered).
+    result.status = Status::OK();
+    (void)co_await cn->Abort(&txn);
+    co_return result;
+  }
+
+  // Serial baseline (scan batching disabled): the customer row, the
+  // district row (for the latest order id), and — when multi-shard — a
+  // remote warehouse's customer are all independent: one MultiGet replaces
+  // two or three serial round trips. Only the order-line scan depends on a
+  // result (d_next_o_id) and stays serial.
   std::vector<MultiGetKey> read_set = {{"customer", {w, d, c}, false},
                                        {"district", {w, d}, false}};
   if (multi_shard) {
@@ -546,6 +623,100 @@ sim::Task<TxnResult> TpccWorkload::Delivery(CoordinatorNode* cn, Rng* rng) {
   }
   TxnHandle txn = *txn_or;
 
+  if (cn->options().enable_scan_batching) {
+    // Batched shape: four fan-outs replace up to ~40 serial round trips.
+    //   1. ONE ScanBatch finds the oldest undelivered order of all 10
+    //      districts concurrently (limit-1 pushdown: each shard returns one
+    //      row per district, not the whole new_order backlog).
+    //   2. ONE MultiGet lock-reads every matched order header.
+    //   3. ONE ScanBatch fetches all matched orders' lines (limit 20 each).
+    //   4. ONE MultiGet lock-reads every matched customer.
+    // All writes stay in the buffered batch pipeline as before.
+    const Value w_route = Value(w);
+    std::vector<ScanSpec> finds(config_.districts_per_warehouse);
+    for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      ScanSpec& spec = finds[d - 1];
+      auto [start, end] = PrefixRange({w, d});
+      spec.table = "new_order";
+      spec.start = start;
+      spec.end = end;
+      spec.limit = 1;
+      spec.route = w_route;
+    }
+    auto found = co_await cn->ScanBatch(&txn, std::move(finds));
+    if (!found.ok()) GDB_TXN_FAIL(found.status());
+
+    struct Matched {
+      int64_t d, o_id;
+      int64_t c_id = 0;
+      Row order_row;
+      double total = 0;
+    };
+    std::vector<Matched> matched;
+    for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
+      const ScanResult& res = (*found)[d - 1];
+      if (res.rows.empty()) continue;
+      matched.push_back({d, std::get<int64_t>(res.rows[0][2])});
+    }
+    if (matched.empty()) {
+      result.status = co_await cn->Commit(&txn);
+      co_return result;
+    }
+
+    std::vector<MultiGetKey> order_keys;
+    order_keys.reserve(matched.size());
+    for (const Matched& m : matched) {
+      Row no_key = {w, m.d, m.o_id};
+      Status s = co_await cn->Delete(&txn, "new_order", no_key);
+      if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+      order_keys.push_back({"orders", {w, m.d, m.o_id}, true});
+    }
+    auto orders = co_await cn->MultiGet(&txn, std::move(order_keys));
+    if (!orders.ok()) GDB_TXN_FAIL(orders.status());
+    std::vector<ScanSpec> line_specs(matched.size());
+    for (size_t i = 0; i < matched.size(); ++i) {
+      if (!(*orders)[i].has_value()) GDB_TXN_FAIL(Status::NotFound("order"));
+      matched[i].order_row = *(*orders)[i];
+      std::get<int64_t>(matched[i].order_row[5]) = carrier;
+      matched[i].c_id = std::get<int64_t>(matched[i].order_row[3]);
+      Status s = co_await cn->Update(&txn, "orders", matched[i].order_row);
+      if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+      ScanSpec& spec = line_specs[i];
+      auto [start, end] = PrefixRange({w, matched[i].d, matched[i].o_id});
+      spec.table = "order_line";
+      spec.start = start;
+      spec.end = end;
+      spec.limit = 20;
+      spec.route = w_route;
+    }
+    auto lines = co_await cn->ScanBatch(&txn, std::move(line_specs));
+    if (!lines.ok()) GDB_TXN_FAIL(lines.status());
+    std::vector<MultiGetKey> customer_keys;
+    customer_keys.reserve(matched.size());
+    for (size_t i = 0; i < matched.size(); ++i) {
+      for (const Row& line : (*lines)[i].rows) {
+        matched[i].total += std::get<double>(line[7]);
+      }
+      customer_keys.push_back(
+          {"customer", {w, matched[i].d, matched[i].c_id}, true});
+    }
+    auto customers = co_await cn->MultiGet(&txn, std::move(customer_keys));
+    if (!customers.ok()) GDB_TXN_FAIL(customers.status());
+    for (size_t i = 0; i < matched.size(); ++i) {
+      if (!(*customers)[i].has_value()) {
+        GDB_TXN_FAIL(Status::NotFound("customer"));
+      }
+      Row customer_row = *(*customers)[i];
+      std::get<double>(customer_row[4]) += matched[i].total;
+      Status s = co_await cn->Update(&txn, "customer", customer_row);
+      if (!s.ok()) GDB_TXN_FAIL(std::move(s));
+    }
+    result.status = co_await cn->Commit(&txn);
+    co_return result;
+  }
+
+  // Serial baseline (scan batching disabled): one district at a time, four
+  // dependent round trips each.
   for (int64_t d = 1; d <= config_.districts_per_warehouse; ++d) {
     // Oldest undelivered order in this district.
     auto [start, end] = PrefixRange({w, d});
@@ -613,6 +784,72 @@ sim::Task<TxnResult> TpccWorkload::StockLevel(CoordinatorNode* cn, Rng* rng) {
   }
   TxnHandle txn = *txn_or;
 
+  if (cn->options().enable_scan_batching) {
+    // ONE round trip collapses the serial shape's three dependent phases
+    // (district read -> order-line scan -> stock MultiGet): a reverse
+    // limit-400 scan over the district's order lines IS "the lines of the
+    // most recent orders" — no district read needed to find d_next_o_id —
+    // and the server-side point join into stock fetches each distinct
+    // item's stock row on the same shard in the same reply.
+    ScanSpec spec;
+    auto [start, end] = PrefixRange({w, d});
+    spec.table = "order_line";
+    spec.start = start;
+    spec.end = end;
+    spec.limit = 400;
+    spec.reverse = true;
+    spec.route = Value(w);
+    spec.join_table = "stock";
+    EncodeKeyPart(Value(w), &spec.join_key_prefix);
+    spec.join_key_cols = {4};  // ol_i_id
+    std::vector<ScanSpec> specs;
+    specs.push_back(std::move(spec));
+    auto batch = co_await cn->ScanBatch(&txn, std::move(specs));
+    if (!batch.ok()) {
+      result.status = batch.status();
+      (void)co_await cn->Abort(&txn);
+      co_return result;
+    }
+    int64_t low = 0;
+    for (const Row& stock : (*batch)[0].joined) {
+      if (std::get<int64_t>(stock[2]) < threshold) ++low;
+    }
+    if (multi_shard) {
+      // Touch a second shard: re-check up to 10 of the items against a
+      // remote supply warehouse's stock, as the serial shape does.
+      std::vector<int64_t> items;
+      for (const Row& line : (*batch)[0].rows) {
+        items.push_back(std::get<int64_t>(line[4]));
+      }
+      std::sort(items.begin(), items.end());
+      items.erase(std::unique(items.begin(), items.end()), items.end());
+      if (items.size() > 10) items.resize(10);
+      std::vector<MultiGetKey> stock_keys;
+      stock_keys.reserve(items.size());
+      for (int64_t i_id : items) {
+        stock_keys.push_back(
+            {"stock", {PickOtherShardWarehouse(w, rng), i_id}, false});
+      }
+      auto stocks = co_await cn->MultiGet(&txn, std::move(stock_keys));
+      if (!stocks.ok()) {
+        result.status = stocks.status();
+        (void)co_await cn->Abort(&txn);
+        co_return result;
+      }
+      for (const std::optional<Row>& stock : *stocks) {
+        if (stock.has_value() &&
+            std::get<int64_t>((*stock)[2]) < threshold) {
+          ++low;
+        }
+      }
+    }
+    (void)low;
+    result.status = Status::OK();
+    (void)co_await cn->Abort(&txn);
+    co_return result;
+  }
+
+  // Serial baseline (scan batching disabled): three dependent phases.
   Row d_key = {w, d};
   auto district = co_await cn->Get(&txn, "district", d_key);
   if (!district.ok() || !district->has_value()) {

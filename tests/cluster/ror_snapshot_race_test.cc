@@ -110,5 +110,86 @@ TEST(RorSnapshotRaceTest, ParkedReadSurvivesSnapshotInstall) {
   EXPECT_TRUE(read_done);
 }
 
+// Same property for the batched scan handler (DESIGN.md §14): a
+// kRorScanBatch chunk that parks on a pending-commit transaction holds no
+// cursor into the store — after the install frees every MvccTable, the
+// whole chunk is rebuilt from the request alone. A server-side iterator
+// kept across the wait would dangle (caught under ASan).
+TEST(RorSnapshotRaceTest, ParkedScanBatchChunkSurvivesSnapshotInstall) {
+  sim::Simulator sim(29);
+  sim::Network net(&sim, sim::Topology::Uniform(2, 10 * kMillisecond),
+                   NetOptions());
+  net.RegisterNode(kClient, 0);
+  net.RegisterNode(kReplica, 0);
+  ReplicaNode replica(&sim, &net, kReplica, /*shard=*/0);
+  rpc::RpcClient client(&net, kClient);
+
+  // Image #1: "a" committed, "k" provisional by txn 5 — the scan must park.
+  bool installed_first = false;
+  auto install_pending = [&]() -> sim::Task<void> {
+    ShardStore source(0);
+    MvccTable* t = source.GetOrCreateTable(1);
+    t->ApplyInsert("a", "v-old", 4);
+    t->CommitTxn(4, 2);
+    t->ApplyInsert("k", "v-pending", 5);
+    auto reply = co_await client.Call(
+        kReplica, kReplSnapshot, MakeSnapshot(source, 3, 2, /*reset=*/false));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    EXPECT_TRUE(reply->accepted);
+    installed_first = true;
+  };
+  sim.Spawn(install_pending());
+  sim.RunFor(100 * kMillisecond);
+  ASSERT_TRUE(installed_first);
+
+  bool scan_done = false;
+  auto scanner = [&]() -> sim::Task<void> {
+    ScanBatchRequest request;
+    request.snapshot = 100;
+    ScanBatchRequest::Range range;
+    range.table = 1;
+    request.ranges.push_back(range);  // unbounded: whole table
+    auto reply = co_await client.Call(kReplica, kRorScanBatch, request);
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    // Resumed by the install's resolved-signal broadcast: the chunk was
+    // re-executed against the freshly installed image end to end.
+    EXPECT_EQ(reply->results.size(), 1u);
+    if (reply->results.size() != 1u) co_return;
+    EXPECT_EQ(reply->results[0].rows.size(), 2u);
+    if (reply->results[0].rows.size() != 2u) co_return;
+    EXPECT_EQ(reply->results[0].rows[0].first, "k");
+    EXPECT_EQ(reply->results[0].rows[0].second, "v-final");
+    EXPECT_EQ(reply->results[0].rows[1].first, "z");
+    EXPECT_EQ(reply->results[0].rows[1].second, "v-new");
+    scan_done = true;
+  };
+  sim.Spawn(scanner());
+  sim.RunFor(100 * kMillisecond);
+  ASSERT_FALSE(scan_done);
+  ASSERT_EQ(replica.metrics().Get("ror.pending_waits"), 1);
+
+  // Image #2 (reset): the store from image #1 is freed wholesale. "a" is
+  // gone, txn 5 committed at ts 10, and a new row "z" exists — the
+  // re-executed chunk must reflect exactly this image.
+  auto install_final = [&]() -> sim::Task<void> {
+    ShardStore source(0);
+    MvccTable* t = source.GetOrCreateTable(1);
+    t->ApplyInsert("k", "v-final", 5);
+    t->CommitTxn(5, 10);
+    t->ApplyInsert("z", "v-new", 6);
+    t->CommitTxn(6, 11);
+    auto reply = co_await client.Call(
+        kReplica, kReplSnapshot, MakeSnapshot(source, 9, 11, /*reset=*/true));
+    EXPECT_TRUE(reply.ok());
+    if (!reply.ok()) co_return;
+    EXPECT_TRUE(reply->accepted);
+  };
+  sim.Spawn(install_final());
+  sim.RunFor(500 * kMillisecond);
+  EXPECT_TRUE(scan_done);
+}
+
 }  // namespace
 }  // namespace globaldb

@@ -32,9 +32,10 @@ TEST(TpccTest, SetupLoadsAllTables) {
   cluster.Start();
   TpccWorkload tpcc(&cluster, SmallTpcc());
   ASSERT_TRUE(tpcc.Setup().ok());
-  // All nine tables exist on every CN.
+  // All ten tables (nine TPC-C + the orders_cust_idx secondary index)
+  // exist on every CN.
   for (size_t i = 0; i < cluster.num_cns(); ++i) {
-    EXPECT_EQ(cluster.cn(i).catalog().NumTables(), 9u);
+    EXPECT_EQ(cluster.cn(i).catalog().NumTables(), 10u);
   }
   // Item is replicated: every shard holds all items.
   const TableSchema* item = cluster.cn(0).catalog().FindTable("item");

@@ -65,6 +65,8 @@ const char* ModeName(TimestampMode mode) {
       return "DUAL";
     case TimestampMode::kGclock:
       return "GCLOCK";
+    case TimestampMode::kEpoch:
+      return "EPOCH";
   }
   return "?";
 }

@@ -23,8 +23,10 @@ echo "== log shipping bench smoke =="
 scripts/bench_logship.sh "${BUILD_DIR}"
 
 # Hot-transaction-path smoke: write batching must keep its >= 2x NewOrder
-# speedup (or >= 40% p50 cut) at 50 ms RTT, and GTM coalescing must stay
-# under 0.5 GTM RPCs per transaction with 16 concurrent clients.
+# speedup (or >= 40% p50 cut) at 50 ms RTT, GTM coalescing must stay under
+# 0.5 GTM RPCs per transaction with 16 concurrent clients, and epoch/group
+# commit must keep its >= 1.5x NewOrder p50 cut over batched GTM at 50 ms
+# RTT with <= 0.1 commit-timestamp RPCs per committed transaction.
 echo "== txn path bench smoke =="
 scripts/bench_txnpath.sh "${BUILD_DIR}"
 
@@ -68,6 +70,15 @@ ctest --test-dir "${SAN_DIR}" --output-on-failure \
 echo "== staged-crash atomicity (2PC outcome recovery) =="
 ctest --test-dir "${SAN_DIR}" --output-on-failure \
   -R 'StagedCrashAtomicityTest|InDoubtResolutionTest|MessageChaosTest'
+
+# Epoch/group commit: grant/phase-2 sharing, per-member OCC aborts,
+# cross-epoch validation, duplicate grouped phase-2 delivery, the
+# three-seed staged-crash run (no acked epoch member lost, no residual
+# in-doubt), the EPOCH -> GTM health demotion, and the range-grant
+# abandonment contract, under sanitizers.
+echo "== epoch/group commit smoke (OCC + staged crashes + fallback) =="
+ctest --test-dir "${SAN_DIR}" --output-on-failure \
+  -R 'EpochCommitTest|EpochFaultTest|EpochFallbackTest|GtmCoalesceTest'
 
 # Batched scan path: pushdown/merge/chunking/failover correctness, the
 # three-seed batched-vs-serial equivalence oracle, and the ROR snapshot

@@ -43,6 +43,19 @@ CoordinatorNode::CoordinatorNode(sim::Simulator* sim, sim::Network* network,
   ts_source_ = std::make_unique<TimestampSource>(sim, network, self, gtm_node,
                                                  clock_.get());
   ts_source_->set_coalescing(options_.coalesce_gtm);
+  EpochManager::Callbacks epoch_callbacks;
+  epoch_callbacks.next_epoch_id = [this] { return NextTxnId(); };
+  epoch_callbacks.shard_primary = [this](ShardId shard) {
+    return shard_primaries_[shard];
+  };
+  EpochManager::Options epoch_options;
+  epoch_options.interval = options_.epoch_interval;
+  epoch_options.commit_retry_limit = options_.commit_retry_limit;
+  epoch_options.commit_retry_backoff = options_.commit_retry_backoff;
+  epoch_options.recent_commit_capacity = options_.epoch_recent_commit_capacity;
+  epoch_mgr_ = std::make_unique<EpochManager>(
+      sim, ts_source_.get(), &client_, &decided_, &metrics_,
+      std::move(epoch_callbacks), epoch_options);
   BindService();
 }
 
@@ -370,6 +383,9 @@ sim::Task<Status> CoordinatorNode::DoWrite(TxnHandle* txn,
   // let the caller abort.
   GDB_CO_RETURN_IF_ERROR(txn->writes->error);
 
+  if (txn->mode == TimestampMode::kEpoch) {
+    txn->epoch_writes.emplace_back(schema.id, key);
+  }
   WriteBatchRequest::Entry entry;
   entry.op = op;
   entry.table = schema.id;
@@ -400,6 +416,9 @@ sim::Task<Status> CoordinatorNode::DoWriteEager(TxnHandle* txn,
   for (ShardId shard : targets) {
     nodes.push_back(shard_primaries_[shard]);
     txn->write_shards.insert(shard);
+  }
+  if (txn->mode == TimestampMode::kEpoch) {
+    txn->epoch_writes.emplace_back(request.table, request.key);
   }
   if (nodes.size() == 1) {
     auto result = co_await client_.Call(nodes[0], kDnWrite, request);
@@ -611,6 +630,7 @@ sim::Task<StatusOr<std::optional<Row>>> CoordinatorNode::Get(
   request.key = schema->PrimaryKeyOf(sparse);
   request.snapshot = txn->snapshot;
   request.txn = txn->use_ror ? kInvalidTxnId : txn->id;
+  NoteEpochRead(txn, request.table, request.key);
 
   // Read-your-writes: if this key is sitting in the write buffer (or any
   // flush is still in flight), flush before reading.
@@ -691,6 +711,9 @@ sim::Task<StatusOr<std::vector<std::optional<Row>>>> CoordinatorNode::MultiGet(
     uk.table = schema->id;
     uk.key = schema->PrimaryKeyOf(sparse);
     uk.for_update = mk.for_update;
+    // FOR UPDATE reads see the latest version under the row lock and need no
+    // OCC validation; plain reads join the epoch read set.
+    if (!mk.for_update) NoteEpochRead(txn, uk.table, uk.key);
     auto [it, inserted] =
         dedup.try_emplace({uk.table, uk.key, uk.for_update}, unique.size());
     slot_of[i] = it->second;
@@ -1321,6 +1344,17 @@ sim::Task<StatusOr<std::vector<ScanResult>>> CoordinatorNode::ScanBatchSerial(
 sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   co_await cpu_.Consume(options_.statement_cost);
 
+  // Epoch/group commit (DESIGN.md §15): a writing transaction begun under
+  // EPOCH joins the open epoch instead of running an individual 2PC. The
+  // ts_source_ mode is re-checked so transactions straddling an EPOCH -> GTM
+  // demotion fall through to the individual path (their EPOCH-mode CommitTs
+  // routes to the shared GTM counter, so the order stays total).
+  if (commit && txn->mode == TimestampMode::kEpoch &&
+      ts_source_->mode() == TimestampMode::kEpoch &&
+      !txn->write_shards.empty()) {
+    co_return co_await CommitViaEpoch(txn);
+  }
+
   // Resolve the buffered-write pipeline first. A commit sends the final
   // flush just ahead of precommit; an abort discards entries that were
   // never sent but must still drain in-flight flushes — the abort broadcast
@@ -1421,6 +1455,60 @@ sim::Task<Status> CoordinatorNode::EndTxn(TxnHandle* txn, bool commit) {
   ts_source_->RecordCommitted(*ts);
   metrics_.Add("cn.commits");
   metrics_.Add(two_phase ? "cn.2pc_commits" : "cn.1pc_commits");
+  co_return Status::OK();
+}
+
+sim::Task<Status> CoordinatorNode::CommitViaEpoch(TxnHandle* txn) {
+  // Await only the flushes already on the wire; the queued tail is handed to
+  // the epoch manager and rides inside the grouped kDnEpochPrepare instead
+  // of a final kDnWriteBatch round. That keeps the member's commit tail at
+  // (seal wait + one grouped WAN round trip) — the amortization the epoch
+  // protocol exists for.
+  if (txn->writes != nullptr) {
+    co_await txn->writes->inflight.Wait();
+    if (!txn->writes->error.ok()) {
+      // A buffered write failed: the failing shard already rolled itself
+      // back; tell the rest (mirror of the individual-2PC flush-fail path).
+      metrics_.Add("cn.batch_flush_aborts");
+      decided_.Record(txn->id, false, 0);
+      TxnControlRequest control;
+      control.txn = txn->id;
+      control.two_phase = txn->write_shards.size() > 1;
+      control.participants.assign(txn->write_shards.begin(),
+                                  txn->write_shards.end());
+      std::vector<NodeId> nodes;
+      for (ShardId s : txn->write_shards) nodes.push_back(shard_primaries_[s]);
+      (void)co_await Broadcast(nodes, kDnAbort, control);
+      co_return txn->writes->error;
+    }
+  }
+
+  EpochManager::CommitArgs args;
+  args.txn = txn->id;
+  args.snapshot = txn->snapshot;
+  args.participants.assign(txn->write_shards.begin(), txn->write_shards.end());
+  if (txn->writes != nullptr) {
+    for (auto& [shard, sq] : txn->writes->shards) {
+      if (sq.queued.empty()) continue;
+      args.pending_writes[shard] = std::move(sq.queued);
+      sq.queued.clear();
+    }
+  }
+  args.reads = std::move(txn->epoch_reads);
+  args.writes = std::move(txn->epoch_writes);
+
+  const SimTime start = sim_->now();
+  auto ts = co_await epoch_mgr_->Commit(std::move(args));
+  metrics_.Hist("cn.epoch_commit_us")
+      .Record((sim_->now() - start) / kMicrosecond);
+  if (!ts.ok()) {
+    metrics_.Add("cn.epoch_member_aborts");
+    co_return ts.status();
+  }
+  // The epoch manager already recorded the decision and the committed
+  // timestamp watermark; only the CN-level counters remain.
+  metrics_.Add("cn.commits");
+  metrics_.Add("cn.epoch_commits");
   co_return Status::OK();
 }
 

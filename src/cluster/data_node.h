@@ -192,6 +192,14 @@ class DataNode {
       NodeId from, TxnControlRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleAbort(NodeId from,
                                                      TxnControlRequest request);
+  /// Grouped epoch prepare / phase-2 (DESIGN.md §15): per-member apply +
+  /// PREPARE append with one durability wait for the whole group; phase-2
+  /// commits every listed member at the epoch's single timestamp. Both are
+  /// idempotent per member through the decision memo.
+  sim::Task<StatusOr<EpochPrepareReply>> HandleEpochPrepare(
+      NodeId from, EpochPrepareRequest request);
+  sim::Task<StatusOr<rpc::EmptyMessage>> HandleEpochCommit(
+      NodeId from, EpochCommitRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleDdl(NodeId from,
                                                    DdlRequest request);
   sim::Task<StatusOr<rpc::EmptyMessage>> HandleHeartbeat(

@@ -58,10 +58,12 @@ using RowKey = std::string;
 enum class TimestampMode {
   kGtm = 0,    // centralized Global Transaction Manager counter
   kDual = 1,   // bridge mode: max(TS_GTM, TS_GClock) + 1
-  kGclock = 2  // decentralized synchronized-clock timestamps
+  kGclock = 2,  // decentralized synchronized-clock timestamps
+  kEpoch = 3   // epoch/group commit: GTM counter timestamps, one grant and
+               // one grouped phase-2 per sealed epoch (DESIGN.md §15)
 };
 
-/// Returns "GTM" / "DUAL" / "GCLOCK".
+/// Returns "GTM" / "DUAL" / "GCLOCK" / "EPOCH".
 inline const char* TimestampModeName(TimestampMode mode) {
   switch (mode) {
     case TimestampMode::kGtm:
@@ -70,6 +72,8 @@ inline const char* TimestampModeName(TimestampMode mode) {
       return "DUAL";
     case TimestampMode::kGclock:
       return "GCLOCK";
+    case TimestampMode::kEpoch:
+      return "EPOCH";
   }
   return "?";
 }

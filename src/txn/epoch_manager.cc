@@ -1,0 +1,345 @@
+#include "src/txn/epoch_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/rpc/wire.h"
+#include "src/txn/timestamp_source.h"
+
+namespace globaldb {
+
+namespace {
+
+// Fan-out helpers: each runs one call of the seal's concurrent round (the
+// per-shard grouped prepares and the single commit-timestamp fetch) and
+// signals the shared wait group. The output pointers live in ResolveEpoch's
+// coroutine frame, which stays pinned on wg.Wait() until every helper is
+// done.
+sim::Task<void> RunPrepare(rpc::RpcClient* client, NodeId node,
+                           EpochPrepareRequest request,
+                           StatusOr<EpochPrepareReply>* out,
+                           sim::WaitGroup* wg) {
+  *out = co_await client->Call(node, kDnEpochPrepare, request);
+  wg->Done();
+}
+
+sim::Task<void> RunCommitTs(TimestampSource* ts_source,
+                            StatusOr<Timestamp>* out, sim::WaitGroup* wg) {
+  *out = co_await ts_source->CommitTs(TimestampMode::kEpoch);
+  wg->Done();
+}
+
+}  // namespace
+
+EpochManager::EpochManager(sim::Simulator* sim, TimestampSource* ts_source,
+                           rpc::RpcClient* client, DecisionMemo* decided,
+                           Metrics* metrics, Callbacks callbacks,
+                           Options options)
+    : sim_(sim),
+      ts_source_(ts_source),
+      client_(client),
+      decided_(decided),
+      metrics_(metrics),
+      callbacks_(std::move(callbacks)),
+      options_(options) {}
+
+sim::Task<StatusOr<Timestamp>> EpochManager::Commit(CommitArgs args) {
+  if (current_ == nullptr) {
+    current_ = std::make_unique<Epoch>();
+    current_->opened = sim_->now();
+    // One timer per epoch: seals pipeline, so epoch N+1 collects members
+    // while epoch N's WAN rounds are still in flight.
+    sim_->Spawn(SealAfter(current_.get()));
+  }
+  auto member = std::make_unique<Member>(sim_);
+  member->args = std::move(args);
+  auto future = member->done.GetFuture();
+  current_->members.push_back(std::move(member));
+  co_return co_await future;
+}
+
+sim::Task<void> EpochManager::SealAfter(Epoch* epoch) {
+  co_await sim_->Sleep(options_.interval);
+  // Only this timer detaches this epoch, and nothing else resets current_
+  // while members are parked on it.
+  GDB_CHECK(current_.get() == epoch) << "epoch sealed out of order";
+  std::unique_ptr<Epoch> sealed = std::move(current_);
+  co_await ResolveEpoch(std::move(sealed));
+}
+
+std::vector<std::unique_ptr<EpochManager::Member>>
+EpochManager::ValidateMembers(Epoch* epoch) {
+  // OCC validation in admission order (DESIGN.md §15). A member conflicts —
+  // and is aborted individually, never the whole epoch — when a key it read
+  // or wrote was committed after its snapshot (stale read under the
+  // epoch-serial order), or was written by an earlier-admitted member of
+  // this same epoch (the serial order within an epoch is admission order,
+  // and all members share one commit timestamp). The same-epoch write check
+  // also keeps two queued writes to one key out of a single grouped
+  // prepare, where the second would stall on the first's row lock until
+  // phase 2.
+  std::vector<std::unique_ptr<Member>> aborted;
+  std::vector<std::unique_ptr<Member>> kept;
+  std::set<std::pair<TableId, RowKey>> epoch_writes;
+  for (auto& member : epoch->members) {
+    const CommitArgs& args = member->args;
+    auto conflicts = [&](const std::pair<TableId, RowKey>& key) {
+      auto it = recent_commits_.find(key);
+      if (it != recent_commits_.end() && it->second > args.snapshot) {
+        return true;
+      }
+      return epoch_writes.count(key) > 0;
+    };
+    bool conflict = false;
+    for (const auto& key : args.reads) {
+      if (conflicts(key)) {
+        conflict = true;
+        break;
+      }
+    }
+    if (!conflict) {
+      for (const auto& key : args.writes) {
+        if (conflicts(key)) {
+          conflict = true;
+          break;
+        }
+      }
+    }
+    if (conflict) {
+      aborted.push_back(std::move(member));
+      continue;
+    }
+    for (const auto& key : args.writes) epoch_writes.insert(key);
+    kept.push_back(std::move(member));
+  }
+  epoch->members = std::move(kept);
+  return aborted;
+}
+
+void EpochManager::RememberCommit(const std::pair<TableId, RowKey>& key,
+                                  Timestamp ts) {
+  auto [it, inserted] = recent_commits_.emplace(key, ts);
+  if (!inserted) {
+    it->second = std::max(it->second, ts);
+    return;
+  }
+  recent_commit_order_.push_back(key);
+  while (recent_commit_order_.size() > options_.recent_commit_capacity) {
+    // FIFO eviction may drop a key whose timestamp was refreshed in place;
+    // that only weakens the best-effort serializability filter, never
+    // snapshot isolation (which the DN locks and MVCC enforce regardless).
+    recent_commits_.erase(recent_commit_order_.front());
+    recent_commit_order_.pop_front();
+  }
+}
+
+sim::Task<void> EpochManager::ResolveEpoch(std::unique_ptr<Epoch> epoch) {
+  const SimTime start = sim_->now();
+  const size_t total = epoch->members.size();
+  metrics_->Add("epoch.seals");
+  metrics_->Hist("epoch.seal_batch_size").Record(static_cast<int64_t>(total));
+
+  // The epoch id comes from the owning CN's txn-id space: it doubles as a
+  // txn-outcome key, so a promoted primary resolving the grouped prepare
+  // in-doubt routes its kCnTxnOutcome lookup back to this CN (id >> 40).
+  const TxnId epoch_id = callbacks_.next_epoch_id();
+
+  // 1. OCC validation. Conflicting members abort individually and are acked
+  // right away — their cleanup (lock release on shards holding their
+  // flushed writes) runs in the background.
+  std::vector<std::unique_ptr<Member>> occ_aborted =
+      ValidateMembers(epoch.get());
+  metrics_->Add("epoch.occ_aborts", static_cast<int64_t>(occ_aborted.size()));
+  for (auto& member : occ_aborted) {
+    decided_->Record(member->args.txn, false, 0);
+    if (!member->args.participants.empty()) {
+      sim_->Spawn(DriveMemberAbort(member->args.txn,
+                                   member->args.participants));
+    }
+    member->done.Set(Status::Aborted("epoch OCC validation conflict"));
+  }
+
+  std::vector<std::unique_ptr<Member>>& members = epoch->members;
+  size_t failed_members = occ_aborted.size();
+  if (members.empty()) {
+    const SimDuration latency = sim_->now() - start;
+    metrics_->Hist("epoch.seal_latency_us").Record(latency / kMicrosecond);
+    ts_source_->ReportEpochHealth(
+        latency, total == 0 ? 0
+                            : static_cast<uint32_t>(failed_members * 1000 /
+                                                    total));
+    co_return;
+  }
+
+  // 2. Group the survivors per participant shard. A member's queued write
+  // tail rides inside the grouped prepare (no final flush round); its full
+  // participant list rides along for PR-7 in-doubt resolution.
+  const Timestamp ts_lower = ts_source_->max_issued();
+  std::map<ShardId, EpochPrepareRequest> prepares;
+  std::map<ShardId, std::vector<size_t>> shard_members;
+  for (size_t i = 0; i < members.size(); ++i) {
+    CommitArgs& args = members[i]->args;
+    for (ShardId shard : args.participants) {
+      EpochPrepareRequest& request = prepares[shard];
+      request.epoch = epoch_id;
+      request.ts_lower = ts_lower;
+      EpochPrepareRequest::Member pm;
+      pm.txn = args.txn;
+      pm.snapshot = args.snapshot;
+      pm.participants = args.participants;
+      auto it = args.pending_writes.find(shard);
+      if (it != args.pending_writes.end()) pm.entries = std::move(it->second);
+      request.members.push_back(std::move(pm));
+      shard_members[shard].push_back(i);
+    }
+  }
+
+  // 3. One grouped prepare per shard, concurrent with the epoch's single
+  // commit-timestamp grant (the whole point: one WAN round, one GTM grant,
+  // shared by every member).
+  sim::WaitGroup wg(sim_);
+  std::vector<ShardId> shards;
+  shards.reserve(prepares.size());
+  std::vector<StatusOr<EpochPrepareReply>> replies(
+      prepares.size(), StatusOr<EpochPrepareReply>(
+                           Status::Unavailable("epoch prepare pending")));
+  size_t idx = 0;
+  for (auto& [shard, request] : prepares) {
+    shards.push_back(shard);
+    wg.Add();
+    sim_->Spawn(RunPrepare(client_, callbacks_.shard_primary(shard),
+                           std::move(request), &replies[idx], &wg));
+    ++idx;
+  }
+  StatusOr<Timestamp> grant = Status::Unavailable("epoch grant pending");
+  metrics_->Add("epoch.commit_ts_rpcs");
+  wg.Add();
+  sim_->Spawn(RunCommitTs(ts_source_, &grant, &wg));
+  co_await wg.Wait();
+
+  // 4. Fold the per-member verdicts: a member commits iff the grant landed,
+  // every participant shard answered, and no shard failed the member
+  // individually (in which case that shard already rolled it back locally).
+  std::vector<Status> verdict(members.size(), Status::OK());
+  if (!grant.ok()) {
+    metrics_->Add("epoch.grant_failures");
+    for (auto& v : verdict) v = grant.status();
+  }
+  for (size_t s = 0; s < shards.size(); ++s) {
+    const std::vector<size_t>& indices = shard_members[shards[s]];
+    if (!replies[s].ok()) {
+      for (size_t i : indices) {
+        if (verdict[i].ok()) verdict[i] = replies[s].status();
+      }
+      continue;
+    }
+    const EpochPrepareReply& reply = *replies[s];
+    for (size_t j = 0; j < indices.size(); ++j) {
+      if (j < reply.results.size() && reply.results[j].code != StatusCode::kOk &&
+          verdict[indices[j]].ok()) {
+        verdict[indices[j]] = reply.results[j].ToStatus();
+      }
+    }
+  }
+
+  // 5. Record the decisions — the epoch outcome first, then per member —
+  // *before* any phase-2 delivery or member ack, exactly like the
+  // individual 2PC path: from here the outcome survives lost deliveries via
+  // the decision cache and in-doubt resolution.
+  const Timestamp ts = grant.ok() ? *grant : 0;
+  decided_->Record(epoch_id, grant.ok(), ts);
+  for (size_t i = 0; i < members.size(); ++i) {
+    const bool committed = verdict[i].ok();
+    decided_->Record(members[i]->args.txn, committed, committed ? ts : 0);
+    if (!committed) ++failed_members;
+  }
+
+  // 6. One grouped phase-2 per shard, driven in the background with
+  // re-routing to promoted primaries. Members whose prepare failed on one
+  // shard ride in the abort list for their other shards.
+  for (size_t s = 0; s < shards.size(); ++s) {
+    EpochCommitRequest request;
+    request.epoch = epoch_id;
+    request.ts = ts;
+    for (size_t i : shard_members[shards[s]]) {
+      if (verdict[i].ok()) {
+        request.commits.push_back(members[i]->args.txn);
+      } else {
+        request.aborts.push_back(members[i]->args.txn);
+      }
+    }
+    sim_->Spawn(DriveEpochCommit(shards[s], std::move(request)));
+  }
+
+  // 7. Ack the members. Surviving members are done the moment the decision
+  // is recorded and phase-2 is in flight: every participant holds a durable
+  // PREPARE, so even a primary crash before the grouped commit arrives
+  // resolves to commit through the in-doubt machinery (DESIGN.md §13/§15).
+  size_t committed_members = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (verdict[i].ok()) {
+      ++committed_members;
+      for (const auto& key : members[i]->args.writes) RememberCommit(key, ts);
+      members[i]->done.Set(ts);
+    } else {
+      members[i]->done.Set(Status::Aborted(verdict[i].message().empty()
+                                               ? "epoch member failed"
+                                               : std::string(
+                                                     verdict[i].message())));
+    }
+  }
+  if (committed_members > 0) {
+    ts_source_->RecordCommitted(ts);
+    metrics_->Add("epoch.committed_members",
+                  static_cast<int64_t>(committed_members));
+  }
+
+  // 8. Health report: seal latency (OCC + the concurrent prepare/grant
+  // round) and the member abort rate feed the EPOCH->GTM demotion decision.
+  const SimDuration latency = sim_->now() - start;
+  metrics_->Hist("epoch.seal_latency_us").Record(latency / kMicrosecond);
+  ts_source_->ReportEpochHealth(
+      latency,
+      total == 0 ? 0 : static_cast<uint32_t>(failed_members * 1000 / total));
+}
+
+sim::Task<void> EpochManager::DriveEpochCommit(ShardId shard,
+                                               EpochCommitRequest request) {
+  int attempts = 0;
+  for (;;) {
+    metrics_->Add("epoch.commit_rounds");
+    auto reply =
+        co_await client_->Call(callbacks_.shard_primary(shard),
+                               kDnEpochCommit, request);
+    if (reply.ok() || !rpc::IsTransportError(reply.status()) ||
+        attempts >= options_.commit_retry_limit) {
+      if (!reply.ok()) metrics_->Add("epoch.commit_drive_failures");
+      co_return;
+    }
+    ++attempts;
+    metrics_->Add("epoch.commit_redrives");
+    co_await sim_->Sleep(options_.commit_retry_backoff);
+  }
+}
+
+sim::Task<void> EpochManager::DriveMemberAbort(TxnId txn,
+                                               std::vector<ShardId> shards) {
+  // Lock cleanup for a member aborted before the grouped prepare: brief
+  // retries only, like the CN's individual abort path — a promoted
+  // primary's in-doubt resolver reads the abort from the decision cache.
+  TxnControlRequest control;
+  control.txn = txn;
+  control.two_phase = shards.size() > 1;
+  control.participants = shards;
+  for (ShardId shard : shards) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      auto reply = co_await client_->Call(callbacks_.shard_primary(shard),
+                                          kDnAbort, control);
+      if (reply.ok() || !rpc::IsTransportError(reply.status())) break;
+      co_await sim_->Sleep(options_.commit_retry_backoff);
+    }
+  }
+}
+
+}  // namespace globaldb

@@ -1,0 +1,150 @@
+#ifndef GLOBALDB_SRC_TXN_EPOCH_MANAGER_H_
+#define GLOBALDB_SRC_TXN_EPOCH_MANAGER_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/statusor.h"
+#include "src/common/types.h"
+#include "src/rpc/rpc_client.h"
+#include "src/sim/future.h"
+#include "src/txn/txn_decisions.h"
+
+// The epoch protocol messages (EpochPrepareRequest / EpochCommitRequest and
+// their kDnEpochPrepare / kDnEpochCommit descriptors) live in
+// src/cluster/messages.h because they embed the write-batch entry codec.
+// That header is codec-only (no cluster link dependency), so including it
+// here keeps txn below cluster in the link order.
+#include "src/cluster/messages.h"
+
+namespace globaldb {
+
+class TimestampSource;
+
+/// Epoch/group-commit coordinator (DESIGN.md §15, one instance per CN).
+///
+/// Under TimestampMode::kEpoch, committing transactions do not run an
+/// individual 2PC: they register with the currently open epoch and park.
+/// Every `interval` the epoch seals, and the manager
+///   1. validates the sealed members OCC-style in admission order against
+///      recently committed epochs and earlier members of the same epoch,
+///      aborting conflicting members individually (never the whole epoch);
+///   2. sends ONE grouped kDnEpochPrepare per participant shard — carrying
+///      each member's not-yet-flushed write tail — concurrently with ONE
+///      commit-timestamp fetch through the GTM coalescing machinery;
+///   3. records the commit/abort decision per member (and under the epoch
+///      id, which doubles as a txn-outcome key for PR-7 in-doubt
+///      resolution), then acks the surviving members and drives ONE grouped
+///      kDnEpochCommit per shard in the background, re-routing to promoted
+///      primaries until each lands.
+///
+/// Cross-region commit coordination is therefore O(epochs), not O(txns):
+/// members share the epoch's single prepare round, single timestamp grant,
+/// and single phase-2 round per shard. Seals pipeline — epoch N+1 ticks
+/// while epoch N's WAN rounds are still in flight.
+class EpochManager {
+ public:
+  struct Options {
+    /// Seal cadence: how long an epoch stays open collecting members.
+    SimDuration interval = 5 * kMillisecond;
+    /// Grouped phase-2 re-drive policy (mirrors the CN's individual 2PC).
+    int commit_retry_limit = 20;
+    SimDuration commit_retry_backoff = 100 * kMillisecond;
+    /// OCC history: committed (table, key) -> commit-ts pairs remembered for
+    /// validating later members. Bounded FIFO; eviction only weakens the
+    /// (best-effort, SI-preserving) serializability filter.
+    size_t recent_commit_capacity = 8192;
+  };
+
+  struct Callbacks {
+    /// Allocates the epoch id from the owning CN's txn-id space so in-doubt
+    /// resolvers route epoch-outcome lookups to this CN (owner = id >> 40).
+    std::function<TxnId()> next_epoch_id;
+    /// Current primary for a shard, re-consulted on every delivery attempt.
+    std::function<NodeId(ShardId)> shard_primary;
+  };
+
+  /// One member's commit request, captured at EndTxn time.
+  struct CommitArgs {
+    TxnId txn = kInvalidTxnId;
+    Timestamp snapshot = 0;
+    /// Every write shard (flushed batches and queued tails alike).
+    std::vector<ShardId> participants;
+    /// Queued-but-unflushed write entries per shard; they ride inside the
+    /// grouped epoch prepare instead of a final kDnWriteBatch flush.
+    std::map<ShardId, std::vector<WriteBatchRequest::Entry>> pending_writes;
+    /// OCC read/write sets: (table, key) pairs touched by plain snapshot
+    /// reads and by writes. FOR UPDATE reads are excluded (they read the
+    /// latest version under the row lock).
+    std::vector<std::pair<TableId, RowKey>> reads;
+    std::vector<std::pair<TableId, RowKey>> writes;
+  };
+
+  /// `decided` is the owning CN's decision cache and `metrics` its metrics
+  /// registry (epoch.* counters land beside the cn.* commit-path stats).
+  EpochManager(sim::Simulator* sim, TimestampSource* ts_source,
+               rpc::RpcClient* client, DecisionMemo* decided, Metrics* metrics,
+               Callbacks callbacks, Options options);
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// Joins the open epoch and parks until the epoch resolves. Returns the
+  /// epoch's commit timestamp, or Aborted when OCC validation (or a
+  /// participant shard) failed this member individually.
+  sim::Task<StatusOr<Timestamp>> Commit(CommitArgs args);
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct Member {
+    explicit Member(sim::Simulator* sim) : done(sim) {}
+    CommitArgs args;
+    sim::Promise<StatusOr<Timestamp>> done;
+  };
+  struct Epoch {
+    SimTime opened = 0;
+    std::vector<std::unique_ptr<Member>> members;
+  };
+
+  /// Timer for one open epoch: sleeps the interval, then detaches the epoch
+  /// (the next Commit opens a fresh one) and resolves it. Pipelined — the
+  /// resolve's WAN rounds overlap the next epoch's collection window.
+  sim::Task<void> SealAfter(Epoch* epoch);
+  sim::Task<void> ResolveEpoch(std::unique_ptr<Epoch> epoch);
+  /// OCC validation in admission order; moves conflicting members out of
+  /// `epoch` into the returned list (their promises are still unresolved).
+  std::vector<std::unique_ptr<Member>> ValidateMembers(Epoch* epoch);
+  /// Drives one shard's grouped phase-2 until it lands (or the retry limit),
+  /// re-consulting shard_primary per attempt.
+  sim::Task<void> DriveEpochCommit(ShardId shard, EpochCommitRequest request);
+  /// Best-effort individual abort broadcast for a failed member.
+  sim::Task<void> DriveMemberAbort(TxnId txn, std::vector<ShardId> shards);
+  void RememberCommit(const std::pair<TableId, RowKey>& key, Timestamp ts);
+
+  sim::Simulator* sim_;
+  TimestampSource* ts_source_;
+  rpc::RpcClient* client_;
+  DecisionMemo* decided_;
+  Metrics* metrics_;
+  Callbacks callbacks_;
+  Options options_;
+
+  /// The currently open (collecting) epoch; null between a seal and the
+  /// next arriving member. Owned here; SealAfter detaches it at seal time.
+  std::unique_ptr<Epoch> current_;
+
+  /// OCC history: recently committed (table, key) -> latest commit ts.
+  std::map<std::pair<TableId, RowKey>, Timestamp> recent_commits_;
+  std::deque<std::pair<TableId, RowKey>> recent_commit_order_;
+};
+
+}  // namespace globaldb
+
+#endif  // GLOBALDB_SRC_TXN_EPOCH_MANAGER_H_

@@ -1,0 +1,301 @@
+// Epoch/group-commit fault acceptance (DESIGN.md §15): targeted crashes are
+// fired against a cluster committing through sealed epochs —
+//   - a shard primary is killed at the grouped-prepare durability point
+//     (between a member's writes landing and the epoch decision),
+//   - another is killed the moment the grouped phase-2 (kDnEpochCommit)
+//     arrives — after members were already acked on their CN,
+//   - and a CN is made unreachable mid-seal (its grouped rounds die on the
+//     wire), then restarted.
+// Through all of it, across seeds: no write whose Commit() returned OK may
+// be lost, no cross-shard transaction may commit on one participant and
+// abort on another, and every inherited in-doubt member must resolve
+// through the PR-7 outcome machinery (the epoch id doubles as an outcome
+// key). A separate test drives the HealthMonitor's EPOCH -> GTM demotion
+// and checks commits keep flowing under individual 2PC afterwards.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/chaos/fault_scheduler.h"
+#include "src/cluster/cluster.h"
+#include "src/storage/schema.h"
+
+namespace globaldb {
+namespace {
+
+struct PairAttempt {
+  int64_t a = 0;
+  int64_t b = 0;
+  bool acked = false;
+};
+
+TableSchema PairSchema() {
+  TableSchema schema;
+  schema.name = "pairs";
+  schema.columns = {{"id", ColumnType::kInt64}, {"val", ColumnType::kInt64}};
+  schema.key_columns = {0};
+  schema.distribution_column = 0;
+  return schema;
+}
+
+int64_t NextKeyOnDifferentShard(const TableSchema& schema, uint32_t shards,
+                                int64_t a, int64_t* next) {
+  const ShardId shard_a = RouteRowToShard(schema, {a, 0}, shards);
+  while (true) {
+    const int64_t b = (*next)++;
+    if (RouteRowToShard(schema, {b, 0}, shards) != shard_a) return b;
+  }
+}
+
+sim::Task<void> PairWriter(Cluster* cluster, int cn_index, int64_t id_base,
+                           std::vector<PairAttempt>* attempts,
+                           const bool* stop) {
+  CoordinatorNode* cn = &cluster->cn(cn_index);
+  sim::Simulator* sim = cluster->simulator();
+  TableSchema schema = PairSchema();
+  const uint32_t shards = static_cast<uint32_t>(cluster->num_shards());
+  int64_t next = id_base;
+  while (!*stop) {
+    co_await sim->Sleep(2 * kMillisecond);
+    const int64_t a = next++;
+    const int64_t b = NextKeyOnDifferentShard(schema, shards, a, &next);
+    auto txn = co_await cn->Begin();
+    if (!txn.ok()) continue;
+    Row row_a = {a, a};
+    Row row_b = {b, b};
+    Status s = co_await cn->Insert(&*txn, "pairs", row_a);
+    if (s.ok()) s = co_await cn->Insert(&*txn, "pairs", row_b);
+    if (!s.ok()) {
+      (void)co_await cn->Abort(&*txn);
+      attempts->push_back({a, b, false});
+      continue;
+    }
+    s = co_await cn->Commit(&*txn);
+    attempts->push_back({a, b, s.ok()});
+  }
+}
+
+class EpochFaultTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EpochFaultTest, CrashesNeverLoseAckedEpochMembers) {
+  const uint64_t seed = GetParam();
+  sim::Simulator sim(seed);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  options.network.rpc_timeout = 250 * kMillisecond;
+  options.initial_mode = TimestampMode::kEpoch;
+  options.num_shards = 3;
+  options.cns_per_region = 1;
+  options.coordinator.epoch_interval = 5 * kMillisecond;
+  // Sync-quorum: every grouped PREPARE a coordinator acted on is durable on
+  // the most-caught-up replica before the epoch decides, so a promoted
+  // successor inherits acked members as in-doubt instead of losing them.
+  options.shipper.mode = ReplicationMode::kSyncQuorum;
+  options.shipper.quorum_replicas = 1;
+  options.shipper.max_retry_backoff = 500 * kMillisecond;
+  options.health.primary_failover = true;
+  options.health.probe_interval = 50 * kMillisecond;
+  options.health.probe_timeout = 120 * kMillisecond;
+  options.health.primary_miss_threshold = 2;
+  // Pin the cluster in EPOCH through the crashes: a crash-window seal aborts
+  // all of its members (briefly 1000 permille), which would trip the
+  // demotion this test is not about — the fallback test below covers it.
+  options.health.epoch_abort_permille_limit = 1000;
+  options.health.epoch_seal_latency_limit = 60 * kSecond;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool ready = false;
+  auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+    EXPECT_TRUE((co_await cluster->cn(0).CreateTable(PairSchema())).ok());
+    *ready = true;
+  };
+  sim.Spawn(setup(&cluster, &ready));
+  while (!ready) sim.RunFor(10 * kMillisecond);
+  cluster.WaitForRcp();
+
+  chaos::FaultScheduler faults(&cluster);
+  const SimTime t0 = sim.now() + 600 * kMillisecond;
+  // Primary of shard 0 dies at the grouped-prepare durability point; its
+  // members' epoch decides abort (transport failure) before any ack.
+  chaos::FaultEvent prepare_kill;
+  prepare_kill.at = t0;
+  prepare_kill.kind = chaos::FaultKind::kPrimaryCrash;
+  prepare_kill.shard = 0;
+  prepare_kill.stage = CrashStage::kAfterPrepareAppend;
+  faults.AddEvent(prepare_kill);
+  // Primary of shard 1 dies the moment a grouped phase-2 arrives — its
+  // members are already acked, so the re-drive + in-doubt machinery must
+  // land the commit on the promoted successor.
+  chaos::FaultEvent commit_kill;
+  commit_kill.at = t0 + 800 * kMillisecond;
+  commit_kill.kind = chaos::FaultKind::kPrimaryCrash;
+  commit_kill.shard = 1;
+  commit_kill.stage = CrashStage::kOnCommitArrival;
+  faults.AddEvent(commit_kill);
+  // A CN becomes unreachable mid-seal: its epochs' grouped rounds die on
+  // the wire, members resolve abort (never acked), shards holding their
+  // prepares resolve through the decision cache once the CN returns.
+  chaos::FaultEvent cn_crash;
+  cn_crash.at = t0 + 1600 * kMillisecond;
+  cn_crash.kind = chaos::FaultKind::kNodeCrash;
+  cn_crash.node = Cluster::CnNodeId(1);
+  faults.AddEvent(cn_crash);
+  chaos::FaultEvent cn_restart;
+  cn_restart.at = t0 + 2400 * kMillisecond;
+  cn_restart.kind = chaos::FaultKind::kNodeRestart;
+  cn_restart.node = Cluster::CnNodeId(1);
+  faults.AddEvent(cn_restart);
+  faults.Start();
+
+  bool stop = false;
+  std::vector<PairAttempt> attempts;
+  for (int w = 0; w < 9; ++w) {
+    sim.Spawn(PairWriter(&cluster, w % 3, 1 + w * 1000000, &attempts, &stop));
+  }
+
+  sim.RunFor(4 * kSecond);
+  stop = true;
+  sim.RunFor(300 * kMillisecond);
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    cluster.cn(i).StopServices();
+  }
+  sim.RunFor(2 * kSecond);
+
+  EXPECT_EQ(faults.metrics().Get("chaos.primary_crash"), 2) << "seed "
+                                                            << seed;
+  EXPECT_EQ(cluster.health().metrics().Get("health.promotions"), 2)
+      << "seed " << seed;
+  EXPECT_GT(attempts.size(), 100u) << "seed " << seed;
+
+  // Epochs actually carried the commits, and at least one grouped phase-2
+  // had to be re-driven against a promoted successor.
+  int64_t epoch_commits = 0;
+  int64_t redrives = 0;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    epoch_commits += cluster.cn(i).metrics().Get("cn.epoch_commits");
+    redrives += cluster.cn(i).metrics().Get("epoch.commit_redrives");
+  }
+  EXPECT_GT(epoch_commits, 100) << "seed " << seed;
+  EXPECT_GE(redrives, 1) << "seed " << seed;
+
+  // Nothing stays in doubt on any primary (original or promoted).
+  for (ShardId s = 0; s < cluster.num_shards(); ++s) {
+    EXPECT_EQ(cluster.data_node(s).in_doubt_count(), 0u)
+        << "seed " << seed << " shard " << s;
+  }
+
+  // Zero acked loss + cross-shard atomicity, pair by pair.
+  bool verified = false;
+  auto verify = [](Cluster* cluster, const std::vector<PairAttempt>* attempts,
+                   bool* verified) -> sim::Task<void> {
+    CoordinatorNode& cn = cluster->cn(0);
+    for (size_t base = 0; base < attempts->size(); base += 64) {
+      auto txn = co_await cn.Begin();
+      EXPECT_TRUE(txn.ok());
+      if (!txn.ok()) co_return;
+      const size_t end = std::min(base + 64, attempts->size());
+      std::vector<Row> keys;
+      for (size_t i = base; i < end; ++i) {
+        keys.push_back({(*attempts)[i].a});
+        keys.push_back({(*attempts)[i].b});
+      }
+      auto rows = co_await cn.MultiGet(&*txn, "pairs", keys);
+      EXPECT_TRUE(rows.ok());
+      if (!rows.ok()) co_return;
+      for (size_t i = base; i < end; ++i) {
+        const bool has_a = (*rows)[(i - base) * 2].has_value();
+        const bool has_b = (*rows)[(i - base) * 2 + 1].has_value();
+        const PairAttempt& attempt = (*attempts)[i];
+        if (attempt.acked) {
+          EXPECT_TRUE(has_a && has_b)
+              << "acked epoch member (" << attempt.a << ", " << attempt.b
+              << ") lost: a=" << has_a << " b=" << has_b;
+        } else {
+          EXPECT_EQ(has_a, has_b)
+              << "atomicity violation on pair (" << attempt.a << ", "
+              << attempt.b << "): a=" << has_a << " b=" << has_b;
+        }
+      }
+      (void)co_await cn.Abort(&*txn);
+    }
+    *verified = true;
+  };
+  sim.Spawn(verify(&cluster, &attempts, &verified));
+  sim.RunFor(30 * kSecond);
+  EXPECT_TRUE(verified) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EpochFaultTest,
+                         ::testing::Values(17u, 171u, 1717u));
+
+// EPOCH -> GTM demotion: with the seal-latency limit set below any real
+// seal, the first health probe after a seal demotes the cluster. Commits
+// must keep flowing afterwards — through the individual 2PC path — and the
+// transition must be the bridgeless epoch variant.
+TEST(EpochFallbackTest, HealthMonitorDemotesEpochToGtm) {
+  sim::Simulator sim(29);
+  ClusterOptions options;
+  options.topology = sim::Topology::ThreeCity();
+  options.network.nagle_enabled = false;
+  options.initial_mode = TimestampMode::kEpoch;
+  options.num_shards = 3;
+  options.coordinator.epoch_interval = 5 * kMillisecond;
+  options.health.probe_interval = 50 * kMillisecond;
+  // Any seal (they take at least one WAN round) violates this limit.
+  options.health.epoch_seal_latency_limit = 1 * kMicrosecond;
+  Cluster cluster(&sim, options);
+  cluster.Start();
+
+  bool ready = false;
+  auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+    EXPECT_TRUE((co_await cluster->cn(0).CreateTable(PairSchema())).ok());
+    *ready = true;
+  };
+  sim.Spawn(setup(&cluster, &ready));
+  while (!ready) sim.RunFor(10 * kMillisecond);
+
+  bool stop = false;
+  std::vector<PairAttempt> attempts;
+  for (int w = 0; w < 6; ++w) {
+    sim.Spawn(PairWriter(&cluster, w % 3, 1 + w * 1000000, &attempts, &stop));
+  }
+  sim.RunFor(3 * kSecond);
+  stop = true;
+  sim.RunFor(500 * kMillisecond);
+
+  // The demotion fired exactly once and flipped every node to GTM.
+  EXPECT_EQ(cluster.health().metrics().Get("health.epoch_fallback_to_gtm"),
+            1);
+  EXPECT_TRUE(cluster.health().epoch_fell_back());
+  EXPECT_EQ(cluster.health().mode(), TimestampMode::kGtm);
+  EXPECT_EQ(cluster.transition().metrics().Get("transition.epoch_to_gtm"), 1);
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    EXPECT_EQ(cluster.cn(i).timestamp_source().mode(), TimestampMode::kGtm);
+  }
+
+  // Commits flowed before the demotion (epoch path) and after it (2PC
+  // path): the epoch counter froze, the 2PC counters kept moving.
+  int64_t epoch_commits = 0;
+  int64_t total_commits = 0;
+  for (size_t i = 0; i < cluster.num_cns(); ++i) {
+    epoch_commits += cluster.cn(i).metrics().Get("cn.epoch_commits");
+    total_commits += cluster.cn(i).metrics().Get("cn.commits");
+  }
+  EXPECT_GE(epoch_commits, 1);
+  EXPECT_GT(total_commits, epoch_commits);
+
+  // The post-demotion world still accepts writes end to end.
+  const size_t acked =
+      static_cast<size_t>(std::count_if(attempts.begin(), attempts.end(),
+                                        [](const PairAttempt& a) {
+                                          return a.acked;
+                                        }));
+  EXPECT_GT(acked, 100u);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -1,0 +1,295 @@
+// Epoch/group-commit protocol tests (DESIGN.md §15): under
+// TimestampMode::kEpoch committing transactions join the open epoch; every
+// seal validates the members OCC-style (aborting conflicting members
+// individually), fetches ONE commit timestamp for the whole epoch, and
+// drives ONE grouped phase-2 per participant shard. These tests pin down
+// the seal cadence and amortization (commit-timestamp RPCs ~ epochs, not
+// transactions), the per-member OCC abort semantics within and across
+// epochs, and the idempotence of duplicated kDnEpochCommit deliveries.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/storage/schema.h"
+
+namespace globaldb {
+namespace {
+
+TableSchema AccountSchema() {
+  TableSchema schema;
+  schema.name = "accounts";
+  schema.columns = {{"id", ColumnType::kInt64}, {"val", ColumnType::kInt64}};
+  schema.key_columns = {0};
+  schema.distribution_column = 0;
+  return schema;
+}
+
+class EpochCommitTest : public ::testing::Test {
+ protected:
+  EpochCommitTest() : sim_(7) {
+    ClusterOptions options;
+    options.network.nagle_enabled = false;
+    options.initial_mode = TimestampMode::kEpoch;
+    options.num_shards = 3;
+    options.coordinator.epoch_interval = 2 * kMillisecond;
+    cluster_ = std::make_unique<Cluster>(&sim_, options);
+    cluster_->Start();
+
+    bool ready = false;
+    auto setup = [](Cluster* cluster, bool* ready) -> sim::Task<void> {
+      EXPECT_TRUE((co_await cluster->cn(0).CreateTable(AccountSchema())).ok());
+      *ready = true;
+    };
+    sim_.Spawn(setup(cluster_.get(), &ready));
+    while (!ready) sim_.RunFor(10 * kMillisecond);
+  }
+
+  /// One writer transaction: upserts (id, val) and commits. Status of the
+  /// commit lands in *out.
+  sim::Task<void> WriteTxn(int cn_index, int64_t id, int64_t val, bool insert,
+                           Status* out) {
+    CoordinatorNode* cn = &cluster_->cn(cn_index);
+    auto txn = co_await cn->Begin();
+    EXPECT_TRUE(txn.ok());
+    if (!txn.ok()) {
+      *out = txn.status();
+      co_return;
+    }
+    Row row = {id, val};
+    Status s;
+    if (insert) {
+      s = co_await cn->Insert(&*txn, "accounts", row);
+    } else {
+      s = co_await cn->Update(&*txn, "accounts", row);
+    }
+    if (!s.ok()) {
+      (void)co_await cn->Abort(&*txn);
+      *out = s;
+      co_return;
+    }
+    *out = co_await cn->Commit(&*txn);
+  }
+
+  /// Reads `id` through a fresh transaction; kInvalidValue when absent.
+  int64_t ReadValue(int64_t id) {
+    static constexpr int64_t kInvalidValue = -999;
+    int64_t value = kInvalidValue;
+    bool done = false;
+    auto reader = [](Cluster* cluster, int64_t id, int64_t* value,
+                     bool* done) -> sim::Task<void> {
+      CoordinatorNode* cn = &cluster->cn(0);
+      auto txn = co_await cn->Begin();
+      EXPECT_TRUE(txn.ok());
+      if (!txn.ok()) {
+        *done = true;
+        co_return;
+      }
+      Row key = {id};
+      auto row = co_await cn->Get(&*txn, "accounts", key);
+      EXPECT_TRUE(row.ok());
+      if (row.ok() && row->has_value()) *value = std::get<int64_t>((**row)[1]);
+      (void)co_await cn->Abort(&*txn);
+      *done = true;
+    };
+    sim_.Spawn(reader(cluster_.get(), id, &value, &done));
+    while (!done) sim_.RunFor(1 * kMillisecond);
+    return value;
+  }
+
+  int64_t CnMetric(const char* name) {
+    int64_t total = 0;
+    for (size_t i = 0; i < cluster_->num_cns(); ++i) {
+      total += cluster_->cn(i).metrics().Get(name);
+    }
+    return total;
+  }
+
+  sim::Simulator sim_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+// A burst of concurrent disjoint writers lands in a handful of epochs: all
+// commit, and the epoch machinery charges ~one commit-timestamp RPC and one
+// grouped phase-2 round per *epoch*, not per transaction.
+TEST_F(EpochCommitTest, ConcurrentCommitsShareEpochGrantAndPhase2) {
+  constexpr int kTxns = 24;
+  std::vector<Status> results(kTxns, Status::Internal("pending"));
+  for (int i = 0; i < kTxns; ++i) {
+    sim_.Spawn(WriteTxn(0, 100 + i, i, /*insert=*/true, &results[i]));
+  }
+  sim_.RunFor(2 * kSecond);
+
+  for (int i = 0; i < kTxns; ++i) {
+    EXPECT_TRUE(results[i].ok()) << i << ": " << results[i].ToString();
+    EXPECT_EQ(ReadValue(100 + i), i);
+  }
+  EXPECT_EQ(CnMetric("cn.epoch_commits"), kTxns);
+  EXPECT_EQ(CnMetric("epoch.committed_members"), kTxns);
+  EXPECT_EQ(CnMetric("epoch.occ_aborts"), 0);
+  // The writers begin within ~one GTM round trip of each other, so they
+  // resolve in very few epochs — each with exactly one timestamp grant.
+  const int64_t seals = CnMetric("epoch.seals");
+  EXPECT_GE(seals, 1);
+  EXPECT_LE(CnMetric("epoch.commit_ts_rpcs"), seals);
+  EXPECT_LE(CnMetric("epoch.commit_ts_rpcs"), 4);
+  // Seal batches actually grouped members (no degenerate 1-txn epochs).
+  EXPECT_GE(cluster_->cn(0).metrics().Hist("epoch.seal_batch_size").max(), 8);
+}
+
+// Two members of one epoch write the same key: OCC validation aborts only
+// the later-admitted member; the earlier one and an unrelated member
+// commit. SI is never at stake — the filter just keeps both writes out of
+// one grouped prepare and preserves the epoch-serial order.
+TEST_F(EpochCommitTest, SameEpochWriteConflictAbortsOnlyConflictingMember) {
+  Status seeded = Status::Internal("pending");
+  sim_.Spawn(WriteTxn(0, 1, 10, /*insert=*/true, &seeded));
+  sim_.RunFor(1 * kSecond);
+  ASSERT_TRUE(seeded.ok());
+
+  Status a = Status::Internal("pending");
+  Status b = Status::Internal("pending");
+  Status c = Status::Internal("pending");
+  sim_.Spawn(WriteTxn(0, 1, 111, /*insert=*/false, &a));
+  sim_.Spawn(WriteTxn(0, 1, 222, /*insert=*/false, &b));
+  sim_.Spawn(WriteTxn(0, 2, 333, /*insert=*/true, &c));
+  sim_.RunFor(2 * kSecond);
+
+  // Exactly one of the two same-key writers lost, the other won; the
+  // disjoint member is untouched by its neighbors' conflict.
+  EXPECT_NE(a.ok(), b.ok()) << "a=" << a.ToString() << " b=" << b.ToString();
+  EXPECT_TRUE(c.ok()) << c.ToString();
+  EXPECT_EQ(CnMetric("epoch.occ_aborts"), 1);
+  const Status& loser = a.ok() ? b : a;
+  EXPECT_EQ(loser.code(), StatusCode::kAborted);
+  EXPECT_EQ(ReadValue(1), a.ok() ? 111 : 222);
+  EXPECT_EQ(ReadValue(2), 333);
+}
+
+// A member whose plain snapshot read went stale — the key was committed by
+// a later epoch after the member's snapshot — fails read-set validation at
+// its own seal and aborts; nothing it wrote becomes visible.
+TEST_F(EpochCommitTest, StaleReadFailsValidationAcrossEpochs) {
+  Status seeded = Status::Internal("pending");
+  sim_.Spawn(WriteTxn(0, 5, 100, /*insert=*/true, &seeded));
+  sim_.RunFor(1 * kSecond);
+  ASSERT_TRUE(seeded.ok());
+
+  Status reader_commit = Status::Internal("pending");
+  bool read_done = false;
+  auto reader = [](Cluster* cluster, bool* read_done,
+                   Status* out) -> sim::Task<void> {
+    CoordinatorNode* cn = &cluster->cn(0);
+    auto txn = co_await cn->Begin();
+    EXPECT_TRUE(txn.ok());
+    if (!txn.ok()) {
+      *read_done = true;
+      *out = txn.status();
+      co_return;
+    }
+    Row key = {5};
+    auto row = co_await cn->Get(&*txn, "accounts", key);
+    EXPECT_TRUE(row.ok());
+    *read_done = true;
+    // Park long enough for the conflicting writer's epoch to commit, then
+    // write a disjoint key — the stale read alone must doom the member.
+    co_await cluster->simulator()->Sleep(500 * kMillisecond);
+    Row disjoint = {6, 1};
+    EXPECT_TRUE((co_await cn->Insert(&*txn, "accounts", disjoint)).ok());
+    *out = co_await cn->Commit(&*txn);
+  };
+  sim_.Spawn(reader(cluster_.get(), &read_done, &reader_commit));
+  while (!read_done) sim_.RunFor(1 * kMillisecond);
+
+  Status writer = Status::Internal("pending");
+  sim_.Spawn(WriteTxn(0, 5, 200, /*insert=*/false, &writer));
+  sim_.RunFor(2 * kSecond);
+
+  EXPECT_TRUE(writer.ok()) << writer.ToString();
+  EXPECT_EQ(reader_commit.code(), StatusCode::kAborted)
+      << reader_commit.ToString();
+  EXPECT_EQ(ReadValue(5), 200);
+  EXPECT_EQ(ReadValue(6), -999);  // the aborted member's write never lands
+}
+
+// A re-driven (duplicated) grouped phase-2 delivery is a per-member no-op:
+// the data node answers OK from its decision memo without re-appending
+// commit records, and a *conflicting* duplicate (claiming an abort for a
+// committed member) fails loudly instead of corrupting state.
+TEST_F(EpochCommitTest, DuplicatedEpochCommitDeliveryIsIdempotent) {
+  Status committed = Status::Internal("pending");
+  TxnId txn_id = kInvalidTxnId;
+  auto writer = [](Cluster* cluster, TxnId* txn_id,
+                   Status* out) -> sim::Task<void> {
+    CoordinatorNode* cn = &cluster->cn(0);
+    auto txn = co_await cn->Begin();
+    EXPECT_TRUE(txn.ok());
+    if (!txn.ok()) {
+      *out = txn.status();
+      co_return;
+    }
+    *txn_id = txn->id;
+    Row row = {9, 90};
+    EXPECT_TRUE((co_await cn->Insert(&*txn, "accounts", row)).ok());
+    *out = co_await cn->Commit(&*txn);
+  };
+  sim_.Spawn(writer(cluster_.get(), &txn_id, &committed));
+  sim_.RunFor(2 * kSecond);
+  ASSERT_TRUE(committed.ok());
+  ASSERT_NE(txn_id, kInvalidTxnId);
+
+  const ShardId shard = RouteRowToShard(
+      AccountSchema(), {9, 90}, static_cast<uint32_t>(cluster_->num_shards()));
+  DataNode& dn = cluster_->data_node(shard);
+  const int64_t commits_before = dn.metrics().Get("dn.epoch_member_commits");
+  const int64_t dedup_before = dn.metrics().Get("dn.decision_dedup_hits");
+
+  // Recover the member's commit timestamp from the owning CN's decision
+  // cache — exactly what an in-doubt resolver would learn — and re-deliver
+  // the grouped decision.
+  rpc::RpcClient client(&cluster_->network(), Cluster::CnNodeId(0));
+  bool done = false;
+  auto redeliver = [](Cluster* cluster, rpc::RpcClient* client, NodeId dn_node,
+                      TxnId txn_id, bool* done) -> sim::Task<void> {
+    TxnOutcomeRequest lookup;
+    lookup.txn = txn_id;
+    auto outcome =
+        co_await client->Call(Cluster::CnNodeId(0), kCnTxnOutcome, lookup);
+    EXPECT_TRUE(outcome.ok());
+    if (!outcome.ok()) co_return;
+    EXPECT_EQ(outcome->outcome, TxnOutcome::kCommitted);
+    if (outcome->outcome != TxnOutcome::kCommitted) co_return;
+
+    EpochCommitRequest dup;
+    dup.epoch = txn_id + (1ull << 20);  // a re-drive under a fresh epoch key
+    dup.ts = outcome->ts;
+    dup.commits.push_back(txn_id);
+    auto replayed = co_await client->Call(dn_node, kDnEpochCommit, dup);
+    EXPECT_TRUE(replayed.ok()) << replayed.status().ToString();
+
+    // Conflicting duplicate: claiming the committed member aborted must be
+    // rejected, never applied.
+    EpochCommitRequest conflicting;
+    conflicting.epoch = dup.epoch + 1;
+    conflicting.ts = 0;
+    conflicting.aborts.push_back(txn_id);
+    auto rejected = co_await client->Call(dn_node, kDnEpochCommit,
+                                          conflicting);
+    EXPECT_FALSE(rejected.ok());
+    EXPECT_EQ(rejected.status().code(), StatusCode::kFailedPrecondition);
+    *done = true;
+  };
+  sim_.Spawn(redeliver(cluster_.get(), &client,
+                       cluster_->primary_node_id(shard), txn_id, &done));
+  sim_.RunFor(2 * kSecond);
+  ASSERT_TRUE(done);
+
+  // Both duplicates answered from the memo; no commit was re-applied.
+  EXPECT_EQ(dn.metrics().Get("dn.epoch_member_commits"), commits_before);
+  EXPECT_GE(dn.metrics().Get("dn.decision_dedup_hits"), dedup_before + 2);
+  EXPECT_EQ(ReadValue(9), 90);
+}
+
+}  // namespace
+}  // namespace globaldb

@@ -194,5 +194,56 @@ TEST_F(GtmCoalesceTest, GtmCommitDualWaitAppliesOnlyToCommitBatches) {
   EXPECT_LE(src(0).metrics().Get("ts.gtm_rpcs"), 4);
 }
 
+// Range-consumption contract (messages.h, DESIGN.md §10/§15): a granted
+// range (ts - count, ts] binds each value to exactly one waiter at fan-out
+// time. A waiter whose transaction (or epoch member) aborts simply abandons
+// its value — nothing re-enters a pool, so later grants are strictly above
+// every earlier one and abandoned values stay permanent gaps. Epoch-mode
+// commit grants ride the same machinery (remapped to the GTM counter), so
+// the waves mix begin, GTM-commit, and epoch-commit grants.
+TEST_F(GtmCoalesceTest, AbandonedGrantsAreNeverReissued) {
+  std::vector<std::vector<Timestamp>> waves;
+  auto client = [&](TimestampSource* s, TimestampMode mode, bool commit,
+                    std::vector<Timestamp>* out) -> sim::Task<void> {
+    if (commit) {
+      auto ts = co_await s->CommitTs(mode);
+      EXPECT_TRUE(ts.ok());
+      if (ts.ok()) out->push_back(*ts);
+      co_return;
+    }
+    auto grant = co_await s->BeginTs(false);
+    EXPECT_TRUE(grant.ok());
+    if (grant.ok()) out->push_back(grant->ts);
+  };
+  for (int wave = 0; wave < 4; ++wave) {
+    waves.emplace_back();
+    std::vector<Timestamp>* out = &waves.back();
+    // Each wave coalesces 12 waiters; every odd-indexed waiter's value is
+    // "abandoned" (its transaction aborts after the grant) — from the
+    // server's perspective the two are indistinguishable, which is the
+    // point: abandonment needs no protocol action.
+    for (int i = 0; i < 6; ++i) {
+      sim_.Spawn(client(&src(0), TimestampMode::kEpoch, true, out));
+      sim_.Spawn(client(&src(0), TimestampMode::kGtm, i % 2 == 0, out));
+    }
+    sim_.RunFor(200 * kMillisecond);
+    ASSERT_EQ(out->size(), 12u);
+  }
+
+  // Globally unique, and every later wave sits strictly above the maximum
+  // of all earlier waves — the gaps left by abandoned values are permanent.
+  std::vector<Timestamp> all;
+  Timestamp prior_max = 0;
+  for (const auto& wave : waves) {
+    const Timestamp wave_min = *std::min_element(wave.begin(), wave.end());
+    EXPECT_GT(wave_min, prior_max);
+    prior_max = std::max(
+        prior_max, *std::max_element(wave.begin(), wave.end()));
+    all.insert(all.end(), wave.begin(), wave.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(std::unique(all.begin(), all.end()), all.end());
+}
+
 }  // namespace
 }  // namespace globaldb
